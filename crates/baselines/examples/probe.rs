@@ -1,0 +1,30 @@
+//! Probe baseline behavior across families.
+use baselines::{CompassSe, GlobalVision, NaiveLocal};
+use chain_sim::{Outcome, RunLimits, Sim, Strategy};
+use workloads::Family;
+
+fn run<S: Strategy>(s: S, fam: Family, n: usize, seed: u64) -> String {
+    let chain = fam.generate(n, seed);
+    let len = chain.len();
+    let d = chain.bounding().diameter() as u64;
+    let mut sim = Sim::new(chain, s);
+    let out = sim.run(RunLimits { max_rounds: 16 * (len as u64) * d.max(4) + 4096, stall_window: 4 * (len as u64) * d.max(4) + 2048 });
+    match out {
+        Outcome::Gathered { rounds } => format!("ok:{rounds}"),
+        Outcome::Stalled { .. } => "STALL".into(),
+        Outcome::RoundLimit { .. } => "LIMIT".into(),
+        Outcome::ChainBroken { .. } => "BROKEN".into(),
+    }
+}
+
+fn main() {
+    println!("{:<18} {:>6}  {:>12} {:>12} {:>12}", "family", "n", "global", "compass", "naive");
+    for fam in Family::ALL {
+        for n in [40usize, 150] {
+            let g = run(GlobalVision::new(), fam, n, 7);
+            let c = run(CompassSe::new(), fam, n, 7);
+            let l = run(NaiveLocal::new(), fam, n, 7);
+            println!("{:<18} {:>6}  {:>12} {:>12} {:>12}", fam.name(), n, g, c, l);
+        }
+    }
+}

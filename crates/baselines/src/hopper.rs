@@ -1,0 +1,214 @@
+//! A Manhattan-Hopper-style strategy for *open* chains with fixed
+//! endpoints — the \[KM09\] setting the paper generalizes.
+//!
+//! Kutyłowski & Meyer auf der Heide maintain a communication chain between
+//! an explorer and a base camp; on the grid, their Manhattan Hopper
+//! shortens the chain to an optimal (Manhattan-shortest) path in `O(n)`
+//! rounds. We reproduce the *result shape* with a compact mechanism in the
+//! same spirit (their hop states provide sequencing; we use the parity of
+//! the robot index, which an open chain can establish once from its
+//! distinguishable endpoint):
+//!
+//! * **fold collapse** — a robot whose neighbors coincide hops onto them
+//!   (the chain shortens by two),
+//! * **corner cut** — a robot at a corner hops to the diagonal cell
+//!   `a + b − r` (staircase smoothing, strictly reducing the chain's area
+//!   defect),
+//! * robots act on rounds matching their index parity, so adjacent robots
+//!   never move simultaneously and every hop is chain-safe by
+//!   construction; endpoints never move.
+//!
+//! The claim reproduced in table T8b: the chain reaches the optimal length
+//! `manhattan(A, B) + 1` within `O(n)` rounds.
+
+use chain_sim::OpenChain;
+use grid_geom::{manhattan, Offset};
+
+/// Outcome of a Manhattan-Hopper run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopperOutcome {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Final chain length (robots).
+    pub final_len: usize,
+    /// The optimum: Manhattan distance between the fixed endpoints + 1.
+    pub optimal_len: usize,
+}
+
+impl HopperOutcome {
+    /// `true` if the chain reached a Manhattan-shortest path.
+    pub fn is_optimal(&self) -> bool {
+        self.final_len == self.optimal_len
+    }
+}
+
+/// Run the hopper until the chain is a shortest path (or `max_rounds`).
+///
+/// The endpoints (first/last robot) are fixed — the explorer/base-camp
+/// model of \[KM09\].
+pub fn manhattan_hopper(mut chain: OpenChain, max_rounds: u64) -> HopperOutcome {
+    let a = chain.pos(0);
+    let b = chain.pos(chain.len() - 1);
+    let optimal_len = manhattan(a, b) as usize + 1;
+    let _ = a;
+    let mut rounds = 0;
+    let mut hops: Vec<Offset> = Vec::new();
+
+    while rounds < max_rounds && !is_shortest(&chain) {
+        let n = chain.len();
+        hops.clear();
+        hops.resize(n, Offset::ZERO);
+        let parity = (rounds % 2) as usize;
+        for i in 1..n - 1 {
+            if i % 2 != parity {
+                continue;
+            }
+            let p = chain.pos(i);
+            let prev = chain.pos(i - 1);
+            let next = chain.pos(i + 1);
+            if prev == next {
+                // Fold: hop onto the coinciding neighbors; the merge pass
+                // removes the excess.
+                hops[i] = prev - p;
+            } else if (prev - p).perpendicular_to(next - p) {
+                // Corner: cut to the diagonal cell iff that strictly
+                // reduces the distance to the base — the monotone
+                // potential Σ dist(r_i, B). Whenever the chain is not yet
+                // a shortest path, its farthest-from-B robot is a fold or
+                // a cuttable corner, so progress never stalls.
+                let diag = grid_geom::Point::new(prev.x + next.x - p.x, prev.y + next.y - p.y);
+                if manhattan(diag, b) < manhattan(p, b) {
+                    hops[i] = diag - p;
+                }
+            }
+        }
+        chain.apply_hops(&hops).expect("parity-scheduled hops are chain-safe");
+        chain.merge_pass();
+        rounds += 1;
+    }
+    HopperOutcome {
+        rounds,
+        final_len: chain.len(),
+        optimal_len,
+    }
+}
+
+/// `true` once every step moves weakly toward `B` in both coordinates
+/// (i.e. the chain is a Manhattan-shortest staircase).
+fn is_shortest(chain: &OpenChain) -> bool {
+    let b = chain.pos(chain.len() - 1);
+    for i in 0..chain.len() - 1 {
+        let p = chain.pos(i);
+        let q = chain.pos(i + 1);
+        let toward = manhattan(q, b) < manhattan(p, b);
+        if !toward {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    fn open(coords: &[(i64, i64)]) -> OpenChain {
+        OpenChain::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_already_optimal() {
+        let c = open(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let out = manhattan_hopper(c, 100);
+        assert_eq!(out.rounds, 0);
+        assert!(out.is_optimal());
+    }
+
+    #[test]
+    fn u_detour_straightens() {
+        // A U detour between (0,0) and (3,0).
+        let c = open(&[
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 2),
+            (3, 2),
+            (3, 1),
+            (3, 0),
+        ]);
+        let n = c.len() as u64;
+        let out = manhattan_hopper(c, 16 * n);
+        assert!(out.is_optimal(), "{out:?}");
+        assert_eq!(out.optimal_len, 4);
+    }
+
+    #[test]
+    fn endpoints_stay_fixed() {
+        let c = open(&[(0, 0), (0, 1), (1, 1), (1, 0), (2, 0), (2, 1)]);
+        let a = c.pos(0);
+        let b = c.pos(c.len() - 1);
+        let out = manhattan_hopper(c, 1000);
+        // Endpoints define the optimum; reaching it proves they anchored.
+        assert_eq!(out.optimal_len, (manhattan(a, b) + 1) as usize);
+        assert!(out.is_optimal(), "{out:?}");
+    }
+
+    #[test]
+    fn linear_time_on_zigzags() {
+        // A long zigzag (worst-case area defect linear in n).
+        let mut pts = vec![Point::new(0, 0)];
+        for i in 0..30 {
+            let x = i;
+            let y = if i % 2 == 0 { 1 } else { 0 };
+            pts.push(Point::new(x, y + 1));
+            pts.push(Point::new(x + 1, y + 1));
+            let _ = x;
+        }
+        // Normalize into a valid chain: rebuild as a simple zigzag walk.
+        let mut pts = vec![Point::new(0, 0)];
+        let mut p = Point::new(0, 0);
+        for i in 0..40 {
+            let s = if i % 2 == 0 { Offset::UP } else { Offset::RIGHT };
+            p += s;
+            pts.push(p);
+        }
+        let c = OpenChain::new(pts).unwrap();
+        let n = c.len() as u64;
+        let out = manhattan_hopper(c, 32 * n);
+        assert!(out.is_optimal(), "{out:?}");
+        assert!(out.rounds <= 8 * n, "rounds {} vs n {}", out.rounds, n);
+    }
+
+    #[test]
+    fn random_detours_reach_optimum() {
+        // Deterministic pseudo-random walks with net displacement.
+        for seed in 0..10u64 {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut pts = vec![Point::new(0, 0)];
+            let mut p = Point::new(0, 0);
+            for _ in 0..60 {
+                let s = match next() % 4 {
+                    0 => Offset::RIGHT,
+                    1 => Offset::UP,
+                    2 => Offset::RIGHT,
+                    _ => Offset::DOWN,
+                };
+                p += s;
+                // Avoid immediate coincidence of neighbors (model rule).
+                pts.push(p);
+            }
+            let c = OpenChain::new(pts).unwrap();
+            let n = c.len() as u64;
+            let out = manhattan_hopper(c, 64 * n);
+            assert!(out.is_optimal(), "seed {seed}: {out:?}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The open-chain baseline (the setting of \[KM09\] that the paper
+//! generalizes).
+//!
+//! Section 1: "The gathering of an open chain would furthermore be simple
+//! in general, as the endpoints are always locally distinguishable and
+//! would simply sequentially hop onto their inner neighbors." That is the
+//! *zip*: each round both endpoints hop onto their inner neighbor and
+//! merge; the chain loses 2 robots per round and gathers in ⌈(n−2)/2⌉
+//! rounds.
+//!
+//! The open-vs-closed experiment (table T8) runs the zip on the *same
+//! geometry* as the closed-chain algorithm (the closed chain cut at one
+//! robot) to show both are linear, with the closed chain paying a constant
+//! factor for its missing endpoints.
+
+use chain_sim::OpenChain;
+use grid_geom::Offset;
+
+/// Result of zipping an open chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZipOutcome {
+    /// Rounds until gathered (bounding box within 2×2).
+    pub rounds: u64,
+    /// Robots remaining.
+    pub final_len: usize,
+}
+
+/// Run the endpoint-zip strategy to completion.
+///
+/// Each round, endpoint 0 hops onto robot 1 and endpoint n−1 onto robot
+/// n−2 (simultaneously); the merge pass removes the coincidences. All
+/// moves are trivially chain-safe.
+pub fn open_chain_zip(mut chain: OpenChain, max_rounds: u64) -> ZipOutcome {
+    let mut rounds = 0;
+    let mut hops: Vec<Offset> = Vec::new();
+    while !chain.is_gathered() && rounds < max_rounds {
+        let n = chain.len();
+        hops.clear();
+        hops.resize(n, Offset::ZERO);
+        if n >= 2 {
+            hops[0] = chain.pos(1) - chain.pos(0);
+            hops[n - 1] = chain.pos(n - 2) - chain.pos(n - 1);
+        }
+        chain
+            .apply_hops(&hops)
+            .expect("zip hops are chain-safe by construction");
+        chain.merge_pass();
+        rounds += 1;
+    }
+    ZipOutcome {
+        rounds,
+        final_len: chain.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    fn line(n: i64) -> OpenChain {
+        OpenChain::new((0..n).map(|x| Point::new(x, 0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn zip_gathers_line_in_half_n_rounds() {
+        for n in [2i64, 3, 4, 10, 101, 1000] {
+            let out = open_chain_zip(line(n), 10_000);
+            // Gathered means within a 2×2 box; a line of n needs the two
+            // ends to travel (n-2)/2 each.
+            let expect = ((n - 2).max(0) as u64).div_ceil(2);
+            assert!(
+                out.rounds <= expect + 1,
+                "n={n}: rounds {} > {}",
+                out.rounds,
+                expect + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zip_handles_l_shape() {
+        let mut pts: Vec<Point> = (0..10).map(|x| Point::new(x, 0)).collect();
+        pts.extend((1..8).map(|y| Point::new(9, y)));
+        let out = open_chain_zip(OpenChain::new(pts).unwrap(), 1000);
+        assert!(out.final_len <= 4);
+    }
+
+    #[test]
+    fn zip_respects_round_cap() {
+        let out = open_chain_zip(line(1000), 3);
+        assert_eq!(out.rounds, 3);
+        assert!(out.final_len > 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion performance benches for the simulator and the algorithm.
+//!
+//! These measure engine throughput (robot·rounds per second), the cost of
+//! one FSYNC round at various chain sizes, merge-scan cost, and full
+//! gatherings — the numbers that tell a user what scale the simulator
+//! sustains on one core.
+
+use chain_sim::{RunLimits, Sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gathering_core::{ClosedChainGathering, GatherConfig, MergeScan};
+use std::hint::black_box;
+use workloads::Family;
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_round");
+    for n in [256usize, 1024, 4096] {
+        let chain = Family::Rectangle.generate(n, 0);
+        group.throughput(Throughput::Elements(chain.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || Sim::new(chain.clone(), ClosedChainGathering::paper()),
+                |mut sim| {
+                    sim.step().unwrap();
+                    black_box(sim.round())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_scan");
+    for n in [256usize, 4096] {
+        let chain = Family::Crenellated.generate(n, 0);
+        let cfg = GatherConfig::paper();
+        group.throughput(Throughput::Elements(chain.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut scan = MergeScan::default();
+            b.iter(|| {
+                scan.scan(&chain, &cfg);
+                black_box(scan.patterns.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_gathering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_gathering");
+    group.sample_size(10);
+    for (fam, n) in [
+        (Family::Rectangle, 256usize),
+        (Family::Skyline, 256),
+        (Family::RandomLoop, 256),
+    ] {
+        let chain = fam.generate(n, 1);
+        let len = chain.len();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(
+            BenchmarkId::new(fam.name(), len),
+            &len,
+            |b, _| {
+                b.iter_batched(
+                    || Sim::new(chain.clone(), ClosedChainGathering::paper()),
+                    |mut sim| {
+                        let out = sim.run(RunLimits::for_chain_len(len));
+                        assert!(out.is_gathered());
+                        black_box(out.rounds())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for fam in [Family::RandomLoop, Family::Skyline] {
+        group.bench_function(fam.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(fam.generate(1024, seed).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_round,
+    bench_merge_scan,
+    bench_full_gathering,
+    bench_workload_generation
+);
+criterion_main!(benches);

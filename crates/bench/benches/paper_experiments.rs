@@ -1,0 +1,20 @@
+//! `cargo bench` entry point that regenerates the paper's evaluation
+//! tables (same code as the `experiments` binary), so that
+//! `cargo bench --workspace` produces the full reproduction artifacts.
+//!
+//! Quick mode keeps `cargo bench --workspace` affordable; run the
+//! `experiments` binary without `--quick` for the full-size tables.
+
+use bench::{all_tables, Effort};
+
+fn main() {
+    // Criterion-style filter arguments may be passed by `cargo bench`;
+    // respect an explicit `--full` and ignore the rest.
+    let full = std::env::args().any(|a| a == "--full");
+    let effort = if full { Effort::Full } else { Effort::Quick };
+    println!("# Paper experiment tables ({:?} effort)", effort);
+    println!("# (cargo run --release -p bench --bin experiments for full sizes)\n");
+    for table in all_tables(effort) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerate the paper's evaluation tables (EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # full tables
+//! cargo run --release -p bench --bin experiments -- --quick # smoke sizes
+//! cargo run --release -p bench --bin experiments -- --table T1 --table T9
+//! cargo run --release -p bench --bin experiments -- --markdown
+//! ```
+
+use bench::{all_tables, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let wanted: Vec<String> = args
+        .windows(2)
+        .filter(|w| w[0] == "--table")
+        .map(|w| w[1].to_uppercase())
+        .collect();
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+
+    eprintln!(
+        "running experiments ({}), this reproduces DESIGN.md §4 tables...",
+        if quick { "quick" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    for table in all_tables(effort) {
+        if !wanted.is_empty() && !wanted.contains(&table.id.to_uppercase()) {
+            continue;
+        }
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+    eprintln!("total experiment time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,131 @@
+//! # bench
+//!
+//! The experiment harness regenerating the paper's evaluation (DESIGN.md
+//! §4, tables T1–T9) plus criterion performance benches for the simulator
+//! itself.
+//!
+//! The same experiment code backs three entry points:
+//!
+//! * `cargo run -p bench --bin experiments [--quick] [--table tN]` —
+//!   prints the tables for EXPERIMENTS.md,
+//! * `cargo bench -p bench --bench paper_experiments` — same tables under
+//!   `cargo bench --workspace` so the paper artifacts regenerate with the
+//!   benches,
+//! * `cargo bench -p bench --bench engine_perf` — criterion micro/macro
+//!   benches (rounds/sec, robot-rounds/sec).
+//!
+//! Sweeps fan out over worker threads with `crossbeam::scope`; results are
+//! aggregated under a `parking_lot::Mutex` (see the perf-book guidance on
+//! simple data-parallel sweeps).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_tables, Effort};
+pub use table::Table;
+
+use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy};
+use gathering_core::{ClosedChainGathering, GatherConfig};
+
+/// One gathering measurement.
+#[derive(Clone, Debug)]
+pub struct GatherRun {
+    pub n: usize,
+    pub outcome: Outcome,
+    pub merges_total: usize,
+    pub longest_gap: u64,
+}
+
+impl GatherRun {
+    pub fn rounds(&self) -> Option<u64> {
+        match self.outcome {
+            Outcome::Gathered { rounds } => Some(rounds),
+            _ => None,
+        }
+    }
+}
+
+/// Run the paper's algorithm on a chain and collect the round trace
+/// summary.
+pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
+    let n = chain.len();
+    let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
+    let outcome = sim.run(RunLimits::for_chain_len(n));
+    let trace = sim.trace();
+    GatherRun {
+        n,
+        outcome,
+        merges_total: trace.total_removed(),
+        longest_gap: trace.longest_mergeless_gap(),
+    }
+}
+
+/// Run an arbitrary strategy to completion with generous limits.
+pub fn measure_strategy<S: Strategy>(chain: ClosedChain, strategy: S) -> GatherRun {
+    let n = chain.len();
+    let d = chain.bounding().diameter().max(4) as u64;
+    let mut sim = Sim::new(chain, strategy);
+    let outcome = sim.run(RunLimits {
+        max_rounds: 16 * n as u64 * d + 4096,
+        stall_window: 8 * n as u64 * d + 2048,
+    });
+    let trace = sim.trace();
+    GatherRun {
+        n,
+        outcome,
+        merges_total: trace.total_removed(),
+        longest_gap: trace.longest_mergeless_gap(),
+    }
+}
+
+/// Parallel map over independent experiment inputs, preserving order.
+pub fn par_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(inputs.len().max(1));
+    let results = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut indexed = results.into_inner();
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Family;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = par_map(inputs.clone(), |x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn measure_gathering_smoke() {
+        let chain = Family::Rectangle.generate(40, 0);
+        let run = measure_gathering(chain, GatherConfig::paper());
+        assert!(run.outcome.is_gathered());
+        assert!(run.merges_total > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text table formatting for the experiment reports.
+
+use std::fmt;
+
+/// A titled, column-aligned table with free-form notes.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row<S: ToString>(&mut self, cells: Vec<S>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Render as a GitHub-flavored markdown table (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {} — {}\n\n", self.id, self.title);
+        s.push('|');
+        for h in &self.header {
+            s.push_str(&format!(" {h} |"));
+        }
+        s.push_str("\n|");
+        for _ in &self.header {
+            s.push_str("---|");
+        }
+        s.push('\n');
+        for row in &self.rows {
+            s.push('|');
+            for cell in row {
+                s.push_str(&format!(" {cell} |"));
+            }
+            s.push('\n');
+        }
+        for n in &self.notes {
+            s.push_str(&format!("\n> {n}\n"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        let w = self.widths();
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T0", "demo", &["family", "n", "rounds"]);
+        t.row(vec!["rectangle".to_string(), "64".into(), "120".into()]);
+        t.row(vec!["x".to_string(), "2048".into(), "7".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("T0: demo"));
+        assert!(s.contains("note: a note"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("### T0"));
+        assert!(md.contains("| rectangle |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T0", "demo", &["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

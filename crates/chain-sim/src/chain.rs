@@ -1,0 +1,605 @@
+//! The closed chain data structure.
+//!
+//! A [`ClosedChain`] is the cyclic sequence `r_0, …, r_{n-1}` of the paper.
+//! Between rounds it is *taut*: every chain edge is a unit step (coinciding
+//! chain neighbors have been merged away). During a round, simultaneous
+//! hops may make chain neighbors coincide; the [`ClosedChain::merge_pass`]
+//! then splices the chain exactly as the paper's merge operation does
+//! (Fig. 1): "their neighborhoods are merged and one of both is removed".
+//!
+//! Robots that coincide but are *not* chain neighbors are left alone
+//! (explicitly so in the paper — the chain may cross itself).
+
+use crate::robot::RobotId;
+use grid_geom::{chain_adjacent, Offset, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Errors detected by [`ClosedChain::validate`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainError {
+    /// Fewer than 2 robots cannot form a (meaningful) closed chain.
+    TooShort { len: usize },
+    /// Chain neighbors further than one grid step apart — the chain broke.
+    Disconnected {
+        index: usize,
+        a: Point,
+        b: Point,
+    },
+    /// Chain neighbors on the same point outside a merge pass (the chain
+    /// must be taut between rounds).
+    CoincidentNeighbors { index: usize, at: Point },
+    /// A robot hop with a component outside `{-1, 0, 1}`.
+    IllegalHop { index: usize, hop: Offset },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::TooShort { len } => write!(f, "chain too short: {len} robots"),
+            ChainError::Disconnected { index, a, b } => {
+                write!(f, "chain disconnected between index {index} at {a} and its successor at {b}")
+            }
+            ChainError::CoincidentNeighbors { index, at } => {
+                write!(f, "chain neighbors {index} and successor coincide at {at} outside a merge pass")
+            }
+            ChainError::IllegalHop { index, hop } => {
+                write!(f, "illegal hop {hop} for robot at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// One merge of the merge pass: `removed` robots were spliced out because
+/// they coincided with chain neighbor `keeper`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeEvent {
+    /// Id of the surviving robot of the coincidence group.
+    pub keeper: RobotId,
+    /// Ids of the removed robots (≥ 1).
+    pub removed: Vec<RobotId>,
+    /// Grid point where the merge happened.
+    pub at: Point,
+}
+
+/// Result of a merge pass: which (pre-splice) indices were removed plus the
+/// merge events. Strategies use this to keep their per-robot state arrays in
+/// sync with the chain.
+#[derive(Clone, Debug, Default)]
+pub struct SpliceLog {
+    /// Pre-splice indices removed, strictly ascending.
+    pub removed_indices: Vec<usize>,
+    /// Pre-splice index of the keeper for each removed index (parallel to
+    /// `removed_indices`).
+    pub keeper_indices: Vec<usize>,
+    /// Merge events (one per coincidence group).
+    pub events: Vec<MergeEvent>,
+}
+
+impl SpliceLog {
+    pub fn clear(&mut self) {
+        self.removed_indices.clear();
+        self.keeper_indices.clear();
+        self.events.clear();
+    }
+
+    /// Number of robots removed.
+    pub fn removed_count(&self) -> usize {
+        self.removed_indices.len()
+    }
+
+    /// `true` if nothing merged.
+    pub fn is_empty(&self) -> bool {
+        self.removed_indices.is_empty()
+    }
+
+    /// Map a pre-splice index to its post-splice index, or `None` if the
+    /// robot at that index was removed.
+    pub fn remap(&self, old: usize) -> Option<usize> {
+        match self.removed_indices.binary_search(&old) {
+            Ok(_) => None,
+            Err(shift) => Some(old - shift),
+        }
+    }
+}
+
+/// The closed chain of robots (struct-of-arrays layout: positions and ids).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClosedChain {
+    pos: Vec<Point>,
+    id: Vec<RobotId>,
+    next_id: u64,
+}
+
+impl ClosedChain {
+    /// Build a chain from positions; assigns fresh ids `r0, r1, …`.
+    ///
+    /// Returns an error unless the sequence is a valid taut closed chain:
+    /// every cyclically-consecutive pair differs by exactly one axis step.
+    pub fn new(positions: Vec<Point>) -> Result<Self, ChainError> {
+        let n = positions.len();
+        let chain = ClosedChain {
+            id: (0..n as u64).map(RobotId).collect(),
+            pos: positions,
+            next_id: n as u64,
+        };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Number of robots currently on the chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Cyclic index normalization: maps any signed offset from an index into
+    /// `0..n`.
+    #[inline]
+    pub fn cyc(&self, i: isize) -> usize {
+        let n = self.pos.len() as isize;
+        (((i % n) + n) % n) as usize
+    }
+
+    /// Neighbor `delta` steps away from `i` along the chain (cyclic).
+    #[inline]
+    pub fn nb(&self, i: usize, delta: isize) -> usize {
+        self.cyc(i as isize + delta)
+    }
+
+    /// Position of robot `i`.
+    #[inline]
+    pub fn pos(&self, i: usize) -> Point {
+        self.pos[i]
+    }
+
+    /// Id of robot `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> RobotId {
+        self.id[i]
+    }
+
+    /// All positions (chain order).
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.pos
+    }
+
+    /// All ids (chain order).
+    #[inline]
+    pub fn ids(&self) -> &[RobotId] {
+        &self.id
+    }
+
+    /// Chain-order index of the robot with id `id` (linear scan — intended
+    /// for tests and auditors, not hot paths).
+    pub fn index_of(&self, id: RobotId) -> Option<usize> {
+        self.id.iter().position(|&x| x == id)
+    }
+
+    /// The step from robot `i` to its successor (`pos[i+1] - pos[i]`).
+    #[inline]
+    pub fn step(&self, i: usize) -> Offset {
+        let j = self.nb(i, 1);
+        self.pos[j] - self.pos[i]
+    }
+
+    /// Bounding box of all robots.
+    pub fn bounding(&self) -> Rect {
+        Rect::bounding(self.pos.iter().copied()).expect("chain is non-empty")
+    }
+
+    /// The paper's gathering criterion: all robots within a 2×2 subgrid.
+    pub fn is_gathered(&self) -> bool {
+        self.bounding().is_gathered_2x2()
+    }
+
+    /// Validate the taut closed-chain invariant.
+    pub fn validate(&self) -> Result<(), ChainError> {
+        let n = self.pos.len();
+        if n < 2 {
+            // A chain of 1 robot is the fully merged terminal state; treat
+            // length 0/1 as valid terminals except for construction.
+            return if n == 1 { Ok(()) } else { Err(ChainError::TooShort { len: n }) };
+        }
+        for i in 0..n {
+            let a = self.pos[i];
+            let b = self.pos[self.nb(i, 1)];
+            if a == b {
+                return Err(ChainError::CoincidentNeighbors { index: i, at: a });
+            }
+            if !chain_adjacent(a, b) {
+                return Err(ChainError::Disconnected { index: i, a, b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check connectivity only (used mid-round, where coincidences are
+    /// expected and legal until the merge pass runs).
+    pub fn check_connected(&self) -> Result<(), ChainError> {
+        let n = self.pos.len();
+        for i in 0..n {
+            let a = self.pos[i];
+            let b = self.pos[self.nb(i, 1)];
+            if !chain_adjacent(a, b) {
+                return Err(ChainError::Disconnected { index: i, a, b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one hop per robot simultaneously (the move step of FSYNC).
+    ///
+    /// Hops must have components in `{-1, 0, 1}`. Connectivity is checked
+    /// after application; on failure the chain state is the (broken)
+    /// post-move state, so callers can render diagnostics.
+    pub fn apply_hops(&mut self, hops: &[Offset]) -> Result<(), ChainError> {
+        assert_eq!(hops.len(), self.pos.len(), "one hop per robot");
+        for (i, h) in hops.iter().enumerate() {
+            if !h.is_hop() {
+                return Err(ChainError::IllegalHop { index: i, hop: *h });
+            }
+        }
+        for (p, h) in self.pos.iter_mut().zip(hops) {
+            *p += *h;
+        }
+        self.check_connected()
+    }
+
+    /// The merge pass: splice out robots coinciding with chain neighbors.
+    ///
+    /// Maximal groups of cyclically-consecutive robots on one grid point are
+    /// collapsed to their first member (first in chain order, with wrapping
+    /// groups anchored at their true start). The neighborhoods merge exactly
+    /// as in the paper: the keeper inherits the group's outside neighbors.
+    ///
+    /// Returns the number of robots removed; details land in `log`.
+    pub fn merge_pass(&mut self, log: &mut SpliceLog) -> usize {
+        log.clear();
+        let n = self.pos.len();
+        if n < 2 {
+            return 0;
+        }
+
+        // Everyone on one point and n ≥ 2: collapse to a single robot.
+        if self.pos.iter().all(|&p| p == self.pos[0]) {
+            let keeper = self.id[0];
+            let at = self.pos[0];
+            let removed: Vec<RobotId> = self.id[1..].to_vec();
+            log.removed_indices.extend(1..n);
+            log.keeper_indices.extend(std::iter::repeat_n(0, n - 1));
+            log.events.push(MergeEvent { keeper, removed, at });
+            self.pos.truncate(1);
+            self.id.truncate(1);
+            return n - 1;
+        }
+
+        // Find the start of a group boundary so groups never wrap: an index
+        // whose predecessor sits on a different point.
+        let mut anchor = 0;
+        while self.pos[self.nb(anchor, -1)] == self.pos[anchor] {
+            anchor += 1; // terminates: not all positions equal
+        }
+
+        // Walk the cycle from the anchor, grouping equal consecutive
+        // positions.
+        let mut k = 0;
+        while k < n {
+            let gi = (anchor + k) % n;
+            let p = self.pos[gi];
+            let mut glen = 1;
+            while glen < n && self.pos[(anchor + k + glen) % n] == p {
+                glen += 1;
+            }
+            if glen > 1 {
+                let keeper_idx = gi;
+                let mut removed = Vec::with_capacity(glen - 1);
+                for j in 1..glen {
+                    let ri = (anchor + k + j) % n;
+                    removed.push(self.id[ri]);
+                    log.removed_indices.push(ri);
+                    log.keeper_indices.push(keeper_idx);
+                }
+                log.events.push(MergeEvent {
+                    keeper: self.id[keeper_idx],
+                    removed,
+                    at: p,
+                });
+            }
+            k += glen;
+        }
+
+        if log.removed_indices.is_empty() {
+            return 0;
+        }
+
+        // Sort parallel arrays by removed index (ascending) for remap().
+        let mut order: Vec<usize> = (0..log.removed_indices.len()).collect();
+        order.sort_unstable_by_key(|&i| log.removed_indices[i]);
+        let removed_sorted: Vec<usize> = order.iter().map(|&i| log.removed_indices[i]).collect();
+        let keepers_sorted: Vec<usize> = order.iter().map(|&i| log.keeper_indices[i]).collect();
+        log.removed_indices = removed_sorted;
+        log.keeper_indices = keepers_sorted;
+
+        // Splice out removed indices (single compaction sweep).
+        let mut write = 0;
+        let mut rm_iter = log.removed_indices.iter().peekable();
+        for read in 0..n {
+            if rm_iter.peek() == Some(&&read) {
+                rm_iter.next();
+                continue;
+            }
+            self.pos[write] = self.pos[read];
+            self.id[write] = self.id[read];
+            write += 1;
+        }
+        self.pos.truncate(write);
+        self.id.truncate(write);
+        log.removed_indices.len()
+    }
+
+    /// Sum of chain edge lengths (all 1 when taut) — the chain length in
+    /// the paper's sense is simply `len()`, provided here for reports.
+    pub fn edge_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Test/workload helper: rotate the chain origin (`r_0`) by `k`
+    /// positions. The configuration is unchanged; indistinguishability means
+    /// strategies must behave identically (checked by symmetry tests).
+    pub fn rotate_origin(&mut self, k: usize) {
+        let n = self.pos.len();
+        if n == 0 {
+            return;
+        }
+        let k = k % n;
+        self.pos.rotate_left(k);
+        self.id.rotate_left(k);
+    }
+
+    /// Test/workload helper: reverse chain orientation. The paper's chains
+    /// have a local orientation; the algorithm must be equivariant under
+    /// reversing it (checked by symmetry tests).
+    pub fn reverse_orientation(&mut self) {
+        self.pos.reverse();
+        self.id.reverse();
+    }
+
+    /// Translate all robots by `o` (symmetry tests: no global coordinates).
+    pub fn translate(&mut self, o: Offset) {
+        for p in &mut self.pos {
+            *p += o;
+        }
+    }
+
+    /// Apply a grid isometry to all positions: rotate by 90° `quarter`
+    /// times counter-clockwise around the origin, then mirror x if asked.
+    /// (Symmetry tests: no compass.)
+    pub fn transform(&mut self, quarters: u8, mirror_x: bool) {
+        for p in &mut self.pos {
+            let mut q = *p;
+            for _ in 0..(quarters % 4) {
+                q = Point::new(-q.y, q.x);
+            }
+            if mirror_x {
+                q = Point::new(-q.x, q.y);
+            }
+            *p = q;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(coords: &[(i64, i64)]) -> ClosedChain {
+        ClosedChain::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn square4() -> ClosedChain {
+        chain(&[(0, 0), (0, 1), (1, 1), (1, 0)])
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ClosedChain::new(vec![]).is_err());
+        // Gap breaks the chain.
+        assert!(ClosedChain::new(vec![Point::new(0, 0), Point::new(2, 0)]).is_err());
+        // Diagonal neighbors are not chain-adjacent.
+        assert!(ClosedChain::new(vec![Point::new(0, 0), Point::new(1, 1)]).is_err());
+        // Coincident neighbors rejected at construction.
+        assert!(ClosedChain::new(vec![Point::new(0, 0), Point::new(0, 0)]).is_err());
+        // Minimal legal chain: two robots on adjacent points.
+        let c = ClosedChain::new(vec![Point::new(0, 0), Point::new(1, 0)]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_indexing() {
+        let c = square4();
+        assert_eq!(c.nb(0, 1), 1);
+        assert_eq!(c.nb(0, -1), 3);
+        assert_eq!(c.nb(3, 1), 0);
+        assert_eq!(c.nb(1, 6), 3);
+        assert_eq!(c.nb(1, -6), 3);
+        assert_eq!(c.cyc(-1), 3);
+        assert_eq!(c.cyc(4), 0);
+    }
+
+    #[test]
+    fn steps_are_unit_on_taut_chain() {
+        let c = square4();
+        for i in 0..c.len() {
+            assert!(c.step(i).is_unit_step(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn bounding_and_gathered() {
+        let c = square4();
+        assert!(c.is_gathered());
+        let big = chain(&[(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+        assert!(!big.is_gathered());
+        assert_eq!(big.bounding().width(), 3);
+        assert_eq!(big.bounding().height(), 2);
+    }
+
+    #[test]
+    fn apply_hops_moves_simultaneously() {
+        let mut c = chain(&[(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+        let hops = vec![Offset::ZERO; 6];
+        c.apply_hops(&hops).unwrap();
+        assert_eq!(c.pos(0), Point::new(0, 0));
+        // Illegal hop rejected.
+        let mut bad = vec![Offset::ZERO; 6];
+        bad[2] = Offset::new(2, 0);
+        assert!(matches!(
+            c.apply_hops(&bad),
+            Err(ChainError::IllegalHop { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn merge_pass_collapses_neighbor_coincidence() {
+        // Figure 1 of the paper: r2 and r3 hop down onto r1 and r4.
+        // Chain: r0(0,0) r1(0,1) r2(0,2) r3(1,2) r4(1,1) r5(1,0), closed.
+        let mut c = chain(&[(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]);
+        let hops = vec![
+            Offset::ZERO,
+            Offset::ZERO,
+            Offset::DOWN,
+            Offset::DOWN,
+            Offset::ZERO,
+            Offset::ZERO,
+        ];
+        c.apply_hops(&hops).unwrap();
+        let mut log = SpliceLog::default();
+        let removed = c.merge_pass(&mut log);
+        assert_eq!(removed, 2);
+        assert_eq!(c.len(), 4);
+        c.validate().unwrap();
+        assert!(c.is_gathered());
+        // Keeper of each pair is the first of the coincidence group in
+        // chain order: r1 keeps (r2 removed), r3 keeps (r4 removed).
+        assert_eq!(log.events.len(), 2);
+    }
+
+    #[test]
+    fn merge_pass_handles_groups_of_three() {
+        // Three consecutive robots on one point (Fig. 3b aftermath).
+        let mut c = chain(&[(0, 0), (1, 0), (1, 1), (0, 1)]);
+        let hops = vec![Offset::ZERO, Offset::new(-1, 0), Offset::new(-1, -1), Offset::new(0, -1)];
+        c.apply_hops(&hops).unwrap();
+        // Now all four robots are at (0,0).
+        let mut log = SpliceLog::default();
+        let removed = c.merge_pass(&mut log);
+        assert_eq!(removed, 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].removed.len(), 3);
+    }
+
+    #[test]
+    fn merge_pass_wrapping_group() {
+        // Fig. 1 configuration with the chain origin rotated so one
+        // coincidence group wraps the index origin {r5, r0}.
+        let mut c = chain(&[(0, 2), (1, 2), (1, 1), (1, 0), (0, 0), (0, 1)]);
+        let hops = vec![
+            Offset::DOWN,
+            Offset::DOWN,
+            Offset::ZERO,
+            Offset::ZERO,
+            Offset::ZERO,
+            Offset::ZERO,
+        ];
+        c.apply_hops(&hops).unwrap();
+        assert_eq!(c.pos(0), c.pos(5)); // wrapping coincidence
+        assert_eq!(c.pos(1), c.pos(2));
+        let mut log = SpliceLog::default();
+        let removed = c.merge_pass(&mut log);
+        assert_eq!(removed, 2);
+        assert_eq!(c.len(), 4);
+        c.validate().unwrap();
+        assert_eq!(log.events.len(), 2);
+        // Exactly one of {0, 5} was removed, and remap agrees.
+        let wrap_gone = log.removed_indices.iter().any(|&i| i == 0 || i == 5);
+        assert!(wrap_gone);
+        for &gone in &log.removed_indices {
+            assert_eq!(log.remap(gone), None);
+        }
+    }
+
+    #[test]
+    fn merge_pass_ignores_non_neighbor_coincidence() {
+        // A chain crossing itself: two robots share a point but are not
+        // chain neighbors — must NOT merge (explicit in the paper).
+        // Figure-eight-ish: walk right, up, left, down through the middle.
+        let mut c = chain(&[
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (0, 0),
+            (-1, 0),
+            (-1, -1),
+            (0, -1),
+        ]);
+        assert_eq!(c.pos(0), c.pos(4));
+        let mut log = SpliceLog::default();
+        let removed = c.merge_pass(&mut log);
+        assert_eq!(removed, 0);
+        assert_eq!(c.len(), 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn splice_log_remap() {
+        let log = SpliceLog {
+            removed_indices: vec![2, 5],
+            keeper_indices: vec![1, 4],
+            events: vec![],
+        };
+        assert_eq!(log.remap(0), Some(0));
+        assert_eq!(log.remap(1), Some(1));
+        assert_eq!(log.remap(2), None);
+        assert_eq!(log.remap(3), Some(2));
+        assert_eq!(log.remap(4), Some(3));
+        assert_eq!(log.remap(5), None);
+        assert_eq!(log.remap(6), Some(4));
+    }
+
+    #[test]
+    fn symmetry_helpers() {
+        let mut c = square4();
+        let before = c.positions().to_vec();
+        c.rotate_origin(2);
+        assert_eq!(c.pos(0), before[2]);
+        c.reverse_orientation();
+        c.validate().unwrap();
+        c.translate(Offset::new(10, -3));
+        c.validate().unwrap();
+        c.transform(1, false);
+        c.validate().unwrap();
+        c.transform(3, true);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn total_collapse() {
+        let mut c = chain(&[(0, 0), (1, 0)]);
+        let hops = vec![Offset::ZERO, Offset::new(-1, 0)];
+        c.apply_hops(&hops).unwrap();
+        let mut log = SpliceLog::default();
+        assert_eq!(c.merge_pass(&mut log), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.is_gathered());
+    }
+}

@@ -1,0 +1,348 @@
+//! The FSYNC engine.
+//!
+//! [`Sim`] drives a [`Strategy`] over a [`ClosedChain`], one fully
+//! synchronous round at a time, enforcing the model: simultaneous hops,
+//! connectivity preservation, and the merge pass that implements the
+//! paper's chain-shortening progress measure.
+
+use crate::chain::{ChainError, ClosedChain, SpliceLog};
+use crate::strategy::Strategy;
+use crate::trace::{RoundReport, Trace, TraceConfig};
+use grid_geom::Offset;
+
+/// Limits for [`Sim::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Hard cap on rounds; exceeding it is reported as
+    /// [`Outcome::RoundLimit`].
+    pub max_rounds: u64,
+    /// If no merge happens for this many consecutive rounds the simulation
+    /// is declared stalled. Theorem 1 implies a merge at least every
+    /// `(2L+1)·n` rounds for the paper's algorithm; the default derives a
+    /// generous bound from the chain length at start.
+    pub stall_window: u64,
+}
+
+impl RunLimits {
+    /// Defaults derived from the chain length: round cap `64·n + 4096`,
+    /// stall window `32·n + 2048`. Far above the paper's `2Ln + n` bound —
+    /// hitting them indicates a real defect, not a tight constant.
+    pub fn for_chain_len(n: usize) -> Self {
+        let n = n as u64;
+        RunLimits {
+            max_rounds: 64 * n + 4096,
+            stall_window: 32 * n + 2048,
+        }
+    }
+}
+
+/// Why a simulation run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Gathered into a 2×2 subgrid after `rounds` rounds.
+    Gathered { rounds: u64 },
+    /// Round cap exceeded.
+    RoundLimit { rounds: u64 },
+    /// No merge for `stall_window` rounds.
+    Stalled { rounds: u64, since_last_merge: u64 },
+    /// The strategy broke the chain (always a bug; simulation aborted).
+    ChainBroken { rounds: u64, error: ChainError },
+}
+
+impl Outcome {
+    pub fn is_gathered(&self) -> bool {
+        matches!(self, Outcome::Gathered { .. })
+    }
+
+    pub fn rounds(&self) -> u64 {
+        match self {
+            Outcome::Gathered { rounds }
+            | Outcome::RoundLimit { rounds }
+            | Outcome::Stalled { rounds, .. }
+            | Outcome::ChainBroken { rounds, .. } => *rounds,
+        }
+    }
+}
+
+/// The FSYNC simulator: one strategy driving one closed chain.
+pub struct Sim<S: Strategy> {
+    chain: ClosedChain,
+    strategy: S,
+    round: u64,
+    hops: Vec<Offset>,
+    splice: SpliceLog,
+    trace_cfg: TraceConfig,
+    trace: Trace,
+    rounds_since_merge: u64,
+    broken: Option<ChainError>,
+}
+
+impl<S: Strategy> Sim<S> {
+    pub fn new(chain: ClosedChain, mut strategy: S) -> Self {
+        strategy.init(&chain);
+        let n = chain.len();
+        Sim {
+            chain,
+            strategy,
+            round: 0,
+            hops: vec![Offset::ZERO; n],
+            splice: SpliceLog::default(),
+            trace_cfg: TraceConfig::default(),
+            trace: Trace::default(),
+            rounds_since_merge: 0,
+            broken: None,
+        }
+    }
+
+    /// Enable snapshot recording (for visualization / replay).
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace_cfg = cfg;
+        self
+    }
+
+    pub fn chain(&self) -> &ClosedChain {
+        &self.chain
+    }
+
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    pub fn strategy_mut(&mut self) -> &mut S {
+        &mut self.strategy
+    }
+
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    pub fn is_gathered(&self) -> bool {
+        self.chain.is_gathered()
+    }
+
+    /// Execute one FSYNC round: look/compute (strategy), move
+    /// (simultaneous hops), merge pass, bookkeeping.
+    ///
+    /// Returns the round report, or the chain error if the strategy broke
+    /// connectivity (in which case the simulation refuses further rounds).
+    pub fn step(&mut self) -> Result<RoundReport, ChainError> {
+        if let Some(err) = &self.broken {
+            return Err(err.clone());
+        }
+        let n = self.chain.len();
+        self.hops.clear();
+        self.hops.resize(n, Offset::ZERO);
+
+        // Look + compute from the common snapshot.
+        self.strategy.compute(&self.chain, self.round, &mut self.hops);
+
+        // Move (simultaneous).
+        let moved = self.hops.iter().filter(|h| **h != Offset::ZERO).count();
+        if let Err(e) = self.chain.apply_hops(&self.hops) {
+            self.broken = Some(e.clone());
+            return Err(e);
+        }
+        self.strategy.post_move(&self.chain, self.round);
+
+        // Merge pass (the paper's progress).
+        let removed = self.chain.merge_pass(&mut self.splice);
+        self.strategy.post_merge(&self.chain, self.round, &self.splice);
+
+        // Post-round invariant: taut chain (unless fully collapsed).
+        if self.chain.len() > 1 {
+            if let Err(e) = self.chain.validate() {
+                self.broken = Some(e.clone());
+                return Err(e);
+            }
+        }
+
+        if removed > 0 {
+            self.rounds_since_merge = 0;
+        } else {
+            self.rounds_since_merge += 1;
+        }
+
+        let report = RoundReport {
+            round: self.round,
+            moved,
+            removed,
+            merges: self.splice.events.clone(),
+            len_after: self.chain.len(),
+            bbox: self.chain.bounding(),
+            gathered: self.chain.is_gathered(),
+        };
+        if self.trace_cfg.snapshot_every > 0
+            && self.round.is_multiple_of(self.trace_cfg.snapshot_every)
+            && self.trace.snapshots.len() < self.trace_cfg.max_snapshots
+        {
+            self.trace
+                .snapshots
+                .push((self.round, self.chain.positions().to_vec()));
+        }
+        self.trace.reports.push(report.clone());
+        self.round += 1;
+        Ok(report)
+    }
+
+    /// Run until gathered or a limit trips.
+    pub fn run(&mut self, limits: RunLimits) -> Outcome {
+        loop {
+            if self.chain.is_gathered() {
+                return Outcome::Gathered { rounds: self.round };
+            }
+            if self.round >= limits.max_rounds {
+                return Outcome::RoundLimit { rounds: self.round };
+            }
+            if self.rounds_since_merge >= limits.stall_window {
+                return Outcome::Stalled {
+                    rounds: self.round,
+                    since_last_merge: self.rounds_since_merge,
+                };
+            }
+            match self.step() {
+                Ok(_) => {}
+                Err(error) => {
+                    return Outcome::ChainBroken {
+                        rounds: self.round,
+                        error,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run with default limits derived from the initial chain length.
+    pub fn run_default(&mut self) -> Outcome {
+        let limits = RunLimits::for_chain_len(self.chain.len());
+        self.run(limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Stand;
+    use grid_geom::Point;
+
+    fn ring6() -> ClosedChain {
+        ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 1),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn stand_stalls() {
+        let mut sim = Sim::new(ring6(), Stand);
+        let outcome = sim.run(RunLimits {
+            max_rounds: 1000,
+            stall_window: 10,
+        });
+        assert!(matches!(outcome, Outcome::Stalled { .. }));
+        assert_eq!(sim.chain().len(), 6);
+    }
+
+    #[test]
+    fn gathered_chain_finishes_immediately() {
+        let square = ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap();
+        let mut sim = Sim::new(square, Stand);
+        let outcome = sim.run_default();
+        assert_eq!(outcome, Outcome::Gathered { rounds: 0 });
+    }
+
+    /// A test strategy: the two robots of a specific pattern hop downwards
+    /// every round — exercises the engine's merge plumbing (Fig. 1).
+    struct Fig1;
+
+    impl Strategy for Fig1 {
+        fn name(&self) -> &'static str {
+            "fig1"
+        }
+        fn init(&mut self, _chain: &ClosedChain) {}
+        fn compute(&mut self, chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
+            // Hop the two robots on the top row (y = 2) down.
+            for i in 0..chain.len() {
+                if chain.pos(i).y == 2 {
+                    hops[i] = Offset::DOWN;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_runs_fig1_merge() {
+        // Fig. 1: 2x3 ring; top row hops down; merge; gathered 2x2.
+        let c = ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 1),
+            Point::new(0, 2),
+            Point::new(1, 2),
+            Point::new(1, 1),
+            Point::new(1, 0),
+        ])
+        .unwrap();
+        let mut sim = Sim::new(c, Fig1);
+        let report = sim.step().unwrap();
+        assert_eq!(report.moved, 2);
+        assert_eq!(report.removed, 2);
+        assert_eq!(report.len_after, 4);
+        assert!(report.gathered);
+        let outcome = sim.run_default();
+        assert_eq!(outcome, Outcome::Gathered { rounds: 1 });
+    }
+
+    /// A strategy that breaks the chain on purpose: engine must catch it.
+    struct Breaker;
+
+    impl Strategy for Breaker {
+        fn name(&self) -> &'static str {
+            "breaker"
+        }
+        fn init(&mut self, _chain: &ClosedChain) {}
+        fn compute(&mut self, _chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
+            hops[0] = Offset::new(1, 1);
+        }
+    }
+
+    #[test]
+    fn engine_detects_broken_chain() {
+        let mut sim = Sim::new(ring6(), Breaker);
+        let outcome = sim.run_default();
+        assert!(matches!(outcome, Outcome::ChainBroken { .. }));
+        // Further steps refuse to run.
+        assert!(sim.step().is_err());
+    }
+
+    #[test]
+    fn trace_records_reports() {
+        let mut sim = Sim::new(ring6(), Stand).with_trace(TraceConfig {
+            snapshot_every: 1,
+            max_snapshots: 4,
+        });
+        for _ in 0..6 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.trace().reports.len(), 6);
+        assert_eq!(sim.trace().snapshots.len(), 4); // capped
+        assert_eq!(sim.trace().total_removed(), 0);
+    }
+}

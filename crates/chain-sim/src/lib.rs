@@ -1,0 +1,45 @@
+//! # chain-sim
+//!
+//! The machine model of the paper, as an executable substrate:
+//!
+//! * A **closed chain** of `n` indistinguishable robots on Z²
+//!   ([`ClosedChain`]): a cyclic sequence whose neighbors occupy the same or
+//!   4-adjacent grid points. Between rounds every chain edge is a unit step
+//!   (coinciding neighbors are merged away).
+//! * The **FSYNC** time model: rounds of simultaneous look–compute–move
+//!   ([`Sim`]). A [`Strategy`] computes one hop per robot from the current
+//!   configuration; hops are applied simultaneously; then the **merge pass**
+//!   splices out robots that coincide with a chain neighbor (the paper's
+//!   progress measure, Fig. 1).
+//! * **Stable robot identities** ([`RobotId`]) for instrumentation and for
+//!   the run-state bookkeeping of the gathering strategy (target corners of
+//!   the run passing operation, Fig. 8/14).
+//! * **Invariant checking** ([`invariant`]): connectivity must never break;
+//!   violations abort the simulation with a diagnosable error.
+//! * **Tracing** ([`trace`]): per-round reports (merges, movement, bounding
+//!   boxes) that the experiment harness aggregates into the paper's tables.
+//! * An **open chain** variant ([`OpenChain`]) used by the \[KM09\]-style
+//!   baseline the paper generalizes.
+//!
+//! The crate is deliberately strategy-agnostic: the paper's algorithm
+//! (`gathering-core`) and all baselines implement [`Strategy`].
+
+pub mod chain;
+pub mod engine;
+pub mod invariant;
+pub mod metrics;
+pub mod open_chain;
+pub mod robot;
+pub mod snapshot;
+pub mod strategy;
+pub mod trace;
+pub mod view;
+
+pub use chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
+pub use engine::{Outcome, RunLimits, Sim};
+pub use open_chain::OpenChain;
+pub use metrics::{metrics, ChainMetrics};
+pub use robot::RobotId;
+pub use strategy::Strategy;
+pub use trace::{RoundReport, Trace};
+pub use view::Ring;

@@ -1,0 +1,116 @@
+//! Per-configuration metrics used by reports, experiments, and tests.
+
+use crate::chain::ClosedChain;
+use grid_geom::Point;
+use std::collections::HashMap;
+
+/// Structural metrics of a configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainMetrics {
+    /// Number of robots.
+    pub robots: usize,
+    /// Number of distinct occupied grid points.
+    pub occupied_points: usize,
+    /// Largest number of robots on one grid point.
+    pub max_multiplicity: usize,
+    /// Bounding box width/height.
+    pub width: i64,
+    pub height: i64,
+    /// Number of corner robots (incident steps perpendicular).
+    pub corners: usize,
+    /// Number of fold robots (incident steps exactly opposite) — each is a
+    /// k = 1 merge pattern.
+    pub folds: usize,
+    /// Length of the longest monotone run (in robots).
+    pub longest_run: usize,
+}
+
+/// Compute [`ChainMetrics`] for a taut chain.
+pub fn metrics(chain: &ClosedChain) -> ChainMetrics {
+    let n = chain.len();
+    let mut occupancy: HashMap<Point, usize> = HashMap::with_capacity(n);
+    for &p in chain.positions() {
+        *occupancy.entry(p).or_insert(0) += 1;
+    }
+    let bbox = chain.bounding();
+    let mut corners = 0;
+    let mut folds = 0;
+    let mut longest_run = 1;
+    if n >= 2 {
+        let mut run = 1usize;
+        for i in 0..n {
+            let s_in = chain.step(chain.nb(i, -1));
+            let s_out = chain.step(i);
+            if s_in == s_out {
+                run += 1;
+            } else {
+                longest_run = longest_run.max(run + 1);
+                run = 1;
+                if s_in == -s_out {
+                    folds += 1;
+                } else {
+                    corners += 1;
+                }
+            }
+        }
+        longest_run = longest_run.max(run);
+    }
+    ChainMetrics {
+        robots: n,
+        occupied_points: occupancy.len(),
+        max_multiplicity: occupancy.values().copied().max().unwrap_or(0),
+        width: bbox.width(),
+        height: bbox.height(),
+        corners,
+        folds,
+        longest_run: longest_run.min(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(coords: &[(i64, i64)]) -> ClosedChain {
+        ClosedChain::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn square_metrics() {
+        let m = metrics(&chain(&[(0, 0), (1, 0), (1, 1), (0, 1)]));
+        assert_eq!(m.robots, 4);
+        assert_eq!(m.occupied_points, 4);
+        assert_eq!(m.max_multiplicity, 1);
+        assert_eq!(m.corners, 4);
+        assert_eq!(m.folds, 0);
+        assert_eq!((m.width, m.height), (2, 2));
+    }
+
+    #[test]
+    fn hairpin_metrics() {
+        // Flattened loop with two fold tips.
+        let m = metrics(&chain(&[(0, 0), (1, 0), (2, 0), (1, 0)]));
+        assert_eq!(m.robots, 4);
+        assert_eq!(m.occupied_points, 3);
+        assert_eq!(m.max_multiplicity, 2);
+        assert_eq!(m.folds, 2);
+        assert_eq!(m.corners, 0);
+    }
+
+    #[test]
+    fn rectangle_run_lengths() {
+        let m = metrics(&chain(&[
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (3, 1),
+            (2, 1),
+            (1, 1),
+            (0, 1),
+        ]));
+        assert_eq!(m.longest_run, 4);
+        assert_eq!(m.corners, 4);
+        assert_eq!(m.folds, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Open chains (for the \[KM09\] baseline family).
+//!
+//! The paper generalizes the *open* chain setting of Kutyłowski & Meyer auf
+//! der Heide (Manhattan Hopper): a chain between two distinguishable,
+//! possibly fixed endpoints. Open chains make gathering easy — "the
+//! endpoints are always locally distinguishable and would simply
+//! sequentially hop onto their inner neighbors" (Section 1). This module
+//! provides the data structure; strategies live in the `baselines` crate.
+
+use crate::chain::ChainError;
+use crate::robot::RobotId;
+use grid_geom::{chain_adjacent, Offset, Point, Rect};
+
+/// An open chain `r_0 … r_{n-1}` (no wrap-around edge).
+#[derive(Clone, Debug)]
+pub struct OpenChain {
+    pos: Vec<Point>,
+    id: Vec<RobotId>,
+}
+
+impl OpenChain {
+    pub fn new(positions: Vec<Point>) -> Result<Self, ChainError> {
+        if positions.len() < 2 {
+            return Err(ChainError::TooShort {
+                len: positions.len(),
+            });
+        }
+        let chain = OpenChain {
+            id: (0..positions.len() as u64).map(RobotId).collect(),
+            pos: positions,
+        };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Cut a closed chain's position sequence into an open chain (used by
+    /// the open-vs-closed comparison experiment: same geometry, easier
+    /// model).
+    pub fn from_closed_positions(positions: &[Point]) -> Result<Self, ChainError> {
+        OpenChain::new(positions.to_vec())
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    #[inline]
+    pub fn pos(&self, i: usize) -> Point {
+        self.pos[i]
+    }
+
+    #[inline]
+    pub fn id(&self, i: usize) -> RobotId {
+        self.id[i]
+    }
+
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.pos
+    }
+
+    pub fn bounding(&self) -> Rect {
+        Rect::bounding(self.pos.iter().copied()).expect("non-empty")
+    }
+
+    pub fn is_gathered(&self) -> bool {
+        self.bounding().is_gathered_2x2()
+    }
+
+    pub fn validate(&self) -> Result<(), ChainError> {
+        for i in 0..self.pos.len().saturating_sub(1) {
+            let (a, b) = (self.pos[i], self.pos[i + 1]);
+            if a == b {
+                return Err(ChainError::CoincidentNeighbors { index: i, at: a });
+            }
+            if !chain_adjacent(a, b) {
+                return Err(ChainError::Disconnected { index: i, a, b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Simultaneous hops, as in the closed engine.
+    pub fn apply_hops(&mut self, hops: &[Offset]) -> Result<(), ChainError> {
+        assert_eq!(hops.len(), self.pos.len());
+        for (i, h) in hops.iter().enumerate() {
+            if !h.is_hop() {
+                return Err(ChainError::IllegalHop { index: i, hop: *h });
+            }
+        }
+        for (p, h) in self.pos.iter_mut().zip(hops) {
+            *p += *h;
+        }
+        for i in 0..self.pos.len() - 1 {
+            if !chain_adjacent(self.pos[i], self.pos[i + 1]) {
+                return Err(ChainError::Disconnected {
+                    index: i,
+                    a: self.pos[i],
+                    b: self.pos[i + 1],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge pass for the open chain: collapse consecutive coincidences.
+    /// Returns robots removed.
+    pub fn merge_pass(&mut self) -> usize {
+        let n = self.pos.len();
+        if n < 2 {
+            return 0;
+        }
+        let mut write = 0usize;
+        for read in 1..n {
+            if self.pos[read] != self.pos[write] {
+                write += 1;
+                self.pos[write] = self.pos[read];
+                self.id[write] = self.id[read];
+            }
+        }
+        let removed = n - (write + 1);
+        self.pos.truncate(write + 1);
+        self.id.truncate(write + 1);
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(coords: &[(i64, i64)]) -> OpenChain {
+        OpenChain::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let c = open(&[(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(c.len(), 3);
+        assert!(OpenChain::new(vec![Point::new(0, 0)]).is_err());
+        assert!(OpenChain::new(vec![Point::new(0, 0), Point::new(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn no_wrap_edge() {
+        // Endpoints far apart are fine for an open chain.
+        let c = open(&[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
+        c.validate().unwrap();
+        assert!(!c.is_gathered());
+    }
+
+    #[test]
+    fn zip_merge() {
+        // Endpoint hops onto its inner neighbor; merge removes one robot.
+        let mut c = open(&[(0, 0), (1, 0), (2, 0)]);
+        let hops = vec![Offset::RIGHT, Offset::ZERO, Offset::ZERO];
+        c.apply_hops(&hops).unwrap();
+        assert_eq!(c.merge_pass(), 1);
+        assert_eq!(c.len(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_pass_chain_of_coincidences() {
+        let mut c = open(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let hops = vec![Offset::RIGHT, Offset::ZERO, Offset::new(-1, 0), Offset::new(-1, 0)];
+        c.apply_hops(&hops).unwrap();
+        // positions: (1,0) (1,0) (1,0) (2,0)
+        assert_eq!(c.merge_pass(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.pos(0), Point::new(1, 0));
+        assert_eq!(c.pos(1), Point::new(2, 0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Stable robot identities.
+//!
+//! The robots of the paper are *indistinguishable*: no algorithmic decision
+//! may depend on an identity. The simulator nevertheless assigns each robot
+//! a stable [`RobotId`], for three engine-side purposes:
+//!
+//! 1. instrumentation (tracking which robots were merged away, crediting
+//!    merges to progress pairs for the Lemma 2 audit),
+//! 2. the run-passing "target corner" bookkeeping — the paper's runners
+//!    remember *the robot they saw at a specific relative position* (Fig. 8:
+//!    "until S1 is located at its target robot c2"); an id models "that
+//!    robot" without giving robots any knowledge of the value,
+//! 3. deterministic replay and snapshot diffing in tests.
+//!
+//! Locality tests in `gathering-core` verify that strategy decisions are
+//! invariant under id relabeling.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identity of a robot for the lifetime of a simulation.
+///
+/// Ids are unique within one [`crate::ClosedChain`] and never reused, so a
+/// dangling id reliably means "this robot was merged away" (the trigger for
+/// the run termination conditions 4/5 of Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RobotId(pub u64);
+
+impl std::fmt::Debug for RobotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RobotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        let a = RobotId(3);
+        let b = RobotId(12);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "r3");
+        assert_eq!(format!("{b:?}"), "r12");
+    }
+}

@@ -1,0 +1,94 @@
+//! The strategy interface: what a robot algorithm must provide.
+//!
+//! A [`Strategy`] is the "compute" step of the FSYNC look–compute–move
+//! cycle, factored so that the engine ([`crate::Sim`]) owns all mechanics
+//! (simultaneous moves, merge pass, invariants) and the strategy owns all
+//! decisions plus whatever per-robot constant memory it needs (the paper's
+//! robots have constant memory; the gathering strategy stores run states).
+//!
+//! The engine calls, per round:
+//!
+//! 1. [`Strategy::compute`] — fill one hop per robot from the *current*
+//!    configuration (the common snapshot all robots observe).
+//! 2. applies the hops simultaneously,
+//! 3. [`Strategy::post_move`] — state handover that the paper performs
+//!    "after the move" (run states moving one robot further, Fig. 5),
+//! 4. runs the merge pass,
+//! 5. [`Strategy::post_merge`] — reconcile per-robot state with the splice
+//!    (runs terminate when "part of a merge operation", Table 1.3).
+
+use crate::chain::{ClosedChain, SpliceLog};
+use grid_geom::Offset;
+
+/// A full robot strategy under the FSYNC model.
+pub trait Strategy {
+    /// Human-readable name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Called once when the simulation starts.
+    fn init(&mut self, chain: &ClosedChain);
+
+    /// The compute step: fill `hops[i]` for every robot `i` based on the
+    /// common round-start configuration. `hops` arrives zeroed.
+    fn compute(&mut self, chain: &ClosedChain, round: u64, hops: &mut [Offset]);
+
+    /// Called after hops were applied, before the merge pass. Positions in
+    /// `chain` are post-move; indices are unchanged.
+    fn post_move(&mut self, _chain: &ClosedChain, _round: u64) {}
+
+    /// Called after the merge pass. `log` describes removed indices
+    /// (pre-splice) and keepers; `chain` is post-splice.
+    fn post_merge(&mut self, _chain: &ClosedChain, _round: u64, _log: &SpliceLog) {}
+
+    /// Optional per-robot marker for visualization overlays (e.g. runners).
+    /// `index` is a current chain index.
+    fn marker(&self, _index: usize) -> Option<char> {
+        None
+    }
+
+    /// `true` once the strategy knows it can make no further progress
+    /// (optional; the engine also detects quiescence itself).
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+/// The trivial strategy: nobody ever moves. Useful as an engine test fixture
+/// and as the degenerate baseline.
+#[derive(Debug, Default, Clone)]
+pub struct Stand;
+
+impl Strategy for Stand {
+    fn name(&self) -> &'static str {
+        "stand"
+    }
+    fn init(&mut self, _chain: &ClosedChain) {}
+    fn compute(&mut self, _chain: &ClosedChain, _round: u64, _hops: &mut [Offset]) {}
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    #[test]
+    fn stand_never_moves() {
+        let chain = ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap();
+        let mut s = Stand;
+        s.init(&chain);
+        let mut hops = vec![Offset::ZERO; 4];
+        s.compute(&chain, 0, &mut hops);
+        assert!(hops.iter().all(|h| *h == Offset::ZERO));
+        assert!(s.is_idle());
+        assert_eq!(s.name(), "stand");
+    }
+}

@@ -1,0 +1,142 @@
+//! Round reports and traces.
+//!
+//! The experiment harness regenerates the paper's tables from aggregated
+//! [`RoundReport`]s; examples replay [`Trace`]s as ASCII animations.
+
+use crate::chain::MergeEvent;
+use grid_geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// What happened in one FSYNC round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundReport {
+    pub round: u64,
+    /// Number of robots that performed a nonzero hop.
+    pub moved: usize,
+    /// Robots removed by the merge pass this round.
+    pub removed: usize,
+    /// Merge events of the round.
+    pub merges: Vec<MergeEvent>,
+    /// Chain length after the round.
+    pub len_after: usize,
+    /// Bounding box after the round.
+    pub bbox: Rect,
+    /// `true` if the gathering criterion holds after the round.
+    pub gathered: bool,
+}
+
+impl RoundReport {
+    /// `true` if the round made merge progress (the paper's progress
+    /// measure is the shortening of the chain).
+    pub fn made_progress(&self) -> bool {
+        self.removed > 0
+    }
+}
+
+/// Recording options for [`Trace`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Keep full position snapshots every `snapshot_every` rounds
+    /// (0 = never). Reports are always kept.
+    pub snapshot_every: u64,
+    /// Hard cap on stored snapshots (ring overwrite beyond this).
+    pub max_snapshots: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            snapshot_every: 0,
+            max_snapshots: 512,
+        }
+    }
+}
+
+/// A recorded simulation trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub reports: Vec<RoundReport>,
+    /// (round, positions) snapshots, per [`TraceConfig`].
+    pub snapshots: Vec<(u64, Vec<Point>)>,
+}
+
+impl Trace {
+    /// Total robots removed over the trace.
+    pub fn total_removed(&self) -> usize {
+        self.reports.iter().map(|r| r.removed).sum()
+    }
+
+    /// Number of rounds in which at least one merge happened.
+    pub fn rounds_with_merges(&self) -> usize {
+        self.reports.iter().filter(|r| r.removed > 0).count()
+    }
+
+    /// Longest gap (in rounds) between two successive merge rounds
+    /// (including the leading gap before the first merge). The Lemma 1 /
+    /// Theorem 1 audits bound this gap.
+    pub fn longest_mergeless_gap(&self) -> u64 {
+        let mut longest = 0u64;
+        let mut current = 0u64;
+        for r in &self.reports {
+            if r.removed > 0 {
+                longest = longest.max(current);
+                current = 0;
+            } else {
+                current += 1;
+            }
+        }
+        longest.max(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    fn report(round: u64, removed: usize) -> RoundReport {
+        RoundReport {
+            round,
+            moved: 0,
+            removed,
+            merges: vec![],
+            len_after: 10,
+            bbox: Rect::point(Point::ORIGIN),
+            gathered: false,
+        }
+    }
+
+    #[test]
+    fn gap_accounting() {
+        let t = Trace {
+            reports: vec![
+                report(0, 0),
+                report(1, 0),
+                report(2, 1),
+                report(3, 0),
+                report(4, 0),
+                report(5, 0),
+                report(6, 2),
+            ],
+            snapshots: vec![],
+        };
+        assert_eq!(t.total_removed(), 3);
+        assert_eq!(t.rounds_with_merges(), 2);
+        assert_eq!(t.longest_mergeless_gap(), 3);
+    }
+
+    #[test]
+    fn trailing_gap_counts() {
+        let t = Trace {
+            reports: vec![report(0, 1), report(1, 0), report(2, 0)],
+            snapshots: vec![],
+        };
+        assert_eq!(t.longest_mergeless_gap(), 2);
+    }
+
+    #[test]
+    fn progress_flag() {
+        assert!(report(0, 1).made_progress());
+        assert!(!report(0, 0).made_progress());
+    }
+}

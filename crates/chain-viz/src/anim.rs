@@ -1,0 +1,77 @@
+//! Trace animation: render recorded snapshots as a sequence of ASCII
+//! frames (used by `examples/pipeline_show.rs`).
+
+use chain_sim::Trace;
+use grid_geom::{Point, Rect};
+use std::collections::HashMap;
+
+/// Render every snapshot of a trace into labeled ASCII frames, all drawn on
+/// the union bounding box so frames align visually.
+pub fn render_trace(trace: &Trace) -> String {
+    if trace.snapshots.is_empty() {
+        return String::from("(no snapshots recorded)\n");
+    }
+    let bbox = Rect::bounding(
+        trace
+            .snapshots
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied()),
+    )
+    .expect("non-empty snapshots");
+
+    let mut out = String::new();
+    for (round, pts) in &trace.snapshots {
+        out.push_str(&format!("-- round {round} ({} robots) --\n", pts.len()));
+        out.push_str(&frame(&bbox, pts));
+        out.push('\n');
+    }
+    out
+}
+
+fn frame(bbox: &Rect, pts: &[Point]) -> String {
+    let mut count: HashMap<(i64, i64), u32> = HashMap::new();
+    for p in pts {
+        *count.entry((p.x, p.y)).or_insert(0) += 1;
+    }
+    let mut s = String::new();
+    for y in (bbox.min.y..=bbox.max.y).rev() {
+        for x in bbox.min.x..=bbox.max.x {
+            s.push(match count.get(&(x, y)) {
+                None => '.',
+                Some(1) => 'o',
+                Some(&k) if k <= 9 => char::from_digit(k, 10).unwrap(),
+                Some(_) => '#',
+            });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(render_trace(&t).contains("no snapshots"));
+    }
+
+    #[test]
+    fn frames_align_on_union_bbox() {
+        let t = Trace {
+            reports: vec![],
+            snapshots: vec![
+                (0, vec![Point::new(0, 0), Point::new(3, 0)]),
+                (1, vec![Point::new(1, 0)]),
+            ],
+        };
+        let s = render_trace(&t);
+        // Both frames are 4 wide.
+        let mut frames = s.lines().filter(|l| !l.starts_with("--") && !l.is_empty());
+        assert_eq!(frames.next().unwrap().len(), 4);
+        assert_eq!(frames.next().unwrap().len(), 4);
+        assert!(s.contains("-- round 0 (2 robots) --"));
+    }
+}

@@ -1,0 +1,146 @@
+//! ASCII rendering of chain configurations.
+//!
+//! Each grid point maps to one character; robots are `o` (or a digit count
+//! when several non-neighbor robots share a point), strategy markers (e.g.
+//! run states) override the glyph. The y axis points up, as in the paper's
+//! figures.
+
+use chain_sim::ClosedChain;
+use grid_geom::Rect;
+use std::collections::HashMap;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct AsciiOptions {
+    /// Character for an empty grid point.
+    pub empty: char,
+    /// Character for a single robot.
+    pub robot: char,
+    /// Show multiplicities 2..=9 as digits.
+    pub show_multiplicity: bool,
+    /// Pad the bounding box by this margin.
+    pub margin: i64,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            empty: '.',
+            robot: 'o',
+            show_multiplicity: true,
+            margin: 0,
+        }
+    }
+}
+
+/// Render the chain with default options.
+pub fn render(chain: &ClosedChain) -> String {
+    render_with_markers(chain, |_| None, AsciiOptions::default())
+}
+
+/// Render with a per-robot marker function (chain index → glyph). Markers
+/// win over multiplicity digits; the first non-`None` marker on a point is
+/// used.
+pub fn render_with_markers<F>(chain: &ClosedChain, marker: F, opt: AsciiOptions) -> String
+where
+    F: Fn(usize) -> Option<char>,
+{
+    let mut bbox: Rect = chain.bounding();
+    bbox.min.x -= opt.margin;
+    bbox.min.y -= opt.margin;
+    bbox.max.x += opt.margin;
+    bbox.max.y += opt.margin;
+
+    let mut count: HashMap<(i64, i64), u32> = HashMap::new();
+    let mut glyph: HashMap<(i64, i64), char> = HashMap::new();
+    for i in 0..chain.len() {
+        let p = chain.pos(i);
+        *count.entry((p.x, p.y)).or_insert(0) += 1;
+        if let Some(m) = marker(i) {
+            glyph.entry((p.x, p.y)).or_insert(m);
+        }
+    }
+
+    let w = (bbox.max.x - bbox.min.x + 1) as usize;
+    let h = (bbox.max.y - bbox.min.y + 1) as usize;
+    let mut s = String::with_capacity((w + 1) * h);
+    for y in (bbox.min.y..=bbox.max.y).rev() {
+        for x in bbox.min.x..=bbox.max.x {
+            let key = (x, y);
+            let c = if let Some(&m) = glyph.get(&key) {
+                m
+            } else {
+                match count.get(&key) {
+                    None => opt.empty,
+                    Some(1) => opt.robot,
+                    Some(&k) if opt.show_multiplicity && k <= 9 => {
+                        char::from_digit(k, 10).unwrap()
+                    }
+                    Some(_) => '#',
+                }
+            };
+            s.push(c);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    fn chain(coords: &[(i64, i64)]) -> ClosedChain {
+        ClosedChain::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn renders_square() {
+        let c = chain(&[(0, 0), (1, 0), (1, 1), (0, 1)]);
+        let s = render(&c);
+        assert_eq!(s, "oo\noo\n");
+    }
+
+    #[test]
+    fn renders_multiplicity() {
+        // Flattened loop: (1,0) holds two non-neighbor robots.
+        let c = chain(&[(0, 0), (1, 0), (2, 0), (1, 0)]);
+        let s = render(&c);
+        assert_eq!(s, "o2o\n");
+    }
+
+    #[test]
+    fn markers_override() {
+        let c = chain(&[(0, 0), (1, 0), (1, 1), (0, 1)]);
+        let s = render_with_markers(
+            &c,
+            |i| if i == 0 { Some('>') } else { None },
+            AsciiOptions::default(),
+        );
+        assert_eq!(s, "oo\n>o\n");
+    }
+
+    #[test]
+    fn margin_pads() {
+        let c = chain(&[(0, 0), (1, 0), (1, 1), (0, 1)]);
+        let s = render_with_markers(
+            &c,
+            |_| None,
+            AsciiOptions {
+                margin: 1,
+                ..AsciiOptions::default()
+            },
+        );
+        assert_eq!(s, "....\n.oo.\n.oo.\n....\n");
+    }
+
+    #[test]
+    fn y_axis_points_up() {
+        let c = chain(&[(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+        let s = render(&c);
+        // Two rows of three; top row rendered first.
+        assert_eq!(s.lines().count(), 2);
+        assert_eq!(s, "ooo\nooo\n");
+    }
+}

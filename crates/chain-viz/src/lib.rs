@@ -1,0 +1,18 @@
+//! # chain-viz
+//!
+//! Rendering for chain configurations and traces:
+//!
+//! * [`ascii`] — terminal rendering with run-state overlays (used by the
+//!   examples to replay the paper's figures),
+//! * [`ppm`] — dependency-free binary PPM (P6) image writer,
+//! * [`anim`] — multi-frame ASCII animation of recorded traces.
+
+pub mod anim;
+pub mod ascii;
+pub mod ppm;
+pub mod svg;
+
+pub use anim::render_trace;
+pub use ascii::{render, render_with_markers, AsciiOptions};
+pub use ppm::PpmImage;
+pub use svg::{render_svg, SvgOptions};

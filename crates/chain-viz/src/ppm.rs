@@ -1,0 +1,120 @@
+//! Minimal binary PPM (P6) image writer — no dependencies, good enough to
+//! eyeball configurations and produce figures from traces.
+
+use chain_sim::ClosedChain;
+use grid_geom::Rect;
+use std::io::{self, Write};
+
+/// An RGB raster image.
+#[derive(Clone, Debug)]
+pub struct PpmImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 3]>,
+}
+
+impl PpmImage {
+    pub fn new(width: usize, height: usize, background: [u8; 3]) -> Self {
+        PpmImage {
+            width,
+            height,
+            pixels: vec![background; width * height],
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Set a pixel; out-of-range coordinates are ignored.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    pub fn get(&self, x: usize, y: usize) -> Option<[u8; 3]> {
+        (x < self.width && y < self.height).then(|| self.pixels[y * self.width + x])
+    }
+
+    /// Rasterize a chain (scale pixels per grid cell, y flipped so the
+    /// image matches the ASCII orientation).
+    pub fn from_chain(chain: &ClosedChain, scale: usize) -> Self {
+        let scale = scale.max(1);
+        let bbox: Rect = chain.bounding();
+        let w = (bbox.width() as usize + 2) * scale;
+        let h = (bbox.height() as usize + 2) * scale;
+        let mut img = PpmImage::new(w, h, [255, 255, 255]);
+        for i in 0..chain.len() {
+            let p = chain.pos(i);
+            let gx = (p.x - bbox.min.x + 1) as usize;
+            let gy = (bbox.max.y - p.y + 1) as usize;
+            for dy in 0..scale {
+                for dx in 0..scale {
+                    img.set(gx * scale + dx, gy * scale + dy, [30, 30, 200]);
+                }
+            }
+        }
+        img
+    }
+
+    /// Write the P6 stream.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for px in &self.pixels {
+            w.write_all(px)?;
+        }
+        Ok(())
+    }
+
+    /// Serialize into a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.width * self.height * 3 + 32);
+        self.write_to(&mut v).expect("writing to Vec cannot fail");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    #[test]
+    fn header_and_size() {
+        let img = PpmImage::new(3, 2, [0, 0, 0]);
+        let bytes = img.to_bytes();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut img = PpmImage::new(4, 4, [1, 2, 3]);
+        img.set(2, 1, [9, 8, 7]);
+        assert_eq!(img.get(2, 1), Some([9, 8, 7]));
+        assert_eq!(img.get(0, 0), Some([1, 2, 3]));
+        assert_eq!(img.get(4, 0), None);
+        // Out-of-range set is a no-op.
+        img.set(99, 99, [0, 0, 0]);
+    }
+
+    #[test]
+    fn rasterizes_chain() {
+        let chain = ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap();
+        let img = PpmImage::from_chain(&chain, 2);
+        assert_eq!(img.width(), (2 + 2) * 2);
+        // A robot pixel is colored.
+        assert_eq!(img.get(2, 2), Some([30, 30, 200]));
+    }
+}

@@ -1,0 +1,144 @@
+//! Dependency-free SVG rendering of chain configurations.
+//!
+//! Produces a small standalone SVG document: grid dots, the chain's edges
+//! as a polyline (following chain order, so self-crossings are visible),
+//! and robots as circles with multiplicity labels. Useful for inspecting
+//! traces outside the terminal.
+
+use chain_sim::ClosedChain;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Pixels per grid cell.
+    pub scale: i64,
+    /// Margin in grid cells.
+    pub margin: i64,
+    /// Draw the chain edges.
+    pub edges: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            scale: 24,
+            margin: 1,
+            edges: true,
+        }
+    }
+}
+
+/// Render the configuration into an SVG document string.
+pub fn render_svg(chain: &ClosedChain, opt: SvgOptions) -> String {
+    let bbox = chain.bounding();
+    let s = opt.scale;
+    let min_x = bbox.min.x - opt.margin;
+    let min_y = bbox.min.y - opt.margin;
+    let w = (bbox.width() + 2 * opt.margin) * s;
+    let h = (bbox.height() + 2 * opt.margin) * s;
+    // SVG y grows downward; flip so the figure orientation matches the
+    // paper (y up).
+    let tx = |x: i64| (x - min_x) * s + s / 2;
+    let ty = |y: i64| h - ((y - min_y) * s + s / 2);
+
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+
+    if opt.edges && chain.len() >= 2 {
+        let mut d = String::new();
+        for i in 0..chain.len() {
+            let p = chain.pos(i);
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(d, "{cmd}{},{} ", tx(p.x), ty(p.y));
+        }
+        let first = chain.pos(0);
+        let _ = write!(d, "L{},{}", tx(first.x), ty(first.y));
+        let _ = writeln!(
+            out,
+            r##"<path d="{d}" fill="none" stroke="#7799cc" stroke-width="2"/>"##
+        );
+    }
+
+    let mut count: HashMap<(i64, i64), u32> = HashMap::new();
+    for p in chain.positions() {
+        *count.entry((p.x, p.y)).or_insert(0) += 1;
+    }
+    let r = s / 4;
+    for (&(x, y), &k) in &count {
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{}" cy="{}" r="{r}" fill="#203080"/>"##,
+            tx(x),
+            ty(y)
+        );
+        if k > 1 {
+            let _ = writeln!(
+                out,
+                r##"<text x="{}" y="{}" font-size="{}" fill="#c03020" text-anchor="middle">{k}</text>"##,
+                tx(x) + r,
+                ty(y) - r,
+                s / 2
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    fn square() -> ClosedChain {
+        ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = render_svg(&square(), SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn multiplicity_labels() {
+        let c = ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(1, 0),
+        ])
+        .unwrap();
+        let svg = render_svg(&c, SvgOptions::default());
+        assert!(svg.contains(">2</text>"));
+        // Three distinct points → three circles.
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn edges_can_be_disabled() {
+        let svg = render_svg(
+            &square(),
+            SvgOptions {
+                edges: false,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(!svg.contains("<path"));
+    }
+}

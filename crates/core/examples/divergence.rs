@@ -1,0 +1,36 @@
+//! Find the first round where a relabeled/reversed chain diverges.
+use chain_sim::invariant::same_up_to_translation_and_rotation;
+use chain_sim::{Sim};
+use gathering_core::ClosedChainGathering;
+use workloads::Family;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).cloned().unwrap_or("rotate".into());
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let a = Family::Skyline.generate(120, seed);
+    let mut b = Family::Skyline.generate(120, seed);
+    match mode.as_str() {
+        "rotate" => b.rotate_origin(1),
+        "reverse" => b.reverse_orientation(),
+        _ => {}
+    }
+    let mut sa = Sim::new(a, ClosedChainGathering::paper());
+    let mut sb = Sim::new(b, ClosedChainGathering::paper());
+    for r in 0..5000 {
+        if sa.is_gathered() != sb.is_gathered() {
+            println!("gathered-divergence at round {r}: a={} b={}", sa.is_gathered(), sb.is_gathered());
+            return;
+        }
+        if sa.is_gathered() { println!("both gathered at {r}"); return; }
+        if !same_up_to_translation_and_rotation(sa.chain(), sb.chain()) {
+            println!("DIVERGED at round {r}: len a={} b={}", sa.chain().len(), sb.chain().len());
+            for i in 0..sa.chain().len().min(200) { print!("{:?} ", sa.chain().pos(i)); } println!();
+            for i in 0..sb.chain().len().min(200) { print!("{:?} ", sb.chain().pos(i)); } println!();
+            return;
+        }
+        sa.step().unwrap();
+        sb.step().unwrap();
+    }
+    println!("no divergence found");
+}

@@ -1,0 +1,25 @@
+//! Ablation probe: which merge-length bound k suffices for gathering?
+//! (The Lemma-1 proof's k<=2 stalls on odd remnants; k>=3 works.)
+use chain_sim::{Outcome, RunLimits, Sim};
+use gathering_core::{ClosedChainGathering, GatherConfig};
+use workloads::Family;
+fn main() {
+    for k in [2usize, 3, 4] {
+        let cfg = GatherConfig { max_merge_k: k, ..GatherConfig::paper() };
+        let mut fails = 0; let mut worst: f64 = 0.0;
+        for fam in Family::ALL {
+            for n in [128usize, 512] {
+                for seed in 0..3 {
+                    let chain = fam.generate(n, seed);
+                    let len = chain.len();
+                    let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
+                    match sim.run(RunLimits::for_chain_len(len)) {
+                        Outcome::Gathered { rounds } => { worst = worst.max(rounds as f64 / len as f64); }
+                        _ => fails += 1,
+                    }
+                }
+            }
+        }
+        println!("max_merge_k={k}: failures={fails} worst r/n={worst:.2}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Smoke probe for the spiral/serpentine/cross families.
+use chain_sim::{Outcome, RunLimits, Sim};
+use gathering_core::ClosedChainGathering;
+use workloads::Family;
+fn main() {
+    for fam in [Family::Spiral, Family::Serpentine, Family::Cross] {
+        for n in [40usize, 150, 400, 1000] {
+            let chain = fam.generate(n, 1);
+            let len = chain.len();
+            let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+            match sim.run(RunLimits::for_chain_len(len)) {
+                Outcome::Gathered { rounds } => println!("{:<12} n={:<5} rounds={:<6} r/n={:.2}", fam.name(), len, rounds, rounds as f64 / len as f64),
+                other => println!("{:<12} n={:<5} FAIL {:?}", fam.name(), len, other),
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Event-stream tracer: run starts and stop reasons on a rectangle.
+use chain_sim::{ClosedChain, Sim};
+use gathering_core::{ClosedChainGathering, RunEvent, StopReason};
+use grid_geom::Point;
+
+fn rectangle(w: i64, h: i64) -> ClosedChain {
+    let mut pts = vec![Point::new(0, 0)];
+    pts.extend((1..w).map(|x| Point::new(x, 0)));
+    pts.extend((1..h).map(|y| Point::new(w - 1, y)));
+    pts.extend((1..w).map(|x| Point::new(w - 1 - x, h - 1)));
+    pts.extend((1..h - 1).map(|y| Point::new(0, h - 1 - y)));
+    ClosedChain::new(pts).unwrap()
+}
+
+fn main() {
+    let c = rectangle(30, 14);
+    let mut sim = Sim::new(c, ClosedChainGathering::paper().with_event_recording());
+    let mut by_reason = std::collections::HashMap::new();
+    for _ in 0..200 {
+        if sim.is_gathered() { break; }
+        sim.step().unwrap();
+        for e in sim.strategy_mut().take_events() {
+            match e {
+                RunEvent::Stopped { reason, round, run_id, .. } => {
+                    *by_reason.entry(format!("{reason:?}")).or_insert(0) += 1;
+                    if matches!(reason, StopReason::Merged | StopReason::RobotRemoved) && round < 60 {
+                        println!("round {round}: run {run_id} stopped {reason:?}");
+                    }
+                }
+                RunEvent::Started { round, run_id, dir, .. } if round < 30 => {
+                    println!("round {round}: run {run_id} started dir {dir}");
+                }
+                _ => {}
+            }
+        }
+    }
+    println!("stop reasons: {by_reason:?}");
+    println!("stats: {:?}", sim.strategy().stats());
+}

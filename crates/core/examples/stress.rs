@@ -1,0 +1,38 @@
+//! Stress harness: run the gathering strategy over every workload family
+//! and random seeds, reporting rounds/n and any failures.
+use chain_sim::{Outcome, RunLimits, Sim};
+use gathering_core::{ClosedChainGathering, GatherConfig};
+use workloads::Family;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let proof = args.iter().any(|a| a == "--proof");
+    let cfg = if proof { GatherConfig::proof_mode() } else { GatherConfig::paper() };
+    let mut failures = 0usize;
+    let mut worst_ratio: f64 = 0.0;
+    for fam in Family::ALL {
+        for n in [12usize, 24, 60, 150, 400] {
+            for seed in 0..seeds {
+                let chain = fam.generate(n, seed);
+                let len = chain.len();
+                let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
+                let outcome = sim.run(RunLimits::for_chain_len(len));
+                match outcome {
+                    Outcome::Gathered { rounds } => {
+                        let ratio = rounds as f64 / len as f64;
+                        if ratio > worst_ratio { worst_ratio = ratio;
+                            println!("new worst: {} n={len} seed={seed}: {rounds} rounds (ratio {ratio:.2})", fam.name());
+                        }
+                    }
+                    other => {
+                        failures += 1;
+                        println!("FAIL {} n={len} seed={seed}: {other:?}", fam.name());
+                    }
+                }
+            }
+        }
+    }
+    println!("done; failures={failures} worst rounds/n ratio={worst_ratio:.2}");
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

@@ -1,0 +1,137 @@
+//! Algorithm parameters.
+//!
+//! The paper fixes the viewing path length to 11 and the pipelining period
+//! to L = 13 (Lemma 3 derives `L ≥ 13` from the run-passing worst case and
+//! `V = 11` from the sequent-run distance detection). We expose them as
+//! parameters so the ablation experiments (DESIGN.md E13) can probe the
+//! sensitivity of both constants, and keep the paper's values as defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the closed-chain gathering strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherConfig {
+    /// Viewing path length `V`: a robot sees its next `V` chain neighbors
+    /// in both directions (paper: 11).
+    pub view: usize,
+    /// Pipelining period `L`: run-start checks happen every `L`-th round
+    /// (paper: 13).
+    pub l_period: u64,
+    /// Maximum black-segment length `k` of a merge pattern that is allowed
+    /// to fire. The model bound is `k ≤ V - 1` (all participants must see
+    /// the whole pattern); the Lemma 1 proof conservatively uses `k ≤ 2`.
+    pub max_merge_k: usize,
+    /// Emulate operation (c) of Fig. 11: a run started at a Figure-5(ii)
+    /// corner performs one diagonal hop and then walks for 3 rounds before
+    /// resuming reshapement.
+    pub op_c_walk: bool,
+    /// Guard for termination condition 2 (see DESIGN.md §2.6): seeing a
+    /// quasi-line endpoint ahead only terminates a run when no opposing run
+    /// is visible before the endpoint.
+    pub cond2_guard: bool,
+}
+
+impl Default for GatherConfig {
+    fn default() -> Self {
+        GatherConfig {
+            view: 11,
+            l_period: 13,
+            max_merge_k: 10,
+            op_c_walk: true,
+            cond2_guard: true,
+        }
+    }
+}
+
+impl GatherConfig {
+    /// The paper's constants.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// The conservative variant used in the proof of Lemma 1: merges fire
+    /// only up to black length 2, so nearly all shortening must be enabled
+    /// by runner reshapement. Exercises the run machinery maximally.
+    pub fn proof_mode() -> Self {
+        GatherConfig {
+            max_merge_k: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Effective merge length bound: the configured bound clamped by the
+    /// visibility requirement `k + 1 ≤ V`.
+    pub fn effective_max_k(&self) -> usize {
+        self.max_merge_k.min(self.view.saturating_sub(1)).max(1)
+    }
+
+    /// Validate parameter sanity (used by the ablation harness).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.view < 5 {
+            return Err(format!(
+                "viewing path length {} too small: run-start shapes need 5 robots of context",
+                self.view
+            ));
+        }
+        if self.l_period < 2 {
+            return Err(format!("pipelining period {} too small", self.l_period));
+        }
+        if self.max_merge_k == 0 {
+            return Err("max_merge_k must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = GatherConfig::paper();
+        assert_eq!(c.view, 11);
+        assert_eq!(c.l_period, 13);
+        assert_eq!(c.effective_max_k(), 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn proof_mode_restricts_merges() {
+        let c = GatherConfig::proof_mode();
+        assert_eq!(c.effective_max_k(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn effective_k_clamped_by_view() {
+        let c = GatherConfig {
+            view: 5,
+            max_merge_k: 100,
+            ..GatherConfig::default()
+        };
+        assert_eq!(c.effective_max_k(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(GatherConfig {
+            view: 2,
+            ..GatherConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GatherConfig {
+            l_period: 0,
+            ..GatherConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GatherConfig {
+            max_merge_k: 0,
+            ..GatherConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Run states and runner bookkeeping (Sections 3.2, 3.4, 4.1–4.3).
+//!
+//! A *run* is a constant-size state held by a robot (the *runner*) with a
+//! fixed moving direction along the chain. Every round a live run moves one
+//! robot further in its direction (Lemma 3.1). Its runner may perform a
+//! diagonal *reshapement hop* ("fold", Fig. 6 / Fig. 11a) when the local
+//! shape allows; otherwise the run just walks (Fig. 11b/c). Runs moving
+//! toward each other that cannot enable a merge *pass* each other without
+//! reshaping (Fig. 8/14).
+//!
+//! The gathering strategy stores one optional run per chain direction per
+//! robot ([`RunCell`]). Two same-direction runs can never share a robot:
+//! termination condition 1 of Table 1 removes the rear run before contact
+//! (pipelining distance L = 13 > V = 11 keeps fresh runs apart).
+
+use crate::quasi::StartShape;
+use chain_sim::RobotId;
+use grid_geom::Offset;
+use serde::{Deserialize, Serialize};
+
+/// Why a run terminated — Table 1 of the paper, plus bookkeeping cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Table 1.1: a sequent (same-direction) run is visible ahead.
+    SequentAhead,
+    /// Table 1.2: the endpoint of the quasi line is visible ahead.
+    EndpointAhead,
+    /// Table 1.3: the runner was part of a merge operation.
+    Merged,
+    /// Table 1.4/5: the passing/walking target corner was removed.
+    TargetRemoved,
+    /// The robot carrying the run was spliced away by the merge pass.
+    RobotRemoved,
+    /// Engine hygiene: a same-direction run already occupies the arrival
+    /// slot (can only happen against a freshly started run).
+    SlotCollision,
+}
+
+/// Mode of a live run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Normal operation: fold when the local shape allows, else walk.
+    Normal,
+    /// Run passing (Fig. 8/14): walk without reshaping until the robot
+    /// carrying the run *is* the target corner.
+    Passing { target: RobotId },
+}
+
+/// A run state (constant-size robot memory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    /// Unique run id (instrumentation only; robots never read it).
+    pub id: u64,
+    /// Moving direction along the chain: +1 or −1.
+    pub dir: i8,
+    /// The side of the quasi line the run reshapes toward (unit offset,
+    /// perpendicular to the line). Fixed at start; good pairs are pairs
+    /// with equal fold sides (Fig. 12).
+    pub fold_side: Offset,
+    /// Round the run was started (runs act from the following round).
+    pub born: u64,
+    /// The Figure 5 shape that started the run.
+    pub shape: StartShape,
+    /// Current mode.
+    pub mode: RunMode,
+    /// Remaining forced walk rounds (op c of Fig. 11: after the initial
+    /// fold of a corner-started run, walk 3 rounds).
+    pub walk_budget: u8,
+    /// Op c pending: the next fold arms `walk_budget`.
+    pub op_c_pending: bool,
+}
+
+impl Run {
+    #[inline]
+    pub fn dir(&self) -> isize {
+        self.dir as isize
+    }
+}
+
+/// The runs held by one robot: at most one per chain direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCell {
+    pub fwd: Option<Run>,
+    pub bwd: Option<Run>,
+}
+
+impl RunCell {
+    pub const EMPTY: RunCell = RunCell {
+        fwd: None,
+        bwd: None,
+    };
+
+    #[inline]
+    pub fn get(&self, dir: isize) -> Option<&Run> {
+        if dir > 0 {
+            self.fwd.as_ref()
+        } else {
+            self.bwd.as_ref()
+        }
+    }
+
+    #[inline]
+    pub fn slot_mut(&mut self, dir: isize) -> &mut Option<Run> {
+        if dir > 0 {
+            &mut self.fwd
+        } else {
+            &mut self.bwd
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_none() && self.bwd.is_none()
+    }
+
+    /// Number of runs on this robot (0..=2).
+    #[inline]
+    pub fn count(&self) -> usize {
+        usize::from(self.fwd.is_some()) + usize::from(self.bwd.is_some())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Run> {
+        self.fwd.iter().chain(self.bwd.iter())
+    }
+}
+
+/// What a run decides to do this round (pure decision output; the strategy
+/// applies it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunAction {
+    /// Terminate with the given reason (run does not move).
+    Die(StopReason),
+    /// Move forward; `fold` carries the runner's diagonal hop if the run
+    /// reshapes this round.
+    Advance { fold: Option<Offset>, next: Run },
+}
+
+/// Counters for the audit tables (E2–E4) and reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    pub started_stairway: u64,
+    pub started_corner: u64,
+    pub folds: u64,
+    pub walks: u64,
+    pub passings_started: u64,
+    pub stopped_sequent: u64,
+    pub stopped_endpoint: u64,
+    pub stopped_merged: u64,
+    pub stopped_target_removed: u64,
+    pub stopped_robot_removed: u64,
+    pub stopped_slot_collision: u64,
+    pub max_live_runs: u64,
+    /// Oscillation-suppression triggers (robots entering suppression).
+    pub suppressions: u64,
+}
+
+impl RunStats {
+    pub fn started_total(&self) -> u64 {
+        self.started_stairway + self.started_corner
+    }
+
+    pub fn stopped_total(&self) -> u64 {
+        self.stopped_sequent
+            + self.stopped_endpoint
+            + self.stopped_merged
+            + self.stopped_target_removed
+            + self.stopped_robot_removed
+            + self.stopped_slot_collision
+    }
+
+    pub fn record_stop(&mut self, reason: StopReason) {
+        match reason {
+            StopReason::SequentAhead => self.stopped_sequent += 1,
+            StopReason::EndpointAhead => self.stopped_endpoint += 1,
+            StopReason::Merged => self.stopped_merged += 1,
+            StopReason::TargetRemoved => self.stopped_target_removed += 1,
+            StopReason::RobotRemoved => self.stopped_robot_removed += 1,
+            StopReason::SlotCollision => self.stopped_slot_collision += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(dir: i8) -> Run {
+        Run {
+            id: 1,
+            dir,
+            fold_side: Offset::DOWN,
+            born: 0,
+            shape: StartShape::StairwayEnd,
+            mode: RunMode::Normal,
+            walk_budget: 0,
+            op_c_pending: false,
+        }
+    }
+
+    #[test]
+    fn cell_slots_by_direction() {
+        let mut cell = RunCell::EMPTY;
+        assert!(cell.is_empty());
+        *cell.slot_mut(1) = Some(run(1));
+        *cell.slot_mut(-1) = Some(run(-1));
+        assert_eq!(cell.count(), 2);
+        assert_eq!(cell.get(1).unwrap().dir, 1);
+        assert_eq!(cell.get(-1).unwrap().dir, -1);
+        assert_eq!(cell.iter().count(), 2);
+    }
+
+    #[test]
+    fn stats_bookkeeping() {
+        let mut s = RunStats::default();
+        s.record_stop(StopReason::SequentAhead);
+        s.record_stop(StopReason::Merged);
+        s.record_stop(StopReason::Merged);
+        s.started_corner = 2;
+        s.started_stairway = 1;
+        assert_eq!(s.stopped_total(), 3);
+        assert_eq!(s.started_total(), 3);
+    }
+}

@@ -1,0 +1,690 @@
+//! The complete gathering strategy (Fig. 15 of the paper).
+//!
+//! Every robot, every round (all from the common FSYNC snapshot):
+//!
+//! 1. **Merge**: if the robot is a black of a merge pattern it performs the
+//!    pattern's hop (diagonal when black in two patterns, Fig. 3b); whites
+//!    stand still.
+//! 2. **Run operations**: every live run first checks the termination
+//!    conditions of Table 1, then either continues run passing, starts run
+//!    passing (opposing run within distance 3 on the other fold side),
+//!    folds (Fig. 6/11a: behind-neighbor on the fold side and the next
+//!    three robots ahead aligned), or walks (Fig. 11b/c). The run state
+//!    then moves one robot further in its moving direction (Lemma 3.1).
+//! 3. **Start new runs**: every `L`-th round, robots matching the Figure 5
+//!    shapes start new runs, which act from the next round.
+//!
+//! After the simultaneous move the engine's merge pass splices coinciding
+//! chain neighbors; runs on spliced robots terminate (Table 1.3).
+
+use crate::config::GatherConfig;
+use crate::merge::MergeScan;
+use crate::quasi::{self, StartShape};
+use crate::runs::{Run, RunAction, RunCell, RunMode, RunStats, StopReason};
+use chain_sim::{ClosedChain, Ring, RobotId, SpliceLog, Strategy};
+use grid_geom::Offset;
+
+/// Instrumentation events (consumed by the audit module and tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunEvent {
+    Started {
+        round: u64,
+        run_id: u64,
+        robot: RobotId,
+        dir: i8,
+        fold_side: Offset,
+        shape: StartShape,
+    },
+    Stopped {
+        round: u64,
+        run_id: u64,
+        robot: RobotId,
+        reason: StopReason,
+    },
+    Folded {
+        round: u64,
+        run_id: u64,
+        robot: RobotId,
+    },
+    PassingStarted {
+        round: u64,
+        run_id: u64,
+        robot: RobotId,
+        target: RobotId,
+    },
+}
+
+/// The paper's algorithm as a [`Strategy`].
+pub struct ClosedChainGathering {
+    cfg: GatherConfig,
+    scan: MergeScan,
+    cells: Vec<RunCell>,
+    staged: Vec<RunCell>,
+    /// Fold hop each robot's runs agreed on this round (`None` = no fold).
+    fold_hop: Vec<Option<Offset>>,
+    /// Per-robot local-view signatures of the previous two rounds and the
+    /// oscillation-suppression countdown (see `detect_oscillation`).
+    sig_prev: Vec<u64>,
+    sig_prev2: Vec<u64>,
+    suppress: Vec<u16>,
+    suppress_flags: Vec<bool>,
+    /// Previous round's inherent pattern sizes, compacted through splices
+    /// (drives staggered suppression expiry).
+    prev_inherent_k: Vec<u8>,
+    next_run_id: u64,
+    stats: RunStats,
+    events: Vec<RunEvent>,
+    record_events: bool,
+}
+
+impl ClosedChainGathering {
+    pub fn new(cfg: GatherConfig) -> Self {
+        cfg.validate().expect("invalid gathering configuration");
+        ClosedChainGathering {
+            cfg,
+            scan: MergeScan::default(),
+            cells: Vec::new(),
+            staged: Vec::new(),
+            fold_hop: Vec::new(),
+            sig_prev: Vec::new(),
+            sig_prev2: Vec::new(),
+            suppress: Vec::new(),
+            suppress_flags: Vec::new(),
+            prev_inherent_k: Vec::new(),
+            next_run_id: 0,
+            stats: RunStats::default(),
+            events: Vec::new(),
+            record_events: false,
+        }
+    }
+
+    /// Paper constants.
+    pub fn paper() -> Self {
+        Self::new(GatherConfig::paper())
+    }
+
+    /// Record instrumentation events (drained by auditors).
+    pub fn with_event_recording(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+
+    pub fn config(&self) -> &GatherConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Current run cells (parallel to chain indices) — for auditors/tests.
+    pub fn cells(&self) -> &[RunCell] {
+        &self.cells
+    }
+
+    /// Drain recorded events.
+    pub fn take_events(&mut self) -> Vec<RunEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The merge scan of the last computed round (auditors).
+    pub fn last_scan(&self) -> &MergeScan {
+        &self.scan
+    }
+
+    fn emit(&mut self, ev: RunEvent) {
+        if self.record_events {
+            self.events.push(ev);
+        }
+    }
+
+    /// Local-view signature: a hash of the relative positions of the ±3
+    /// chain neighbors. Constant-size robot memory, used to witness the
+    /// period-2 "swap" livelock (DESIGN.md §2.3): a closed cycle of
+    /// mutually interfering merge patterns makes every participant hop
+    /// back and forth between exactly two local views without any merge.
+    fn local_signature(chain: &ClosedChain, i: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let p = chain.pos(i);
+        for d in [-3isize, -2, -1, 1, 2, 3] {
+            let q = chain.pos(chain.nb(i, d));
+            for v in [q.x - p.x, q.y - p.y] {
+                h ^= v as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Update signature histories and the suppression countdowns; fill
+    /// `suppress_flags` for this round's merge scan.
+    ///
+    /// A robot that sees its local view alternate with period 2
+    /// (`s_t == s_{t-2} ≠ s_{t-1}`) suppresses its merge participation:
+    /// the oscillating region becomes mergeless, so Lemma 1's machinery
+    /// (runs start on mergeless chains every L rounds) can act. Healthy
+    /// dynamics never alternate — merges remove robots and runs move every
+    /// round — so suppression stays dormant outside pathological closed
+    /// interference cycles (DESIGN.md §2.3).
+    ///
+    /// Expiry is **staggered by inherent pattern size**: a robot black in a
+    /// detected pattern of length `k` suppresses for `2L + 2 − min(k, L)`
+    /// rounds. Larger patterns resume first and fire onto still-suppressed
+    /// (standing) whites, which breaks the symmetric ties that uniform
+    /// suppression cannot (e.g. a k=3 segment whose whites are k=1 blacks).
+    fn detect_oscillation(&mut self, chain: &ClosedChain) {
+        let n = chain.len();
+        debug_assert_eq!(self.sig_prev.len(), n);
+        self.suppress_flags.clear();
+        self.suppress_flags.resize(n, false);
+        let base = 2 * self.cfg.l_period + 2;
+        // Inherent pattern sizes from the previous round's scan, compacted
+        // through splices in post_merge so indices stay aligned.
+        let prev_k = &self.prev_inherent_k;
+        for i in 0..n {
+            let sig = Self::local_signature(chain, i);
+            if self.suppress[i] > 0 {
+                self.suppress[i] -= 1;
+            }
+            if sig == self.sig_prev2[i] && sig != self.sig_prev[i] {
+                let k = prev_k.get(i).copied().unwrap_or(0) as u64;
+                self.suppress[i] = (base - k.min(self.cfg.l_period)) as u16;
+                self.stats.suppressions += 1;
+            }
+            self.suppress_flags[i] = self.suppress[i] > 0;
+            self.sig_prev2[i] = self.sig_prev[i];
+            self.sig_prev[i] = sig;
+        }
+    }
+
+    fn stop_run(&mut self, round: u64, run: &Run, robot: RobotId, reason: StopReason) {
+        self.stats.record_stop(reason);
+        self.emit(RunEvent::Stopped {
+            round,
+            run_id: run.id,
+            robot,
+            reason,
+        });
+    }
+
+    /// Decide what one run does this round (pure w.r.t. `self` except for
+    /// statistics/events, which are recorded by the caller).
+    fn decide(
+        &self,
+        chain: &ClosedChain,
+        round: u64,
+        i: usize,
+        run: &Run,
+    ) -> RunAction {
+        let n = chain.len();
+        let d = run.dir();
+        let horizon = self.cfg.view.min(n.saturating_sub(1));
+        let v = Ring::with_horizon(chain, i, self.cfg.view.max(3) + 1);
+
+        // --- Extent of the quasi line ahead (used by conditions 1 and 2):
+        // a run only reasons about runs and endpoints *on its own line*.
+        let brk = quasi::quasi_break_ahead(&v, d, run.fold_side, horizon as isize);
+        let line_extent: isize = brk.map_or(horizon as isize, |b| b.distance);
+
+        // --- Scan ahead: sequent runs (Table 1.1) and opposing runs. ---
+        // "The next sequent run in front of it" is a same-direction run on
+        // the same quasi line: same fold-side axis, not beyond the line's
+        // visible end. (A run beyond a corner belongs to another line;
+        // killing for it would mass-extinguish runs on square rings.)
+        let same_axis =
+            |a: Offset, b: Offset| (a.dx == 0) == (b.dx == 0);
+        let mut opposing: Option<(isize, Offset)> = None;
+        for j in 1..=horizon as isize {
+            let idx = chain.nb(i, j * d);
+            let cell = &self.cells[idx];
+            if let Some(s) = cell.get(d) {
+                if same_axis(s.fold_side, run.fold_side) && j <= line_extent {
+                    return RunAction::Die(StopReason::SequentAhead);
+                }
+            }
+            if opposing.is_none() {
+                if let Some(o) = cell.get(-d) {
+                    opposing = Some((j, o.fold_side));
+                }
+            }
+        }
+
+        // --- Endpoint of the quasi line ahead (Table 1.2). ---
+        if let Some(b) = brk {
+            let suppressed = self.cfg.cond2_guard
+                && matches!(opposing, Some((j, _)) if j <= b.distance);
+            if !suppressed {
+                return RunAction::Die(StopReason::EndpointAhead);
+            }
+        }
+
+        let mut next = *run;
+
+        // --- Run passing (Fig. 8 / Fig. 14). ---
+        if let RunMode::Passing { target } = next.mode {
+            if chain.id(i) == target {
+                // Arrived at the target corner: return to normal operation.
+                next.mode = RunMode::Normal;
+            } else if chain.index_of(target).is_none() {
+                // Target corner removed by a merge (Table 1.4/5).
+                return RunAction::Die(StopReason::TargetRemoved);
+            } else {
+                return RunAction::Advance { fold: None, next };
+            }
+        }
+
+        if let Some((j, other_side)) = opposing {
+            if j <= 3 && other_side != next.fold_side {
+                // Non-good pair approaching: pass each other without
+                // reshaping, targeting the robot the opposing run sits on.
+                let target = chain.id(chain.nb(i, j * d));
+                next.mode = RunMode::Passing { target };
+                return RunAction::Advance { fold: None, next };
+            }
+        }
+
+        // --- Reshapement (Fig. 6 / Fig. 11a). ---
+        let may_fold = !self.scan.participates(i) && next.walk_budget == 0;
+        if may_fold {
+            let behind = v.abs(-d) - v.abs(0);
+            if behind == next.fold_side {
+                let f1 = v.abs(d) - v.abs(0);
+                if f1.perpendicular_to(behind)
+                    && v.abs(2 * d) - v.abs(d) == f1
+                    && v.abs(3 * d) - v.abs(2 * d) == f1
+                {
+                    if next.op_c_pending {
+                        // Op c (Fig. 11c): one diagonal hop, then walk.
+                        next.op_c_pending = false;
+                        next.walk_budget = 3;
+                    }
+                    return RunAction::Advance {
+                        fold: Some(f1 + behind),
+                        next,
+                    };
+                }
+            }
+        }
+        if next.walk_budget > 0 {
+            next.walk_budget -= 1;
+        }
+        let _ = round;
+        RunAction::Advance { fold: None, next }
+    }
+
+    /// Evaluate run starts (Fig. 5) at robot `i`; returns fresh runs.
+    fn try_starts(&mut self, chain: &ClosedChain, round: u64, i: usize) {
+        let v = Ring::with_horizon(chain, i, self.cfg.view.max(4));
+        for d in [1isize, -1] {
+            if let Some((shape, fold_side)) = quasi::run_start(&v, d) {
+                let slot = self.staged[i].slot_mut(d);
+                if slot.is_some() {
+                    // Occupied (arriving run): skip the start.
+                    continue;
+                }
+                let run = Run {
+                    id: self.next_run_id,
+                    dir: d as i8,
+                    fold_side,
+                    born: round,
+                    shape,
+                    mode: RunMode::Normal,
+                    walk_budget: 0,
+                    op_c_pending: self.cfg.op_c_walk && shape == StartShape::CornerEnd,
+                };
+                self.next_run_id += 1;
+                *slot = Some(run);
+                match shape {
+                    StartShape::StairwayEnd => self.stats.started_stairway += 1,
+                    StartShape::CornerEnd => self.stats.started_corner += 1,
+                }
+                self.emit(RunEvent::Started {
+                    round,
+                    run_id: run.id,
+                    robot: chain.id(i),
+                    dir: run.dir,
+                    fold_side,
+                    shape,
+                });
+            }
+        }
+    }
+}
+
+impl Strategy for ClosedChainGathering {
+    fn name(&self) -> &'static str {
+        "closed-chain-gathering"
+    }
+
+    fn init(&mut self, chain: &ClosedChain) {
+        let n = chain.len();
+        self.cells.clear();
+        self.cells.resize(n, RunCell::EMPTY);
+        self.staged.clear();
+        self.staged.resize(n, RunCell::EMPTY);
+        self.fold_hop.clear();
+        self.fold_hop.resize(n, None);
+        self.sig_prev.clear();
+        self.sig_prev.resize(n, u64::MAX);
+        self.sig_prev2.clear();
+        self.sig_prev2.resize(n, u64::MAX - 1);
+        self.suppress.clear();
+        self.suppress.resize(n, 0);
+        self.suppress_flags.clear();
+        self.suppress_flags.resize(n, false);
+        self.prev_inherent_k.clear();
+        self.prev_inherent_k.resize(n, 0);
+    }
+
+    fn compute(&mut self, chain: &ClosedChain, round: u64, hops: &mut [Offset]) {
+        let n = chain.len();
+        debug_assert_eq!(self.cells.len(), n, "cell array out of sync");
+
+        // Step 0: oscillation detection (constant-memory symmetry breaker
+        // for closed interference cycles of merge patterns).
+        self.detect_oscillation(chain);
+
+        // Step 1: merge patterns (suppressed robots' patterns do not fire).
+        let flags = std::mem::take(&mut self.suppress_flags);
+        self.scan.scan_suppressed(chain, &self.cfg, &flags);
+        self.suppress_flags = flags;
+
+        // Step 2: run operations.
+        self.staged.clear();
+        self.staged.resize(n, RunCell::EMPTY);
+        self.fold_hop.clear();
+        self.fold_hop.resize(n, None);
+        let mut fold_conflict = false;
+
+        // Decide all runs from the same snapshot; stage arrivals.
+        for i in 0..n {
+            let cell = self.cells[i];
+            for run in [cell.fwd, cell.bwd].into_iter().flatten() {
+                if run.born >= round {
+                    // Born this round boundary: acts from the next round.
+                    *self.staged[i].slot_mut(run.dir()) = Some(run);
+                    continue;
+                }
+                match self.decide(chain, round, i, &run) {
+                    RunAction::Die(reason) => {
+                        self.stop_run(round, &run, chain.id(i), reason);
+                    }
+                    RunAction::Advance { fold, next } => {
+                        if next.mode != run.mode {
+                            if let RunMode::Passing { target } = next.mode {
+                                self.stats.passings_started += 1;
+                                self.emit(RunEvent::PassingStarted {
+                                    round,
+                                    run_id: run.id,
+                                    robot: chain.id(i),
+                                    target,
+                                });
+                            }
+                        }
+                        if let Some(h) = fold {
+                            match self.fold_hop[i] {
+                                None => {
+                                    self.fold_hop[i] = Some(h);
+                                    self.stats.folds += 1;
+                                    self.emit(RunEvent::Folded {
+                                        round,
+                                        run_id: run.id,
+                                        robot: chain.id(i),
+                                    });
+                                }
+                                Some(existing) if existing == h => {}
+                                Some(_) => {
+                                    // Two runs demanding different folds on
+                                    // one robot: both walk (safety).
+                                    self.fold_hop[i] = None;
+                                    fold_conflict = true;
+                                }
+                            }
+                        } else {
+                            self.stats.walks += 1;
+                        }
+                        // Move the run state one robot further (Lemma 3.1).
+                        let dest = chain.nb(i, next.dir());
+                        let slot = self.staged[dest].slot_mut(next.dir());
+                        if slot.is_some() {
+                            // Arrival collision (only possible against a
+                            // just-started run; see runs.rs).
+                            self.stop_run(round, &next, chain.id(dest), StopReason::SlotCollision);
+                        } else {
+                            *slot = Some(next);
+                        }
+                    }
+                }
+            }
+        }
+        let _ = fold_conflict;
+
+        // Resolve hops: merge hop (blacks) > run fold > stand. Whites of
+        // fired patterns stand still (their runs walked).
+        for i in 0..n {
+            hops[i] = if self.scan.black[i] {
+                self.scan.hop[i]
+            } else if self.scan.white[i] {
+                Offset::ZERO
+            } else {
+                self.fold_hop[i].unwrap_or(Offset::ZERO)
+            };
+        }
+
+        // Step 3: start new runs every L-th round, from the same snapshot.
+        // The started runs are placed in `staged` and act from round + 1.
+        if round.is_multiple_of(self.cfg.l_period) {
+            for i in 0..n {
+                if hops[i] == Offset::ZERO && !self.scan.participates(i) {
+                    self.try_starts(chain, round, i);
+                }
+            }
+        }
+
+        std::mem::swap(&mut self.cells, &mut self.staged);
+        self.prev_inherent_k.clear();
+        self.prev_inherent_k.extend_from_slice(&self.scan.inherent_k);
+        let live: u64 = self.cells.iter().map(|c| c.count() as u64).sum();
+        self.stats.max_live_runs = self.stats.max_live_runs.max(live);
+    }
+
+    fn post_merge(&mut self, chain: &ClosedChain, round: u64, log: &SpliceLog) {
+        if log.is_empty() {
+            debug_assert_eq!(self.cells.len(), chain.len());
+            return;
+        }
+        // Terminate runs on removed robots and on keepers (Table 1.3), then
+        // compact all per-robot state to the post-splice indexing.
+        let old_n = self.cells.len();
+        let mut keeper_flags = vec![false; old_n];
+        for &k in &log.keeper_indices {
+            keeper_flags[k] = true;
+        }
+        let mut new_cells = vec![RunCell::EMPTY; chain.len()];
+        let mut new_sig_prev = vec![u64::MAX; chain.len()];
+        let mut new_sig_prev2 = vec![u64::MAX - 1; chain.len()];
+        let mut new_suppress = vec![0u16; chain.len()];
+        let mut new_prev_k = vec![0u8; chain.len()];
+        let mut rm = log.removed_indices.iter().peekable();
+        let mut write = 0usize;
+        for read in 0..old_n {
+            let removed = rm.peek() == Some(&&read);
+            if removed {
+                rm.next();
+            }
+            let cell = self.cells[read];
+            for run in cell.iter() {
+                if removed {
+                    self.stats.record_stop(StopReason::RobotRemoved);
+                    self.emit(RunEvent::Stopped {
+                        round,
+                        run_id: run.id,
+                        robot: RobotId(u64::MAX),
+                        reason: StopReason::RobotRemoved,
+                    });
+                } else if keeper_flags[read] {
+                    self.stop_run(round, run, chain.id(write), StopReason::Merged);
+                }
+            }
+            if !removed {
+                if !keeper_flags[read] {
+                    new_cells[write] = cell;
+                }
+                // Keepers' signature histories and suppression reset (their
+                // neighborhood was rewritten by the merge, and which group
+                // member survives is an arbitrary labeling that must not
+                // influence the dynamics); others carry their state over.
+                if !keeper_flags[read] {
+                    new_sig_prev[write] = self.sig_prev[read];
+                    new_sig_prev2[write] = self.sig_prev2[read];
+                    new_suppress[write] = self.suppress[read];
+                    new_prev_k[write] = self.prev_inherent_k[read];
+                }
+                write += 1;
+            }
+        }
+        debug_assert_eq!(write, chain.len());
+        self.cells = new_cells;
+        self.sig_prev = new_sig_prev;
+        self.sig_prev2 = new_sig_prev2;
+        self.suppress = new_suppress;
+        self.prev_inherent_k = new_prev_k;
+        self.staged.clear();
+        self.staged.resize(chain.len(), RunCell::EMPTY);
+
+        // Table 1.4/5: a passing run terminates when its target corner was
+        // "removed because of a merge operation". Both members of a spliced
+        // coincidence group count as removed — which one keeps its id is an
+        // arbitrary labeling the robots cannot observe.
+        let mut merged_ids: Vec<RobotId> = Vec::new();
+        for ev in &log.events {
+            merged_ids.push(ev.keeper);
+            merged_ids.extend_from_slice(&ev.removed);
+        }
+        merged_ids.sort_unstable();
+        for i in 0..self.cells.len() {
+            let cell = self.cells[i];
+            for run in cell.iter() {
+                if let crate::runs::RunMode::Passing { target } = run.mode {
+                    if merged_ids.binary_search(&target).is_ok() {
+                        self.stop_run(round, run, chain.id(i), StopReason::TargetRemoved);
+                        *self.cells[i].slot_mut(run.dir()) = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn marker(&self, index: usize) -> Option<char> {
+        let cell = self.cells.get(index)?;
+        match (cell.fwd.is_some(), cell.bwd.is_some()) {
+            (true, true) => Some('X'),
+            (true, false) => Some('>'),
+            (false, true) => Some('<'),
+            (false, false) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_sim::{Outcome, Sim};
+    use grid_geom::Point;
+
+    fn chain(coords: &[(i64, i64)]) -> ClosedChain {
+        ClosedChain::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn rectangle(w: i64, h: i64) -> ClosedChain {
+        let mut pts = vec![Point::new(0, 0)];
+        pts.extend((1..w).map(|x| Point::new(x, 0)));
+        pts.extend((1..h).map(|y| Point::new(w - 1, y)));
+        pts.extend((1..w).map(|x| Point::new(w - 1 - x, h - 1)));
+        pts.extend((1..h - 1).map(|y| Point::new(0, h - 1 - y)));
+        ClosedChain::new(pts).unwrap()
+    }
+
+    #[test]
+    fn fig1_gathers_in_one_round() {
+        let c = chain(&[(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]);
+        let mut sim = Sim::new(c, ClosedChainGathering::paper());
+        let outcome = sim.run_default();
+        assert_eq!(outcome, Outcome::Gathered { rounds: 1 });
+    }
+
+    #[test]
+    fn small_rectangles_gather() {
+        for (w, h) in [(3, 2), (4, 2), (5, 3), (6, 4), (8, 2), (9, 5)] {
+            let c = rectangle(w, h);
+            let n = c.len();
+            let mut sim = Sim::new(c, ClosedChainGathering::paper());
+            let outcome = sim.run_default();
+            assert!(
+                outcome.is_gathered(),
+                "rectangle {w}x{h} (n={n}): {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_rectangle_gathers_linearly() {
+        let c = rectangle(24, 16);
+        let n = c.len() as u64;
+        let mut sim = Sim::new(c, ClosedChainGathering::paper());
+        let outcome = sim.run_default();
+        match outcome {
+            Outcome::Gathered { rounds } => {
+                assert!(
+                    rounds <= 27 * n + 100,
+                    "rounds {rounds} exceed the 2Ln+n bound for n={n}"
+                );
+            }
+            other => panic!("did not gather: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flattened_loop_zips_up() {
+        // Degenerate zero-area loop: out and back along a line.
+        let c = chain(&[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (3, 0), (2, 0), (1, 0)]);
+        let mut sim = Sim::new(c, ClosedChainGathering::paper());
+        let outcome = sim.run_default();
+        assert!(outcome.is_gathered(), "{outcome:?}");
+    }
+
+    #[test]
+    fn runs_started_on_big_rectangle() {
+        // On a 20×12 rectangle no merge is initially possible (runs of
+        // k = 19/11 > 10): progress must come from runs.
+        let c = rectangle(20, 12);
+        let mut sim = Sim::new(c, ClosedChainGathering::paper().with_event_recording());
+        for _ in 0..3 {
+            sim.step().unwrap();
+        }
+        let strat = sim.strategy_mut();
+        let events = strat.take_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::Started { .. }))
+            .count();
+        // Four Fig. 5(ii) corners, two runs each.
+        assert_eq!(starts, 8, "events: {events:?}");
+        assert_eq!(strat.stats().started_corner, 8);
+        let outcome = sim.run_default();
+        assert!(outcome.is_gathered(), "{outcome:?}");
+    }
+
+    #[test]
+    fn gathering_is_translation_invariant() {
+        let a = rectangle(9, 7);
+        let mut b = rectangle(9, 7);
+        b.translate(Offset::new(1000, -500));
+        let mut sa = Sim::new(a, ClosedChainGathering::paper());
+        let mut sb = Sim::new(b, ClosedChainGathering::paper());
+        let ra = sa.run_default();
+        let rb = sb.run_default();
+        assert!(ra.is_gathered() && rb.is_gathered());
+        assert_eq!(ra.rounds(), rb.rounds());
+    }
+}

@@ -1,0 +1,91 @@
+//! Executable derivation of the paper's constants (proof of Lemma 3.4).
+//!
+//! The paper fixes `L = 13` and viewing path length `V = 11` through the
+//! following chain of inequalities (Section 5.2, proof of Lemma 3):
+//!
+//! 1. Two *sequent* runs (same start endpoint, consecutive generations)
+//!    are started `L` rounds apart; the earlier one has moved `L` robots
+//!    by then, but the Fig. 11(c) start operation can cost the leading run
+//!    one robot of progress, so their distance is at least `D = L − 1`.
+//! 2. A run passing operation takes at most 6 rounds (Fig. 14's worst
+//!    case: passing starting at distance 3 while an op-b walk is in
+//!    progress). During a passing, the distance to the *next* sequent run
+//!    shrinks by up to 9 (6 rounds of own movement plus 3 of the
+//!    definition's slack), so requiring distance ≥ 3 after a passing gives
+//!    `D ≥ 12`, hence `L ≥ 13`.
+//! 3. To *detect* that the sequent distance dropped below `12` (Table 1.1
+//!    fires before two runs interfere), a robot must see `11` chain
+//!    neighbors: `V = D − 1 = 11`.
+//!
+//! These functions make the arithmetic executable so the ablation
+//! experiments (T9) and the config validator can reference one canonical
+//! derivation, and the unit tests pin the paper's exact numbers.
+
+/// Worst-case duration (rounds) of one run passing operation (Fig. 8/14):
+/// passing triggers at distance ≤ `trigger` and both runs keep moving one
+/// robot per round toward targets at most `trigger + op_b_cost` away.
+pub fn passing_worst_rounds(trigger: u64, op_b_cost: u64) -> u64 {
+    trigger + op_b_cost
+}
+
+/// Minimum safe distance between sequent runs so that a run never has to
+/// start a new passing before finishing the previous one (the paper's
+/// `D ≥ 12`): after a passing of `passing_rounds`, the distance to the
+/// next sequent run shrank by at most `passing_rounds + trigger`; it must
+/// still exceed `trigger`.
+pub fn min_sequent_distance(trigger: u64, op_b_cost: u64) -> u64 {
+    let p = passing_worst_rounds(trigger, op_b_cost);
+    // D − (p + trigger) ≥ trigger  ⟺  D ≥ p + 2·trigger
+    p + 2 * trigger
+}
+
+/// The pipelining period implied by a required sequent distance
+/// (`L = D + 1`: one generation per period, one robot of slack for the
+/// Fig. 11c start).
+pub fn min_pipelining_period(trigger: u64, op_b_cost: u64) -> u64 {
+    min_sequent_distance(trigger, op_b_cost) + 1
+}
+
+/// The viewing path length needed to detect a sequent-distance violation
+/// (`V = D − 1`).
+pub fn required_view(trigger: u64, op_b_cost: u64) -> usize {
+    (min_sequent_distance(trigger, op_b_cost) - 1) as usize
+}
+
+/// The paper's parameters: trigger distance 3, op-b walk cost 3.
+pub const PAPER_TRIGGER: u64 = 3;
+/// Fig. 11b: "for 3 times the runners just move the run".
+pub const PAPER_OP_B_COST: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GatherConfig;
+
+    #[test]
+    fn paper_constants_derive() {
+        // Fig. 14's longest passing: 6 rounds.
+        assert_eq!(passing_worst_rounds(PAPER_TRIGGER, PAPER_OP_B_COST), 6);
+        // D ≥ 12 (Section 5.2: "So we choose D ≥ 12").
+        assert_eq!(min_sequent_distance(PAPER_TRIGGER, PAPER_OP_B_COST), 12);
+        // "together with the above argumentation ... follows L ≥ 13".
+        assert_eq!(min_pipelining_period(PAPER_TRIGGER, PAPER_OP_B_COST), 13);
+        // "the viewing path length must be 11".
+        assert_eq!(required_view(PAPER_TRIGGER, PAPER_OP_B_COST), 11);
+    }
+
+    #[test]
+    fn paper_config_matches_derivation() {
+        let cfg = GatherConfig::paper();
+        assert_eq!(cfg.l_period, min_pipelining_period(PAPER_TRIGGER, PAPER_OP_B_COST));
+        assert_eq!(cfg.view, required_view(PAPER_TRIGGER, PAPER_OP_B_COST));
+    }
+
+    #[test]
+    fn derivation_is_monotone() {
+        // Larger trigger distances or slower op-b both demand larger L/V.
+        assert!(min_pipelining_period(4, 3) > min_pipelining_period(3, 3));
+        assert!(min_pipelining_period(3, 5) > min_pipelining_period(3, 3));
+        assert!(required_view(4, 4) > required_view(3, 3));
+    }
+}

@@ -1,0 +1,243 @@
+//! Alignment and monotone-run predicates.
+//!
+//! The paper's local rules constantly ask questions of the form "are the
+//! runner and the next three robots located on a straight line?" (Fig. 11a)
+//! or "decompose this subchain into maximal horizontal/vertical runs"
+//! (Definition 1, quasi lines). This module provides those predicates over
+//! slices of positions.
+//!
+//! We use the *monotone* notion of a run: consecutive positions differing by
+//! the **same** unit step. A subchain that folds back onto itself (step `+x`
+//! followed by `-x`) is counted as two runs even though all points share a
+//! row; the degenerate folds are exactly the k=1 merge patterns of Fig. 2
+//! and must not be mistaken for straight line segments (see DESIGN.md §3.2).
+
+use crate::dir::Axis;
+use crate::point::{Offset, Point};
+
+/// `true` if `pts` (len ≥ 2) marches in one fixed unit-step direction.
+///
+/// For a single point or empty slice the answer is `true` vacuously; two
+/// points are aligned iff they differ by a unit step.
+pub fn is_monotone_aligned(pts: &[Point]) -> bool {
+    monotone_axis(pts).is_some() || pts.len() < 2
+}
+
+/// If `pts` (len ≥ 2) marches in one fixed unit-step direction, return that
+/// step; otherwise `None`.
+pub fn monotone_axis(pts: &[Point]) -> Option<Offset> {
+    if pts.len() < 2 {
+        return None;
+    }
+    let step = pts[1] - pts[0];
+    if !step.is_unit_step() {
+        return None;
+    }
+    for w in pts.windows(2).skip(1) {
+        if w[1] - w[0] != step {
+            return None;
+        }
+    }
+    Some(step)
+}
+
+/// A maximal monotone run inside a step sequence.
+///
+/// `first_step..first_step + len` indexes steps; the run covers
+/// `len + 1` robots (`first_step .. first_step + len` inclusive on robot
+/// indices shifted by the caller's convention).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonotoneRun {
+    /// Index of the first step of the run within the scanned slice.
+    pub first_step: usize,
+    /// Number of steps in the run (robots in the run = len + 1).
+    pub len: usize,
+    /// The common unit step.
+    pub step: Offset,
+}
+
+impl MonotoneRun {
+    /// Number of robots covered by the run.
+    #[inline]
+    pub fn robots(&self) -> usize {
+        self.len + 1
+    }
+
+    /// Axis the run lies on.
+    #[inline]
+    pub fn axis(&self) -> Axis {
+        Axis::of_step(self.step)
+    }
+}
+
+/// Iterator decomposing a step sequence into maximal monotone runs.
+///
+/// The scanner works over *steps* (differences between consecutive robots),
+/// not positions, so that callers can feed cyclic windows of a closed chain
+/// without materializing points twice.
+pub struct RunScanner<'a> {
+    steps: &'a [Offset],
+    at: usize,
+}
+
+impl<'a> RunScanner<'a> {
+    pub fn new(steps: &'a [Offset]) -> Self {
+        debug_assert!(steps.iter().all(|s| s.is_unit_step()), "non-unit chain step");
+        RunScanner { steps, at: 0 }
+    }
+}
+
+impl<'a> Iterator for RunScanner<'a> {
+    type Item = MonotoneRun;
+
+    fn next(&mut self) -> Option<MonotoneRun> {
+        if self.at >= self.steps.len() {
+            return None;
+        }
+        let start = self.at;
+        let step = self.steps[start];
+        let mut end = start + 1;
+        while end < self.steps.len() && self.steps[end] == step {
+            end += 1;
+        }
+        self.at = end;
+        Some(MonotoneRun {
+            first_step: start,
+            len: end - start,
+            step,
+        })
+    }
+}
+
+/// Convenience: compute the step sequence of a position slice (open chain —
+/// no wrap-around step). Panics in debug builds if any step is not a unit
+/// step.
+pub fn steps_of(pts: &[Point]) -> Vec<Offset> {
+    pts.windows(2)
+        .map(|w| {
+            let s = w[1] - w[0];
+            debug_assert!(s.is_unit_step(), "chain gap at {:?} -> {:?}", w[0], w[1]);
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pts(coords: &[(i64, i64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn alignment_detects_straight_lines() {
+        let line = pts(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        assert!(is_monotone_aligned(&line));
+        assert_eq!(monotone_axis(&line), Some(Offset::RIGHT));
+
+        let col = pts(&[(5, 2), (5, 1), (5, 0)]);
+        assert_eq!(monotone_axis(&col), Some(Offset::DOWN));
+    }
+
+    #[test]
+    fn alignment_rejects_folds_and_turns() {
+        // Fold-back: same row but not monotone — this is a hairpin, the k=1
+        // merge shape, and must NOT be classified as a line.
+        let fold = pts(&[(0, 0), (1, 0), (0, 0)]);
+        assert!(!is_monotone_aligned(&fold));
+
+        let turn = pts(&[(0, 0), (1, 0), (1, 1)]);
+        assert!(!is_monotone_aligned(&turn));
+
+        let gap = pts(&[(0, 0), (2, 0)]);
+        assert!(!is_monotone_aligned(&gap));
+    }
+
+    #[test]
+    fn degenerate_slices_are_aligned() {
+        assert!(is_monotone_aligned(&[]));
+        assert!(is_monotone_aligned(&pts(&[(3, 3)])));
+        assert_eq!(monotone_axis(&[]), None);
+    }
+
+    #[test]
+    fn run_scanner_decomposes_staircase() {
+        // Staircase: R U R U R — runs of length 1 step each.
+        let p = pts(&[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)]);
+        let steps = steps_of(&p);
+        let runs: Vec<_> = RunScanner::new(&steps).collect();
+        assert_eq!(runs.len(), 5);
+        for r in &runs {
+            assert_eq!(r.len, 1);
+            assert_eq!(r.robots(), 2);
+        }
+        assert_eq!(runs[0].step, Offset::RIGHT);
+        assert_eq!(runs[1].step, Offset::UP);
+    }
+
+    #[test]
+    fn run_scanner_decomposes_quasi_line() {
+        // HHH U HHH: two horizontal runs of 3 steps... (4 robots each)
+        // separated by one vertical step.
+        let p = pts(&[
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (3, 1),
+            (4, 1),
+            (5, 1),
+            (6, 1),
+        ]);
+        let steps = steps_of(&p);
+        let runs: Vec<_> = RunScanner::new(&steps).collect();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].len, 3);
+        assert_eq!(runs[0].axis(), Axis::X);
+        assert_eq!(runs[1].len, 1);
+        assert_eq!(runs[1].axis(), Axis::Y);
+        assert_eq!(runs[2].len, 3);
+        assert_eq!(runs[2].first_step, 4);
+    }
+
+    #[test]
+    fn run_scanner_splits_fold_backs() {
+        // +x +x -x : fold — two separate runs even though one row.
+        let steps = vec![Offset::RIGHT, Offset::RIGHT, Offset::LEFT];
+        let runs: Vec<_> = RunScanner::new(&steps).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].len, 2);
+        assert_eq!(runs[1].len, 1);
+        assert_eq!(runs[1].step, Offset::LEFT);
+    }
+
+    proptest! {
+        #[test]
+        fn runs_partition_steps(dirs in proptest::collection::vec(0usize..4, 1..64)) {
+            let steps: Vec<Offset> = dirs.iter().map(|&d| match d {
+                0 => Offset::RIGHT,
+                1 => Offset::UP,
+                2 => Offset::LEFT,
+                _ => Offset::DOWN,
+            }).collect();
+            let runs: Vec<_> = RunScanner::new(&steps).collect();
+            // Runs tile the step sequence exactly.
+            let total: usize = runs.iter().map(|r| r.len).sum();
+            prop_assert_eq!(total, steps.len());
+            let mut at = 0;
+            for r in &runs {
+                prop_assert_eq!(r.first_step, at);
+                for i in 0..r.len {
+                    prop_assert_eq!(steps[at + i], r.step);
+                }
+                at += r.len;
+            }
+            // Adjacent runs have different steps (maximality).
+            for w in runs.windows(2) {
+                prop_assert_ne!(w[0].step, w[1].step);
+            }
+        }
+    }
+}

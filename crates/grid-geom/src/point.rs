@@ -1,0 +1,267 @@
+//! Points and offsets on the integer grid.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A position on the two-dimensional integer grid Z².
+///
+/// Coordinates are `i64`; configurations in this system stay far away from
+/// overflow (positions move by at most one per round and rounds are linear in
+/// the chain length).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point {
+    pub x: i64,
+    pub y: i64,
+}
+
+/// A displacement between two [`Point`]s. Also encodes robot hops: a legal
+/// hop has both components in `{-1, 0, 1}` (horizontal, vertical, or
+/// diagonal move to a neighboring grid point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Offset {
+    pub dx: i64,
+    pub dy: i64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Offset from `self` to `other` (`other - self`).
+    #[inline]
+    pub fn to(self, other: Point) -> Offset {
+        other - self
+    }
+}
+
+impl Offset {
+    pub const ZERO: Offset = Offset { dx: 0, dy: 0 };
+    /// Unit step in +x ("right" in figure orientation).
+    pub const RIGHT: Offset = Offset { dx: 1, dy: 0 };
+    /// Unit step in -x.
+    pub const LEFT: Offset = Offset { dx: -1, dy: 0 };
+    /// Unit step in +y ("up" in figure orientation).
+    pub const UP: Offset = Offset { dx: 0, dy: 1 };
+    /// Unit step in -y.
+    pub const DOWN: Offset = Offset { dx: 0, dy: -1 };
+
+    #[inline]
+    pub const fn new(dx: i64, dy: i64) -> Self {
+        Offset { dx, dy }
+    }
+
+    /// `true` for the four axis-aligned unit steps. Chain edges between
+    /// non-coincident neighbors are always unit steps.
+    #[inline]
+    pub fn is_unit_step(self) -> bool {
+        self.dx.abs() + self.dy.abs() == 1
+    }
+
+    /// `true` if this offset is a legal robot hop: both components in
+    /// `{-1, 0, 1}` (includes the zero hop = stay).
+    #[inline]
+    pub fn is_hop(self) -> bool {
+        self.dx.abs() <= 1 && self.dy.abs() <= 1
+    }
+
+    /// `true` if the offset is diagonal (both components nonzero).
+    #[inline]
+    pub fn is_diagonal(self) -> bool {
+        self.dx != 0 && self.dy != 0
+    }
+
+    /// `true` if `self` and `other` are perpendicular axis-aligned unit
+    /// steps.
+    #[inline]
+    pub fn perpendicular_to(self, other: Offset) -> bool {
+        debug_assert!(self.is_unit_step() && other.is_unit_step());
+        (self.dx == 0) != (other.dx == 0)
+    }
+
+    /// Manhattan norm of the offset.
+    #[inline]
+    pub fn manhattan(self) -> i64 {
+        self.dx.abs() + self.dy.abs()
+    }
+
+    /// Chebyshev norm of the offset.
+    #[inline]
+    pub fn chebyshev(self) -> i64 {
+        self.dx.abs().max(self.dy.abs())
+    }
+}
+
+impl Add<Offset> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, o: Offset) -> Point {
+        Point::new(self.x + o.dx, self.y + o.dy)
+    }
+}
+
+impl AddAssign<Offset> for Point {
+    #[inline]
+    fn add_assign(&mut self, o: Offset) {
+        self.x += o.dx;
+        self.y += o.dy;
+    }
+}
+
+impl Sub<Offset> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, o: Offset) -> Point {
+        Point::new(self.x - o.dx, self.y - o.dy)
+    }
+}
+
+impl SubAssign<Offset> for Point {
+    #[inline]
+    fn sub_assign(&mut self, o: Offset) {
+        self.x -= o.dx;
+        self.y -= o.dy;
+    }
+}
+
+impl Sub for Point {
+    type Output = Offset;
+    #[inline]
+    fn sub(self, other: Point) -> Offset {
+        Offset::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Offset {
+    type Output = Offset;
+    #[inline]
+    fn add(self, o: Offset) -> Offset {
+        Offset::new(self.dx + o.dx, self.dy + o.dy)
+    }
+}
+
+impl AddAssign for Offset {
+    #[inline]
+    fn add_assign(&mut self, o: Offset) {
+        self.dx += o.dx;
+        self.dy += o.dy;
+    }
+}
+
+impl Sub for Offset {
+    type Output = Offset;
+    #[inline]
+    fn sub(self, o: Offset) -> Offset {
+        Offset::new(self.dx - o.dx, self.dy - o.dy)
+    }
+}
+
+impl Neg for Offset {
+    type Output = Offset;
+    #[inline]
+    fn neg(self) -> Offset {
+        Offset::new(-self.dx, -self.dy)
+    }
+}
+
+impl Mul<i64> for Offset {
+    type Output = Offset;
+    #[inline]
+    fn mul(self, k: i64) -> Offset {
+        Offset::new(self.dx * k, self.dy * k)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Debug for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_offset_arithmetic() {
+        let p = Point::new(2, 3);
+        let q = Point::new(5, 1);
+        let d = q - p;
+        assert_eq!(d, Offset::new(3, -2));
+        assert_eq!(p + d, q);
+        assert_eq!(q - d, p);
+        assert_eq!(p.to(q), d);
+        assert_eq!(-d, Offset::new(-3, 2));
+        assert_eq!(d * 2, Offset::new(6, -4));
+    }
+
+    #[test]
+    fn unit_step_classification() {
+        assert!(Offset::RIGHT.is_unit_step());
+        assert!(Offset::LEFT.is_unit_step());
+        assert!(Offset::UP.is_unit_step());
+        assert!(Offset::DOWN.is_unit_step());
+        assert!(!Offset::ZERO.is_unit_step());
+        assert!(!Offset::new(1, 1).is_unit_step());
+        assert!(!Offset::new(2, 0).is_unit_step());
+    }
+
+    #[test]
+    fn hop_classification() {
+        assert!(Offset::ZERO.is_hop());
+        assert!(Offset::new(1, 1).is_hop());
+        assert!(Offset::new(-1, 1).is_hop());
+        assert!(!Offset::new(2, 0).is_hop());
+        assert!(!Offset::new(0, -2).is_hop());
+        assert!(Offset::new(1, -1).is_diagonal());
+        assert!(!Offset::RIGHT.is_diagonal());
+    }
+
+    #[test]
+    fn perpendicularity() {
+        assert!(Offset::RIGHT.perpendicular_to(Offset::UP));
+        assert!(Offset::UP.perpendicular_to(Offset::LEFT));
+        assert!(!Offset::RIGHT.perpendicular_to(Offset::LEFT));
+        assert!(!Offset::DOWN.perpendicular_to(Offset::UP));
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_round_trip(x in -1000i64..1000, y in -1000i64..1000,
+                              dx in -5i64..5, dy in -5i64..5) {
+            let p = Point::new(x, y);
+            let o = Offset::new(dx, dy);
+            prop_assert_eq!(p + o - o, p);
+            prop_assert_eq!((p + o) - p, o);
+        }
+
+        #[test]
+        fn norms_agree_on_axis_steps(k in 1i64..100) {
+            let o = Offset::new(k, 0);
+            prop_assert_eq!(o.manhattan(), o.chebyshev());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Axis-aligned bounding rectangles.
+//!
+//! The gathering criterion of the paper is geometric: the chain is gathered
+//! once all robots lie inside a 2×2 subgrid, i.e. the bounding box of all
+//! positions has side lengths ≤ 1 (two columns × two rows).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive axis-aligned rectangle on the grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Rectangle covering a single point.
+    #[inline]
+    pub fn point(p: Point) -> Rect {
+        Rect { min: p, max: p }
+    }
+
+    /// Bounding box of a non-empty point iterator; `None` when empty.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::point(first);
+        for p in it {
+            r.expand(p);
+        }
+        Some(r)
+    }
+
+    /// Grow to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Number of grid columns covered (inclusive).
+    #[inline]
+    pub fn width(&self) -> i64 {
+        self.max.x - self.min.x + 1
+    }
+
+    /// Number of grid rows covered (inclusive).
+    #[inline]
+    pub fn height(&self) -> i64 {
+        self.max.y - self.min.y + 1
+    }
+
+    /// `true` if the rectangle fits inside a `w × h` subgrid.
+    #[inline]
+    pub fn fits_within(&self, w: i64, h: i64) -> bool {
+        self.width() <= w && self.height() <= h
+    }
+
+    /// The paper's gathering criterion: all points within a 2×2 subgrid.
+    #[inline]
+    pub fn is_gathered_2x2(&self) -> bool {
+        self.fits_within(2, 2)
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The longer side length in grid points; a lower bound witness for any
+    /// gathering strategy (the paper's Ω(n) argument uses the diameter).
+    #[inline]
+    pub fn diameter(&self) -> i64 {
+        self.width().max(self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            Point::new(1, 2),
+            Point::new(-3, 7),
+            Point::new(4, 4),
+            Point::new(0, -1),
+        ];
+        let r = Rect::bounding(pts).unwrap();
+        assert_eq!(r.min, Point::new(-3, -1));
+        assert_eq!(r.max, Point::new(4, 7));
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.height(), 9);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(!r.contains(Point::new(5, 0)));
+    }
+
+    #[test]
+    fn empty_bounding_is_none() {
+        assert_eq!(Rect::bounding(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn gathering_criterion() {
+        // Four robots on a unit square: gathered.
+        let square = [
+            Point::new(0, 0),
+            Point::new(0, 1),
+            Point::new(1, 1),
+            Point::new(1, 0),
+        ];
+        assert!(Rect::bounding(square).unwrap().is_gathered_2x2());
+        // Single point: gathered.
+        assert!(Rect::point(Point::new(9, 9)).is_gathered_2x2());
+        // A 3-wide row: not gathered.
+        let row = [Point::new(0, 0), Point::new(1, 0), Point::new(2, 0)];
+        assert!(!Rect::bounding(row).unwrap().is_gathered_2x2());
+    }
+
+    proptest! {
+        #[test]
+        fn expand_is_monotone(xs in proptest::collection::vec((-100i64..100, -100i64..100), 1..50)) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let r = Rect::bounding(pts.iter().copied()).unwrap();
+            for p in &pts {
+                prop_assert!(r.contains(*p));
+            }
+            prop_assert!(r.width() >= 1 && r.height() >= 1);
+            prop_assert_eq!(r.diameter(), r.width().max(r.height()));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Additional structured families: spirals, serpentines and crosses.
+//!
+//! All three are built as *cell regions* whose boundary is traced into the
+//! closed chain ([`crate::polyomino`]) — construction slips fail loudly
+//! instead of producing subtly broken workloads.
+//!
+//! * [`spiral`] — the boundary of a square spiral corridor: a rectangular
+//!   double spiral whose chain length vastly exceeds its bounding box,
+//!   with long nested quasi lines — heavy pipelining and run-passing
+//!   stress (and the classic adversarial case for diameter intuitions).
+//! * [`serpentine`] — a boustrophedon band: long horizontal corridors
+//!   connected alternately left/right; adjacent corridor walls carry runs
+//!   with opposite fold sides (run-passing exercise).
+//! * [`cross`] — a plus-shaped polygon: four arms, eight convex and four
+//!   concave corners of mixed orientation.
+
+use crate::polyomino::CellRegion;
+use chain_sim::ClosedChain;
+
+/// Rectangular double spiral: boundary of a width-1 spiral corridor with
+/// `turns` inward laps (coils separated by one empty cell).
+pub fn spiral(turns: usize) -> ClosedChain {
+    assert!(turns >= 1);
+    let mut region = CellRegion::new();
+    // Walk the corridor cells of a square spiral: start at the outside,
+    // turn left (CCW), shrinking the box every second turn.
+    let t = turns as i64;
+    let mut x = 0i64;
+    let mut y = 0i64;
+    region.insert(x, y);
+    // Side lengths: L, L, L-2, L-2, …, where L = 4t+1 keeps coils one cell
+    // apart.
+    let l0 = 4 * t + 1;
+    let dirs = [(1i64, 0i64), (0, 1), (-1, 0), (0, -1)];
+    let mut side = l0;
+    let mut d = 0usize;
+    let mut steps_at_side = 0; // two sides per shrink
+    while side > 0 {
+        for _ in 0..side - 1 {
+            x += dirs[d].0;
+            y += dirs[d].1;
+            region.insert(x, y);
+        }
+        d = (d + 1) % 4;
+        steps_at_side += 1;
+        if steps_at_side == 2 {
+            steps_at_side = 0;
+            side -= 2;
+        }
+    }
+    region.boundary_chain()
+}
+
+/// Boustrophedon band: `rows` horizontal corridors of `len` cells,
+/// connected alternately at the right and left ends (corridors separated
+/// by one empty row).
+pub fn serpentine(rows: usize, len: i64) -> ClosedChain {
+    assert!(rows >= 1 && len >= 2);
+    let mut region = CellRegion::new();
+    for r in 0..rows as i64 {
+        region.insert_rect(0, 2 * r, len, 1);
+        if r + 1 < rows as i64 {
+            // Connector column at alternating ends.
+            let x = if r % 2 == 0 { len - 1 } else { 0 };
+            region.insert(x, 2 * r + 1);
+        }
+    }
+    region.boundary_chain()
+}
+
+/// Plus/cross-shaped polygon with arm length `arm` and arm width `w`.
+pub fn cross(arm: i64, w: i64) -> ClosedChain {
+    assert!(arm >= 1 && w >= 1);
+    let mut region = CellRegion::new();
+    // Horizontal bar: width 2·arm + w, height w, centered on the core.
+    region.insert_rect(-arm, 0, 2 * arm + w, w);
+    // Vertical bar.
+    region.insert_rect(0, -arm, w, 2 * arm + w);
+    region.boundary_chain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_sim::invariant;
+
+    #[test]
+    fn spiral_is_valid_and_long() {
+        for turns in [1usize, 2, 3, 5] {
+            let c = spiral(turns);
+            assert!(invariant::is_taut(&c), "turns={turns}");
+            // Chain length grows quadratically with turns while the box
+            // stays ~8·turns: length ≫ box for larger turns.
+            assert!(c.len() as i64 > 12 * turns as i64, "turns={turns}: {}", c.len());
+        }
+    }
+
+    #[test]
+    fn spiral_is_simple_polygon() {
+        let c = spiral(3);
+        assert_eq!(invariant::signed_turning_quarters(&c).abs(), 4);
+        let mut pos: Vec<_> = c.positions().to_vec();
+        pos.sort_unstable();
+        pos.dedup();
+        assert_eq!(pos.len(), c.len(), "simple polygon: no repeated vertices");
+    }
+
+    #[test]
+    fn spiral_length_exceeds_diameter() {
+        let c = spiral(5);
+        let diam = c.bounding().diameter();
+        assert!(
+            c.len() as i64 > 3 * diam,
+            "len {} vs diam {diam}",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn serpentine_is_valid() {
+        for (rows, len) in [(1usize, 6i64), (2, 8), (3, 10), (6, 20)] {
+            let c = serpentine(rows, len);
+            assert!(invariant::is_taut(&c), "rows={rows} len={len}");
+            assert_eq!(invariant::signed_turning_quarters(&c).abs(), 4);
+        }
+    }
+
+    #[test]
+    fn cross_is_valid() {
+        for (arm, w) in [(1i64, 1i64), (2, 2), (5, 2), (6, 4), (10, 3)] {
+            let c = cross(arm, w);
+            assert!(invariant::is_taut(&c), "arm={arm} w={w}");
+            assert_eq!(invariant::signed_turning_quarters(&c).abs(), 4);
+        }
+    }
+
+    #[test]
+    fn cross_perimeter_formula() {
+        // Cross with arm a, width w: perimeter = 4w + 8a vertices.
+        for (a, w) in [(2i64, 2i64), (3, 1), (4, 3)] {
+            let c = cross(a, w);
+            assert_eq!(c.len() as i64, 4 * w + 8 * a, "arm={a} w={w}");
+        }
+    }
+}

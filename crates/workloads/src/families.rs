@@ -1,0 +1,272 @@
+//! Deterministic structured families.
+//!
+//! Each generator builds the position list of a closed chain directly and
+//! validates it through [`ClosedChain::new`]; a construction bug is a panic
+//! here, never a silently-broken experiment.
+
+use chain_sim::ClosedChain;
+use grid_geom::Point;
+
+fn close(pts: Vec<Point>, what: &str) -> ClosedChain {
+    ClosedChain::new(pts).unwrap_or_else(|e| panic!("invalid {what}: {e}"))
+}
+
+/// Axis-aligned rectangle ring of `w × h` grid points (`w, h ≥ 2`);
+/// `n = 2(w + h) - 4`. Four quasi lines joined at Fig. 5(ii) corners.
+pub fn rectangle(w: i64, h: i64) -> ClosedChain {
+    assert!(w >= 2 && h >= 2, "rectangle needs w, h ≥ 2");
+    let mut pts = vec![Point::new(0, 0)];
+    pts.extend((1..w).map(|x| Point::new(x, 0)));
+    pts.extend((1..h).map(|y| Point::new(w - 1, y)));
+    pts.extend((1..w).map(|x| Point::new(w - 1 - x, h - 1)));
+    pts.extend((1..h - 1).map(|y| Point::new(0, h - 1 - y)));
+    close(pts, "rectangle")
+}
+
+/// Castle-wall band: `teeth` battlements on top and bottom of a band of
+/// height `h`. Maximal merge-pattern overlap (the Fig. 3 cases fire
+/// constantly).
+///
+/// Top profile per tooth: right, up, right, down. The band's vertical sides
+/// are plain columns.
+pub fn crenellated_band(teeth: usize, h: i64) -> ClosedChain {
+    assert!(teeth >= 1 && h >= 2);
+    let mut pts = vec![Point::new(0, 0)];
+    // Top: teeth pointing up.
+    for i in 0..teeth as i64 {
+        pts.push(Point::new(2 * i + 1, 0));
+        pts.push(Point::new(2 * i + 1, 1));
+        pts.push(Point::new(2 * i + 2, 1));
+        pts.push(Point::new(2 * i + 2, 0));
+    }
+    let right = 2 * teeth as i64;
+    // Right column down.
+    for y in 1..=h {
+        pts.push(Point::new(right, -y));
+    }
+    // Bottom: teeth pointing down, walking left.
+    for i in 0..teeth as i64 {
+        let x = right - 2 * i;
+        pts.push(Point::new(x - 1, -h));
+        pts.push(Point::new(x - 1, -h - 1));
+        pts.push(Point::new(x - 2, -h - 1));
+        pts.push(Point::new(x - 2, -h));
+    }
+    // Left column up (excluding the closing corner).
+    for y in (1..h).rev() {
+        pts.push(Point::new(0, -y));
+    }
+    close(pts, "crenellated band")
+}
+
+/// Staircase diamond of radius `r`: four stairways joined at four tips.
+/// Almost everywhere merge-free (stairways, Fig. 16); all progress must be
+/// seeded at the tips.
+pub fn staircase_diamond(r: i64) -> ClosedChain {
+    assert!(r >= 1);
+    let mut pts = Vec::with_capacity((8 * r) as usize);
+    let mut p = Point::new(0, 0);
+    let push_step = |pts: &mut Vec<Point>, p: &mut Point, dx: i64, dy: i64| {
+        *p = Point::new(p.x + dx, p.y + dy);
+        pts.push(*p);
+    };
+    pts.push(p);
+    // NE: R U ×r ; NW: L U ×r ; SW: L D ×r ; SE: R D ×r.
+    for _ in 0..r {
+        push_step(&mut pts, &mut p, 1, 0);
+        push_step(&mut pts, &mut p, 0, 1);
+    }
+    for _ in 0..r {
+        push_step(&mut pts, &mut p, -1, 0);
+        push_step(&mut pts, &mut p, 0, 1);
+    }
+    for _ in 0..r {
+        push_step(&mut pts, &mut p, -1, 0);
+        push_step(&mut pts, &mut p, 0, -1);
+    }
+    for _ in 0..r {
+        push_step(&mut pts, &mut p, 1, 0);
+        push_step(&mut pts, &mut p, 0, -1);
+    }
+    // The final step returns to the origin, which is already pts[0].
+    let last = pts.pop().expect("non-empty");
+    assert_eq!(last, pts[0], "diamond must close");
+    close(pts, "staircase diamond")
+}
+
+/// Comb polygon: `teeth` upward teeth of height `tooth_len` on a flat
+/// spine. Long parallel corridors — nested quasi lines stress pipelining
+/// and run passing.
+pub fn comb(teeth: usize, tooth_len: i64) -> ClosedChain {
+    assert!(teeth >= 1 && tooth_len >= 2);
+    let l = tooth_len;
+    let mut pts = vec![Point::new(0, 0)];
+    for i in 0..teeth as i64 {
+        let x = 2 * i;
+        // Up the left flank of the tooth. The first tooth starts at the
+        // spine (y=0); later teeth start at the corridor floor (y=1),
+        // where the previous gap landed.
+        let y_start = if i == 0 { 1 } else { 2 };
+        for y in y_start..=l {
+            pts.push(Point::new(x, y));
+        }
+        // Across the top.
+        pts.push(Point::new(x + 1, l));
+        // Down the right flank (to y = 1, the corridor floor).
+        for y in (1..l).rev() {
+            pts.push(Point::new(x + 1, y));
+        }
+        // Across the gap (or to the final descent).
+        pts.push(Point::new(x + 2, 1));
+    }
+    let right = 2 * teeth as i64;
+    pts.push(Point::new(right, 0));
+    // Bottom spine back to the start.
+    for x in (1..right).rev() {
+        pts.push(Point::new(x, 0));
+    }
+    close(pts, "comb")
+}
+
+/// Skyline polygon over `heights` (all ≥ 1): bottom edge, right wall, then
+/// the stepped profile back to the left wall. Deterministic core of the
+/// random skyline family.
+pub fn skyline(heights: &[i64]) -> ClosedChain {
+    assert!(!heights.is_empty());
+    assert!(heights.iter().all(|&h| h >= 1), "heights must be ≥ 1");
+    let w = heights.len() as i64;
+    let mut pts = vec![Point::new(0, 0)];
+    // Bottom: (1,0) .. (w, 0).
+    for x in 1..=w {
+        pts.push(Point::new(x, 0));
+    }
+    // Right wall up to the last column's height.
+    let h_last = heights[heights.len() - 1];
+    for y in 1..=h_last {
+        pts.push(Point::new(w, y));
+    }
+    // Profile: walk columns right to left. At column i (cells [i, i+1]),
+    // the roof is at heights[i]; move horizontally across the roof, then
+    // vertically to the next column's roof.
+    for i in (0..heights.len()).rev() {
+        let x = i as i64;
+        let h = heights[i];
+        pts.push(Point::new(x, h)); // across the roof of column i
+        let next_h = if i == 0 { 0 } else { heights[i - 1] };
+        if next_h != h {
+            let step = if next_h > h { 1 } else { -1 };
+            let mut y = h;
+            loop {
+                y += step;
+                if y == next_h {
+                    break;
+                }
+                pts.push(Point::new(x, y));
+            }
+            if i != 0 {
+                pts.push(Point::new(x, next_h));
+            }
+        }
+    }
+    // Left wall: from (0, heights[0] or its path) down to (0,1).
+    // The profile loop above ends at (0, h0); descend to (0,1).
+    let top_left = pts.last().copied().expect("non-empty");
+    assert_eq!(top_left.x, 0);
+    for y in (1..top_left.y).rev() {
+        pts.push(Point::new(0, y));
+    }
+    close(pts, "skyline")
+}
+
+/// Hairpin flower: four zero-area arms of length `arm` radiating from one
+/// point. Every arm tip is a k = 1 merge pattern (Fig. 2 bottom); the chain
+/// overlaps itself everywhere — the adversarial degenerate case.
+pub fn hairpin_flower(arm: i64) -> ClosedChain {
+    assert!(arm >= 1);
+    let dirs = [(1i64, 0i64), (0, 1), (-1, 0), (0, -1)];
+    let mut pts = Vec::with_capacity((8 * arm) as usize);
+    for (dx, dy) in dirs {
+        pts.push(Point::new(0, 0));
+        for k in 1..=arm {
+            pts.push(Point::new(k * dx, k * dy));
+        }
+        for k in (1..arm).rev() {
+            pts.push(Point::new(k * dx, k * dy));
+        }
+    }
+    close(pts, "hairpin flower")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_sim::invariant;
+
+    #[test]
+    fn rectangle_counts() {
+        for (w, h) in [(2i64, 2i64), (3, 2), (5, 4), (10, 7)] {
+            let c = rectangle(w, h);
+            assert_eq!(c.len() as i64, 2 * (w + h) - 4, "{w}x{h}");
+            assert!(invariant::is_taut(&c));
+            assert_eq!(invariant::signed_turning_quarters(&c).abs(), 4);
+        }
+    }
+
+    #[test]
+    fn crenellated_band_is_valid_and_wavy() {
+        for teeth in [1usize, 2, 5, 9] {
+            let c = crenellated_band(teeth, 3);
+            assert!(invariant::is_taut(&c));
+            // Teeth contribute 4 robots each on two sides.
+            assert!(c.len() >= 8 * teeth);
+        }
+    }
+
+    #[test]
+    fn staircase_diamond_is_valid() {
+        for r in [1i64, 2, 5, 11] {
+            let c = staircase_diamond(r);
+            assert_eq!(c.len() as i64, 8 * r);
+            assert!(invariant::is_taut(&c));
+        }
+    }
+
+    #[test]
+    fn comb_is_valid() {
+        for teeth in [1usize, 2, 4, 8] {
+            for l in [2i64, 5, 9] {
+                let c = comb(teeth, l);
+                assert!(invariant::is_taut(&c), "teeth={teeth} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_flat_is_rectangle() {
+        let c = skyline(&[3, 3, 3, 3]);
+        let r = rectangle(5, 4);
+        assert_eq!(c.len(), r.len());
+    }
+
+    #[test]
+    fn skyline_steps() {
+        let c = skyline(&[1, 3, 2]);
+        assert!(invariant::is_taut(&c));
+        // Contains the tallest roof point.
+        assert!(c.positions().iter().any(|p| p.y == 3));
+    }
+
+    #[test]
+    fn hairpin_flower_overlaps_itself() {
+        let c = hairpin_flower(3);
+        assert_eq!(c.len(), 24);
+        assert!(invariant::is_taut(&c));
+        // The center appears four times.
+        let center_count = c
+            .positions()
+            .iter()
+            .filter(|p| **p == Point::new(0, 0))
+            .count();
+        assert_eq!(center_count, 4);
+    }
+}

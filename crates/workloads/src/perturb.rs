@@ -1,0 +1,151 @@
+//! Chain perturbation operators: inject local structure into any valid
+//! closed chain while preserving validity. Used to fuzz the gathering
+//! algorithm with adversarial local features on top of every family
+//! (bumps trigger merge patterns, hairpins trigger k = 1 merges, detours
+//! stretch quasi lines into jogs).
+
+use chain_sim::ClosedChain;
+use grid_geom::Offset;
+#[cfg(test)]
+use grid_geom::Point;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Insert a unit detour across chain edge `i`: the edge `p → q` becomes
+/// `p → p+d → q+d → q`, where `d` is a unit step perpendicular to the
+/// edge. Adds 2 robots; the result is always a valid closed chain.
+pub fn insert_detour(chain: &ClosedChain, edge: usize, side: bool) -> ClosedChain {
+    let n = chain.len();
+    let i = edge % n;
+    let p = chain.pos(i);
+    let q = chain.pos(chain.nb(i, 1));
+    let step = q - p;
+    debug_assert!(step.is_unit_step());
+    let d = if step.dx == 0 {
+        if side {
+            Offset::RIGHT
+        } else {
+            Offset::LEFT
+        }
+    } else if side {
+        Offset::UP
+    } else {
+        Offset::DOWN
+    };
+    let mut pts = Vec::with_capacity(n + 2);
+    for j in 0..=i {
+        pts.push(chain.pos(j));
+    }
+    pts.push(p + d);
+    pts.push(q + d);
+    for j in i + 1..n {
+        pts.push(chain.pos(j));
+    }
+    ClosedChain::new(pts).expect("detour preserves validity")
+}
+
+/// Insert a zero-area hairpin at robot `i`: `… p …` becomes
+/// `… p, p+d, p …`. Adds 2 robots (chain neighbors stay distinct; the two
+/// copies of `p` are not neighbors). `d` must keep `p+d` a unit step away,
+/// which every axis direction does.
+pub fn insert_hairpin(chain: &ClosedChain, at: usize, dir: Offset) -> ClosedChain {
+    debug_assert!(dir.is_unit_step());
+    let n = chain.len();
+    let i = at % n;
+    let p = chain.pos(i);
+    let mut pts = Vec::with_capacity(n + 2);
+    for j in 0..=i {
+        pts.push(chain.pos(j));
+    }
+    pts.push(p + dir);
+    pts.push(p);
+    for j in i + 1..n {
+        pts.push(chain.pos(j));
+    }
+    ClosedChain::new(pts).expect("hairpin preserves validity")
+}
+
+/// Apply `count` random perturbations (detours and hairpins) to a chain.
+pub fn perturb(chain: &ClosedChain, count: usize, seed: u64) -> ClosedChain {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    let mut c = chain.clone();
+    for _ in 0..count {
+        let n = c.len();
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let edge = rng.gen_range(0..n);
+                let side = rng.gen_bool(0.5);
+                c = insert_detour(&c, edge, side);
+            }
+            _ => {
+                let at = rng.gen_range(0..n);
+                let dir = *[Offset::RIGHT, Offset::UP, Offset::LEFT, Offset::DOWN]
+                    .choose(&mut rng)
+                    .expect("non-empty");
+                c = insert_hairpin(&c, at, dir);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+    use chain_sim::invariant;
+
+    fn square() -> ClosedChain {
+        ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn detour_adds_two_robots() {
+        let c = square();
+        for edge in 0..4 {
+            for side in [true, false] {
+                let d = insert_detour(&c, edge, side);
+                assert_eq!(d.len(), 6, "edge {edge} side {side}");
+                assert!(invariant::is_taut(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn hairpin_adds_two_robots() {
+        let c = square();
+        for at in 0..4 {
+            for dir in [Offset::RIGHT, Offset::UP, Offset::LEFT, Offset::DOWN] {
+                let h = insert_hairpin(&c, at, dir);
+                assert_eq!(h.len(), 6, "at {at} dir {dir}");
+                assert!(invariant::is_taut(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_is_deterministic_and_valid() {
+        for fam in [Family::Rectangle, Family::Skyline, Family::StaircaseDiamond] {
+            let base = fam.generate(60, 3);
+            let a = perturb(&base, 10, 7);
+            let b = perturb(&base, 10, 7);
+            assert_eq!(a.positions(), b.positions());
+            a.validate().unwrap();
+            assert_eq!(a.len(), base.len() + 20);
+        }
+    }
+
+    #[test]
+    fn heavy_perturbation_stays_valid() {
+        let base = Family::RandomLoop.generate(40, 1);
+        let p = perturb(&base, 100, 9);
+        p.validate().unwrap();
+        assert_eq!(p.len(), base.len() + 200);
+    }
+}

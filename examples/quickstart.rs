@@ -1,0 +1,58 @@
+//! Quickstart: gather a closed chain with the paper's algorithm.
+//!
+//! ```text
+//! cargo run --release --example quickstart [n] [seed]
+//! ```
+//!
+//! Builds a random closed lattice loop, runs the strategy of
+//! *Gathering a Closed Chain of Robots on a Grid* (Abshoff et al., IPDPS
+//! 2016), and prints the before/after configurations plus the round count
+//! against the paper's `O(n)` bound.
+
+use chain_sim::{Outcome, RunLimits, Sim};
+use chain_viz::ascii;
+use gathering_core::ClosedChainGathering;
+use workloads::random_loop;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2016);
+
+    let chain = random_loop(n, seed);
+    println!(
+        "initial configuration: {} robots, bounding box {}x{}",
+        chain.len(),
+        chain.bounding().width(),
+        chain.bounding().height()
+    );
+    println!("{}", ascii::render(&chain));
+
+    let n_real = chain.len() as u64;
+    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+    let outcome = sim.run(RunLimits::for_chain_len(n_real as usize));
+
+    match outcome {
+        Outcome::Gathered { rounds } => {
+            println!("gathered after {rounds} rounds (n = {n_real});");
+            println!(
+                "rounds/n = {:.2}  — Theorem 1 bound: 2Ln + n = {} rounds",
+                rounds as f64 / n_real as f64,
+                27 * n_real
+            );
+        }
+        other => println!("did not gather: {other:?}"),
+    }
+    println!("final configuration ({} robots):", sim.chain().len());
+    println!("{}", ascii::render(sim.chain()));
+
+    let stats = sim.strategy().stats();
+    println!(
+        "runs started: {} (stairway ends: {}, corner ends: {}); folds: {}; passings: {}",
+        stats.started_total(),
+        stats.started_stairway,
+        stats.started_corner,
+        stats.folds,
+        stats.passings_started,
+    );
+}

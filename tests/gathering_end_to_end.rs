@@ -1,0 +1,146 @@
+//! End-to-end integration tests: the paper's algorithm across all workload
+//! families, checked against the Theorem 1 contract.
+
+use chain_sim::{Outcome, RunLimits, Sim};
+use gathering_core::{ClosedChainGathering, GatherConfig};
+use workloads::Family;
+
+fn run_family(fam: Family, n: usize, seed: u64) -> (usize, Outcome) {
+    let chain = fam.generate(n, seed);
+    let len = chain.len();
+    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+    let outcome = sim.run(RunLimits::for_chain_len(len));
+    (len, outcome)
+}
+
+#[test]
+fn every_family_gathers_small() {
+    for fam in Family::ALL {
+        for n in [8usize, 16, 32, 64] {
+            for seed in 0..4 {
+                let (len, outcome) = run_family(fam, n, seed);
+                assert!(
+                    outcome.is_gathered(),
+                    "{} n={len} seed={seed}: {outcome:?}",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_family_gathers_medium_within_linear_bound() {
+    // Theorem 1: ≤ 2Ln + n rounds. Our measured constants are ≤ ~3.3n;
+    // assert the paper's bound with room to spare.
+    for fam in Family::ALL {
+        for seed in 0..2 {
+            let (len, outcome) = run_family(fam, 300, seed);
+            match outcome {
+                Outcome::Gathered { rounds } => {
+                    let bound = 27 * len as u64 + 27;
+                    assert!(
+                        rounds <= bound,
+                        "{} n={len} seed={seed}: {rounds} rounds > bound {bound}",
+                        fam.name()
+                    );
+                }
+                other => panic!("{} n={len} seed={seed}: {other:?}", fam.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn proof_mode_with_k3_gathers() {
+    // The Lemma-1 proof restricts merges to k ≤ 2 *analytically*; the
+    // algorithm needs k ≥ 3 to finish odd remnants (see EXPERIMENTS.md T9).
+    let cfg = GatherConfig {
+        max_merge_k: 3,
+        ..GatherConfig::paper()
+    };
+    for fam in Family::ALL {
+        let chain = fam.generate(120, 9);
+        let len = chain.len();
+        let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
+        let outcome = sim.run(RunLimits::for_chain_len(len));
+        assert!(
+            outcome.is_gathered(),
+            "{} (k=3) n={len}: {outcome:?}",
+            fam.name()
+        );
+    }
+}
+
+#[test]
+fn chain_never_breaks_even_on_adversarial_loops() {
+    // The engine aborts with ChainBroken on any connectivity violation;
+    // being Gathered implies the chain stayed connected throughout.
+    for seed in 0..30 {
+        let chain = workloads::random_loop(200, seed);
+        let len = chain.len();
+        let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+        let outcome = sim.run(RunLimits::for_chain_len(len));
+        assert!(
+            !matches!(outcome, Outcome::ChainBroken { .. }),
+            "seed {seed}: {outcome:?}"
+        );
+        assert!(outcome.is_gathered(), "seed {seed}: {outcome:?}");
+    }
+}
+
+#[test]
+fn merge_count_accounts_for_all_robots() {
+    let chain = Family::Rectangle.generate(150, 0);
+    let len = chain.len();
+    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+    let outcome = sim.run(RunLimits::for_chain_len(len));
+    assert!(outcome.is_gathered());
+    let final_len = sim.chain().len();
+    assert_eq!(sim.trace().total_removed(), len - final_len);
+    assert!(final_len <= 4, "2×2 gathering leaves at most 4 robots");
+}
+
+#[test]
+fn round_reports_are_monotone_in_length() {
+    let chain = Family::Skyline.generate(200, 3);
+    let len = chain.len();
+    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+    let _ = sim.run(RunLimits::for_chain_len(len));
+    let mut prev = len;
+    for report in &sim.trace().reports {
+        assert!(report.len_after <= prev, "chain grew at round {}", report.round);
+        assert_eq!(prev - report.len_after, report.removed);
+        prev = report.len_after;
+    }
+}
+
+#[test]
+fn perturbed_families_still_gather() {
+    // Inject adversarial local structure (detours, zero-area hairpins)
+    // into every family and verify gathering still completes.
+    for fam in Family::ALL {
+        let base = fam.generate(100, 5);
+        let chain = workloads::perturb(&base, 20, 11);
+        let len = chain.len();
+        let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+        let outcome = sim.run(RunLimits::for_chain_len(len));
+        assert!(
+            outcome.is_gathered(),
+            "{} perturbed n={len}: {outcome:?}",
+            fam.name()
+        );
+    }
+}
+
+#[test]
+fn heavily_perturbed_random_loops_gather() {
+    for seed in 0..8 {
+        let base = workloads::random_loop(60, seed);
+        let chain = workloads::perturb(&base, 60, seed * 31 + 1);
+        let len = chain.len();
+        let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+        let outcome = sim.run(RunLimits::for_chain_len(len));
+        assert!(outcome.is_gathered(), "seed {seed} n={len}: {outcome:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Symmetry/equivariance tests: the robots have no global coordinates, no
+//! compass, no ids, and no distinguished chain origin — so the algorithm's
+//! behavior must be invariant under translation, grid isometries, cyclic
+//! relabeling and orientation reversal of the input.
+
+use chain_sim::{ClosedChain, Outcome, RunLimits, Sim};
+use gathering_core::ClosedChainGathering;
+use workloads::Family;
+
+fn rounds_of(chain: ClosedChain) -> Outcome {
+    let len = chain.len();
+    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+    sim.run(RunLimits::for_chain_len(len))
+}
+
+fn base_chain(seed: u64) -> ClosedChain {
+    Family::Skyline.generate(120, seed)
+}
+
+#[test]
+fn translation_invariance() {
+    for seed in 0..3 {
+        let a = rounds_of(base_chain(seed));
+        let mut moved = base_chain(seed);
+        moved.translate(grid_geom::Offset::new(12_345, -9_876));
+        let b = rounds_of(moved);
+        assert_eq!(a.rounds(), b.rounds(), "seed {seed}");
+        assert_eq!(a.is_gathered(), b.is_gathered());
+    }
+}
+
+#[test]
+fn rotation_and_mirror_invariance() {
+    for seed in 0..3 {
+        let a = rounds_of(base_chain(seed));
+        for quarters in 1..4u8 {
+            let mut t = base_chain(seed);
+            t.transform(quarters, false);
+            let b = rounds_of(t);
+            assert_eq!(a.rounds(), b.rounds(), "seed {seed} rot {quarters}");
+        }
+        let mut m = base_chain(seed);
+        m.transform(0, true);
+        let b = rounds_of(m);
+        assert_eq!(a.rounds(), b.rounds(), "seed {seed} mirror");
+    }
+}
+
+#[test]
+fn cyclic_relabeling_invariance() {
+    // Robots are anonymous: rotating the chain's index origin must not
+    // change the dynamics.
+    for seed in 0..3 {
+        let a = rounds_of(base_chain(seed));
+        for shift in [1usize, 7, 31] {
+            let mut r = base_chain(seed);
+            r.rotate_origin(shift);
+            let b = rounds_of(r);
+            assert_eq!(a.rounds(), b.rounds(), "seed {seed} shift {shift}");
+        }
+    }
+}
+
+#[test]
+fn orientation_reversal_invariance() {
+    // The chain's local orientation is arbitrary (robots distinguish their
+    // two neighbors, but "left"/"right" has no global meaning).
+    for seed in 0..3 {
+        let a = rounds_of(base_chain(seed));
+        let mut rev = base_chain(seed);
+        rev.reverse_orientation();
+        let b = rounds_of(rev);
+        assert_eq!(a.rounds(), b.rounds(), "seed {seed}");
+    }
+}
+
+#[test]
+fn determinism() {
+    for seed in 0..3 {
+        let a = rounds_of(base_chain(seed));
+        let b = rounds_of(base_chain(seed));
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
