@@ -8,7 +8,7 @@ fn run<S: Strategy>(s: S, fam: Family, n: usize, seed: u64) -> String {
     let len = chain.len();
     let d = chain.bounding().diameter() as u64;
     let mut sim = Sim::new(chain, s);
-    let out = sim.run(RunLimits { max_rounds: 16 * (len as u64) * d.max(4) + 4096, stall_window: 4 * (len as u64) * d.max(4) + 2048 });
+    let out = sim.run(RunLimits::generous(len, d));
     match out {
         Outcome::Gathered { rounds } => format!("ok:{rounds}"),
         Outcome::Stalled { .. } => "STALL".into(),
@@ -18,7 +18,10 @@ fn run<S: Strategy>(s: S, fam: Family, n: usize, seed: u64) -> String {
 }
 
 fn main() {
-    println!("{:<18} {:>6}  {:>12} {:>12} {:>12}", "family", "n", "global", "compass", "naive");
+    println!(
+        "{:<18} {:>6}  {:>12} {:>12} {:>12}",
+        "family", "n", "global", "compass", "naive"
+    );
     for fam in Family::ALL {
         for n in [40usize, 150] {
             let g = run(GlobalVision::new(), fam, n, 7);

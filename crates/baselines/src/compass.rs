@@ -50,8 +50,7 @@ impl Strategy for CompassSe {
     fn init(&mut self, _chain: &ClosedChain) {}
 
     fn compute(&mut self, chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
-        let n = chain.len();
-        for i in 0..n {
+        for (i, hop) in hops.iter_mut().enumerate() {
             let p = chain.pos(i);
             let a = chain.pos(chain.nb(i, -1));
             let b = chain.pos(chain.nb(i, 1));
@@ -61,8 +60,8 @@ impl Strategy for CompassSe {
                 // fold or merge hop; adjacency is guaranteed).
                 let dx = (a.x + b.x - 2 * p.x).signum();
                 let dy = (a.y + b.y - 2 * p.y).signum();
-                hops[i] = Offset::new(dx, dy);
-                debug_assert!(hops[i] != Offset::ZERO);
+                *hop = Offset::new(dx, dy);
+                debug_assert!(*hop != Offset::ZERO);
             }
         }
     }

@@ -38,10 +38,10 @@ impl Strategy for GlobalVision {
         let cx = (bbox.min.x + bbox.max.x).div_euclid(2);
         let cy = (bbox.min.y + bbox.max.y).div_euclid(2);
         let center = Point::new(cx, cy);
-        for i in 0..chain.len() {
+        for (i, hop) in hops.iter_mut().enumerate() {
             let p = chain.pos(i);
             let d = center - p;
-            hops[i] = Offset::new(d.dx.signum(), d.dy.signum());
+            *hop = Offset::new(d.dx.signum(), d.dy.signum());
         }
         cancel_breaking_hops(chain, hops);
     }
@@ -92,13 +92,13 @@ mod tests {
         strat.compute(&chain, 0, &mut hops);
         // The bounding box is [0,4]²; center (2,2). Robots on row/column 2
         // only move along the other axis.
-        for i in 0..chain.len() {
+        for (i, hop) in hops.iter().enumerate() {
             let p = chain.pos(i);
             if p.x == 2 {
-                assert_eq!(hops[i].dx, 0);
+                assert_eq!(hop.dx, 0);
             }
             if p.y == 2 {
-                assert_eq!(hops[i].dy, 0);
+                assert_eq!(hop.dy, 0);
             }
         }
     }

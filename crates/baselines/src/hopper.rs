@@ -59,7 +59,7 @@ pub fn manhattan_hopper(mut chain: OpenChain, max_rounds: u64) -> HopperOutcome 
         hops.clear();
         hops.resize(n, Offset::ZERO);
         let parity = (rounds % 2) as usize;
-        for i in 1..n - 1 {
+        for (i, hop) in hops.iter_mut().enumerate().take(n - 1).skip(1) {
             if i % 2 != parity {
                 continue;
             }
@@ -69,7 +69,7 @@ pub fn manhattan_hopper(mut chain: OpenChain, max_rounds: u64) -> HopperOutcome 
             if prev == next {
                 // Fold: hop onto the coinciding neighbors; the merge pass
                 // removes the excess.
-                hops[i] = prev - p;
+                *hop = prev - p;
             } else if (prev - p).perpendicular_to(next - p) {
                 // Corner: cut to the diagonal cell iff that strictly
                 // reduces the distance to the base — the monotone
@@ -78,11 +78,13 @@ pub fn manhattan_hopper(mut chain: OpenChain, max_rounds: u64) -> HopperOutcome 
                 // a cuttable corner, so progress never stalls.
                 let diag = grid_geom::Point::new(prev.x + next.x - p.x, prev.y + next.y - p.y);
                 if manhattan(diag, b) < manhattan(p, b) {
-                    hops[i] = diag - p;
+                    *hop = diag - p;
                 }
             }
         }
-        chain.apply_hops(&hops).expect("parity-scheduled hops are chain-safe");
+        chain
+            .apply_hops(&hops)
+            .expect("parity-scheduled hops are chain-safe");
         chain.merge_pass();
         rounds += 1;
     }
@@ -170,7 +172,11 @@ mod tests {
         let mut pts = vec![Point::new(0, 0)];
         let mut p = Point::new(0, 0);
         for i in 0..40 {
-            let s = if i % 2 == 0 { Offset::UP } else { Offset::RIGHT };
+            let s = if i % 2 == 0 {
+                Offset::UP
+            } else {
+                Offset::RIGHT
+            };
             p += s;
             pts.push(p);
         }

@@ -30,14 +30,14 @@
 //! inadmissible-but-measured for [`NaiveLocal`]).
 
 pub mod compass;
-pub mod hopper;
 pub mod global_vision;
+pub mod hopper;
 pub mod naive_local;
 pub mod open_zip;
 
 pub use compass::CompassSe;
-pub use hopper::{manhattan_hopper, HopperOutcome};
 pub use global_vision::GlobalVision;
+pub use hopper::{manhattan_hopper, HopperOutcome};
 pub use naive_local::NaiveLocal;
 pub use open_zip::{open_chain_zip, ZipOutcome};
 

@@ -34,15 +34,14 @@ impl Strategy for NaiveLocal {
     fn init(&mut self, _chain: &ClosedChain) {}
 
     fn compute(&mut self, chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
-        let n = chain.len();
-        for i in 0..n {
+        for (i, hop) in hops.iter_mut().enumerate() {
             let p = chain.pos(i);
             let a = chain.pos(chain.nb(i, -1));
             let b = chain.pos(chain.nb(i, 1));
             // Midpoint in doubled coordinates to stay in integers.
             let dx = (a.x + b.x - 2 * p.x).signum();
             let dy = (a.y + b.y - 2 * p.y).signum();
-            hops[i] = Offset::new(dx, dy);
+            *hop = Offset::new(dx, dy);
         }
         // Global safety oracle — inadmissible in the paper's local model;
         // see the module docs.
@@ -100,10 +99,10 @@ mod tests {
         s.compute(&chain, 0, &mut hops);
         // Robots strictly inside the straight rows have their midpoint at
         // their own position: they stand (before cancellation).
-        for i in 0..chain.len() {
+        for (i, hop) in hops.iter().enumerate() {
             let p = chain.pos(i);
             if p.x == 1 || p.x == 2 {
-                assert_eq!(hops[i], Offset::ZERO, "robot {i} at {p}");
+                assert_eq!(*hop, Offset::ZERO, "robot {i} at {p}");
             }
         }
     }

@@ -19,10 +19,13 @@ use grid_geom::Offset;
 /// Result of zipping an open chain.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ZipOutcome {
-    /// Rounds until gathered (bounding box within 2×2).
+    /// Rounds executed (until gathered or the round cap).
     pub rounds: u64,
     /// Robots remaining.
     pub final_len: usize,
+    /// `true` if the bounding box reached a 2×2 subgrid; `false` if the
+    /// round cap hit first.
+    pub gathered: bool,
 }
 
 /// Run the endpoint-zip strategy to completion.
@@ -50,6 +53,7 @@ pub fn open_chain_zip(mut chain: OpenChain, max_rounds: u64) -> ZipOutcome {
     ZipOutcome {
         rounds,
         final_len: chain.len(),
+        gathered: chain.is_gathered(),
     }
 }
 
@@ -91,5 +95,7 @@ mod tests {
         let out = open_chain_zip(line(1000), 3);
         assert_eq!(out.rounds, 3);
         assert!(out.final_len > 4);
+        assert!(!out.gathered);
+        assert!(open_chain_zip(line(10), 1000).gathered);
     }
 }

@@ -1,55 +1,87 @@
-//! Criterion performance benches for the simulator and the algorithm.
+//! Wall-clock performance benches for the simulator and the algorithm.
 //!
 //! These measure engine throughput (robot·rounds per second), the cost of
-//! one FSYNC round at various chain sizes, merge-scan cost, and full
-//! gatherings — the numbers that tell a user what scale the simulator
-//! sustains on one core.
+//! one FSYNC round at various chain sizes, merge-scan cost, full
+//! gatherings, and — the pipeline's headline number — how `run_batch`
+//! scales with the available cores.
+//!
+//! The offline build has no criterion, so this is a plain `harness = false`
+//! binary: each section repeats its workload long enough for stable timing
+//! and prints a throughput line.
+//!
+//! ```text
+//! cargo bench -p bench --bench engine_perf
+//! ```
 
-use chain_sim::{RunLimits, Sim};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::{run_batch_with, BatchOptions, ScenarioSpec};
+use chain_sim::{RunLimits, Sim, TraceConfig};
 use gathering_core::{ClosedChainGathering, GatherConfig, MergeScan};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use workloads::Family;
 
-fn bench_single_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_round");
+/// Repeat `f` until at least ~200 ms elapse. `f` returns its per-iteration
+/// work unit count; the warm-up call's work and time are both discarded, so
+/// the returned `(iterations, work_sum, elapsed)` are consistent.
+fn time_until_stable<F: FnMut() -> u64>(mut f: F) -> (u64, u128, Duration) {
+    // Warm-up (excluded from every returned figure).
+    f();
+    let mut iters = 0u64;
+    let mut work = 0u128;
+    let t0 = Instant::now();
+    loop {
+        work += u128::from(f());
+        iters += 1;
+        if t0.elapsed() >= Duration::from_millis(200) && iters >= 5 {
+            return (iters, work, t0.elapsed());
+        }
+    }
+}
+
+fn per_sec(count: u128, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.as_secs_f64()
+}
+
+fn bench_single_round() {
+    println!("## single_round (one FSYNC step, fresh sim each iteration)");
     for n in [256usize, 1024, 4096] {
         let chain = Family::Rectangle.generate(n, 0);
-        group.throughput(Throughput::Elements(chain.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter_batched(
-                || Sim::new(chain.clone(), ClosedChainGathering::paper()),
-                |mut sim| {
-                    sim.step().unwrap();
-                    black_box(sim.round())
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        let len = chain.len();
+        let (iters, _, elapsed) = time_until_stable(|| {
+            let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper())
+                .with_trace(TraceConfig::headless());
+            sim.step().unwrap();
+            black_box(sim.round());
+            1
         });
+        println!(
+            "  n={len:>5}  {:>12.0} robot·rounds/s  ({iters} iters)",
+            per_sec(iters as u128 * len as u128, elapsed)
+        );
     }
-    group.finish();
 }
 
-fn bench_merge_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_scan");
+fn bench_merge_scan() {
+    println!("## merge_scan (pattern scan over a crenellated band)");
     for n in [256usize, 4096] {
         let chain = Family::Crenellated.generate(n, 0);
+        let len = chain.len();
         let cfg = GatherConfig::paper();
-        group.throughput(Throughput::Elements(chain.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let mut scan = MergeScan::default();
-            b.iter(|| {
-                scan.scan(&chain, &cfg);
-                black_box(scan.patterns.len())
-            });
+        let mut scan = MergeScan::default();
+        let (iters, _, elapsed) = time_until_stable(|| {
+            scan.scan(&chain, &cfg);
+            black_box(scan.patterns.len());
+            1
         });
+        println!(
+            "  n={len:>5}  {:>12.0} robots/s  ({iters} iters)",
+            per_sec(iters as u128 * len as u128, elapsed)
+        );
     }
-    group.finish();
 }
 
-fn bench_full_gathering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_gathering");
-    group.sample_size(10);
+fn bench_full_gathering() {
+    println!("## full_gathering (complete run to the 2x2 square)");
     for (fam, n) in [
         (Family::Rectangle, 256usize),
         (Family::Skyline, 256),
@@ -57,45 +89,100 @@ fn bench_full_gathering(c: &mut Criterion) {
     ] {
         let chain = fam.generate(n, 1);
         let len = chain.len();
-        group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(
-            BenchmarkId::new(fam.name(), len),
-            &len,
-            |b, _| {
-                b.iter_batched(
-                    || Sim::new(chain.clone(), ClosedChainGathering::paper()),
-                    |mut sim| {
-                        let out = sim.run(RunLimits::for_chain_len(len));
-                        assert!(out.is_gathered());
-                        black_box(out.rounds())
-                    },
-                    criterion::BatchSize::SmallInput,
-                );
-            },
+        let (iters, rounds_total, elapsed) = time_until_stable(|| {
+            let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper())
+                .with_trace(TraceConfig::headless());
+            let out = sim.run(RunLimits::for_chain_len(len));
+            assert!(out.is_gathered());
+            out.rounds()
+        });
+        println!(
+            "  {:<14} n={len:>4}  {:>12.0} robot·rounds/s  ({iters} runs)",
+            fam.name(),
+            per_sec(rounds_total * len as u128, elapsed)
         );
     }
-    group.finish();
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_generation");
+fn bench_workload_generation() {
+    println!("## workload_generation (chains/s at n=1024)");
     for fam in [Family::RandomLoop, Family::Skyline] {
-        group.bench_function(fam.name(), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(fam.generate(1024, seed).len())
-            });
+        let mut seed = 0u64;
+        let (iters, _, elapsed) = time_until_stable(|| {
+            seed += 1;
+            black_box(fam.generate(1024, seed).len());
+            1
         });
+        println!(
+            "  {:<14} {:>10.1} chains/s  ({iters} iters)",
+            fam.name(),
+            per_sec(iters as u128, elapsed)
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_single_round,
-    bench_merge_scan,
-    bench_full_gathering,
-    bench_workload_generation
-);
-criterion_main!(benches);
+/// The acceptance check for the scenario pipeline: batch execution scales
+/// with available cores. Runs the same spec grid serially and with one
+/// worker per core, and prints the speedup.
+fn bench_batch_scaling() {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("## batch_scaling (run_batch over {cores} cores)");
+    let specs: Vec<ScenarioSpec> = Family::ALL
+        .iter()
+        .flat_map(|&fam| (0..4u64).map(move |seed| ScenarioSpec::paper(fam, 192, seed)))
+        .collect();
+
+    let t0 = Instant::now();
+    let serial = run_batch_with(&specs, BatchOptions::threads(1));
+    let serial_t = t0.elapsed();
+
+    let t1 = Instant::now();
+    let parallel = run_batch_with(&specs, BatchOptions::default());
+    let parallel_t = t1.elapsed();
+
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "parallelism changed a result"
+        );
+    }
+    let speedup = serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9);
+    println!(
+        "  {} scenarios: serial {:>7.0} ms, parallel {:>7.0} ms, speedup {speedup:.2}x",
+        specs.len(),
+        serial_t.as_secs_f64() * 1e3,
+        parallel_t.as_secs_f64() * 1e3,
+    );
+    if cores >= 2 && speedup < 1.2 {
+        println!("  WARNING: expected >1.2x speedup on {cores} cores");
+    }
+}
+
+fn main() {
+    // `cargo bench` forwards its own flags (e.g. `--bench`); the first
+    // non-flag argument, if any, filters the sections by substring.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    let want = |name: &str| filter.is_empty() || name.contains(&filter);
+    if want("single_round") {
+        bench_single_round();
+    }
+    if want("merge_scan") {
+        bench_merge_scan();
+    }
+    if want("full_gathering") {
+        bench_full_gathering();
+    }
+    if want("workload_generation") {
+        bench_workload_generation();
+    }
+    if want("batch_scaling") {
+        bench_batch_scaling();
+    }
+}

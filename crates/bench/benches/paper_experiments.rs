@@ -8,8 +8,8 @@
 use bench::{all_tables, Effort};
 
 fn main() {
-    // Criterion-style filter arguments may be passed by `cargo bench`;
-    // respect an explicit `--full` and ignore the rest.
+    // `cargo bench` may pass filter arguments through; respect an explicit
+    // `--full` and ignore the rest.
     let full = std::env::args().any(|a| a == "--full");
     let effort = if full { Effort::Full } else { Effort::Quick };
     println!("# Paper experiment tables ({:?} effort)", effort);

@@ -1,14 +1,17 @@
-//! The paper-reproduction experiments (tables T1–T9 of DESIGN.md §4).
+//! The paper-reproduction experiments (tables T1–T10 of DESIGN.md §4).
 //!
 //! Every table corresponds to a claim or construction of the paper; the
 //! table's note states the expected *shape* and the success criterion. The
 //! harness never asserts — EXPERIMENTS.md records measured vs expected —
 //! but `tests/` contains hard assertions for the load-bearing claims.
+//!
+//! Every table is produced the same way: enumerate one [`ScenarioSpec`]
+//! per experiment cell, execute the whole grid with [`run_batch`] (one
+//! parallel fan-out per table), then fold the ordered
+//! [`ScenarioResult`]s into rows.
 
-use crate::{measure_gathering, measure_strategy, par_map, GatherRun, Table};
-use baselines::{open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
-use chain_sim::OpenChain;
-use gathering_core::audit::audited_run;
+use crate::scenario::{run_batch, ScenarioResult, ScenarioSpec, StrategyKind};
+use crate::Table;
 use gathering_core::GatherConfig;
 use workloads::Family;
 
@@ -49,39 +52,73 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+fn outcome_cell(r: &ScenarioResult) -> String {
+    match r.rounds() {
+        Some(rounds) => rounds.to_string(),
+        None => "stall".to_string(),
+    }
+}
+
 /// T1 — Theorem 1: gathering completes and the round count is linear in n.
 pub fn t1_theorem1(e: Effort) -> Table {
     let mut t = Table::new(
         "T1",
         "Theorem 1: rounds to gather vs n (paper bound 2Ln + n = 27n)",
-        &["family", "n", "runs", "rounds(avg)", "rounds/n", "bound?", "gap(max)"],
+        &[
+            "family",
+            "n",
+            "runs",
+            "rounds(avg)",
+            "rounds/n",
+            "bound?",
+            "gap(max)",
+        ],
     );
     let l = GatherConfig::paper().l_period;
-    for fam in Family::ALL {
-        for &size in e.sizes() {
-            let inputs: Vec<u64> = (0..e.seeds()).collect();
-            let runs: Vec<GatherRun> = par_map(inputs, |&seed| {
-                measure_gathering(fam.generate(size, seed), GatherConfig::paper())
-            });
-            let n_avg = mean(&runs.iter().map(|r| r.n as f64).collect::<Vec<_>>());
-            let ok: Vec<&GatherRun> = runs.iter().filter(|r| r.outcome.is_gathered()).collect();
-            let failed = runs.len() - ok.len();
-            let rounds = mean(&ok.iter().filter_map(|r| r.rounds().map(|x| x as f64)).collect::<Vec<_>>());
-            let ratio = rounds / n_avg;
-            let bound_ok = failed == 0 && ratio <= (2 * l + 1) as f64;
-            let gap = runs.iter().map(|r| r.longest_gap).max().unwrap_or(0);
-            t.row(vec![
-                fam.name().to_string(),
-                format!("{n_avg:.0}"),
-                format!("{}{}", runs.len(), if failed > 0 { format!(" ({failed} FAIL)") } else { String::new() }),
-                format!("{rounds:.0}"),
-                format!("{ratio:.2}"),
-                if bound_ok { "yes".into() } else { "NO".into() },
-                gap.to_string(),
-            ]);
-        }
+    let seeds = e.seeds();
+    let specs: Vec<ScenarioSpec> = Family::ALL
+        .iter()
+        .flat_map(|&fam| {
+            e.sizes().iter().flat_map(move |&size| {
+                (0..seeds).map(move |seed| ScenarioSpec::paper(fam, size, seed))
+            })
+        })
+        .collect();
+    let results = run_batch(&specs);
+    for group in results.chunks(seeds as usize) {
+        let fam = group[0].spec.family;
+        let n_avg = mean(&group.iter().map(|r| r.n as f64).collect::<Vec<_>>());
+        let ok: Vec<&ScenarioResult> = group.iter().filter(|r| r.is_gathered()).collect();
+        let failed = group.len() - ok.len();
+        let rounds = mean(
+            &ok.iter()
+                .filter_map(|r| r.rounds().map(|x| x as f64))
+                .collect::<Vec<_>>(),
+        );
+        let ratio = rounds / n_avg;
+        let bound_ok = failed == 0 && ratio <= (2 * l + 1) as f64;
+        let gap = group.iter().map(|r| r.longest_gap).max().unwrap_or(0);
+        t.row(vec![
+            fam.name().to_string(),
+            format!("{n_avg:.0}"),
+            format!(
+                "{}{}",
+                group.len(),
+                if failed > 0 {
+                    format!(" ({failed} FAIL)")
+                } else {
+                    String::new()
+                }
+            ),
+            format!("{rounds:.0}"),
+            format!("{ratio:.2}"),
+            if bound_ok { "yes".into() } else { "NO".into() },
+            gap.to_string(),
+        ]);
     }
-    t.note("Expected shape: rounds/n converges to a family constant far below 27; all runs gather.");
+    t.note(
+        "Expected shape: rounds/n converges to a family constant far below 27; all runs gather.",
+    );
     t
 }
 
@@ -91,25 +128,38 @@ pub fn t2_lemma1(e: Effort) -> Table {
     let mut t = Table::new(
         "T2",
         "Lemma 1: L-window accounting (merge or new progress pair)",
-        &["family", "n", "seed", "rounds", "windows", "violations", "longest gap"],
+        &[
+            "family",
+            "n",
+            "seed",
+            "rounds",
+            "windows",
+            "violations",
+            "longest gap",
+        ],
     );
-    for fam in Family::ALL {
-        for seed in 0..e.seeds().min(3) {
-            let chain = fam.generate(e.audit_n(), seed);
-            let n = chain.len();
-            let (outcome, summary) =
-                audited_run(chain, GatherConfig::paper(), 64 * n as u64 + 4096);
-            let windows = summary.rounds / 13;
-            t.row(vec![
-                fam.name().to_string(),
-                n.to_string(),
-                seed.to_string(),
-                format!("{}{}", outcome.rounds(), if outcome.is_gathered() { "" } else { " (FAIL)" }),
-                windows.to_string(),
-                summary.lemma1_violations.len().to_string(),
-                summary.longest_mergeless_gap.to_string(),
-            ]);
-        }
+    let l = GatherConfig::paper().l_period;
+    let specs: Vec<ScenarioSpec> = Family::ALL
+        .iter()
+        .flat_map(|&fam| {
+            (0..e.seeds().min(3)).map(move |seed| ScenarioSpec::audited(fam, e.audit_n(), seed))
+        })
+        .collect();
+    for r in run_batch(&specs) {
+        let s = r.audit.as_ref().expect("audited spec");
+        t.row(vec![
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
+            r.spec.seed.to_string(),
+            format!(
+                "{}{}",
+                r.outcome.rounds(),
+                if r.is_gathered() { "" } else { " (FAIL)" }
+            ),
+            (s.rounds / l).to_string(),
+            s.lemma1_violations.len().to_string(),
+            s.longest_mergeless_gap.to_string(),
+        ]);
     }
     t.note("Expected: zero violations — every 13-round window shows a merge or starts a progress pair.");
     t
@@ -120,21 +170,36 @@ pub fn t3_lemma2(e: Effort) -> Table {
     let mut t = Table::new(
         "T3",
         "Lemma 2: progress pairs enable (distinct) merges within n rounds",
-        &["family", "n", "pairs", "good", "progress", "merged", "max latency", "latency ≤ n?"],
+        &[
+            "family",
+            "n",
+            "pairs",
+            "good",
+            "progress",
+            "merged",
+            "max latency",
+            "latency ≤ n?",
+        ],
     );
-    for fam in Family::ALL {
-        let chain = fam.generate(e.audit_n(), 1);
-        let n = chain.len();
-        let (_, s) = audited_run(chain, GatherConfig::paper(), 64 * n as u64 + 4096);
+    let specs: Vec<ScenarioSpec> = Family::ALL
+        .iter()
+        .map(|&fam| ScenarioSpec::audited(fam, e.audit_n(), 1))
+        .collect();
+    for r in run_batch(&specs) {
+        let s = r.audit.as_ref().expect("audited spec");
         t.row(vec![
-            fam.name().to_string(),
-            n.to_string(),
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
             s.pairs_started.to_string(),
             s.good_pairs.to_string(),
             s.progress_pairs.to_string(),
             s.progress_pairs_merged.to_string(),
             s.max_pair_latency.to_string(),
-            if s.max_pair_latency <= n as u64 { "yes".into() } else { "NO".to_string() },
+            if s.max_pair_latency <= r.n as u64 {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t.note("Expected: progress pairs are credited with merges; latency stays ≤ n (pairs outstanding at gathering time are not counted).");
@@ -146,16 +211,25 @@ pub fn t4_lemma3(e: Effort) -> Table {
     let mut t = Table::new(
         "T4",
         "Lemma 3: run invariants (speed 1; no sequent run visible ahead)",
-        &["family", "n", "rounds", "speed viol.", "sequent viol.", "clean?"],
+        &[
+            "family",
+            "n",
+            "rounds",
+            "speed viol.",
+            "sequent viol.",
+            "clean?",
+        ],
     );
-    for fam in Family::ALL {
-        let chain = fam.generate(e.audit_n(), 2);
-        let n = chain.len();
-        let (outcome, s) = audited_run(chain, GatherConfig::paper(), 64 * n as u64 + 4096);
+    let specs: Vec<ScenarioSpec> = Family::ALL
+        .iter()
+        .map(|&fam| ScenarioSpec::audited(fam, e.audit_n(), 2))
+        .collect();
+    for r in run_batch(&specs) {
+        let s = r.audit.as_ref().expect("audited spec");
         t.row(vec![
-            fam.name().to_string(),
-            n.to_string(),
-            outcome.rounds().to_string(),
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
+            r.outcome.rounds().to_string(),
             s.speed_violations.to_string(),
             s.sequent_visibility_violations.to_string(),
             if s.speed_violations == 0 && s.sequent_visibility_violations == 0 {
@@ -174,24 +248,25 @@ pub fn t5_pipelining(e: Effort) -> Table {
     let mut t = Table::new(
         "T5",
         "Pipelining (Fig. 9): parallel runs and their work profile",
-        &["family", "n", "starts", "max live", "folds", "walks", "passings"],
+        &[
+            "family", "n", "starts", "max live", "folds", "walks", "passings",
+        ],
     );
-    for fam in [
+    let specs: Vec<ScenarioSpec> = [
         Family::Rectangle,
         Family::Comb,
         Family::Spiral,
         Family::Serpentine,
         Family::StaircaseDiamond,
-    ] {
-        let chain = fam.generate(e.audit_n(), 3);
-        let n = chain.len();
-        let strategy = gathering_core::ClosedChainGathering::paper();
-        let mut sim = chain_sim::Sim::new(chain, strategy);
-        let _ = sim.run(chain_sim::RunLimits::for_chain_len(n));
-        let stats = sim.strategy().stats().clone();
+    ]
+    .iter()
+    .map(|&fam| ScenarioSpec::paper(fam, e.audit_n(), 3))
+    .collect();
+    for r in run_batch(&specs) {
+        let stats = r.stats.as_ref().expect("paper runs carry stats");
         t.row(vec![
-            fam.name().to_string(),
-            n.to_string(),
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
             stats.started_total().to_string(),
             stats.max_live_runs.to_string(),
             stats.folds.to_string(),
@@ -199,7 +274,9 @@ pub fn t5_pipelining(e: Effort) -> Table {
             stats.passings_started.to_string(),
         ]);
     }
-    t.note("Expected: max live runs well above 2 (new generations every 13 rounds work concurrently).");
+    t.note(
+        "Expected: max live runs well above 2 (new generations every 13 rounds work concurrently).",
+    );
     t
 }
 
@@ -209,19 +286,32 @@ pub fn t6_goodpairs(e: Effort) -> Table {
     let mut t = Table::new(
         "T6",
         "Good pairs in mergeless phases (Fig. 17/18 argument)",
-        &["family", "n", "mergeless start-rounds", "with good pair", "without"],
+        &[
+            "family",
+            "n",
+            "mergeless start-rounds",
+            "with good pair",
+            "without",
+        ],
     );
-    for fam in [Family::StaircaseDiamond, Family::Crenellated, Family::Comb, Family::Skyline] {
-        let chain = fam.generate(e.audit_n(), 4);
-        let n = chain.len();
-        let (_, s) = audited_run(chain, GatherConfig::paper(), 64 * n as u64 + 4096);
+    let specs: Vec<ScenarioSpec> = [
+        Family::StaircaseDiamond,
+        Family::Crenellated,
+        Family::Comb,
+        Family::Skyline,
+    ]
+    .iter()
+    .map(|&fam| ScenarioSpec::audited(fam, e.audit_n(), 4))
+    .collect();
+    for r in run_batch(&specs) {
+        let s = r.audit.as_ref().expect("audited spec");
         // Progress pairs are exactly good pairs started in mergeless
         // windows; lemma1_violations counts mergeless windows without one.
         let without = s.lemma1_violations.len();
         let with = s.progress_pairs;
         t.row(vec![
-            fam.name().to_string(),
-            n.to_string(),
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
             (with + without).to_string(),
             with.to_string(),
             without.to_string(),
@@ -236,21 +326,43 @@ pub fn t7_baselines(e: Effort) -> Table {
     let mut t = Table::new(
         "T7",
         "Baselines: rounds to gather (same inputs)",
-        &["family", "n", "paper (local)", "global-vision", "compass-se", "naive-local*"],
+        &[
+            "family",
+            "n",
+            "paper (local)",
+            "global-vision",
+            "compass-se",
+            "naive-local*",
+        ],
     );
+    const RACE: [StrategyKind; 3] = [
+        StrategyKind::GlobalVision,
+        StrategyKind::CompassSe,
+        StrategyKind::NaiveLocal,
+    ];
     let size = e.audit_n();
-    for fam in [Family::Rectangle, Family::Skyline, Family::RandomLoop, Family::HairpinFlower] {
-        let mk = || fam.generate(size, 5);
-        let n = mk().len();
-        let fmt = |r: GatherRun| match r.outcome {
-            chain_sim::Outcome::Gathered { rounds } => rounds.to_string(),
-            _ => "stall".to_string(),
-        };
-        let paper = fmt(measure_gathering(mk(), GatherConfig::paper()));
-        let gv = fmt(measure_strategy(mk(), GlobalVision::new()));
-        let se = fmt(measure_strategy(mk(), CompassSe::new()));
-        let nl = fmt(measure_strategy(mk(), NaiveLocal::new()));
-        t.row(vec![fam.name().to_string(), n.to_string(), paper, gv, se, nl]);
+    let specs: Vec<ScenarioSpec> = [
+        Family::Rectangle,
+        Family::Skyline,
+        Family::RandomLoop,
+        Family::HairpinFlower,
+    ]
+    .iter()
+    .flat_map(|&fam| {
+        std::iter::once(ScenarioSpec::paper(fam, size, 5)).chain(
+            RACE.iter()
+                .map(move |&kind| ScenarioSpec::strategy(fam, size, 5, kind)),
+        )
+    })
+    .collect();
+    let results = run_batch(&specs);
+    for group in results.chunks(1 + RACE.len()) {
+        let mut row = vec![
+            group[0].spec.family.name().to_string(),
+            group[0].n.to_string(),
+        ];
+        row.extend(group.iter().map(outcome_cell));
+        t.row(row);
     }
     t.note("Global vision gathers in Θ(diameter) — the information the local model lacks. *naive-local needs a global safety oracle (inadmissible); shown for reference.");
     t
@@ -262,29 +374,83 @@ pub fn t8_open_vs_closed(e: Effort) -> Table {
     let mut t = Table::new(
         "T8",
         "Open-chain zip [KM09 setting] vs closed-chain algorithm (same geometry)",
-        &["family", "n", "open zip rounds", "closed rounds", "closed/open"],
+        &[
+            "family",
+            "n",
+            "open zip rounds",
+            "closed rounds",
+            "closed/open",
+        ],
     );
-    for fam in [Family::Rectangle, Family::Skyline, Family::Comb] {
-        for &size in &e.sizes()[..e.sizes().len().min(4)] {
-            let chain = fam.generate(size, 6);
-            let n = chain.len();
-            let open = OpenChain::from_closed_positions(chain.positions()).expect("valid");
-            let zip = open_chain_zip(open, 64 * n as u64);
-            let closed = measure_gathering(chain, GatherConfig::paper());
-            let closed_rounds = closed.rounds();
-            let ratio = closed_rounds
-                .map(|r| format!("{:.1}", r as f64 / zip.rounds.max(1) as f64))
-                .unwrap_or_else(|| "-".into());
-            t.row(vec![
-                fam.name().to_string(),
-                n.to_string(),
-                zip.rounds.to_string(),
-                closed_rounds.map(|r| r.to_string()).unwrap_or("stall".into()),
-                ratio,
-            ]);
-        }
+    let specs: Vec<ScenarioSpec> = [Family::Rectangle, Family::Skyline, Family::Comb]
+        .iter()
+        .flat_map(|&fam| {
+            e.sizes()[..e.sizes().len().min(4)]
+                .iter()
+                .flat_map(move |&size| {
+                    [
+                        ScenarioSpec::strategy(fam, size, 6, StrategyKind::OpenZip),
+                        ScenarioSpec::paper(fam, size, 6),
+                    ]
+                })
+        })
+        .collect();
+    let results = run_batch(&specs);
+    for pair in results.chunks(2) {
+        let (zip, closed) = (&pair[0], &pair[1]);
+        let zip_rounds = zip.open.expect("zip detail").rounds;
+        let ratio = closed
+            .rounds()
+            .map(|r| format!("{:.1}", r as f64 / zip_rounds.max(1) as f64))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            closed.spec.family.name().to_string(),
+            closed.n.to_string(),
+            zip_rounds.to_string(),
+            outcome_cell(closed),
+            ratio,
+        ]);
     }
     t.note("Both linear; the closed chain's factor is the price of indistinguishable robots (no endpoints).");
+    t
+}
+
+/// T8b — the Manhattan Hopper [KM09]: fixed-endpoint open chains reach
+/// the optimal (Manhattan-shortest) length.
+pub fn t8b_hopper(e: Effort) -> Table {
+    let mut t = Table::new(
+        "T8b",
+        "Manhattan Hopper [KM09 setting]: open chain with fixed endpoints reaches optimal length",
+        &[
+            "family (cut open)",
+            "n",
+            "rounds",
+            "final len",
+            "optimal len",
+            "optimal?",
+        ],
+    );
+    let specs: Vec<ScenarioSpec> = [Family::Skyline, Family::Comb, Family::StaircaseDiamond]
+        .iter()
+        .map(|&fam| ScenarioSpec::strategy(fam, e.audit_n(), 7, StrategyKind::Hopper))
+        .collect();
+    for r in run_batch(&specs) {
+        let out = r.open.expect("hopper detail");
+        let optimal = out.optimal_len.expect("hopper reports the optimum");
+        t.row(vec![
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
+            out.rounds.to_string(),
+            out.final_len.to_string(),
+            optimal.to_string(),
+            if out.final_len == optimal {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    t.note("[KM09]'s grid result: the open chain contracts to a Manhattan-shortest path between its fixed endpoints.");
     t
 }
 
@@ -297,7 +463,12 @@ pub fn t9_ablation(e: Effort) -> Table {
     );
     let suite: Vec<(Family, usize, u64)> = {
         let mut v = Vec::new();
-        for fam in [Family::Rectangle, Family::Skyline, Family::RandomLoop, Family::StaircaseDiamond] {
+        for fam in [
+            Family::Rectangle,
+            Family::Skyline,
+            Family::RandomLoop,
+            Family::StaircaseDiamond,
+        ] {
             for seed in 0..e.seeds().min(3) {
                 v.push((fam, e.audit_n() / 2, seed));
             }
@@ -306,59 +477,82 @@ pub fn t9_ablation(e: Effort) -> Table {
     };
     let configs: Vec<(String, GatherConfig)> = vec![
         ("paper (L=13,V=11,k=10)".into(), GatherConfig::paper()),
-        ("L=7".into(), GatherConfig { l_period: 7, ..GatherConfig::paper() }),
-        ("L=26".into(), GatherConfig { l_period: 26, ..GatherConfig::paper() }),
-        ("V=7".into(), GatherConfig { view: 7, max_merge_k: 6, ..GatherConfig::paper() }),
-        ("V=15".into(), GatherConfig { view: 15, max_merge_k: 14, ..GatherConfig::paper() }),
+        (
+            "L=7".into(),
+            GatherConfig {
+                l_period: 7,
+                ..GatherConfig::paper()
+            },
+        ),
+        (
+            "L=26".into(),
+            GatherConfig {
+                l_period: 26,
+                ..GatherConfig::paper()
+            },
+        ),
+        (
+            "V=7".into(),
+            GatherConfig {
+                view: 7,
+                max_merge_k: 6,
+                ..GatherConfig::paper()
+            },
+        ),
+        (
+            "V=15".into(),
+            GatherConfig {
+                view: 15,
+                max_merge_k: 14,
+                ..GatherConfig::paper()
+            },
+        ),
         ("k=2 (proof mode)".into(), GatherConfig::proof_mode()),
-        ("k=3".into(), GatherConfig { max_merge_k: 3, ..GatherConfig::paper() }),
-        ("no op-c walk".into(), GatherConfig { op_c_walk: false, ..GatherConfig::paper() }),
-        ("no cond2 guard".into(), GatherConfig { cond2_guard: false, ..GatherConfig::paper() }),
+        (
+            "k=3".into(),
+            GatherConfig {
+                max_merge_k: 3,
+                ..GatherConfig::paper()
+            },
+        ),
+        (
+            "no op-c walk".into(),
+            GatherConfig {
+                op_c_walk: false,
+                ..GatherConfig::paper()
+            },
+        ),
+        (
+            "no cond2 guard".into(),
+            GatherConfig {
+                cond2_guard: false,
+                ..GatherConfig::paper()
+            },
+        ),
     ];
-    for (name, cfg) in configs {
-        let runs: Vec<GatherRun> = par_map(suite.clone(), |&(fam, n, seed)| {
-            measure_gathering(fam.generate(n, seed), cfg)
-        });
-        let gathered = runs.iter().filter(|r| r.outcome.is_gathered()).count();
-        let worst = runs
+    let specs: Vec<ScenarioSpec> = configs
+        .iter()
+        .flat_map(|(_, cfg)| {
+            suite
+                .iter()
+                .map(move |&(fam, n, seed)| ScenarioSpec::with_config(fam, n, seed, *cfg))
+        })
+        .collect();
+    let results = run_batch(&specs);
+    for ((name, _), group) in configs.iter().zip(results.chunks(suite.len())) {
+        let gathered = group.iter().filter(|r| r.is_gathered()).count();
+        let worst = group
             .iter()
             .filter_map(|r| r.rounds().map(|x| x as f64 / r.n as f64))
             .fold(0.0f64, f64::max);
         t.row(vec![
-            name,
+            name.clone(),
             gathered.to_string(),
-            runs.len().to_string(),
+            group.len().to_string(),
             format!("{worst:.2}"),
         ]);
     }
     t.note("Expected: k=2 stalls (odd remnants are unmergeable and unfoldable — the Lemma 1 proof's k≤2 is analytical, not algorithmic); k≥3 and all L/V variants gather.");
-    t
-}
-
-/// T8b — the Manhattan Hopper [KM09]: fixed-endpoint open chains reach
-/// the optimal (Manhattan-shortest) length.
-pub fn t8b_hopper(e: Effort) -> Table {
-    let mut t = Table::new(
-        "T8b",
-        "Manhattan Hopper [KM09 setting]: open chain with fixed endpoints reaches optimal length",
-        &["family (cut open)", "n", "rounds", "final len", "optimal len", "optimal?"],
-    );
-    for fam in [Family::Skyline, Family::Comb, Family::StaircaseDiamond] {
-        let chain = fam.generate(e.audit_n(), 7);
-        // Cut the loop open; endpoints anchor where the cut happened.
-        let open = OpenChain::from_closed_positions(chain.positions()).expect("valid");
-        let n = open.len();
-        let out = baselines::manhattan_hopper(open, 64 * n as u64);
-        t.row(vec![
-            fam.name().to_string(),
-            n.to_string(),
-            out.rounds.to_string(),
-            out.final_len.to_string(),
-            out.optimal_len.to_string(),
-            if out.is_optimal() { "yes".into() } else { "NO".to_string() },
-        ]);
-    }
-    t.note("[KM09]'s grid result: the open chain contracts to a Manhattan-shortest path between its fixed endpoints.");
     t
 }
 
@@ -370,17 +564,22 @@ pub fn t10_suppression(e: Effort) -> Table {
         "Oscillation suppression activity (symmetry breaker for closed merge-interference cycles)",
         &["family", "n", "rounds", "suppression triggers", "gathered?"],
     );
-    for fam in Family::ALL {
-        let chain = fam.generate(e.audit_n(), 2);
-        let n = chain.len();
-        let mut sim = chain_sim::Sim::new(chain, gathering_core::ClosedChainGathering::paper());
-        let outcome = sim.run(chain_sim::RunLimits::for_chain_len(n));
+    let specs: Vec<ScenarioSpec> = Family::ALL
+        .iter()
+        .map(|&fam| ScenarioSpec::paper(fam, e.audit_n(), 2))
+        .collect();
+    for r in run_batch(&specs) {
+        let stats = r.stats.as_ref().expect("paper runs carry stats");
         t.row(vec![
-            fam.name().to_string(),
-            n.to_string(),
-            outcome.rounds().to_string(),
-            sim.strategy().stats().suppressions.to_string(),
-            if outcome.is_gathered() { "yes".into() } else { "NO".to_string() },
+            r.spec.family.name().to_string(),
+            r.n.to_string(),
+            r.outcome.rounds().to_string(),
+            stats.suppressions.to_string(),
+            if r.is_gathered() {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t.note("Suppression fires on period-2 swap states (closed interference cycles, common in late-stage dense blobs), stays dormant elsewhere, and every input still gathers.");
@@ -419,5 +618,18 @@ mod tests {
         let t = t7_baselines(Effort::Quick);
         assert_eq!(t.header.len(), 6);
         assert!(!t.rows.is_empty());
+    }
+
+    #[test]
+    fn quick_t1_groups_by_family_and_size() {
+        let e = Effort::Quick;
+        let t = t1_theorem1(e);
+        assert_eq!(t.rows.len(), Family::ALL.len() * e.sizes().len());
+    }
+
+    #[test]
+    fn quick_t9_has_one_row_per_config() {
+        let t = t9_ablation(Effort::Quick);
+        assert_eq!(t.rows.len(), 9);
     }
 }

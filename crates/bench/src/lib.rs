@@ -1,8 +1,8 @@
 //! # bench
 //!
 //! The experiment harness regenerating the paper's evaluation (DESIGN.md
-//! §4, tables T1–T9) plus criterion performance benches for the simulator
-//! itself.
+//! §4, tables T1–T10) plus wall-clock performance benches for the
+//! simulator itself.
 //!
 //! The same experiment code backs three entry points:
 //!
@@ -11,23 +11,29 @@
 //! * `cargo bench -p bench --bench paper_experiments` — same tables under
 //!   `cargo bench --workspace` so the paper artifacts regenerate with the
 //!   benches,
-//! * `cargo bench -p bench --bench engine_perf` — criterion micro/macro
-//!   benches (rounds/sec, robot-rounds/sec).
+//! * `cargo bench -p bench --bench engine_perf` — wall-clock micro/macro
+//!   benches (rounds/sec, robot-rounds/sec, batch scaling across cores).
 //!
-//! Sweeps fan out over worker threads with `crossbeam::scope`; results are
-//! aggregated under a `parking_lot::Mutex` (see the perf-book guidance on
-//! simple data-parallel sweeps).
+//! Every experiment flows through the unified [`scenario`] pipeline: tables
+//! enumerate [`ScenarioSpec`]s and consume [`ScenarioResult`]s from
+//! [`run_batch`], which fans out over std's scoped threads.
 
 pub mod experiments;
+pub mod scenario;
 pub mod table;
 
 pub use experiments::{all_tables, Effort};
+pub use scenario::{
+    run_batch, run_batch_with, run_scenario, BatchOptions, LimitPolicy, OpenChainOutcome,
+    ScenarioResult, ScenarioSpec, StrategyKind,
+};
 pub use table::Table;
 
-use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy};
+use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy, TraceConfig};
 use gathering_core::{ClosedChainGathering, GatherConfig};
 
-/// One gathering measurement.
+/// One gathering measurement (single-run convenience API; sweeps should go
+/// through [`run_batch`]).
 #[derive(Clone, Debug)]
 pub struct GatherRun {
     pub n: usize,
@@ -45,12 +51,14 @@ impl GatherRun {
     }
 }
 
-/// Run the paper's algorithm on a chain and collect the round trace
-/// summary.
+/// Run the paper's algorithm on a chain and collect the trace summary.
+/// Limits derive from the config's `L` via [`RunLimits::for_gathering`] —
+/// the one constructor every limit derivation routes through.
 pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
     let n = chain.len();
-    let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
-    let outcome = sim.run(RunLimits::for_chain_len(n));
+    let mut sim =
+        Sim::new(chain, ClosedChainGathering::new(cfg)).with_trace(TraceConfig::headless());
+    let outcome = sim.run(RunLimits::for_gathering(n, cfg.l_period));
     let trace = sim.trace();
     GatherRun {
         n,
@@ -60,15 +68,13 @@ pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
     }
 }
 
-/// Run an arbitrary strategy to completion with generous limits.
+/// Run an arbitrary strategy to completion with generous diameter-derived
+/// limits ([`RunLimits::generous`]).
 pub fn measure_strategy<S: Strategy>(chain: ClosedChain, strategy: S) -> GatherRun {
     let n = chain.len();
-    let d = chain.bounding().diameter().max(4) as u64;
-    let mut sim = Sim::new(chain, strategy);
-    let outcome = sim.run(RunLimits {
-        max_rounds: 16 * n as u64 * d + 4096,
-        stall_window: 8 * n as u64 * d + 2048,
-    });
+    let d = chain.bounding().diameter() as u64;
+    let mut sim = Sim::new(chain, strategy).with_trace(TraceConfig::headless());
+    let outcome = sim.run(RunLimits::generous(n, d));
     let trace = sim.trace();
     GatherRun {
         n,
@@ -76,37 +82,6 @@ pub fn measure_strategy<S: Strategy>(chain: ClosedChain, strategy: S) -> GatherR
         merges_total: trace.total_removed(),
         longest_gap: trace.longest_mergeless_gap(),
     }
-}
-
-/// Parallel map over independent experiment inputs, preserving order.
-pub fn par_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send + Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(inputs.len().max(1));
-    let results = parking_lot::Mutex::new(Vec::with_capacity(inputs.len()));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                results.lock().push((i, out));
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut indexed = results.into_inner();
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, o)| o).collect()
 }
 
 #[cfg(test)]
@@ -115,17 +90,17 @@ mod tests {
     use workloads::Family;
 
     #[test]
-    fn par_map_preserves_order() {
-        let inputs: Vec<u64> = (0..64).collect();
-        let out = par_map(inputs.clone(), |x| x * 2);
-        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
     fn measure_gathering_smoke() {
         let chain = Family::Rectangle.generate(40, 0);
         let run = measure_gathering(chain, GatherConfig::paper());
         assert!(run.outcome.is_gathered());
         assert!(run.merges_total > 0);
+    }
+
+    #[test]
+    fn measure_strategy_runs_baselines() {
+        let chain = Family::Rectangle.generate(32, 0);
+        let run = measure_strategy(chain, baselines::GlobalVision::new());
+        assert!(run.outcome.is_gathered());
     }
 }

@@ -1,0 +1,513 @@
+//! The unified scenario pipeline.
+//!
+//! Every experiment in the harness — every cell of every table T1–T10 — is
+//! one [`ScenarioSpec`]: a workload family, a target size, a seed, a
+//! strategy from the registry ([`StrategyKind`]), and a limit policy. The
+//! batch executor [`run_batch`] fans a spec list out over worker threads
+//! (std's scoped threads with an atomic work queue — self-balancing, no
+//! locks, order-preserving) and returns one [`ScenarioResult`] per spec.
+//!
+//! The registry covers the paper's algorithm, the four closed-chain
+//! baselines of Section 1 (behind one `Box<dyn Strategy>` factory), the
+//! audited paper runs that feed the Lemma tables, and the two open-chain
+//! \[KM09\] settings (zip, Manhattan hopper) the paper generalizes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use baselines::{manhattan_hopper, open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
+use chain_sim::strategy::Stand;
+use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, Sim, Strategy, TraceConfig};
+use gathering_core::audit::{audited_run, AuditSummary};
+use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
+use workloads::Family;
+
+/// The strategy registry: everything the pipeline can run on a scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StrategyKind {
+    /// The paper's local gathering algorithm with the given configuration.
+    Paper(GatherConfig),
+    /// The paper's algorithm with the Lemma auditors attached (event
+    /// recording on; [`ScenarioResult::audit`] is populated).
+    PaperAudited(GatherConfig),
+    /// Baseline: global smallest-enclosing-square vision.
+    GlobalVision,
+    /// Baseline: global compass, drain to the south-east.
+    CompassSe,
+    /// Baseline: midpoint pull with a global safety oracle (inadmissible;
+    /// measured for reference).
+    NaiveLocal,
+    /// Baseline: nobody moves (degenerate control).
+    Stand,
+    /// \[KM09\] setting: the chain cut open, endpoints zip inward.
+    OpenZip,
+    /// \[KM09\] setting: fixed-endpoint Manhattan hopper.
+    Hopper,
+}
+
+impl StrategyKind {
+    /// Paper algorithm with the canonical configuration.
+    pub fn paper() -> Self {
+        StrategyKind::Paper(GatherConfig::paper())
+    }
+
+    /// Registry name (stable, used in table headers and trace labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Paper(_) => "paper",
+            StrategyKind::PaperAudited(_) => "paper-audited",
+            StrategyKind::GlobalVision => "global-vision",
+            StrategyKind::CompassSe => "compass-se",
+            StrategyKind::NaiveLocal => "naive-local",
+            StrategyKind::Stand => "stand",
+            StrategyKind::OpenZip => "open-zip",
+            StrategyKind::Hopper => "hopper",
+        }
+    }
+
+    /// The closed-chain strategy factory: the paper's algorithm and all
+    /// four baselines behind one object-safe interface. Returns `None` for
+    /// the kinds that do not run on the closed-chain engine (audited runs
+    /// drive their own loop; the open-chain settings have no `Strategy`).
+    pub fn build(&self) -> Option<Box<dyn Strategy + Send>> {
+        match self {
+            StrategyKind::Paper(cfg) => Some(Box::new(ClosedChainGathering::new(*cfg))),
+            StrategyKind::GlobalVision => Some(Box::new(GlobalVision::new())),
+            StrategyKind::CompassSe => Some(Box::new(CompassSe::new())),
+            StrategyKind::NaiveLocal => Some(Box::new(NaiveLocal::new())),
+            StrategyKind::Stand => Some(Box::new(Stand)),
+            StrategyKind::PaperAudited(_) | StrategyKind::OpenZip | StrategyKind::Hopper => None,
+        }
+    }
+}
+
+/// How a scenario's run limits are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitPolicy {
+    /// Derive from the strategy and the *generated* chain: the paper's
+    /// algorithm gets [`RunLimits::for_gathering`] with its config's `L`,
+    /// diameter-bound baselines get [`RunLimits::generous`].
+    Auto,
+    /// Use exactly these limits.
+    Fixed(RunLimits),
+}
+
+/// One cell of the experiment grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    pub family: Family,
+    /// Target robot count (the family's `generate` treats it as a hint;
+    /// the generated chain's `len()` is authoritative and lands in
+    /// [`ScenarioResult::n`]).
+    pub n: usize,
+    pub seed: u64,
+    pub strategy: StrategyKind,
+    pub limits: LimitPolicy,
+}
+
+impl ScenarioSpec {
+    /// Paper algorithm, canonical config, automatic limits.
+    pub fn paper(family: Family, n: usize, seed: u64) -> Self {
+        Self::with_config(family, n, seed, GatherConfig::paper())
+    }
+
+    /// Paper algorithm with a custom (e.g. ablated) configuration.
+    pub fn with_config(family: Family, n: usize, seed: u64, cfg: GatherConfig) -> Self {
+        ScenarioSpec {
+            family,
+            n,
+            seed,
+            strategy: StrategyKind::Paper(cfg),
+            limits: LimitPolicy::Auto,
+        }
+    }
+
+    /// Audited paper run (Lemma instrumentation on).
+    pub fn audited(family: Family, n: usize, seed: u64) -> Self {
+        ScenarioSpec {
+            family,
+            n,
+            seed,
+            strategy: StrategyKind::PaperAudited(GatherConfig::paper()),
+            limits: LimitPolicy::Auto,
+        }
+    }
+
+    /// Any registry strategy with automatic limits.
+    pub fn strategy(family: Family, n: usize, seed: u64, strategy: StrategyKind) -> Self {
+        ScenarioSpec {
+            family,
+            n,
+            seed,
+            strategy,
+            limits: LimitPolicy::Auto,
+        }
+    }
+
+    /// Generate this scenario's input chain (pure in `(family, n, seed)`).
+    pub fn generate(&self) -> ClosedChain {
+        self.family.generate(self.n, self.seed)
+    }
+
+    fn resolve_limits(&self, chain: &ClosedChain) -> RunLimits {
+        match self.limits {
+            LimitPolicy::Fixed(l) => l,
+            LimitPolicy::Auto => {
+                let n = chain.len();
+                match self.strategy {
+                    StrategyKind::Paper(cfg) | StrategyKind::PaperAudited(cfg) => {
+                        RunLimits::for_gathering(n, cfg.l_period)
+                    }
+                    StrategyKind::GlobalVision
+                    | StrategyKind::CompassSe
+                    | StrategyKind::NaiveLocal
+                    | StrategyKind::Stand => {
+                        RunLimits::generous(n, chain.bounding().diameter() as u64)
+                    }
+                    StrategyKind::OpenZip | StrategyKind::Hopper => {
+                        let n = n as u64;
+                        RunLimits {
+                            max_rounds: 64 * n,
+                            stall_window: 64 * n,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extra outcome detail for the open-chain settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenChainOutcome {
+    pub rounds: u64,
+    pub final_len: usize,
+    /// The Manhattan optimum between the fixed endpoints (hopper only).
+    pub optimal_len: Option<usize>,
+}
+
+/// What one scenario produced.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The spec that produced this result (specs are `Copy`; the echo
+    /// makes batch results self-describing for grouping).
+    pub spec: ScenarioSpec,
+    /// Actual generated chain length.
+    pub n: usize,
+    pub outcome: Outcome,
+    /// Total robots removed by merges over the run.
+    pub merges_total: usize,
+    /// Longest mergeless gap (rounds), the Theorem 1 progress measure.
+    pub longest_gap: u64,
+    /// Run statistics of the paper's strategy (Paper kinds only).
+    pub stats: Option<RunStats>,
+    /// Lemma audit summary (PaperAudited only).
+    pub audit: Option<AuditSummary>,
+    /// Open-chain detail (OpenZip / Hopper only).
+    pub open: Option<OpenChainOutcome>,
+    /// Wall-clock time of this scenario alone.
+    pub wall: Duration,
+}
+
+impl ScenarioResult {
+    pub fn is_gathered(&self) -> bool {
+        self.outcome.is_gathered()
+    }
+
+    /// Rounds to gather, if the scenario gathered.
+    pub fn rounds(&self) -> Option<u64> {
+        match self.outcome {
+            Outcome::Gathered { rounds } => Some(rounds),
+            _ => None,
+        }
+    }
+
+    /// Fingerprint for determinism checks: everything that must be a pure
+    /// function of the spec.
+    pub fn fingerprint(&self) -> (usize, u64, usize, u64) {
+        (
+            self.n,
+            self.outcome.rounds(),
+            self.merges_total,
+            self.longest_gap,
+        )
+    }
+}
+
+/// Run one scenario to completion.
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
+    let t0 = Instant::now();
+    let chain = spec.generate();
+    let n = chain.len();
+    let limits = spec.resolve_limits(&chain);
+
+    let (outcome, merges_total, longest_gap, stats, audit, open) = match spec.strategy {
+        StrategyKind::Paper(cfg) => {
+            let mut sim =
+                Sim::new(chain, ClosedChainGathering::new(cfg)).with_trace(TraceConfig::headless());
+            let outcome = sim.run(limits);
+            let trace = sim.trace();
+            (
+                outcome,
+                trace.total_removed(),
+                trace.longest_mergeless_gap(),
+                Some(sim.strategy().stats().clone()),
+                None,
+                None,
+            )
+        }
+        StrategyKind::PaperAudited(cfg) => {
+            let (outcome, summary) = audited_run(chain, cfg, limits.max_rounds);
+            (
+                outcome,
+                summary.total_merged_robots,
+                summary.longest_mergeless_gap,
+                None,
+                Some(summary),
+                None,
+            )
+        }
+        StrategyKind::GlobalVision
+        | StrategyKind::CompassSe
+        | StrategyKind::NaiveLocal
+        | StrategyKind::Stand => {
+            let strategy = spec
+                .strategy
+                .build()
+                .expect("closed-chain kinds always build");
+            let mut sim = Sim::new(chain, strategy).with_trace(TraceConfig::headless());
+            let outcome = sim.run(limits);
+            let trace = sim.trace();
+            (
+                outcome,
+                trace.total_removed(),
+                trace.longest_mergeless_gap(),
+                None,
+                None,
+                None,
+            )
+        }
+        StrategyKind::OpenZip => {
+            let open = OpenChain::from_closed_positions(chain.positions())
+                .expect("family chains cut open cleanly");
+            let zip = open_chain_zip(open, limits.max_rounds);
+            let outcome = if zip.gathered {
+                Outcome::Gathered { rounds: zip.rounds }
+            } else {
+                Outcome::RoundLimit { rounds: zip.rounds }
+            };
+            let removed = n - zip.final_len;
+            (
+                outcome,
+                removed,
+                0,
+                None,
+                None,
+                Some(OpenChainOutcome {
+                    rounds: zip.rounds,
+                    final_len: zip.final_len,
+                    optimal_len: None,
+                }),
+            )
+        }
+        StrategyKind::Hopper => {
+            let open = OpenChain::from_closed_positions(chain.positions())
+                .expect("family chains cut open cleanly");
+            let out = manhattan_hopper(open, limits.max_rounds);
+            let outcome = if out.is_optimal() {
+                Outcome::Gathered { rounds: out.rounds }
+            } else {
+                Outcome::RoundLimit { rounds: out.rounds }
+            };
+            let removed = n - out.final_len;
+            (
+                outcome,
+                removed,
+                0,
+                None,
+                None,
+                Some(OpenChainOutcome {
+                    rounds: out.rounds,
+                    final_len: out.final_len,
+                    optimal_len: Some(out.optimal_len),
+                }),
+            )
+        }
+    };
+
+    ScenarioResult {
+        spec: *spec,
+        n,
+        outcome,
+        merges_total,
+        longest_gap,
+        stats,
+        audit,
+        open,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Executor knobs for [`run_batch_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+}
+
+impl BatchOptions {
+    pub fn threads(threads: usize) -> Self {
+        BatchOptions { threads }
+    }
+
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.min(jobs.max(1))
+    }
+}
+
+/// Run every scenario of a batch, in parallel, preserving input order.
+pub fn run_batch(specs: &[ScenarioSpec]) -> Vec<ScenarioResult> {
+    run_batch_with(specs, BatchOptions::default())
+}
+
+/// [`run_batch`] with explicit executor options.
+///
+/// Work distribution is an atomic next-index queue over scoped threads:
+/// self-balancing like a work-stealing pool for this shape of workload
+/// (independent jobs, one queue), with no locks and no result reordering —
+/// each worker returns its `(index, result)` pairs and the batch is
+/// reassembled positionally.
+pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<ScenarioResult> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = opts.effective_threads(specs.len());
+    if threads <= 1 {
+        return specs.iter().map(run_scenario).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ScenarioResult>> = specs.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, ScenarioResult)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        local.push((i, run_scenario(&specs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, result) in worker.join().expect("scenario worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_preserves_order_and_matches_serial() {
+        let specs: Vec<ScenarioSpec> = (0..8)
+            .map(|seed| ScenarioSpec::paper(Family::Rectangle, 32 + 4 * seed as usize, seed))
+            .collect();
+        let parallel = run_batch(&specs);
+        let serial = run_batch_with(&specs, BatchOptions::threads(1));
+        assert_eq!(parallel.len(), specs.len());
+        for ((p, s), spec) in parallel.iter().zip(&serial).zip(&specs) {
+            assert_eq!(p.spec, *spec);
+            assert_eq!(p.fingerprint(), s.fingerprint());
+            assert!(p.is_gathered());
+        }
+    }
+
+    #[test]
+    fn registry_builds_paper_and_all_baselines() {
+        let kinds = [
+            StrategyKind::paper(),
+            StrategyKind::GlobalVision,
+            StrategyKind::CompassSe,
+            StrategyKind::NaiveLocal,
+            StrategyKind::Stand,
+        ];
+        let chain = Family::Rectangle.generate(16, 0);
+        for kind in kinds {
+            let mut strategy = kind.build().expect("closed-chain strategy");
+            strategy.init(&chain);
+            assert!(!strategy.name().is_empty());
+        }
+        assert!(StrategyKind::OpenZip.build().is_none());
+        assert!(StrategyKind::Hopper.build().is_none());
+    }
+
+    #[test]
+    fn boxed_paper_runs_on_the_engine() {
+        let chain = Family::Rectangle.generate(24, 0);
+        let n = chain.len();
+        let strategy = StrategyKind::paper().build().unwrap();
+        let mut sim = Sim::new(chain, strategy).with_trace(TraceConfig::headless());
+        let outcome = sim.run(RunLimits::for_chain_len(n));
+        assert!(outcome.is_gathered());
+    }
+
+    #[test]
+    fn audited_scenario_produces_summary() {
+        let spec = ScenarioSpec::audited(Family::Rectangle, 48, 0);
+        let r = run_scenario(&spec);
+        assert!(r.is_gathered());
+        let audit = r.audit.expect("audited runs carry a summary");
+        assert!(audit.clean(), "rectangle audits must be clean");
+        assert_eq!(r.merges_total, audit.total_merged_robots);
+    }
+
+    #[test]
+    fn open_chain_scenarios_report_detail() {
+        let zip = run_scenario(&ScenarioSpec::strategy(
+            Family::Rectangle,
+            32,
+            0,
+            StrategyKind::OpenZip,
+        ));
+        assert!(zip.open.is_some());
+        assert!(zip.rounds().is_some());
+        let hop = run_scenario(&ScenarioSpec::strategy(
+            Family::Skyline,
+            32,
+            7,
+            StrategyKind::Hopper,
+        ));
+        let detail = hop.open.expect("hopper detail");
+        assert!(detail.optimal_len.is_some());
+    }
+
+    #[test]
+    fn determinism_same_spec_same_fingerprint() {
+        let specs: Vec<ScenarioSpec> = Family::ALL
+            .iter()
+            .map(|&family| ScenarioSpec::paper(family, 40, 3))
+            .collect();
+        let a = run_batch(&specs);
+        let b = run_batch(&specs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fingerprint(), y.fingerprint(), "{:?}", x.spec);
+        }
+    }
+}

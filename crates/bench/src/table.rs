@@ -25,7 +25,8 @@ impl Table {
 
     pub fn row<S: ToString>(&mut self, cells: Vec<S>) {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     pub fn note(&mut self, s: impl Into<String>) {
@@ -80,7 +81,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.header))?;
-        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

@@ -12,19 +12,14 @@
 
 use crate::robot::RobotId;
 use grid_geom::{chain_adjacent, Offset, Point, Rect};
-use serde::{Deserialize, Serialize};
 
 /// Errors detected by [`ClosedChain::validate`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChainError {
     /// Fewer than 2 robots cannot form a (meaningful) closed chain.
     TooShort { len: usize },
     /// Chain neighbors further than one grid step apart — the chain broke.
-    Disconnected {
-        index: usize,
-        a: Point,
-        b: Point,
-    },
+    Disconnected { index: usize, a: Point, b: Point },
     /// Chain neighbors on the same point outside a merge pass (the chain
     /// must be taut between rounds).
     CoincidentNeighbors { index: usize, at: Point },
@@ -37,10 +32,16 @@ impl std::fmt::Display for ChainError {
         match self {
             ChainError::TooShort { len } => write!(f, "chain too short: {len} robots"),
             ChainError::Disconnected { index, a, b } => {
-                write!(f, "chain disconnected between index {index} at {a} and its successor at {b}")
+                write!(
+                    f,
+                    "chain disconnected between index {index} at {a} and its successor at {b}"
+                )
             }
             ChainError::CoincidentNeighbors { index, at } => {
-                write!(f, "chain neighbors {index} and successor coincide at {at} outside a merge pass")
+                write!(
+                    f,
+                    "chain neighbors {index} and successor coincide at {at} outside a merge pass"
+                )
             }
             ChainError::IllegalHop { index, hop } => {
                 write!(f, "illegal hop {hop} for robot at index {index}")
@@ -53,7 +54,7 @@ impl std::error::Error for ChainError {}
 
 /// One merge of the merge pass: `removed` robots were spliced out because
 /// they coincided with chain neighbor `keeper`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MergeEvent {
     /// Id of the surviving robot of the coincidence group.
     pub keeper: RobotId,
@@ -105,11 +106,10 @@ impl SpliceLog {
 }
 
 /// The closed chain of robots (struct-of-arrays layout: positions and ids).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClosedChain {
     pos: Vec<Point>,
     id: Vec<RobotId>,
-    next_id: u64,
 }
 
 impl ClosedChain {
@@ -122,7 +122,6 @@ impl ClosedChain {
         let chain = ClosedChain {
             id: (0..n as u64).map(RobotId).collect(),
             pos: positions,
-            next_id: n as u64,
         };
         chain.validate()?;
         Ok(chain)
@@ -206,7 +205,11 @@ impl ClosedChain {
         if n < 2 {
             // A chain of 1 robot is the fully merged terminal state; treat
             // length 0/1 as valid terminals except for construction.
-            return if n == 1 { Ok(()) } else { Err(ChainError::TooShort { len: n }) };
+            return if n == 1 {
+                Ok(())
+            } else {
+                Err(ChainError::TooShort { len: n })
+            };
         }
         for i in 0..n {
             let a = self.pos[i];
@@ -275,7 +278,11 @@ impl ClosedChain {
             let removed: Vec<RobotId> = self.id[1..].to_vec();
             log.removed_indices.extend(1..n);
             log.keeper_indices.extend(std::iter::repeat_n(0, n - 1));
-            log.events.push(MergeEvent { keeper, removed, at });
+            log.events.push(MergeEvent {
+                keeper,
+                removed,
+                at,
+            });
             self.pos.truncate(1);
             self.id.truncate(1);
             return n - 1;
@@ -496,7 +503,12 @@ mod tests {
     fn merge_pass_handles_groups_of_three() {
         // Three consecutive robots on one point (Fig. 3b aftermath).
         let mut c = chain(&[(0, 0), (1, 0), (1, 1), (0, 1)]);
-        let hops = vec![Offset::ZERO, Offset::new(-1, 0), Offset::new(-1, -1), Offset::new(0, -1)];
+        let hops = vec![
+            Offset::ZERO,
+            Offset::new(-1, 0),
+            Offset::new(-1, -1),
+            Offset::new(0, -1),
+        ];
         c.apply_hops(&hops).unwrap();
         // Now all four robots are at (0,0).
         let mut log = SpliceLog::default();

@@ -4,34 +4,64 @@
 //! synchronous round at a time, enforcing the model: simultaneous hops,
 //! connectivity preservation, and the merge pass that implements the
 //! paper's chain-shortening progress measure.
+//!
+//! The round loop is the simulator's hot path. It performs no per-round
+//! allocation: the hop buffer and splice log are reused across rounds, the
+//! trace aggregates are folded in-place, and the full [`RoundReport`]
+//! (whose merge-event list owns heap memory) is built and *moved* into the
+//! trace only when [`TraceConfig::keep_reports`] asks for it.
 
-use crate::chain::{ChainError, ClosedChain, SpliceLog};
+use crate::chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
 use crate::strategy::Strategy;
 use crate::trace::{RoundReport, Trace, TraceConfig};
 use grid_geom::Offset;
 
 /// Limits for [`Sim::run`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunLimits {
     /// Hard cap on rounds; exceeding it is reported as
     /// [`Outcome::RoundLimit`].
     pub max_rounds: u64,
     /// If no merge happens for this many consecutive rounds the simulation
     /// is declared stalled. Theorem 1 implies a merge at least every
-    /// `(2L+1)·n` rounds for the paper's algorithm; the default derives a
-    /// generous bound from the chain length at start.
+    /// `(2L+1)·n` rounds for the paper's algorithm; the constructors derive
+    /// generous bounds from the chain length at start.
     pub stall_window: u64,
 }
 
 impl RunLimits {
-    /// Defaults derived from the chain length: round cap `64·n + 4096`,
-    /// stall window `32·n + 2048`. Far above the paper's `2Ln + n` bound —
-    /// hitting them indicates a real defect, not a tight constant.
-    pub fn for_chain_len(n: usize) -> Self {
+    /// Limits for the paper's algorithm with pipelining period `l_period`
+    /// (the config's `L`). Theorem 1 bounds the gathering at `2Ln + n`
+    /// rounds and the mergeless gap at `(2L+1)·n`; both limits add slack on
+    /// top, so tripping one indicates a real defect, not a tight constant.
+    ///
+    /// Every limit derivation in the workspace routes through this one
+    /// constructor (or [`RunLimits::generous`] for strategies without a
+    /// linear bound).
+    pub fn for_gathering(n: usize, l_period: u64) -> Self {
         let n = n as u64;
+        let theorem1 = 2 * l_period * n + n;
         RunLimits {
-            max_rounds: 64 * n + 4096,
-            stall_window: 32 * n + 2048,
+            max_rounds: 2 * theorem1 + 4096,
+            stall_window: theorem1 + n + 2048,
+        }
+    }
+
+    /// Defaults derived from the chain length with the paper's `L = 13`:
+    /// [`RunLimits::for_gathering`] with the canonical period.
+    pub fn for_chain_len(n: usize) -> Self {
+        Self::for_gathering(n, 13)
+    }
+
+    /// Generous limits for strategies whose round count scales with the
+    /// configuration's diameter rather than linearly in `n` (the global
+    /// and compass baselines).
+    pub fn generous(n: usize, diameter: u64) -> Self {
+        let n = n as u64;
+        let d = diameter.max(4);
+        RunLimits {
+            max_rounds: 16 * n * d + 4096,
+            stall_window: 8 * n * d + 2048,
         }
     }
 }
@@ -61,6 +91,29 @@ impl Outcome {
             | Outcome::Stalled { rounds, .. }
             | Outcome::ChainBroken { rounds, .. } => *rounds,
         }
+    }
+}
+
+/// Lightweight, allocation-free summary of one round — what [`Sim::step`]
+/// returns. The full [`RoundReport`] (with merge events) lands in the
+/// trace when report retention is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundSummary {
+    pub round: u64,
+    /// Number of robots that performed a nonzero hop.
+    pub moved: usize,
+    /// Robots removed by the merge pass this round.
+    pub removed: usize,
+    /// Chain length after the round.
+    pub len_after: usize,
+    /// `true` if the gathering criterion holds after the round.
+    pub gathered: bool,
+}
+
+impl RoundSummary {
+    /// `true` if the round made merge progress.
+    pub fn made_progress(&self) -> bool {
+        self.removed > 0
     }
 }
 
@@ -94,7 +147,8 @@ impl<S: Strategy> Sim<S> {
         }
     }
 
-    /// Enable snapshot recording (for visualization / replay).
+    /// Set the trace configuration (snapshot recording for visualization /
+    /// replay, or [`TraceConfig::headless`] for benchmark sweeps).
     pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
         self.trace_cfg = cfg;
         self
@@ -124,6 +178,13 @@ impl<S: Strategy> Sim<S> {
         std::mem::take(&mut self.trace)
     }
 
+    /// Merge events of the most recent round (reused buffer; valid until
+    /// the next [`Sim::step`]). Empty when reports are retained — the
+    /// events then live in the trace's last [`RoundReport`] instead.
+    pub fn last_merges(&self) -> &[MergeEvent] {
+        &self.splice.events
+    }
+
     pub fn is_gathered(&self) -> bool {
         self.chain.is_gathered()
     }
@@ -131,9 +192,9 @@ impl<S: Strategy> Sim<S> {
     /// Execute one FSYNC round: look/compute (strategy), move
     /// (simultaneous hops), merge pass, bookkeeping.
     ///
-    /// Returns the round report, or the chain error if the strategy broke
+    /// Returns the round summary, or the chain error if the strategy broke
     /// connectivity (in which case the simulation refuses further rounds).
-    pub fn step(&mut self) -> Result<RoundReport, ChainError> {
+    pub fn step(&mut self) -> Result<RoundSummary, ChainError> {
         if let Some(err) = &self.broken {
             return Err(err.clone());
         }
@@ -142,7 +203,8 @@ impl<S: Strategy> Sim<S> {
         self.hops.resize(n, Offset::ZERO);
 
         // Look + compute from the common snapshot.
-        self.strategy.compute(&self.chain, self.round, &mut self.hops);
+        self.strategy
+            .compute(&self.chain, self.round, &mut self.hops);
 
         // Move (simultaneous).
         let moved = self.hops.iter().filter(|h| **h != Offset::ZERO).count();
@@ -154,7 +216,8 @@ impl<S: Strategy> Sim<S> {
 
         // Merge pass (the paper's progress).
         let removed = self.chain.merge_pass(&mut self.splice);
-        self.strategy.post_merge(&self.chain, self.round, &self.splice);
+        self.strategy
+            .post_merge(&self.chain, self.round, &self.splice);
 
         // Post-round invariant: taut chain (unless fully collapsed).
         if self.chain.len() > 1 {
@@ -170,15 +233,14 @@ impl<S: Strategy> Sim<S> {
             self.rounds_since_merge += 1;
         }
 
-        let report = RoundReport {
+        let summary = RoundSummary {
             round: self.round,
             moved,
             removed,
-            merges: self.splice.events.clone(),
             len_after: self.chain.len(),
-            bbox: self.chain.bounding(),
             gathered: self.chain.is_gathered(),
         };
+        self.trace.record_round(removed);
         if self.trace_cfg.snapshot_every > 0
             && self.round.is_multiple_of(self.trace_cfg.snapshot_every)
             && self.trace.snapshots.len() < self.trace_cfg.max_snapshots
@@ -187,9 +249,21 @@ impl<S: Strategy> Sim<S> {
                 .snapshots
                 .push((self.round, self.chain.positions().to_vec()));
         }
-        self.trace.reports.push(report.clone());
+        if self.trace_cfg.keep_reports {
+            // Move (not clone) the merge events into the retained report;
+            // the splice log's index buffers stay warm for the next round.
+            self.trace.reports.push(RoundReport {
+                round: self.round,
+                moved,
+                removed,
+                merges: std::mem::take(&mut self.splice.events),
+                len_after: summary.len_after,
+                bbox: self.chain.bounding(),
+                gathered: summary.gathered,
+            });
+        }
         self.round += 1;
-        Ok(report)
+        Ok(summary)
     }
 
     /// Run until gathered or a limit trips.
@@ -269,6 +343,18 @@ mod tests {
         assert_eq!(outcome, Outcome::Gathered { rounds: 0 });
     }
 
+    #[test]
+    fn limit_constructors_scale_with_l() {
+        let a = RunLimits::for_gathering(100, 13);
+        let b = RunLimits::for_gathering(100, 26);
+        assert!(b.max_rounds > a.max_rounds);
+        assert!(b.stall_window > a.stall_window);
+        assert_eq!(RunLimits::for_chain_len(100), a);
+        // Theorem 1's 2Ln + n bound fits well inside the limits.
+        assert!(a.max_rounds > 27 * 100);
+        assert!(a.stall_window > 27 * 100);
+    }
+
     /// A test strategy: the two robots of a specific pattern hop downwards
     /// every round — exercises the engine's merge plumbing (Fig. 1).
     struct Fig1;
@@ -280,9 +366,9 @@ mod tests {
         fn init(&mut self, _chain: &ClosedChain) {}
         fn compute(&mut self, chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
             // Hop the two robots on the top row (y = 2) down.
-            for i in 0..chain.len() {
+            for (i, hop) in hops.iter_mut().enumerate() {
                 if chain.pos(i).y == 2 {
-                    hops[i] = Offset::DOWN;
+                    *hop = Offset::DOWN;
                 }
             }
         }
@@ -301,11 +387,15 @@ mod tests {
         ])
         .unwrap();
         let mut sim = Sim::new(c, Fig1);
-        let report = sim.step().unwrap();
-        assert_eq!(report.moved, 2);
-        assert_eq!(report.removed, 2);
-        assert_eq!(report.len_after, 4);
-        assert!(report.gathered);
+        let summary = sim.step().unwrap();
+        assert_eq!(summary.moved, 2);
+        assert_eq!(summary.removed, 2);
+        assert_eq!(summary.len_after, 4);
+        assert!(summary.gathered);
+        // Report retention is on by default; the merge events moved into
+        // the trace.
+        let report = sim.trace().reports.last().unwrap();
+        assert_eq!(report.merges.len(), 2);
         let outcome = sim.run_default();
         assert_eq!(outcome, Outcome::Gathered { rounds: 1 });
     }
@@ -337,6 +427,7 @@ mod tests {
         let mut sim = Sim::new(ring6(), Stand).with_trace(TraceConfig {
             snapshot_every: 1,
             max_snapshots: 4,
+            ..TraceConfig::default()
         });
         for _ in 0..6 {
             sim.step().unwrap();
@@ -344,5 +435,30 @@ mod tests {
         assert_eq!(sim.trace().reports.len(), 6);
         assert_eq!(sim.trace().snapshots.len(), 4); // capped
         assert_eq!(sim.trace().total_removed(), 0);
+    }
+
+    #[test]
+    fn headless_trace_keeps_aggregates_only() {
+        // Same Fig. 1 merge as above, but with report retention gated off:
+        // no reports or snapshots accumulate, aggregates stay correct.
+        let c = ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 1),
+            Point::new(0, 2),
+            Point::new(1, 2),
+            Point::new(1, 1),
+            Point::new(1, 0),
+        ])
+        .unwrap();
+        let mut sim = Sim::new(c, Fig1).with_trace(TraceConfig::headless());
+        let summary = sim.step().unwrap();
+        assert_eq!(summary.removed, 2);
+        assert!(sim.trace().reports.is_empty());
+        assert!(sim.trace().snapshots.is_empty());
+        assert_eq!(sim.trace().total_removed(), 2);
+        assert_eq!(sim.trace().rounds_with_merges(), 1);
+        // The splice buffer retains the last round's events for callers
+        // (e.g. auditors) that want them without report retention.
+        assert_eq!(sim.last_merges().len(), 2);
     }
 }

@@ -36,10 +36,10 @@ pub mod trace;
 pub mod view;
 
 pub use chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
-pub use engine::{Outcome, RunLimits, Sim};
-pub use open_chain::OpenChain;
+pub use engine::{Outcome, RoundSummary, RunLimits, Sim};
 pub use metrics::{metrics, ChainMetrics};
+pub use open_chain::OpenChain;
 pub use robot::RobotId;
 pub use strategy::Strategy;
-pub use trace::{RoundReport, Trace};
+pub use trace::{RoundReport, Trace, TraceConfig};
 pub use view::Ring;

@@ -169,7 +169,12 @@ mod tests {
     #[test]
     fn merge_pass_chain_of_coincidences() {
         let mut c = open(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
-        let hops = vec![Offset::RIGHT, Offset::ZERO, Offset::new(-1, 0), Offset::new(-1, 0)];
+        let hops = vec![
+            Offset::RIGHT,
+            Offset::ZERO,
+            Offset::new(-1, 0),
+            Offset::new(-1, 0),
+        ];
         c.apply_hops(&hops).unwrap();
         // positions: (1,0) (1,0) (1,0) (2,0)
         assert_eq!(c.merge_pass(), 2);

@@ -15,14 +15,12 @@
 //! Locality tests in `gathering-core` verify that strategy decisions are
 //! invariant under id relabeling.
 
-use serde::{Deserialize, Serialize};
-
 /// Stable identity of a robot for the lifetime of a simulation.
 ///
 /// Ids are unique within one [`crate::ClosedChain`] and never reused, so a
 /// dangling id reliably means "this robot was merged away" (the trigger for
 /// the run termination conditions 4/5 of Table 1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RobotId(pub u64);
 
 impl std::fmt::Debug for RobotId {

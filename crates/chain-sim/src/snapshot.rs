@@ -51,8 +51,14 @@ pub fn from_str(s: &str) -> Result<ClosedChain, ParseError> {
     if !body.is_empty() {
         for (index, item) in body.split(';').enumerate() {
             let (xs, ys) = item.split_once(',').ok_or(ParseError::BadPoint { index })?;
-            let x: i64 = xs.trim().parse().map_err(|_| ParseError::BadPoint { index })?;
-            let y: i64 = ys.trim().parse().map_err(|_| ParseError::BadPoint { index })?;
+            let x: i64 = xs
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::BadPoint { index })?;
+            let y: i64 = ys
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::BadPoint { index })?;
             pts.push(Point::new(x, y));
         }
     }

@@ -53,6 +53,33 @@ pub trait Strategy {
     }
 }
 
+/// Boxed strategies forward to their contents, so heterogeneous strategy
+/// registries (`Box<dyn Strategy + Send>`) run on the same engine as
+/// concrete ones.
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn init(&mut self, chain: &ClosedChain) {
+        (**self).init(chain)
+    }
+    fn compute(&mut self, chain: &ClosedChain, round: u64, hops: &mut [Offset]) {
+        (**self).compute(chain, round, hops)
+    }
+    fn post_move(&mut self, chain: &ClosedChain, round: u64) {
+        (**self).post_move(chain, round)
+    }
+    fn post_merge(&mut self, chain: &ClosedChain, round: u64, log: &SpliceLog) {
+        (**self).post_merge(chain, round, log)
+    }
+    fn marker(&self, index: usize) -> Option<char> {
+        (**self).marker(index)
+    }
+    fn is_idle(&self) -> bool {
+        (**self).is_idle()
+    }
+}
+
 /// The trivial strategy: nobody ever moves. Useful as an engine test fixture
 /// and as the degenerate baseline.
 #[derive(Debug, Default, Clone)]

@@ -1,14 +1,20 @@
 //! Round reports and traces.
 //!
 //! The experiment harness regenerates the paper's tables from aggregated
-//! [`RoundReport`]s; examples replay [`Trace`]s as ASCII animations.
+//! round statistics; examples replay [`Trace`]s as ASCII animations.
+//!
+//! The trace maintains its aggregate statistics (merge totals, mergeless
+//! gaps) *incrementally*, so headless benchmark runs can disable per-round
+//! [`RoundReport`] retention entirely ([`TraceConfig::headless`]) and still
+//! answer the questions the harness asks — without a single per-round
+//! allocation in the engine loop.
 
 use crate::chain::MergeEvent;
 use grid_geom::{Point, Rect};
-use serde::{Deserialize, Serialize};
 
-/// What happened in one FSYNC round.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// What happened in one FSYNC round (full record, retained only when
+/// [`TraceConfig::keep_reports`] is set).
+#[derive(Clone, Debug)]
 pub struct RoundReport {
     pub round: u64,
     /// Number of robots that performed a nonzero hop.
@@ -37,10 +43,15 @@ impl RoundReport {
 #[derive(Clone, Copy, Debug)]
 pub struct TraceConfig {
     /// Keep full position snapshots every `snapshot_every` rounds
-    /// (0 = never). Reports are always kept.
+    /// (0 = never).
     pub snapshot_every: u64,
-    /// Hard cap on stored snapshots (ring overwrite beyond this).
+    /// Hard cap on stored snapshots.
     pub max_snapshots: usize,
+    /// Retain a full [`RoundReport`] (including its merge-event list) per
+    /// round. Aggregate statistics are maintained either way; headless
+    /// experiment sweeps turn this off so the engine loop allocates
+    /// nothing per round.
+    pub keep_reports: bool,
 }
 
 impl Default for TraceConfig {
@@ -48,6 +59,19 @@ impl Default for TraceConfig {
         TraceConfig {
             snapshot_every: 0,
             max_snapshots: 512,
+            keep_reports: true,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Record nothing per round: no reports, no snapshots — only the
+    /// incremental aggregates. The configuration for benchmark sweeps.
+    pub fn headless() -> Self {
+        TraceConfig {
+            snapshot_every: 0,
+            max_snapshots: 0,
+            keep_reports: false,
         }
     }
 }
@@ -55,71 +79,71 @@ impl Default for TraceConfig {
 /// A recorded simulation trace.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// Per-round reports (empty when reports are gated off).
     pub reports: Vec<RoundReport>,
     /// (round, positions) snapshots, per [`TraceConfig`].
     pub snapshots: Vec<(u64, Vec<Point>)>,
+    rounds: u64,
+    total_removed: usize,
+    rounds_with_merges: usize,
+    longest_gap: u64,
+    current_gap: u64,
 }
 
 impl Trace {
+    /// Fold one round's merge count into the aggregates. The engine calls
+    /// this every round, independent of report retention.
+    pub fn record_round(&mut self, removed: usize) {
+        self.rounds += 1;
+        if removed > 0 {
+            self.total_removed += removed;
+            self.rounds_with_merges += 1;
+            self.longest_gap = self.longest_gap.max(self.current_gap);
+            self.current_gap = 0;
+        } else {
+            self.current_gap += 1;
+        }
+    }
+
+    /// Number of rounds folded into the trace.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
     /// Total robots removed over the trace.
     pub fn total_removed(&self) -> usize {
-        self.reports.iter().map(|r| r.removed).sum()
+        self.total_removed
     }
 
     /// Number of rounds in which at least one merge happened.
     pub fn rounds_with_merges(&self) -> usize {
-        self.reports.iter().filter(|r| r.removed > 0).count()
+        self.rounds_with_merges
     }
 
     /// Longest gap (in rounds) between two successive merge rounds
-    /// (including the leading gap before the first merge). The Lemma 1 /
-    /// Theorem 1 audits bound this gap.
+    /// (including the leading gap before the first merge and the trailing
+    /// gap after the last). The Lemma 1 / Theorem 1 audits bound this gap.
     pub fn longest_mergeless_gap(&self) -> u64 {
-        let mut longest = 0u64;
-        let mut current = 0u64;
-        for r in &self.reports {
-            if r.removed > 0 {
-                longest = longest.max(current);
-                current = 0;
-            } else {
-                current += 1;
-            }
-        }
-        longest.max(current)
+        self.longest_gap.max(self.current_gap)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grid_geom::Point;
 
-    fn report(round: u64, removed: usize) -> RoundReport {
-        RoundReport {
-            round,
-            moved: 0,
-            removed,
-            merges: vec![],
-            len_after: 10,
-            bbox: Rect::point(Point::ORIGIN),
-            gathered: false,
+    fn trace_of(removed_per_round: &[usize]) -> Trace {
+        let mut t = Trace::default();
+        for &r in removed_per_round {
+            t.record_round(r);
         }
+        t
     }
 
     #[test]
     fn gap_accounting() {
-        let t = Trace {
-            reports: vec![
-                report(0, 0),
-                report(1, 0),
-                report(2, 1),
-                report(3, 0),
-                report(4, 0),
-                report(5, 0),
-                report(6, 2),
-            ],
-            snapshots: vec![],
-        };
+        let t = trace_of(&[0, 0, 1, 0, 0, 0, 2]);
+        assert_eq!(t.rounds(), 7);
         assert_eq!(t.total_removed(), 3);
         assert_eq!(t.rounds_with_merges(), 2);
         assert_eq!(t.longest_mergeless_gap(), 3);
@@ -127,16 +151,30 @@ mod tests {
 
     #[test]
     fn trailing_gap_counts() {
-        let t = Trace {
-            reports: vec![report(0, 1), report(1, 0), report(2, 0)],
-            snapshots: vec![],
-        };
+        let t = trace_of(&[1, 0, 0]);
         assert_eq!(t.longest_mergeless_gap(), 2);
     }
 
     #[test]
+    fn empty_trace_is_zeroed() {
+        let t = Trace::default();
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.total_removed(), 0);
+        assert_eq!(t.longest_mergeless_gap(), 0);
+    }
+
+    #[test]
     fn progress_flag() {
-        assert!(report(0, 1).made_progress());
-        assert!(!report(0, 0).made_progress());
+        let report = |removed: usize| RoundReport {
+            round: 0,
+            moved: 0,
+            removed,
+            merges: vec![],
+            len_after: 10,
+            bbox: Rect::point(Point::ORIGIN),
+            gathered: false,
+        };
+        assert!(report(1).made_progress());
+        assert!(!report(0).made_progress());
     }
 }

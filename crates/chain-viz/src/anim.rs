@@ -60,13 +60,11 @@ mod tests {
 
     #[test]
     fn frames_align_on_union_bbox() {
-        let t = Trace {
-            reports: vec![],
-            snapshots: vec![
-                (0, vec![Point::new(0, 0), Point::new(3, 0)]),
-                (1, vec![Point::new(1, 0)]),
-            ],
-        };
+        let mut t = Trace::default();
+        t.snapshots = vec![
+            (0, vec![Point::new(0, 0), Point::new(3, 0)]),
+            (1, vec![Point::new(1, 0)]),
+        ];
         let s = render_trace(&t);
         // Both frames are 4 wide.
         let mut frames = s.lines().filter(|l| !l.starts_with("--") && !l.is_empty());

@@ -73,9 +73,7 @@ where
                 match count.get(&key) {
                     None => opt.empty,
                     Some(1) => opt.robot,
-                    Some(&k) if opt.show_multiplicity && k <= 9 => {
-                        char::from_digit(k, 10).unwrap()
-                    }
+                    Some(&k) if opt.show_multiplicity && k <= 9 => char::from_digit(k, 10).unwrap(),
                     Some(_) => '#',
                 }
             };

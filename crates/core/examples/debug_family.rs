@@ -12,7 +12,9 @@ fn render(sim: &Sim<ClosedChainGathering>) -> String {
         let p = chain.pos(i);
         let m = sim.strategy().marker(i);
         let e = grid.entry((p.x, p.y)).or_insert('o');
-        if let Some(mk) = m { *e = mk; }
+        if let Some(mk) = m {
+            *e = mk;
+        }
     }
     let mut s = String::new();
     for y in (bbox.min.y..=bbox.max.y).rev() {
@@ -49,13 +51,24 @@ fn main() {
         }
         let rep = sim.step().unwrap();
         if r % every == 0 || rep.removed > 0 {
-            println!("--- round {} len {} removed {} runs {} ---", r, rep.len_after, rep.removed,
-                sim.strategy().cells().iter().map(|c| c.count()).sum::<usize>());
+            println!(
+                "--- round {} len {} removed {} runs {} ---",
+                r,
+                rep.len_after,
+                rep.removed,
+                sim.strategy()
+                    .cells()
+                    .iter()
+                    .map(|c| c.count())
+                    .sum::<usize>()
+            );
             println!("{}", render(&sim));
         }
     }
     println!("NOT gathered; len {}", sim.chain().len());
     let c = sim.chain();
-    for i in 0..c.len() { print!("{:?} ", c.pos(i)); }
+    for i in 0..c.len() {
+        print!("{:?} ", c.pos(i));
+    }
     println!();
 }

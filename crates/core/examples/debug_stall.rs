@@ -22,8 +22,11 @@ fn render(sim: &Sim<ClosedChainGathering>) -> String {
         let p = chain.pos(i);
         let m = sim.strategy().marker(i).unwrap_or('o');
         let e = grid.entry((p.x, p.y)).or_insert(m);
-        if m != 'o' { *e = m; }
-        else if *e == 'o' { *e = 'o'; }
+        if m != 'o' {
+            *e = m;
+        } else if *e == 'o' {
+            *e = 'o';
+        }
     }
     let mut s = String::new();
     for y in (bbox.min.y..=bbox.max.y).rev() {
@@ -51,9 +54,17 @@ fn main() {
         let rep = sim.step().unwrap();
         let print_it = r < 5 || rep.removed > 0 || r % 25 == 0;
         if print_it {
-            println!("--- round {} len {} removed {} (runs alive: {}) ---",
-                r, rep.len_after, rep.removed,
-                sim.strategy().cells().iter().map(|c| c.count()).sum::<usize>());
+            println!(
+                "--- round {} len {} removed {} (runs alive: {}) ---",
+                r,
+                rep.len_after,
+                rep.removed,
+                sim.strategy()
+                    .cells()
+                    .iter()
+                    .map(|c| c.count())
+                    .sum::<usize>()
+            );
             println!("{}", render(&sim));
         }
         last_len = rep.len_after;

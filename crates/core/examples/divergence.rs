@@ -1,6 +1,6 @@
 //! Find the first round where a relabeled/reversed chain diverges.
 use chain_sim::invariant::same_up_to_translation_and_rotation;
-use chain_sim::{Sim};
+use chain_sim::Sim;
 use gathering_core::ClosedChainGathering;
 use workloads::Family;
 
@@ -19,14 +19,31 @@ fn main() {
     let mut sb = Sim::new(b, ClosedChainGathering::paper());
     for r in 0..5000 {
         if sa.is_gathered() != sb.is_gathered() {
-            println!("gathered-divergence at round {r}: a={} b={}", sa.is_gathered(), sb.is_gathered());
+            println!(
+                "gathered-divergence at round {r}: a={} b={}",
+                sa.is_gathered(),
+                sb.is_gathered()
+            );
             return;
         }
-        if sa.is_gathered() { println!("both gathered at {r}"); return; }
+        if sa.is_gathered() {
+            println!("both gathered at {r}");
+            return;
+        }
         if !same_up_to_translation_and_rotation(sa.chain(), sb.chain()) {
-            println!("DIVERGED at round {r}: len a={} b={}", sa.chain().len(), sb.chain().len());
-            for i in 0..sa.chain().len().min(200) { print!("{:?} ", sa.chain().pos(i)); } println!();
-            for i in 0..sb.chain().len().min(200) { print!("{:?} ", sb.chain().pos(i)); } println!();
+            println!(
+                "DIVERGED at round {r}: len a={} b={}",
+                sa.chain().len(),
+                sb.chain().len()
+            );
+            for i in 0..sa.chain().len().min(200) {
+                print!("{:?} ", sa.chain().pos(i));
+            }
+            println!();
+            for i in 0..sb.chain().len().min(200) {
+                print!("{:?} ", sb.chain().pos(i));
+            }
+            println!();
             return;
         }
         sa.step().unwrap();

@@ -5,8 +5,12 @@ use gathering_core::{ClosedChainGathering, GatherConfig};
 use workloads::Family;
 fn main() {
     for k in [2usize, 3, 4] {
-        let cfg = GatherConfig { max_merge_k: k, ..GatherConfig::paper() };
-        let mut fails = 0; let mut worst: f64 = 0.0;
+        let cfg = GatherConfig {
+            max_merge_k: k,
+            ..GatherConfig::paper()
+        };
+        let mut fails = 0;
+        let mut worst: f64 = 0.0;
         for fam in Family::ALL {
             for n in [128usize, 512] {
                 for seed in 0..3 {
@@ -14,7 +18,9 @@ fn main() {
                     let len = chain.len();
                     let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
                     match sim.run(RunLimits::for_chain_len(len)) {
-                        Outcome::Gathered { rounds } => { worst = worst.max(rounds as f64 / len as f64); }
+                        Outcome::Gathered { rounds } => {
+                            worst = worst.max(rounds as f64 / len as f64);
+                        }
                         _ => fails += 1,
                     }
                 }

@@ -9,7 +9,13 @@ fn main() {
             let len = chain.len();
             let mut sim = Sim::new(chain, ClosedChainGathering::paper());
             match sim.run(RunLimits::for_chain_len(len)) {
-                Outcome::Gathered { rounds } => println!("{:<12} n={:<5} rounds={:<6} r/n={:.2}", fam.name(), len, rounds, rounds as f64 / len as f64),
+                Outcome::Gathered { rounds } => println!(
+                    "{:<12} n={:<5} rounds={:<6} r/n={:.2}",
+                    fam.name(),
+                    len,
+                    rounds,
+                    rounds as f64 / len as f64
+                ),
                 other => println!("{:<12} n={:<5} FAIL {:?}", fam.name(), len, other),
             }
         }

@@ -17,17 +17,27 @@ fn main() {
     let mut sim = Sim::new(c, ClosedChainGathering::paper().with_event_recording());
     let mut by_reason = std::collections::HashMap::new();
     for _ in 0..200 {
-        if sim.is_gathered() { break; }
+        if sim.is_gathered() {
+            break;
+        }
         sim.step().unwrap();
         for e in sim.strategy_mut().take_events() {
             match e {
-                RunEvent::Stopped { reason, round, run_id, .. } => {
+                RunEvent::Stopped {
+                    reason,
+                    round,
+                    run_id,
+                    ..
+                } => {
                     *by_reason.entry(format!("{reason:?}")).or_insert(0) += 1;
-                    if matches!(reason, StopReason::Merged | StopReason::RobotRemoved) && round < 60 {
+                    if matches!(reason, StopReason::Merged | StopReason::RobotRemoved) && round < 60
+                    {
                         println!("round {round}: run {run_id} stopped {reason:?}");
                     }
                 }
-                RunEvent::Started { round, run_id, dir, .. } if round < 30 => {
+                RunEvent::Started {
+                    round, run_id, dir, ..
+                } if round < 30 => {
                     println!("round {round}: run {run_id} started dir {dir}");
                 }
                 _ => {}

@@ -5,7 +5,11 @@ use workloads::Family;
 
 fn main() {
     let proof = std::env::args().any(|a| a == "--proof");
-    let cfg = if proof { GatherConfig::proof_mode() } else { GatherConfig::paper() };
+    let cfg = if proof {
+        GatherConfig::proof_mode()
+    } else {
+        GatherConfig::paper()
+    };
     println!("{:<18} {:>6} {:>8} {:>8}", "family", "n", "rounds", "r/n");
     for fam in Family::ALL {
         for n in [128usize, 256, 512, 1024, 2048] {
@@ -14,7 +18,12 @@ fn main() {
             let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
             match sim.run(RunLimits::for_chain_len(len)) {
                 Outcome::Gathered { rounds } => println!(
-                    "{:<18} {:>6} {:>8} {:>8.2}", fam.name(), len, rounds, rounds as f64 / len as f64),
+                    "{:<18} {:>6} {:>8} {:>8.2}",
+                    fam.name(),
+                    len,
+                    rounds,
+                    rounds as f64 / len as f64
+                ),
                 other => println!("{:<18} {:>6} FAIL {:?}", fam.name(), len, other),
             }
         }

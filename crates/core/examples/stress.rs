@@ -8,7 +8,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let proof = args.iter().any(|a| a == "--proof");
-    let cfg = if proof { GatherConfig::proof_mode() } else { GatherConfig::paper() };
+    let cfg = if proof {
+        GatherConfig::proof_mode()
+    } else {
+        GatherConfig::paper()
+    };
     let mut failures = 0usize;
     let mut worst_ratio: f64 = 0.0;
     for fam in Family::ALL {
@@ -21,7 +25,8 @@ fn main() {
                 match outcome {
                     Outcome::Gathered { rounds } => {
                         let ratio = rounds as f64 / len as f64;
-                        if ratio > worst_ratio { worst_ratio = ratio;
+                        if ratio > worst_ratio {
+                            worst_ratio = ratio;
                             println!("new worst: {} n={len} seed={seed}: {rounds} rounds (ratio {ratio:.2})", fam.name());
                         }
                     }

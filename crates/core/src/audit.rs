@@ -127,8 +127,8 @@ impl LemmaAuditor {
         let events = strategy.take_events();
 
         // --- Gap accounting (Theorem 1 context). ---
-        let mergeless_window = self.rounds_since_merge >= self.l_period.saturating_sub(1)
-            && report.removed == 0;
+        let mergeless_window =
+            self.rounds_since_merge >= self.l_period.saturating_sub(1) && report.removed == 0;
         if report.removed > 0 {
             self.last_merge_round = Some(round);
             self.merge_rounds.push(round);
@@ -187,10 +187,7 @@ impl LemmaAuditor {
                 Some(m) => round - m < self.l_period,
                 None => false,
             };
-            let progress_started = self
-                .pairs
-                .iter()
-                .any(|p| p.round == round && p.progress);
+            let progress_started = self.pairs.iter().any(|p| p.round == round && p.progress);
             if !merged_in_window && !progress_started && chain.len() > 4 {
                 self.summary.lemma1_violations.push(round);
             }
@@ -214,7 +211,10 @@ impl LemmaAuditor {
         let mut by_index: HashMap<usize, Vec<(u64, i8, Offset)>> = HashMap::new();
         for (run_id, robot, dir, side) in starts {
             if let Some(idx) = chain.index_of(*robot) {
-                by_index.entry(idx).or_default().push((*run_id, *dir, *side));
+                by_index
+                    .entry(idx)
+                    .or_default()
+                    .push((*run_id, *dir, *side));
             }
         }
         for (run_id, robot, dir, side) in starts {
@@ -228,9 +228,7 @@ impl LemmaAuditor {
             while (j as usize) < n {
                 let idx = chain.nb(start_idx, j);
                 if let Some(list) = by_index.get(&idx) {
-                    if let Some((bid, _, bside)) =
-                        list.iter().find(|(_, d, _)| *d == -1).copied()
-                    {
+                    if let Some((bid, _, bside)) = list.iter().find(|(_, d, _)| *d == -1).copied() {
                         let good = bside == *side;
                         let progress = good && mergeless_window;
                         let pi = self.pairs.len();
@@ -300,8 +298,7 @@ impl LemmaAuditor {
                     for j in 1..=horizon as isize {
                         let other = &cells[chain.nb(i, j * run.dir())];
                         if let Some(s) = other.get(run.dir()) {
-                            let same_axis =
-                                (s.fold_side.dx == 0) == (run.fold_side.dx == 0);
+                            let same_axis = (s.fold_side.dx == 0) == (run.fold_side.dx == 0);
                             if same_axis && j <= line_extent {
                                 if self.saw_sequent.contains(&run.id) {
                                     self.summary.sequent_visibility_violations += 1;
@@ -361,13 +358,8 @@ impl LemmaAuditor {
             .filter_map(|p| p.merged_at.map(|m| m - p.round))
             .max()
             .unwrap_or(0);
-        self.summary.total_merged_robots =
-            self.summary.initial_n - self.summary.final_n;
-        self.summary.live_runs_at_end = strategy
-            .cells()
-            .iter()
-            .map(|c| c.count())
-            .sum();
+        self.summary.total_merged_robots = self.summary.initial_n - self.summary.final_n;
+        self.summary.live_runs_at_end = strategy.cells().iter().map(|c| c.count()).sum();
         self.summary
     }
 
@@ -402,9 +394,19 @@ pub fn audited_run(
             };
         }
         match sim.step() {
-            Ok(report) => {
+            Ok(_) => {
                 // Split borrows: chain and strategy are distinct fields.
+                // Audited runs keep report retention on (the default), so
+                // the full report with merge events is the trace's last
+                // entry. The auditor is instrumentation, not the hot path;
+                // the snapshot clones are deliberate.
                 let chain_snapshot = sim.chain().clone();
+                let report = sim
+                    .trace()
+                    .reports
+                    .last()
+                    .expect("audited runs retain reports")
+                    .clone();
                 auditor.after_round(&chain_snapshot, sim.strategy_mut(), &report);
             }
             Err(error) => {

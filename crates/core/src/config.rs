@@ -6,10 +6,8 @@
 //! parameters so the ablation experiments (DESIGN.md E13) can probe the
 //! sensitivity of both constants, and keep the paper's values as defaults.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the closed-chain gathering strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GatherConfig {
     /// Viewing path length `V`: a robot sees its next `V` chain neighbors
     /// in both directions (paper: 11).

@@ -39,8 +39,8 @@
 //! reproduction of every claim.
 
 pub mod audit;
-pub mod local;
 pub mod config;
+pub mod local;
 pub mod merge;
 pub mod quasi;
 pub mod runs;

@@ -178,12 +178,14 @@ mod tests {
             let view = Ring::with_horizon(chain, i, cfg.view.max(3) + 2);
             let local = merge_role_at(&view, cfg);
             assert_eq!(
-                local.black, scan.black[i],
+                local.black,
+                scan.black[i],
                 "black mismatch at {i} ({:?})",
                 chain.pos(i)
             );
             assert_eq!(
-                local.white, scan.white[i],
+                local.white,
+                scan.white[i],
                 "white mismatch at {i} ({:?})",
                 chain.pos(i)
             );
@@ -201,12 +203,24 @@ mod tests {
     fn oracle_equivalence_structured() {
         let cfg = GatherConfig::paper();
         // Fig. 1 ring.
-        assert_equivalent(&chain(&[(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]), &cfg);
+        assert_equivalent(
+            &chain(&[(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]),
+            &cfg,
+        );
         // Hairpin.
         assert_equivalent(&chain(&[(0, 0), (1, 0), (2, 0), (1, 0)]), &cfg);
         // 4×2 ring with corner double roles.
         assert_equivalent(
-            &chain(&[(0, 0), (0, 1), (1, 1), (2, 1), (3, 1), (3, 0), (2, 0), (1, 0)]),
+            &chain(&[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (2, 1),
+                (3, 1),
+                (3, 0),
+                (2, 0),
+                (1, 0),
+            ]),
             &cfg,
         );
     }

@@ -109,7 +109,12 @@ impl MergeScan {
     /// their local view hold their merge hops for 2L rounds so the runner
     /// machinery can break the symmetry). `suppressed` may be empty (no
     /// suppression) or one flag per robot.
-    pub fn scan_suppressed(&mut self, chain: &ClosedChain, cfg: &GatherConfig, suppressed: &[bool]) {
+    pub fn scan_suppressed(
+        &mut self,
+        chain: &ClosedChain,
+        cfg: &GatherConfig,
+        suppressed: &[bool],
+    ) {
         let n = chain.len();
         self.reset(n);
         if n < 4 {
@@ -306,7 +311,16 @@ mod tests {
         //   (0,0) (0,1) (1,1) (2,1) (3,1) (3,0) (2,0) (1,0)
         // chain steps: up, right×3, down, left×2, left(!)... all unit. This
         // is a plain 4×2 rectangle; the J-hook appears in its corner roles.
-        let c = chain(&[(0, 0), (0, 1), (1, 1), (2, 1), (3, 1), (3, 0), (2, 0), (1, 0)]);
+        let c = chain(&[
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (3, 0),
+            (2, 0),
+            (1, 0),
+        ]);
         let s = scan(&c);
         // Top run robots 1..=4 (k=4) hop down; bottom run robots 5..=0
         // (k=4) hop up; corner robots are black in vertical k=... here the
@@ -338,7 +352,10 @@ mod tests {
             (0, 1),
         ]);
         let s = scan(&c);
-        assert!(!s.patterns.is_empty(), "closed chains always develop patterns at turns");
+        assert!(
+            !s.patterns.is_empty(),
+            "closed chains always develop patterns at turns"
+        );
         for p in &s.patterns {
             assert!(p.k <= 2, "unexpected long pattern {p:?}");
         }
@@ -408,7 +425,16 @@ mod tests {
     fn proof_mode_restricts_k() {
         // 2×4 rectangle: horizontal runs of k=4 fire in paper mode but not
         // in proof mode (k ≤ 2).
-        let c = chain(&[(0, 0), (0, 1), (1, 1), (2, 1), (3, 1), (3, 0), (2, 0), (1, 0)]);
+        let c = chain(&[
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (3, 0),
+            (2, 0),
+            (1, 0),
+        ]);
         let mut s = MergeScan::default();
         s.scan(&c, &GatherConfig::proof_mode());
         for p in &s.patterns {
@@ -439,7 +465,16 @@ mod tests {
     #[test]
     fn local_equivalence() {
         let cfg = GatherConfig::paper();
-        let c = chain(&[(0, 0), (0, 1), (1, 1), (2, 1), (3, 1), (3, 0), (2, 0), (1, 0)]);
+        let c = chain(&[
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (3, 0),
+            (2, 0),
+            (1, 0),
+        ]);
         let s = scan(&c);
         for p in &s.patterns {
             // Pattern spans k + 2 robots; max pairwise chain distance k+1.

@@ -20,10 +20,9 @@
 
 use chain_sim::Ring;
 use grid_geom::Offset;
-use serde::{Deserialize, Serialize};
 
 /// Which Figure 5 shape triggered a run start.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StartShape {
     /// Fig. 5(i): quasi-line endpoint bordered by a stairway (or fold) —
     /// one run starts, moving into the line.
@@ -103,7 +102,12 @@ pub struct QuasiBreak {
 ///
 /// Groups truncated by the horizon are treated as continuing (no break):
 /// robots must not act on structure they cannot see.
-pub fn quasi_break_ahead(v: &Ring<'_>, dir: isize, fold_side: Offset, max_steps: isize) -> Option<QuasiBreak> {
+pub fn quasi_break_ahead(
+    v: &Ring<'_>,
+    dir: isize,
+    fold_side: Offset,
+    max_steps: isize,
+) -> Option<QuasiBreak> {
     debug_assert!(fold_side.is_unit_step());
     let is_perp = |s: Offset| (s.dx == 0) == (fold_side.dx == 0);
     let mut j: isize = 0;
@@ -166,8 +170,8 @@ pub fn is_quasi_line(pts: &[grid_geom::Point], axis: grid_geom::Axis) -> bool {
     // Condition 1: first and last three robots aligned on `axis`
     // (monotone).
     let first_ok = steps[0] == steps[1] && on_axis(steps[0]);
-    let last_ok = steps[steps.len() - 1] == steps[steps.len() - 2]
-        && on_axis(steps[steps.len() - 1]);
+    let last_ok =
+        steps[steps.len() - 1] == steps[steps.len() - 2] && on_axis(steps[steps.len() - 1]);
     if !first_ok || !last_ok {
         return false;
     }
@@ -253,21 +257,22 @@ mod tests {
         //   ... (3,0)(2,0)(1,0) | (1,-1)(0,-1)(0,-2)(-1,-2) ...
         // The endpoint robot is (1,0) looking in +x direction; behind it the
         // stairway alternates.
-        let mut pts = Vec::new();
         // Build a closed loop containing the shape; use a generous outline.
         // Stairway down-left from (1,0):
-        pts.push(Point::new(1, 0));
-        pts.push(Point::new(2, 0));
-        pts.push(Point::new(3, 0));
-        pts.push(Point::new(4, 0));
-        pts.push(Point::new(5, 0));
-        pts.push(Point::new(5, 1));
-        pts.push(Point::new(4, 1));
-        pts.push(Point::new(3, 1));
-        pts.push(Point::new(2, 1));
-        pts.push(Point::new(1, 1));
-        pts.push(Point::new(0, 1));
-        pts.push(Point::new(0, 0));
+        let pts = vec![
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(3, 0),
+            Point::new(4, 0),
+            Point::new(5, 0),
+            Point::new(5, 1),
+            Point::new(4, 1),
+            Point::new(3, 1),
+            Point::new(2, 1),
+            Point::new(1, 1),
+            Point::new(0, 1),
+            Point::new(0, 0),
+        ];
         // Closing edge from (0,0) to (1,0): chain closed.
         let c = ClosedChain::new(pts).unwrap();
         // Robot 0 = (1,0): ahead +1: (2,0),(3,0) aligned ✓; behind: (0,0)
@@ -306,7 +311,10 @@ mod tests {
         // perpendicular (UP); r12=(1,1) parallel (LEFT); r11=(1,2)
         // perpendicular → e3 ≠ e2 → StairwayEnd with fold side UP.
         let v = Ring::with_horizon(&c, 0, 11);
-        assert_eq!(run_start(&v, 1), Some((StartShape::StairwayEnd, Offset::UP)));
+        assert_eq!(
+            run_start(&v, 1),
+            Some((StartShape::StairwayEnd, Offset::UP))
+        );
     }
 
     #[test]
@@ -451,7 +459,16 @@ mod tests {
         ));
         // U-bend: HHH U HHH backwards — still a quasi line by Def. 1.
         assert!(is_quasi_line(
-            &pts(&[(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (2, 1), (1, 1), (0, 1)]),
+            &pts(&[
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (3, 1),
+                (2, 1),
+                (1, 1),
+                (0, 1)
+            ]),
             Axis::X
         ));
     }
@@ -508,7 +525,16 @@ mod tests {
             Axis::Y
         ));
         assert!(!is_quasi_line(
-            &pts(&[(0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (2, 3), (2, 4), (2, 5)]),
+            &pts(&[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 2),
+                (2, 3),
+                (2, 4),
+                (2, 5)
+            ]),
             Axis::Y
         ));
     }

@@ -16,10 +16,9 @@
 use crate::quasi::StartShape;
 use chain_sim::RobotId;
 use grid_geom::Offset;
-use serde::{Deserialize, Serialize};
 
 /// Why a run terminated — Table 1 of the paper, plus bookkeeping cases.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StopReason {
     /// Table 1.1: a sequent (same-direction) run is visible ahead.
     SequentAhead,
@@ -37,7 +36,7 @@ pub enum StopReason {
 }
 
 /// Mode of a live run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunMode {
     /// Normal operation: fold when the local shape allows, else walk.
     Normal,
@@ -47,7 +46,7 @@ pub enum RunMode {
 }
 
 /// A run state (constant-size robot memory).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Run {
     /// Unique run id (instrumentation only; robots never read it).
     pub id: u64,
@@ -78,7 +77,7 @@ impl Run {
 }
 
 /// The runs held by one robot: at most one per chain direction.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunCell {
     pub fwd: Option<Run>,
     pub bwd: Option<Run>,
@@ -136,7 +135,7 @@ pub enum RunAction {
 }
 
 /// Counters for the audit tables (E2–E4) and reports.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     pub started_stairway: u64,
     pub started_corner: u64,

@@ -209,13 +209,7 @@ impl ClosedChainGathering {
 
     /// Decide what one run does this round (pure w.r.t. `self` except for
     /// statistics/events, which are recorded by the caller).
-    fn decide(
-        &self,
-        chain: &ClosedChain,
-        round: u64,
-        i: usize,
-        run: &Run,
-    ) -> RunAction {
+    fn decide(&self, chain: &ClosedChain, round: u64, i: usize, run: &Run) -> RunAction {
         let n = chain.len();
         let d = run.dir();
         let horizon = self.cfg.view.min(n.saturating_sub(1));
@@ -231,8 +225,7 @@ impl ClosedChainGathering {
         // the same quasi line: same fold-side axis, not beyond the line's
         // visible end. (A run beyond a corner belongs to another line;
         // killing for it would mass-extinguish runs on square rings.)
-        let same_axis =
-            |a: Offset, b: Offset| (a.dx == 0) == (b.dx == 0);
+        let same_axis = |a: Offset, b: Offset| (a.dx == 0) == (b.dx == 0);
         let mut opposing: Option<(isize, Offset)> = None;
         for j in 1..=horizon as isize {
             let idx = chain.nb(i, j * d);
@@ -251,8 +244,8 @@ impl ClosedChainGathering {
 
         // --- Endpoint of the quasi line ahead (Table 1.2). ---
         if let Some(b) = brk {
-            let suppressed = self.cfg.cond2_guard
-                && matches!(opposing, Some((j, _)) if j <= b.distance);
+            let suppressed =
+                self.cfg.cond2_guard && matches!(opposing, Some((j, _)) if j <= b.distance);
             if !suppressed {
                 return RunAction::Die(StopReason::EndpointAhead);
             }
@@ -461,8 +454,8 @@ impl Strategy for ClosedChainGathering {
 
         // Resolve hops: merge hop (blacks) > run fold > stand. Whites of
         // fired patterns stand still (their runs walked).
-        for i in 0..n {
-            hops[i] = if self.scan.black[i] {
+        for (i, hop) in hops.iter_mut().enumerate().take(n) {
+            *hop = if self.scan.black[i] {
                 self.scan.hop[i]
             } else if self.scan.white[i] {
                 Offset::ZERO
@@ -474,8 +467,8 @@ impl Strategy for ClosedChainGathering {
         // Step 3: start new runs every L-th round, from the same snapshot.
         // The started runs are placed in `staged` and act from round + 1.
         if round.is_multiple_of(self.cfg.l_period) {
-            for i in 0..n {
-                if hops[i] == Offset::ZERO && !self.scan.participates(i) {
+            for (i, hop) in hops.iter().enumerate().take(n) {
+                if *hop == Offset::ZERO && !self.scan.participates(i) {
                     self.try_starts(chain, round, i);
                 }
             }
@@ -483,7 +476,8 @@ impl Strategy for ClosedChainGathering {
 
         std::mem::swap(&mut self.cells, &mut self.staged);
         self.prev_inherent_k.clear();
-        self.prev_inherent_k.extend_from_slice(&self.scan.inherent_k);
+        self.prev_inherent_k
+            .extend_from_slice(&self.scan.inherent_k);
         let live: u64 = self.cells.iter().map(|c| c.count() as u64).sum();
         self.stats.max_live_runs = self.stats.max_live_runs.max(live);
     }
@@ -507,7 +501,7 @@ impl Strategy for ClosedChainGathering {
         let mut new_prev_k = vec![0u8; chain.len()];
         let mut rm = log.removed_indices.iter().peekable();
         let mut write = 0usize;
-        for read in 0..old_n {
+        for (read, &keeper) in keeper_flags.iter().enumerate() {
             let removed = rm.peek() == Some(&&read);
             if removed {
                 rm.next();
@@ -522,19 +516,19 @@ impl Strategy for ClosedChainGathering {
                         robot: RobotId(u64::MAX),
                         reason: StopReason::RobotRemoved,
                     });
-                } else if keeper_flags[read] {
+                } else if keeper {
                     self.stop_run(round, run, chain.id(write), StopReason::Merged);
                 }
             }
             if !removed {
-                if !keeper_flags[read] {
+                if !keeper {
                     new_cells[write] = cell;
                 }
                 // Keepers' signature histories and suppression reset (their
                 // neighborhood was rewritten by the merge, and which group
                 // member survives is an arbitrary labeling that must not
                 // influence the dynamics); others carry their state over.
-                if !keeper_flags[read] {
+                if !keeper {
                     new_sig_prev[write] = self.sig_prev[read];
                     new_sig_prev2[write] = self.sig_prev2[read];
                     new_suppress[write] = self.suppress[read];
@@ -647,7 +641,16 @@ mod tests {
     #[test]
     fn flattened_loop_zips_up() {
         // Degenerate zero-area loop: out and back along a line.
-        let c = chain(&[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (3, 0), (2, 0), (1, 0)]);
+        let c = chain(&[
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 0),
+            (3, 0),
+            (2, 0),
+            (1, 0),
+        ]);
         let mut sim = Sim::new(c, ClosedChainGathering::paper());
         let outcome = sim.run_default();
         assert!(outcome.is_gathered(), "{outcome:?}");

@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn paper_config_matches_derivation() {
         let cfg = GatherConfig::paper();
-        assert_eq!(cfg.l_period, min_pipelining_period(PAPER_TRIGGER, PAPER_OP_B_COST));
+        assert_eq!(
+            cfg.l_period,
+            min_pipelining_period(PAPER_TRIGGER, PAPER_OP_B_COST)
+        );
         assert_eq!(cfg.view, required_view(PAPER_TRIGGER, PAPER_OP_B_COST));
     }
 

@@ -82,7 +82,10 @@ pub struct RunScanner<'a> {
 
 impl<'a> RunScanner<'a> {
     pub fn new(steps: &'a [Offset]) -> Self {
-        debug_assert!(steps.iter().all(|s| s.is_unit_step()), "non-unit chain step");
+        debug_assert!(
+            steps.iter().all(|s| s.is_unit_step()),
+            "non-unit chain step"
+        );
         RunScanner { steps, at: 0 }
     }
 }
@@ -125,7 +128,6 @@ pub fn steps_of(pts: &[Point]) -> Vec<Offset> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn pts(coords: &[(i64, i64)]) -> Vec<Point> {
         coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
@@ -213,30 +215,36 @@ mod tests {
         assert_eq!(runs[1].step, Offset::LEFT);
     }
 
-    proptest! {
-        #[test]
-        fn runs_partition_steps(dirs in proptest::collection::vec(0usize..4, 1..64)) {
-            let steps: Vec<Offset> = dirs.iter().map(|&d| match d {
-                0 => Offset::RIGHT,
-                1 => Offset::UP,
-                2 => Offset::LEFT,
-                _ => Offset::DOWN,
-            }).collect();
+    /// Property test (seeded-loop form): the run scanner tiles any step
+    /// sequence exactly into maximal same-direction runs.
+    #[test]
+    fn runs_partition_steps() {
+        let mut rng = crate::TestRng::new(0x0bad_5eed_0bad_5eed);
+        for _ in 0..256 {
+            let len = 1 + (rng.next() % 63) as usize;
+            let steps: Vec<Offset> = (0..len)
+                .map(|_| match rng.next() % 4 {
+                    0 => Offset::RIGHT,
+                    1 => Offset::UP,
+                    2 => Offset::LEFT,
+                    _ => Offset::DOWN,
+                })
+                .collect();
             let runs: Vec<_> = RunScanner::new(&steps).collect();
             // Runs tile the step sequence exactly.
             let total: usize = runs.iter().map(|r| r.len).sum();
-            prop_assert_eq!(total, steps.len());
+            assert_eq!(total, steps.len());
             let mut at = 0;
             for r in &runs {
-                prop_assert_eq!(r.first_step, at);
+                assert_eq!(r.first_step, at);
                 for i in 0..r.len {
-                    prop_assert_eq!(steps[at + i], r.step);
+                    assert_eq!(steps[at + i], r.step);
                 }
                 at += r.len;
             }
             // Adjacent runs have different steps (maximality).
             for w in runs.windows(2) {
-                prop_assert_ne!(w[0].step, w[1].step);
+                assert_ne!(w[0].step, w[1].step);
             }
         }
     }

@@ -7,10 +7,9 @@
 //! construction, tests and rendering.
 
 use crate::point::Offset;
-use serde::{Deserialize, Serialize};
 
 /// The two grid axes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Axis {
     X,
     Y,
@@ -57,7 +56,7 @@ impl Axis {
 }
 
 /// The four axis-aligned unit directions.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Dir4 {
     Right,
     Up,
@@ -114,7 +113,11 @@ impl Dir4 {
     /// Rotate 90° clockwise.
     #[inline]
     pub fn rotate_cw(self) -> Dir4 {
-        self.rotate_ccw().opposite().rotate_ccw().opposite().rotate_ccw()
+        self.rotate_ccw()
+            .opposite()
+            .rotate_ccw()
+            .opposite()
+            .rotate_ccw()
     }
 
     #[inline]
@@ -128,7 +131,7 @@ impl Dir4 {
 
 /// The eight hop directions (plus [`Offset::ZERO`] for "stay", which is not
 /// part of this enum). Used mostly by baselines and rendering.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Dir8 {
     E,
     NE,

@@ -16,8 +16,9 @@
 //! * [`align`] — alignment and monotone-run predicates used by merge
 //!   detection and quasi-line scans.
 //!
-//! Everything here is `no_std`-shaped plain data; there are no dependencies
-//! beyond `serde` for snapshot serialization.
+//! Everything here is `no_std`-shaped plain data with no dependencies at
+//! all; snapshot serialization lives in `chain_sim::snapshot` as a
+//! hand-rolled text format.
 
 pub mod align;
 pub mod dir;
@@ -48,6 +49,27 @@ pub fn manhattan(a: Point, b: Point) -> i64 {
 #[inline]
 pub fn chain_adjacent(a: Point, b: Point) -> bool {
     manhattan(a, b) <= 1
+}
+
+/// Shared deterministic mini-RNG for this crate's seeded property tests
+/// (the crate is dependency-free, so each test module would otherwise
+/// hand-roll its own copy).
+#[cfg(test)]
+pub(crate) struct TestRng(u64);
+
+#[cfg(test)]
+impl TestRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        TestRng(seed | 1)
+    }
+
+    /// xorshift64: plenty for test-case shuffling.
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
 }
 
 #[cfg(test)]

@@ -91,7 +91,11 @@ mod tests {
             assert!(invariant::is_taut(&c), "turns={turns}");
             // Chain length grows quadratically with turns while the box
             // stays ~8·turns: length ≫ box for larger turns.
-            assert!(c.len() as i64 > 12 * turns as i64, "turns={turns}: {}", c.len());
+            assert!(
+                c.len() as i64 > 12 * turns as i64,
+                "turns={turns}: {}",
+                c.len()
+            );
         }
     }
 
@@ -109,11 +113,7 @@ mod tests {
     fn spiral_length_exceeds_diameter() {
         let c = spiral(5);
         let diam = c.bounding().diameter();
-        assert!(
-            c.len() as i64 > 3 * diam,
-            "len {} vs diam {diam}",
-            c.len()
-        );
+        assert!(c.len() as i64 > 3 * diam, "len {} vs diam {diam}", c.len());
     }
 
     #[test]

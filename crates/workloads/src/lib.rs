@@ -23,16 +23,18 @@
 //! Every generator returns a validated [`ClosedChain`].
 
 pub mod extra;
+pub mod families;
 pub mod perturb;
 pub mod polyomino;
-pub mod families;
 pub mod random;
+pub mod rng;
 
 pub use extra::{cross, serpentine, spiral};
+pub use families::{comb, crenellated_band, hairpin_flower, rectangle, skyline, staircase_diamond};
 pub use perturb::{insert_detour, insert_hairpin, perturb};
 pub use polyomino::CellRegion;
-pub use families::{comb, crenellated_band, hairpin_flower, rectangle, skyline, staircase_diamond};
 pub use random::{random_loop, random_skyline};
+pub use rng::SplitMix64;
 
 use chain_sim::ClosedChain;
 
@@ -91,6 +93,13 @@ impl Family {
     /// the family's parameterization; the returned chain's `len()` is
     /// authoritative). `seed` feeds the random families and is ignored by
     /// deterministic ones.
+    ///
+    /// Size contract (property-tested in `tests/workload_properties.rs`):
+    /// every family returns a *valid* chain with
+    /// `4 ≤ len ≤ 4·n + 64`, and `len ≥ n/8` once `n ≥ 32` (families
+    /// quantize to their structural period, so tiny requests round up to
+    /// the family minimum). Generation is a pure function of
+    /// `(family, n, seed)`.
     pub fn generate(&self, n: usize, seed: u64) -> ClosedChain {
         let n = n.max(8);
         match self {

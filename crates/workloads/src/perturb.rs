@@ -4,12 +4,11 @@
 //! (bumps trigger merge patterns, hairpins trigger k = 1 merges, detours
 //! stretch quasi lines into jogs).
 
+use crate::rng::SplitMix64;
 use chain_sim::ClosedChain;
 use grid_geom::Offset;
 #[cfg(test)]
 use grid_geom::Point;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Insert a unit detour across chain edge `i`: the edge `p → q` becomes
 /// `p → p+d → q+d → q`, where `d` is a unit step perpendicular to the
@@ -67,21 +66,19 @@ pub fn insert_hairpin(chain: &ClosedChain, at: usize, dir: Offset) -> ClosedChai
 
 /// Apply `count` random perturbations (detours and hairpins) to a chain.
 pub fn perturb(chain: &ClosedChain, count: usize, seed: u64) -> ClosedChain {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    let mut rng = SplitMix64::new(seed ^ 0x517c_c1b7_2722_0a95);
     let mut c = chain.clone();
     for _ in 0..count {
         let n = c.len();
-        match rng.gen_range(0..3u8) {
+        match rng.below(3) {
             0 => {
-                let edge = rng.gen_range(0..n);
-                let side = rng.gen_bool(0.5);
+                let edge = rng.range_usize(0, n);
+                let side = rng.chance(1, 2);
                 c = insert_detour(&c, edge, side);
             }
             _ => {
-                let at = rng.gen_range(0..n);
-                let dir = *[Offset::RIGHT, Offset::UP, Offset::LEFT, Offset::DOWN]
-                    .choose(&mut rng)
-                    .expect("non-empty");
+                let at = rng.range_usize(0, n);
+                let dir = *rng.choose(&[Offset::RIGHT, Offset::UP, Offset::LEFT, Offset::DOWN]);
                 c = insert_hairpin(&c, at, dir);
             }
         }

@@ -1,13 +1,12 @@
 //! Random workload families.
 //!
 //! Determinism matters for the experiment tables: both generators are pure
-//! functions of `(n, seed)` via a seeded [`rand::rngs::StdRng`].
+//! functions of `(n, seed)` via a seeded [`SplitMix64`].
 
 use crate::families::skyline;
+use crate::rng::SplitMix64;
 use chain_sim::ClosedChain;
 use grid_geom::{Offset, Point};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// A uniformly shuffled *closed lattice walk* with `n` unit steps (`n`
 /// rounded up to the next even value, at least 4): a balanced multiset of
@@ -20,10 +19,14 @@ use rand::{Rng, SeedableRng};
 pub fn random_loop(n: usize, seed: u64) -> ClosedChain {
     let n = n.max(4);
     let n = if n % 2 == 1 { n + 1 } else { n };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
     // a pairs of ±x and b pairs of ±y with 2(a + b) = n, a, b ≥ 1.
     let half = n / 2;
-    let a = if half <= 2 { 1 } else { rng.gen_range(1..half) };
+    let a = if half <= 2 {
+        1
+    } else {
+        rng.range_usize(1, half)
+    };
     let b = half - a;
     let (a, b) = if b == 0 { (a - 1, 1) } else { (a, b) };
     let mut steps: Vec<Offset> = Vec::with_capacity(n);
@@ -31,7 +34,7 @@ pub fn random_loop(n: usize, seed: u64) -> ClosedChain {
     steps.extend(std::iter::repeat_n(Offset::LEFT, a));
     steps.extend(std::iter::repeat_n(Offset::UP, b));
     steps.extend(std::iter::repeat_n(Offset::DOWN, b));
-    steps.shuffle(&mut rng);
+    rng.shuffle(&mut steps);
     let mut pts = Vec::with_capacity(n);
     let mut p = Point::new(0, 0);
     for s in &steps[..n - 1] {
@@ -47,12 +50,12 @@ pub fn random_loop(n: usize, seed: u64) -> ClosedChain {
 /// over a width chosen so the perimeter comes out near `n`.
 pub fn random_skyline(n: usize, seed: u64) -> ClosedChain {
     let n = n.max(8);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let mut rng = SplitMix64::new(seed ^ 0x2545_f491_4f6c_dd1d);
     // Perimeter ≈ 2w + 2·E[h] + Σ|Δh| ≈ w·(2 + E|Δh|); with heights in
     // 1..=6, E|Δh| ≈ 1.9, so w ≈ n/4 lands near n.
     let w = (n / 4).max(2);
     let max_h = 6.min(1 + n as i64 / 8).max(2);
-    let heights: Vec<i64> = (0..w).map(|_| rng.gen_range(1..=max_h)).collect();
+    let heights: Vec<i64> = (0..w).map(|_| rng.range_i64_inclusive(1, max_h)).collect();
     skyline(&heights)
 }
 

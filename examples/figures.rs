@@ -112,7 +112,10 @@ fn fig2() {
 fn fig3b() {
     println!("=== Figure 3b: overlapping patterns, diagonal hop ===");
     let c = rectangle(4, 2);
-    show("before (4×2 ring; every corner combines two black roles):", &c);
+    show(
+        "before (4×2 ring; every corner combines two black roles):",
+        &c,
+    );
     let mut scan = MergeScan::default();
     scan.scan(&c, &GatherConfig::paper());
     for i in 0..c.len() {
@@ -136,7 +139,10 @@ fn fig4_7_good_pair() {
     for _ in 0..2 {
         sim.step().unwrap();
     }
-    show_marked("round 2 ('>' and '<' are run states moving along the chain):", &sim);
+    show_marked(
+        "round 2 ('>' and '<' are run states moving along the chain):",
+        &sim,
+    );
     for _ in 0..4 {
         sim.step().unwrap();
     }

@@ -49,7 +49,10 @@ fn main() {
             );
         }
         if sim.is_gathered() {
-            println!("gathered after {round} rounds (n = {n}, bound 27n = {})", 27 * n);
+            println!(
+                "gathered after {round} rounds (n = {n}, bound 27n = {})",
+                27 * n
+            );
             break;
         }
         if round > 64 * n as u64 {

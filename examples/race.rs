@@ -33,7 +33,14 @@ fn main() {
 
     println!(
         "{:<18} {:>5} {:>7} | {:>13} {:>13} {:>13} {:>13} {:>10}",
-        "family", "n", "diam", "paper(local)", "global-vision", "compass-se", "naive-local*", "open-zip"
+        "family",
+        "n",
+        "diam",
+        "paper(local)",
+        "global-vision",
+        "compass-se",
+        "naive-local*",
+        "open-zip"
     );
     for fam in [
         Family::Rectangle,

@@ -1,0 +1,19 @@
+//! # gathering
+//!
+//! Umbrella crate for the reproduction of *"Gathering a Closed Chain of
+//! Robots on a Grid"* (Abshoff, Cord-Landwehr, Fischer, Jung, Meyer auf der
+//! Heide; IPDPS 2016). It re-exports every workspace crate under one roof
+//! and owns the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`).
+//!
+//! See the workspace `README.md` for the crate map and quick-start.
+
+pub use baselines;
+// `::bench` disambiguates the crate from the built-in unstable `bench`
+// attribute that lives in the macro prelude.
+pub use ::bench;
+pub use chain_sim;
+pub use chain_viz;
+pub use gathering_core;
+pub use grid_geom;
+pub use workloads;

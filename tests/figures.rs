@@ -110,7 +110,10 @@ fn figure7_good_pair_folds_and_merges() {
     assert!(outcome.is_gathered());
     let stats = sim.strategy().stats();
     assert!(stats.folds > 0, "reshapement hops must happen");
-    assert!(stats.started_total() > 8, "pipelining starts several generations");
+    assert!(
+        stats.started_total() > 8,
+        "pipelining starts several generations"
+    );
 }
 
 /// Figure 8: a non-good pair passes; passing is observed on combs where
@@ -129,7 +132,10 @@ fn figure8_passing_happens_somewhere() {
         let _ = sim.run(RunLimits::for_chain_len(len));
         total_passings += sim.strategy().stats().passings_started;
     }
-    assert!(total_passings > 0, "run passing must occur on mixed structures");
+    assert!(
+        total_passings > 0,
+        "run passing must occur on mixed structures"
+    );
 }
 
 /// Figure 9: pipelining — multiple run generations alive at once.

@@ -109,7 +109,11 @@ fn round_reports_are_monotone_in_length() {
     let _ = sim.run(RunLimits::for_chain_len(len));
     let mut prev = len;
     for report in &sim.trace().reports {
-        assert!(report.len_after <= prev, "chain grew at round {}", report.round);
+        assert!(
+            report.len_after <= prev,
+            "chain grew at round {}",
+            report.round
+        );
         assert_eq!(prev - report.len_after, report.removed);
         prev = report.len_after;
     }

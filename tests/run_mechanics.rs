@@ -106,7 +106,12 @@ fn stop_reasons_accounted_consistently() {
     let outcome = sim.run(RunLimits::for_chain_len(len));
     assert!(outcome.is_gathered());
     let stats = sim.strategy().stats();
-    let live: u64 = sim.strategy().cells().iter().map(|c| c.count() as u64).sum();
+    let live: u64 = sim
+        .strategy()
+        .cells()
+        .iter()
+        .map(|c| c.count() as u64)
+        .sum();
     assert_eq!(
         stats.started_total(),
         stats.stopped_total() + live,
@@ -149,7 +154,8 @@ fn no_slot_collisions_in_practice() {
     for fam in Family::ALL {
         let s = run_stats(fam, 200, 2);
         assert_eq!(
-            s.stopped_slot_collision, 0,
+            s.stopped_slot_collision,
+            0,
             "{}: slot collisions",
             fam.name()
         );
