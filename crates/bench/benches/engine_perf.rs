@@ -14,7 +14,7 @@
 //! ```
 
 use bench::{run_batch_with, BatchOptions, ScenarioSpec};
-use chain_sim::{RunLimits, Sim, TraceConfig};
+use chain_sim::{RunLimits, Sim};
 use gathering_core::{ClosedChainGathering, GatherConfig, MergeScan};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -48,8 +48,7 @@ fn bench_single_round() {
         let chain = Family::Rectangle.generate(n, 0);
         let len = chain.len();
         let (iters, _, elapsed) = time_until_stable(|| {
-            let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper())
-                .with_trace(TraceConfig::headless());
+            let mut sim = Sim::headless(chain.clone(), ClosedChainGathering::paper());
             sim.step().unwrap();
             black_box(sim.round());
             1
@@ -90,8 +89,7 @@ fn bench_full_gathering() {
         let chain = fam.generate(n, 1);
         let len = chain.len();
         let (iters, rounds_total, elapsed) = time_until_stable(|| {
-            let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper())
-                .with_trace(TraceConfig::headless());
+            let mut sim = Sim::headless(chain.clone(), ClosedChainGathering::paper());
             let out = sim.run(RunLimits::for_chain_len(len));
             assert!(out.is_gathered());
             out.rounds()

@@ -1,0 +1,194 @@
+//! Campaign runner CLI: sharded, resumable experiment sweeps with
+//! persistent JSON benchmark artifacts (see docs/CAMPAIGNS.md).
+//!
+//! ```text
+//! campaign run    --name scaling [--quick] [--shard I/K] [--dir D] [--threads T] [--no-artifact]
+//! campaign status --name scaling [--quick] [--dir D]
+//! campaign merge  --name scaling [--quick] [--dir D]
+//! campaign report --name scaling [--quick] [--dir D] [--csv]
+//! ```
+//!
+//! `run` executes the campaign grid (or one shard of it), skipping every
+//! scenario whose result is already stored, and emits `BENCH_{name}.json`
+//! once the grid is complete. `merge` folds shard stores into the
+//! unsharded store. `status` shows coverage; `report` prints the result
+//! tables as markdown (or CSV with `--csv`).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use bench::campaign::{self, store, CampaignSpec, RunOptions};
+
+struct Cli {
+    cmd: String,
+    name: String,
+    quick: bool,
+    shard: Option<(usize, usize)>,
+    dir: PathBuf,
+    threads: usize,
+    csv: bool,
+    artifact: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <run|status|merge|report> --name <campaign> \
+         [--quick] [--shard I/K] [--dir DIR] [--threads T] [--csv] [--no-artifact]\n\
+         built-in campaigns: {}",
+        CampaignSpec::BUILTIN_NAMES.join(", ")
+    );
+    exit(2)
+}
+
+fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (i, k) = s.split_once('/')?;
+    let (i, k) = (i.parse().ok()?, k.parse().ok()?);
+    (k > 0 && i < k).then_some((i, k))
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+    };
+    if !["run", "status", "merge", "report"].contains(&cmd.as_str()) {
+        eprintln!("error: unknown subcommand '{cmd}'");
+        usage();
+    }
+    let mut cli = Cli {
+        cmd,
+        name: String::new(),
+        quick: false,
+        shard: None,
+        dir: PathBuf::from("bench-results"),
+        threads: 0,
+        csv: false,
+        artifact: None,
+    };
+    let mut no_artifact = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--name" => cli.name = value("--name"),
+            "--quick" => cli.quick = true,
+            "--csv" => cli.csv = true,
+            "--no-artifact" => no_artifact = true,
+            "--dir" => cli.dir = PathBuf::from(value("--dir")),
+            "--threads" => {
+                cli.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads needs an integer");
+                    usage();
+                })
+            }
+            "--shard" => {
+                let raw = value("--shard");
+                cli.shard = Some(parse_shard(&raw).unwrap_or_else(|| {
+                    eprintln!("error: --shard wants I/K with I < K (got '{raw}')");
+                    usage();
+                }));
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    if cli.name.is_empty() {
+        eprintln!("error: --name is required");
+        usage();
+    }
+    if !no_artifact {
+        cli.artifact = Some(store::artifact_path(&cli.name));
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let Some(spec) = CampaignSpec::named(&cli.name, cli.quick) else {
+        eprintln!(
+            "error: unknown campaign '{}'; built-ins: {}",
+            cli.name,
+            CampaignSpec::BUILTIN_NAMES.join(", ")
+        );
+        exit(2);
+    };
+
+    let result = match cli.cmd.as_str() {
+        "run" => {
+            let opts = RunOptions {
+                shard: cli.shard,
+                dir: cli.dir.clone(),
+                threads: cli.threads,
+                // Sharded runs never emit the artifact — merge does.
+                artifact: if cli.shard.is_none() {
+                    cli.artifact.clone()
+                } else {
+                    None
+                },
+                progress: true,
+                ..RunOptions::default()
+            };
+            campaign::run(&spec, &opts).map(|r| {
+                eprintln!(
+                    "campaign '{}': {} assigned, {} resumed, {} executed -> {}",
+                    spec.name,
+                    r.assigned,
+                    r.resumed,
+                    r.executed,
+                    r.store.display()
+                );
+                match &r.artifact {
+                    Some(path) => eprintln!("artifact written: {}", path.display()),
+                    None if cli.shard.is_some() => {
+                        eprintln!("shard run: merge shards to emit the artifact")
+                    }
+                    None => eprintln!(
+                        "artifact not (re)written: grid incomplete, suppressed, or an \
+                         existing artifact already covers a superset of this grid"
+                    ),
+                }
+            })
+        }
+        "status" => campaign::status(&spec, &cli.dir, cli.artifact.as_deref()).map(|s| {
+            println!("{}", s.table(&spec.name));
+            if !s.complete() {
+                eprintln!("{} scenarios still pending", s.grid - s.covered);
+            }
+        }),
+        "merge" => campaign::merge(&spec, &cli.dir, cli.artifact.as_deref()).map(|m| {
+            eprintln!(
+                "campaign '{}': merged {}/{} rows -> {}",
+                spec.name,
+                m.covered,
+                m.grid,
+                m.store.display()
+            );
+            match &m.artifact {
+                Some(path) => eprintln!("artifact written: {}", path.display()),
+                None => eprintln!("grid not fully covered; artifact not written"),
+            }
+        }),
+        "report" => campaign::report(&spec, &cli.dir, cli.artifact.as_deref()).map(|tables| {
+            for t in tables {
+                if cli.csv {
+                    println!("{}", t.to_csv());
+                } else {
+                    println!("{}", t.to_markdown());
+                }
+            }
+        }),
+        _ => unreachable!("subcommand validated in parse_cli"),
+    };
+
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}

@@ -6,8 +6,12 @@
 //! cargo run --release -p bench --bin experiments -- --table T1 --table T9
 //! cargo run --release -p bench --bin experiments -- --markdown
 //! ```
+//!
+//! Unknown `--table` names are an error: the binary prints the inventory
+//! and exits nonzero instead of silently producing nothing.
 
-use bench::{all_tables, Effort};
+use bench::experiments::{table_by_id, TABLE_IDS};
+use bench::Effort;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,19 +20,40 @@ fn main() {
     let wanted: Vec<String> = args
         .windows(2)
         .filter(|w| w[0] == "--table")
-        .map(|w| w[1].to_uppercase())
+        .map(|w| w[1].clone())
         .collect();
     let effort = if quick { Effort::Quick } else { Effort::Full };
+
+    let unknown: Vec<&String> = wanted
+        .iter()
+        .filter(|w| !TABLE_IDS.iter().any(|id| id.eq_ignore_ascii_case(w)))
+        .collect();
+    if !unknown.is_empty() {
+        for w in &unknown {
+            eprintln!("error: unknown table '{w}'");
+        }
+        eprintln!("valid tables: {}", TABLE_IDS.join(", "));
+        std::process::exit(2);
+    }
+
+    let ids: Vec<&str> = if wanted.is_empty() {
+        TABLE_IDS.to_vec()
+    } else {
+        // Preserve inventory order and deduplicate repeated requests.
+        TABLE_IDS
+            .iter()
+            .filter(|id| wanted.iter().any(|w| id.eq_ignore_ascii_case(w)))
+            .copied()
+            .collect()
+    };
 
     eprintln!(
         "running experiments ({}), this reproduces DESIGN.md §4 tables...",
         if quick { "quick" } else { "full" }
     );
     let t0 = std::time::Instant::now();
-    for table in all_tables(effort) {
-        if !wanted.is_empty() && !wanted.contains(&table.id.to_uppercase()) {
-            continue;
-        }
+    for id in ids {
+        let table = table_by_id(id, effort).expect("ids are validated above");
         if markdown {
             println!("{}", table.to_markdown());
         } else {

@@ -1,0 +1,437 @@
+//! A minimal, dependency-free JSON value with a writer and a recursive
+//! descent parser.
+//!
+//! The workspace is deliberately offline (no serde); the campaign store
+//! needs exactly this much JSON: compact deterministic emission for the
+//! JSON Lines result store and the `BENCH_*.json` artifacts, and enough
+//! parsing to read them back for resume / merge / report. Objects preserve
+//! insertion order so emission is byte-stable.
+
+use std::fmt::Write as _;
+
+/// A parsed or under-construction JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key/value list (insertion order is emission
+    /// order — the property the byte-stable artifacts rely on).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Construct an object value from ordered pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Construct a number from an unsigned integer.
+    pub fn u64(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// Construct a number from a usize.
+    pub fn usize(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// Object field lookup (None on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= (1u64 << 53) as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as usize (via [`Json::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|x| x as usize)
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (no whitespace). Integers below 2^53 are
+    /// emitted without a fractional part, so `u64` counters round-trip
+    /// textually.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() <= (1u64 << 53) as f64 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize compactly into a fresh string.
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    /// Parse one JSON value from the full input (trailing non-whitespace
+    /// is an error).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for the store's
+                            // ascii identifiers; map them to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+')) {
+            self.pos += 1;
+        }
+        // A '-' inside an exponent ("1e-3") is consumed by the loop above
+        // only via this extra check:
+        if matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && self.peek() == Some(b'-')
+        {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact() {
+        let v = Json::obj(vec![
+            ("name", Json::str("scaling")),
+            ("n", Json::u64(65536)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![Json::u64(1), Json::u64(2)])),
+        ]);
+        let s = v.to_compact();
+        assert_eq!(
+            s,
+            r#"{"name":"scaling","n":65536,"ok":true,"none":null,"rows":[1,2]}"#
+        );
+        assert_eq!(Json::parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_round_trip_textually() {
+        for x in [0u64, 1, 13, 65536, (1 << 53)] {
+            let s = Json::u64(x).to_compact();
+            assert_eq!(s, x.to_string());
+            assert_eq!(Json::parse(&s).unwrap().as_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::str("a\"b\\c\nd\te\u{1}");
+        let s = v.to_compact();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(Json::parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = Json::parse(" { \"a\" : [ 1 , { \"b\" : -2.5 } ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        let inner = &v.get("a").unwrap().as_arr().unwrap()[1];
+        assert_eq!(inner.get("b"), Some(&Json::Num(-2.5)));
+    }
+
+    #[test]
+    fn parse_errors_are_positioned() {
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn exponent_numbers_parse() {
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("2.5e-2").unwrap(), Json::Num(0.025));
+        assert_eq!(Json::parse("-4").unwrap(), Json::Num(-4.0));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+    }
+}

@@ -1,0 +1,773 @@
+//! Campaign-scale experiment sweeps: sharded, resumable, persistent.
+//!
+//! A [`CampaignSpec`] names a *grid* of [`ScenarioSpec`]s — the cartesian
+//! product of workload families × an n-ladder × seeds × registry
+//! strategies (each strategy with its own size cap, so diameter-bound
+//! baselines don't hold the 65k paper runs hostage). The grid order is
+//! canonical (family-major, then size, seed, strategy), every spec has a
+//! stable 64-bit FNV-1a hash ([`spec_hash`]) over its canonical encoding
+//! ([`spec_id`]), and everything downstream keys off that hash:
+//!
+//! * **Sharding** — [`CampaignSpec::shard`] deals the grid round-robin
+//!   over `k` disjoint, covering shards for CI fan-out (`--shard i/k`).
+//! * **Resume** — [`run`] skips every spec whose hash already has a row in
+//!   any store file of the campaign (or in a previously emitted artifact),
+//!   so re-running a finished campaign executes zero scenarios.
+//! * **Persistence** — results land as JSON Lines ([`store`]) chunk by
+//!   chunk, and a completed grid is exported as the `BENCH_{name}.json`
+//!   artifact in the stable schema `{campaign, commit, date, rows}`.
+//!
+//! Execution itself is [`run_batch_with`] — the same self-balancing
+//! scoped-thread executor the tables use — over the pending specs only.
+//! Campaign runs always use the headless engine path (no per-round report
+//! retention), so a 65 536-robot run costs O(n) memory.
+
+pub mod json;
+pub mod store;
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scenario::{run_batch_with, BatchOptions, LimitPolicy, ScenarioSpec, StrategyKind};
+use crate::table::Table;
+use json::Json;
+use workloads::Family;
+
+/// One strategy of a campaign, with the largest `n` it participates in.
+///
+/// The cap keeps grids honest about asymptotics: the paper's algorithm is
+/// O(n) rounds and sweeps the full ladder, while e.g. the stand control
+/// only exists to calibrate the stall detector and stops at small sizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StrategySweep {
+    /// The registry strategy to run.
+    pub kind: StrategyKind,
+    /// Largest requested `n` this strategy is swept to (inclusive).
+    pub max_n: usize,
+}
+
+impl StrategySweep {
+    /// Sweep `kind` up to and including requested size `max_n`.
+    pub fn up_to(kind: StrategyKind, max_n: usize) -> Self {
+        StrategySweep { kind, max_n }
+    }
+}
+
+/// A named grid of scenarios: the unit the campaign runner executes,
+/// shards, resumes, and reports on.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name — store files are `{name}.jsonl` /
+    /// `{name}.shard-i-of-k.jsonl`, the artifact is `BENCH_{name}.json`.
+    pub name: String,
+    /// Workload families on the grid (row groups of the report).
+    pub families: Vec<Family>,
+    /// Requested sizes (the n-ladder), ascending.
+    pub sizes: Vec<usize>,
+    /// Seeds per (family, size, strategy) cell.
+    pub seeds: Vec<u64>,
+    /// Strategies with their per-strategy size caps (report columns).
+    pub strategies: Vec<StrategySweep>,
+}
+
+impl CampaignSpec {
+    /// Look up a built-in campaign by name.
+    ///
+    /// * `scaling` — the rounds-vs-n scaling campaign behind
+    ///   `BENCH_scaling.json`: three structurally distinct families
+    ///   (rectangle, skyline, random-loop), an n-ladder from 64 to 65 536,
+    ///   the paper's algorithm against every closed-chain registry
+    ///   baseline (each baseline capped where its round complexity stops
+    ///   being affordable), two seeds. `quick` shrinks the ladder to
+    ///   {64, 256} × one seed — a strict subset of the full grid, so quick
+    ///   results resume into a full run.
+    pub fn named(name: &str, quick: bool) -> Option<CampaignSpec> {
+        match name {
+            "scaling" => Some(Self::scaling(quick)),
+            _ => None,
+        }
+    }
+
+    /// Names [`CampaignSpec::named`] accepts (for CLI error messages).
+    pub const BUILTIN_NAMES: [&'static str; 1] = ["scaling"];
+
+    /// The built-in scaling campaign (see [`CampaignSpec::named`]).
+    pub fn scaling(quick: bool) -> CampaignSpec {
+        let (sizes, seeds): (Vec<usize>, Vec<u64>) = if quick {
+            (vec![64, 256], vec![0])
+        } else {
+            (vec![64, 256, 1024, 4096, 16384, 65536], vec![0, 1])
+        };
+        CampaignSpec {
+            name: "scaling".to_string(),
+            families: vec![Family::Rectangle, Family::Skyline, Family::RandomLoop],
+            sizes,
+            seeds,
+            strategies: vec![
+                StrategySweep::up_to(StrategyKind::paper(), 65536),
+                StrategySweep::up_to(StrategyKind::GlobalVision, 65536),
+                StrategySweep::up_to(StrategyKind::CompassSe, 16384),
+                StrategySweep::up_to(StrategyKind::NaiveLocal, 4096),
+                StrategySweep::up_to(StrategyKind::Stand, 256),
+            ],
+        }
+    }
+
+    /// The full grid in canonical order: family-major, then size, then
+    /// seed, then strategy (registry order), strategies filtered by their
+    /// size cap. Everything downstream — sharding, resume bookkeeping,
+    /// store order, artifact row order — derives from this one ordering.
+    pub fn grid(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::new();
+        for &family in &self.families {
+            for &n in &self.sizes {
+                for &seed in &self.seeds {
+                    for sweep in &self.strategies {
+                        if n <= sweep.max_n {
+                            specs.push(ScenarioSpec::strategy(family, n, seed, sweep.kind));
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Shard `i` of `k`: every `k`-th grid entry starting at `i`
+    /// (round-robin). The `k` shards are pairwise disjoint and cover the
+    /// grid, and round-robin dealing spreads the expensive large-n specs
+    /// evenly across shards.
+    ///
+    /// # Panics
+    /// If `i >= k` or `k == 0` — the CLI validates `--shard i/k` first.
+    pub fn shard(&self, i: usize, k: usize) -> Vec<ScenarioSpec> {
+        assert!(
+            k > 0 && i < k,
+            "shard index {i} out of range for {k} shards"
+        );
+        self.grid()
+            .into_iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % k == i)
+            .map(|(_, s)| s)
+            .collect()
+    }
+}
+
+/// Canonical textual encoding of a spec — the preimage of [`spec_hash`].
+///
+/// Versioned (`v1|`) so a future encoding change invalidates old stores
+/// loudly (every hash changes) instead of silently colliding. Paper kinds
+/// encode their full [`gathering_core::GatherConfig`], so an ablated
+/// config never collides with the canonical one.
+pub fn spec_id(spec: &ScenarioSpec) -> String {
+    let cfg = match spec.strategy {
+        StrategyKind::Paper(c) | StrategyKind::PaperAudited(c) => format!(
+            "L{},V{},K{},opc{},c2{}",
+            c.l_period,
+            c.view,
+            c.max_merge_k,
+            u8::from(c.op_c_walk),
+            u8::from(c.cond2_guard)
+        ),
+        _ => "-".to_string(),
+    };
+    let limits = match spec.limits {
+        LimitPolicy::Auto => "auto".to_string(),
+        LimitPolicy::Fixed(l) => format!("fixed:{}:{}", l.max_rounds, l.stall_window),
+    };
+    format!(
+        "v1|family={}|n={}|seed={}|strategy={}|cfg={}|limits={}",
+        spec.family.name(),
+        spec.n,
+        spec.seed,
+        spec.strategy.name(),
+        cfg,
+        limits
+    )
+}
+
+/// Stable 64-bit FNV-1a hash of [`spec_id`], rendered as 16 lowercase hex
+/// digits. This is the key of the result store: a row whose hash matches a
+/// grid entry marks that entry as done. Golden values are pinned in
+/// `tests/campaign.rs` — changing this function invalidates every store
+/// on disk and must be deliberate.
+pub fn spec_hash(spec: &ScenarioSpec) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in spec_id(spec).bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One persisted campaign result — the row type of both the JSON Lines
+/// store and the artifact's `rows` array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignRow {
+    /// Workload family name ([`Family::name`]).
+    pub family: String,
+    /// *Requested* size — the grid coordinate (families quantize, so the
+    /// generated chain differs; resume hashing uses this value).
+    pub n: usize,
+    /// Actual generated chain length (plot scaling curves against this).
+    pub n_actual: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Registry strategy name ([`StrategyKind::name`]).
+    pub strategy: String,
+    /// Rounds executed (rounds-to-gather when `outcome == "gathered"`).
+    pub rounds: u64,
+    /// Wall-clock milliseconds of this scenario alone (the one field that
+    /// is *not* a pure function of the spec).
+    pub wall_ms: u64,
+    /// Outcome label: `gathered`, `round-limit`, `stalled`, or
+    /// `chain-broken`.
+    pub outcome: String,
+    /// Robots removed by merges (store detail; 0 when re-ingested from an
+    /// artifact, which omits it).
+    pub merges: usize,
+    /// Longest mergeless gap in rounds (store detail, like `merges`).
+    pub longest_gap: u64,
+}
+
+impl CampaignRow {
+    /// Fold a completed scenario into a row. The spec must be a canonical
+    /// registry spec (campaign grids only produce those).
+    pub fn from_result(r: &crate::scenario::ScenarioResult) -> CampaignRow {
+        use chain_sim::Outcome;
+        let outcome = match r.outcome {
+            Outcome::Gathered { .. } => "gathered",
+            Outcome::RoundLimit { .. } => "round-limit",
+            Outcome::Stalled { .. } => "stalled",
+            Outcome::ChainBroken { .. } => "chain-broken",
+        };
+        CampaignRow {
+            family: r.spec.family.name().to_string(),
+            n: r.spec.n,
+            n_actual: r.n,
+            seed: r.spec.seed,
+            strategy: r.spec.strategy.name().to_string(),
+            rounds: r.outcome.rounds(),
+            wall_ms: r.wall.as_millis() as u64,
+            outcome: outcome.to_string(),
+            merges: r.merges_total,
+            longest_gap: r.longest_gap,
+        }
+    }
+
+    /// Reconstruct the canonical [`ScenarioSpec`] this row answers for,
+    /// or `None` if its family/strategy names are unknown to this build
+    /// (e.g. a store written by a newer version).
+    pub fn to_spec(&self) -> Option<ScenarioSpec> {
+        let family = Family::from_name(&self.family)?;
+        let strategy = StrategyKind::from_name(&self.strategy)?;
+        Some(ScenarioSpec::strategy(family, self.n, self.seed, strategy))
+    }
+
+    /// The row's resume key: [`spec_hash`] of its reconstructed spec.
+    pub fn spec_hash(&self) -> Option<String> {
+        self.to_spec().map(|s| spec_hash(&s))
+    }
+
+    /// The JSON Lines representation (full detail, plus the hash as a
+    /// leading informational field for grep-ability — readers recompute
+    /// it from the identity fields rather than trusting it).
+    pub fn to_store_json(&self) -> Json {
+        let mut pairs = vec![("spec_hash", Json::str(self.spec_hash().unwrap_or_default()))];
+        pairs.extend(self.identity_pairs());
+        pairs.extend([
+            ("merges", Json::usize(self.merges)),
+            ("longest_gap", Json::u64(self.longest_gap)),
+        ]);
+        Json::obj(pairs)
+    }
+
+    /// The artifact representation — exactly the stable schema fields.
+    pub fn to_artifact_json(&self) -> Json {
+        Json::obj(self.identity_pairs())
+    }
+
+    fn identity_pairs(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("family", Json::str(&self.family)),
+            ("n", Json::usize(self.n)),
+            ("n_actual", Json::usize(self.n_actual)),
+            ("seed", Json::u64(self.seed)),
+            ("strategy", Json::str(&self.strategy)),
+            ("rounds", Json::u64(self.rounds)),
+            ("wall_ms", Json::u64(self.wall_ms)),
+            ("outcome", Json::str(&self.outcome)),
+        ]
+    }
+
+    /// Parse a row from either representation. The store-only detail
+    /// fields (`merges`, `longest_gap`, `n_actual`) are optional so
+    /// artifact rows re-ingest for resume.
+    pub fn from_json(v: &Json) -> Result<CampaignRow, String> {
+        let s = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing integer field '{key}'"))
+        };
+        let n = u("n")? as usize;
+        Ok(CampaignRow {
+            family: s("family")?,
+            n,
+            n_actual: v.get("n_actual").and_then(|x| x.as_usize()).unwrap_or(n),
+            seed: u("seed")?,
+            strategy: s("strategy")?,
+            rounds: u("rounds")?,
+            wall_ms: u("wall_ms")?,
+            outcome: s("outcome")?,
+            merges: v.get("merges").and_then(|x| x.as_usize()).unwrap_or(0),
+            longest_gap: v.get("longest_gap").and_then(|x| x.as_u64()).unwrap_or(0),
+        })
+    }
+}
+
+/// Knobs for [`run`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Execute only shard `(i, k)` of the grid; `None` runs it all.
+    pub shard: Option<(usize, usize)>,
+    /// Store directory (default `bench-results/`).
+    pub dir: PathBuf,
+    /// Worker threads for the batch executor (`0` = one per core).
+    pub threads: usize,
+    /// Artifact path; `None` suppresses artifact emission (tests, shards
+    /// that will be merged later).
+    pub artifact: Option<PathBuf>,
+    /// Specs per executor batch between store appends — the resume
+    /// granularity (a killed run loses at most one chunk).
+    pub chunk: usize,
+    /// Print per-chunk progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            shard: None,
+            dir: PathBuf::from("bench-results"),
+            threads: 0,
+            artifact: None,
+            chunk: 32,
+            progress: false,
+        }
+    }
+}
+
+/// What [`run`] did.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Grid (or shard) size this invocation was responsible for.
+    pub assigned: usize,
+    /// Specs skipped because a stored row already covered them.
+    pub resumed: usize,
+    /// Specs actually executed by this invocation.
+    pub executed: usize,
+    /// Store file this invocation appended to.
+    pub store: PathBuf,
+    /// Artifact written (only when the *full* grid is complete and an
+    /// artifact path was configured).
+    pub artifact: Option<PathBuf>,
+}
+
+/// Execute a campaign (or one shard of it), resuming from every store
+/// file and artifact already on disk, appending new rows chunk by chunk,
+/// and emitting the artifact once the full grid is covered.
+pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<RunReport> {
+    let assigned = match opts.shard {
+        None => spec.grid(),
+        Some((i, k)) => spec.shard(i, k),
+    };
+    let artifact = opts.artifact.as_deref();
+    let done: HashSet<String> = store::collect_rows(&opts.dir, &spec.name, artifact)?
+        .into_keys()
+        .collect();
+    let pending: Vec<ScenarioSpec> = assigned
+        .iter()
+        .filter(|s| !done.contains(&spec_hash(s)))
+        .copied()
+        .collect();
+    let store_path = store::store_path(&opts.dir, &spec.name, opts.shard);
+
+    let mut executed = 0usize;
+    for chunk in pending.chunks(opts.chunk.max(1)) {
+        let results = run_batch_with(chunk, BatchOptions::threads(opts.threads));
+        let rows: Vec<CampaignRow> = results.iter().map(CampaignRow::from_result).collect();
+        store::append_rows(&store_path, &rows)?;
+        executed += rows.len();
+        if opts.progress {
+            eprintln!(
+                "campaign {}: {executed}/{} executed ({} resumed)",
+                spec.name,
+                pending.len(),
+                assigned.len() - pending.len(),
+            );
+        }
+    }
+
+    let artifact_written = match artifact {
+        Some(path) => emit_artifact_if_complete(spec, &opts.dir, path)?,
+        None => None,
+    };
+    Ok(RunReport {
+        assigned: assigned.len(),
+        resumed: assigned.len() - pending.len(),
+        executed,
+        store: store_path,
+        artifact: artifact_written,
+    })
+}
+
+/// Write `BENCH_{name}.json` if every grid entry has a row on disk;
+/// returns the path when written. Rows are emitted in canonical grid
+/// order, so a sharded-then-merged campaign and an unsharded run produce
+/// identical artifacts (up to the measured `wall_ms`).
+///
+/// Never shrinks: if the existing artifact's rows are a strict superset
+/// of what would be written (a `--quick` run next to a completed full
+/// campaign — the quick grid is a subset of the full grid), the richer
+/// artifact is kept untouched and `None` is returned.
+pub fn emit_artifact_if_complete(
+    spec: &CampaignSpec,
+    dir: &Path,
+    artifact: &Path,
+) -> io::Result<Option<PathBuf>> {
+    let rows = store::collect_rows(dir, &spec.name, Some(artifact))?;
+    let grid = spec.grid();
+    let ordered: Vec<&CampaignRow> = grid
+        .iter()
+        .filter_map(|s| rows.get(&spec_hash(s)))
+        .collect();
+    if ordered.len() < grid.len() {
+        return Ok(None);
+    }
+    if artifact.exists() {
+        let existing: HashSet<Option<String>> = store::read_artifact(artifact)?
+            .1
+            .iter()
+            .map(CampaignRow::spec_hash)
+            .collect();
+        let shrinks = existing.len() > ordered.len()
+            && ordered.iter().all(|r| existing.contains(&r.spec_hash()));
+        if shrinks {
+            return Ok(None);
+        }
+    }
+    store::write_artifact(
+        artifact,
+        &spec.name,
+        &store::git_commit(),
+        &store::today_utc(),
+        &ordered,
+    )?;
+    Ok(Some(artifact.to_path_buf()))
+}
+
+/// What [`merge`] found and wrote.
+#[derive(Clone, Debug)]
+pub struct MergeReport {
+    /// Total grid entries of the campaign.
+    pub grid: usize,
+    /// Entries with a row in some store file / artifact.
+    pub covered: usize,
+    /// Merged store written (`{name}.jsonl`, canonical grid order).
+    pub store: PathBuf,
+    /// Artifact written, when coverage is complete.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Merge every store file (shards included) into the unsharded store
+/// `{name}.jsonl`: rows of the current grid first, in canonical grid
+/// order, then every other known row of the campaign (hash order) — a
+/// `merge --quick` next to full-campaign results must never discard the
+/// out-of-grid rows. The rewrite goes through a temp file + rename, so a
+/// crash mid-merge cannot lose the store. Emits the artifact when the
+/// grid is fully covered. Idempotent; shard files are left in place
+/// (subsequent runs deduplicate by hash anyway).
+pub fn merge(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::Result<MergeReport> {
+    let mut rows = store::collect_rows(dir, &spec.name, artifact)?;
+    let grid = spec.grid();
+    let mut ordered: Vec<CampaignRow> = grid
+        .iter()
+        .filter_map(|s| rows.remove(&spec_hash(s)))
+        .collect();
+    let covered = ordered.len();
+    // Whatever is left belongs to a different grid of the same campaign
+    // (e.g. the full ladder while merging --quick); keep it, stably.
+    let mut extras: Vec<(String, CampaignRow)> = rows.drain().collect();
+    extras.sort_by(|a, b| a.0.cmp(&b.0));
+    ordered.extend(extras.into_iter().map(|(_, r)| r));
+    let store_path = store::store_path(dir, &spec.name, None);
+    store::rewrite_rows(&store_path, &ordered)?;
+    let artifact_written = match artifact {
+        Some(path) if covered == grid.len() => emit_artifact_if_complete(spec, dir, path)?,
+        _ => None,
+    };
+    Ok(MergeReport {
+        grid: grid.len(),
+        covered,
+        store: store_path,
+        artifact: artifact_written,
+    })
+}
+
+/// Per-strategy completion counts for [`status`].
+#[derive(Clone, Debug)]
+pub struct StatusReport {
+    /// Total grid entries.
+    pub grid: usize,
+    /// Entries already covered by stored rows.
+    pub covered: usize,
+    /// `(strategy name, covered, total)` per campaign strategy.
+    pub by_strategy: Vec<(String, usize, usize)>,
+}
+
+impl StatusReport {
+    /// `true` when every grid entry has a stored result.
+    pub fn complete(&self) -> bool {
+        self.covered == self.grid
+    }
+
+    /// Render as a table (`campaign status` output).
+    pub fn table(&self, name: &str) -> Table {
+        let mut t = Table::new(
+            "STATUS",
+            &format!(
+                "campaign '{name}': {}/{} scenarios done",
+                self.covered, self.grid
+            ),
+            &["strategy", "done", "total", "state"],
+        );
+        for (strategy, done, total) in &self.by_strategy {
+            t.row(vec![
+                strategy.clone(),
+                done.to_string(),
+                total.to_string(),
+                if done == total { "complete" } else { "pending" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Compare the stores on disk against the campaign grid.
+pub fn status(
+    spec: &CampaignSpec,
+    dir: &Path,
+    artifact: Option<&Path>,
+) -> io::Result<StatusReport> {
+    let rows = store::collect_rows(dir, &spec.name, artifact)?;
+    let grid = spec.grid();
+    let covered = grid
+        .iter()
+        .filter(|s| rows.contains_key(&spec_hash(s)))
+        .count();
+    let by_strategy = spec
+        .strategies
+        .iter()
+        .map(|sweep| {
+            let name = sweep.kind.name().to_string();
+            let of_strategy: Vec<&ScenarioSpec> =
+                grid.iter().filter(|s| s.strategy.name() == name).collect();
+            let done = of_strategy
+                .iter()
+                .filter(|s| rows.contains_key(&spec_hash(s)))
+                .count();
+            (name, done, of_strategy.len())
+        })
+        .collect();
+    Ok(StatusReport {
+        grid: grid.len(),
+        covered,
+        by_strategy,
+    })
+}
+
+/// Build the report tables from the stored rows: rounds-to-gather and
+/// wall-clock per grid cell, one column per strategy, seeds averaged.
+/// Cells show `-` where no row exists yet, the outcome label where a run
+/// did not gather.
+pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::Result<Vec<Table>> {
+    let rows = store::collect_rows(dir, &spec.name, artifact)?;
+    let strategies: Vec<&str> = spec.strategies.iter().map(|s| s.kind.name()).collect();
+
+    let mut header = vec!["family", "n", "n_actual"];
+    header.extend(strategies.iter().copied());
+    let mut rounds_table = Table::new(
+        "C1",
+        &format!(
+            "campaign '{}': rounds to gather (seeds averaged)",
+            spec.name
+        ),
+        &header,
+    );
+    let mut wall_table = Table::new(
+        "C2",
+        &format!(
+            "campaign '{}': wall-clock ms per scenario (seeds averaged)",
+            spec.name
+        ),
+        &header,
+    );
+
+    for &family in &spec.families {
+        for &n in &spec.sizes {
+            let mut rounds_cells = Vec::new();
+            let mut wall_cells = Vec::new();
+            let mut n_actual = None;
+            for sweep in &spec.strategies {
+                if n > sweep.max_n {
+                    rounds_cells.push("-".to_string());
+                    wall_cells.push("-".to_string());
+                    continue;
+                }
+                let cell_rows: Vec<&CampaignRow> = spec
+                    .seeds
+                    .iter()
+                    .filter_map(|&seed| {
+                        let s = ScenarioSpec::strategy(family, n, seed, sweep.kind);
+                        rows.get(&spec_hash(&s))
+                    })
+                    .collect();
+                if cell_rows.is_empty() {
+                    rounds_cells.push("-".to_string());
+                    wall_cells.push("-".to_string());
+                    continue;
+                }
+                n_actual.get_or_insert(cell_rows[0].n_actual);
+                let failed = cell_rows.iter().find(|r| r.outcome != "gathered");
+                rounds_cells.push(match failed {
+                    Some(r) => r.outcome.clone(),
+                    None => {
+                        let mean = cell_rows.iter().map(|r| r.rounds).sum::<u64>() as f64
+                            / cell_rows.len() as f64;
+                        format!("{mean:.0}")
+                    }
+                });
+                let wall = cell_rows.iter().map(|r| r.wall_ms).sum::<u64>() as f64
+                    / cell_rows.len() as f64;
+                wall_cells.push(format!("{wall:.0}"));
+            }
+            if n_actual.is_none() && rounds_cells.iter().all(|c| c == "-") {
+                continue;
+            }
+            let prefix = |cells: Vec<String>| {
+                let mut row = vec![
+                    family.name().to_string(),
+                    n.to_string(),
+                    n_actual.map_or("-".to_string(), |x| x.to_string()),
+                ];
+                row.extend(cells);
+                row
+            };
+            rounds_table.row(prefix(rounds_cells));
+            wall_table.row(prefix(wall_cells));
+        }
+    }
+    rounds_table.note(
+        "Rows missing entirely have not been run yet; non-gathered cells show the outcome label.",
+    );
+    wall_table.note("Wall-clock is machine-dependent — compare shapes, not absolute values.");
+    Ok(vec![rounds_table, wall_table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_respects_caps_and_order() {
+        let spec = CampaignSpec {
+            name: "t".into(),
+            families: vec![Family::Rectangle, Family::Skyline],
+            sizes: vec![16, 32],
+            seeds: vec![0, 1],
+            strategies: vec![
+                StrategySweep::up_to(StrategyKind::paper(), 32),
+                StrategySweep::up_to(StrategyKind::Stand, 16),
+            ],
+        };
+        let grid = spec.grid();
+        // 2 families × (n=16: 2 strategies + n=32: 1 strategy) × 2 seeds.
+        assert_eq!(grid.len(), 2 * (2 + 1) * 2);
+        assert_eq!(grid[0].family, Family::Rectangle);
+        assert_eq!(grid[0].strategy.name(), "paper");
+        assert_eq!(grid[1].strategy.name(), "stand");
+        // n=32 rows never contain the capped strategy.
+        assert!(grid
+            .iter()
+            .filter(|s| s.n == 32)
+            .all(|s| s.strategy.name() == "paper"));
+    }
+
+    #[test]
+    fn scaling_quick_is_subset_of_full() {
+        let quick: HashSet<String> = CampaignSpec::scaling(true)
+            .grid()
+            .iter()
+            .map(spec_hash)
+            .collect();
+        let full: HashSet<String> = CampaignSpec::scaling(false)
+            .grid()
+            .iter()
+            .map(spec_hash)
+            .collect();
+        assert!(quick.is_subset(&full));
+        assert!(quick.len() >= 20);
+        // The full ladder reaches the paper's asymptotic regime.
+        assert!(CampaignSpec::scaling(false)
+            .grid()
+            .iter()
+            .any(|s| s.n >= 65536));
+    }
+
+    #[test]
+    fn spec_ids_are_injective_over_a_grid() {
+        let grid = CampaignSpec::scaling(false).grid();
+        let ids: HashSet<String> = grid.iter().map(spec_id).collect();
+        assert_eq!(ids.len(), grid.len());
+    }
+
+    #[test]
+    fn row_round_trips_through_store_json() {
+        let spec = ScenarioSpec::strategy(Family::Rectangle, 64, 3, StrategyKind::paper());
+        let result = crate::scenario::run_scenario(&spec);
+        let row = CampaignRow::from_result(&result);
+        let parsed = CampaignRow::from_json(&row.to_store_json()).unwrap();
+        assert_eq!(parsed, row);
+        assert_eq!(parsed.spec_hash().unwrap(), spec_hash(&spec));
+        // Artifact representation drops the detail fields but keeps the key.
+        let from_artifact = CampaignRow::from_json(&row.to_artifact_json()).unwrap();
+        assert_eq!(from_artifact.spec_hash(), parsed.spec_hash());
+        assert_eq!(from_artifact.merges, 0);
+    }
+
+    #[test]
+    fn unknown_names_do_not_panic() {
+        let row = CampaignRow {
+            family: "future-family".into(),
+            n: 10,
+            n_actual: 10,
+            seed: 0,
+            strategy: "paper".into(),
+            rounds: 1,
+            wall_ms: 1,
+            outcome: "gathered".into(),
+            merges: 0,
+            longest_gap: 0,
+        };
+        assert_eq!(row.to_spec(), None);
+        assert_eq!(row.spec_hash(), None);
+    }
+}

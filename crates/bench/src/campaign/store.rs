@@ -1,0 +1,281 @@
+//! The on-disk side of the campaign subsystem: the JSON Lines result
+//! store, shard-file discovery, and the `BENCH_*.json` artifact.
+//!
+//! Layout: a campaign named `scaling` persists under a store directory
+//! (default `bench-results/`) as
+//!
+//! * `scaling.jsonl` — the unsharded (or merged) result store, one
+//!   [`CampaignRow`] object per line, appended as chunks complete, and
+//! * `scaling.shard-I-of-K.jsonl` — one store per shard of a fan-out run.
+//!
+//! Every reader tolerates all of these at once: resume and merge collect
+//! rows from *all* store files of the campaign (plus an existing artifact)
+//! and deduplicate by spec hash, so shards, partial runs, and merged
+//! stores compose freely.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use super::json::Json;
+use super::CampaignRow;
+
+/// Store file for one campaign (optionally one shard of it) inside `dir`.
+pub fn store_path(dir: &Path, name: &str, shard: Option<(usize, usize)>) -> PathBuf {
+    match shard {
+        None => dir.join(format!("{name}.jsonl")),
+        Some((i, k)) => dir.join(format!("{name}.shard-{i}-of-{k}.jsonl")),
+    }
+}
+
+/// Default artifact path for a campaign: `BENCH_{name}.json` in the
+/// current directory (run the binary from the repo root to land it there).
+pub fn artifact_path(name: &str) -> PathBuf {
+    PathBuf::from(format!("BENCH_{name}.json"))
+}
+
+/// All existing store files of a campaign inside `dir` (the unsharded
+/// store plus every shard store), in sorted order for determinism.
+pub fn store_files(dir: &Path, name: &str) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    if !dir.exists() {
+        return Ok(files);
+    }
+    let base = format!("{name}.jsonl");
+    let shard_prefix = format!("{name}.shard-");
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(file) = path.file_name().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if file == base || (file.starts_with(&shard_prefix) && file.ends_with(".jsonl")) {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Read one JSON Lines store file into rows. Blank lines are skipped;
+/// a malformed line is a hard error (a truncated final line from a killed
+/// run should be repaired by deleting it, not silently dropped).
+pub fn read_rows(path: &Path) -> io::Result<Vec<CampaignRow>> {
+    let text = fs::read_to_string(path)?;
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line)
+            .map_err(|e| io::Error::other(format!("{}:{}: {e}", path.display(), lineno + 1)))?;
+        let row = CampaignRow::from_json(&value)
+            .map_err(|e| io::Error::other(format!("{}:{}: {e}", path.display(), lineno + 1)))?;
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Append rows to a store file (creating it and its directory on first
+/// use). Each row is written as one compact JSON line and flushed, so a
+/// killed run loses at most the in-flight chunk.
+pub fn append_rows(path: &Path, rows: &[CampaignRow]) -> io::Result<()> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut buf = String::new();
+    for row in rows {
+        row.to_store_json().write(&mut buf);
+        buf.push('\n');
+    }
+    file.write_all(buf.as_bytes())?;
+    file.flush()
+}
+
+/// Atomically replace a store file with exactly these rows: write to a
+/// sibling temp file, then rename over the target, so a crash mid-write
+/// can never lose the existing store.
+pub fn rewrite_rows(path: &Path, rows: &[CampaignRow]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut buf = String::new();
+    for row in rows {
+        row.to_store_json().write(&mut buf);
+        buf.push('\n');
+    }
+    let tmp = path.with_extension("jsonl.tmp");
+    fs::write(&tmp, buf)?;
+    fs::rename(&tmp, path)
+}
+
+/// Collect every known row of a campaign — all store files in `dir` plus
+/// (if it exists) a previously emitted artifact — deduplicated by spec
+/// hash. Store rows win over artifact rows (they carry the extra
+/// merge/gap detail the artifact schema omits).
+pub fn collect_rows(
+    dir: &Path,
+    name: &str,
+    artifact: Option<&Path>,
+) -> io::Result<HashMap<String, CampaignRow>> {
+    let mut by_hash: HashMap<String, CampaignRow> = HashMap::new();
+    for path in store_files(dir, name)? {
+        for row in read_rows(&path)? {
+            if let Some(hash) = row.spec_hash() {
+                by_hash.entry(hash).or_insert(row);
+            }
+        }
+    }
+    if let Some(path) = artifact {
+        if path.exists() {
+            for row in read_artifact(path)?.1 {
+                if let Some(hash) = row.spec_hash() {
+                    by_hash.entry(hash).or_insert(row);
+                }
+            }
+        }
+    }
+    Ok(by_hash)
+}
+
+/// Write the `BENCH_{name}.json` artifact: the stable machine-readable
+/// schema `{campaign, commit, date, rows: [{family, n, n_actual, seed,
+/// strategy, rounds, wall_ms, outcome}]}`, with `rows` in the order given
+/// (callers pass canonical grid order, so emission is deterministic).
+pub fn write_artifact(
+    path: &Path,
+    name: &str,
+    commit: &str,
+    date: &str,
+    rows: &[&CampaignRow],
+) -> io::Result<()> {
+    let doc = Json::obj(vec![
+        ("campaign", Json::str(name)),
+        ("commit", Json::str(commit)),
+        ("date", Json::str(date)),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(|r| r.to_artifact_json()).collect()),
+        ),
+    ]);
+    // Pretty-ish: one row per line so artifact diffs review like the store.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"campaign\": {},\n",
+        Json::str(name).to_compact()
+    ));
+    out.push_str(&format!(
+        "  \"commit\": {},\n",
+        Json::str(commit).to_compact()
+    ));
+    out.push_str(&format!("  \"date\": {},\n", Json::str(date).to_compact()));
+    out.push_str("  \"rows\": [\n");
+    let arr = doc.get("rows").unwrap().as_arr().unwrap();
+    for (i, row) in arr.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&row.to_compact());
+        out.push_str(if i + 1 < arr.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    fs::write(path, out)
+}
+
+/// Read an artifact back: `(header (campaign, commit, date), rows)`.
+pub fn read_artifact(path: &Path) -> io::Result<((String, String, String), Vec<CampaignRow>)> {
+    let text = fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+    let field = |key: &str| -> String {
+        doc.get(key)
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| io::Error::other(format!("{}: missing rows array", path.display())))?
+        .iter()
+        .map(CampaignRow::from_json)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+    Ok(((field("campaign"), field("commit"), field("date")), rows))
+}
+
+/// Short commit hash of HEAD, or `"unknown"` outside a git checkout.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, derived from the system clock with
+/// the standard civil-from-days conversion (no chrono in the workspace).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-1970-01-01 to (year, month, day), Howard Hinnant's
+/// `civil_from_days` algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_663), (2026, 7, 29));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn store_paths() {
+        let dir = Path::new("bench-results");
+        assert_eq!(store_path(dir, "scaling", None), dir.join("scaling.jsonl"));
+        assert_eq!(
+            store_path(dir, "scaling", Some((1, 4))),
+            dir.join("scaling.shard-1-of-4.jsonl")
+        );
+        assert_eq!(
+            artifact_path("scaling"),
+            PathBuf::from("BENCH_scaling.json")
+        );
+    }
+}

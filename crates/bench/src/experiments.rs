@@ -18,7 +18,9 @@ use workloads::Family;
 /// Experiment effort: quick for CI smoke, full for the real tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Effort {
+    /// CI smoke sizes: small ladder, few seeds.
     Quick,
+    /// The real tables (what EXPERIMENTS.md records).
     Full,
 }
 
@@ -368,7 +370,7 @@ pub fn t7_baselines(e: Effort) -> Table {
     t
 }
 
-/// T8 — the [KM09] relation: open chains are easy (zip), closed chains pay
+/// T8 — the \[KM09\] relation: open chains are easy (zip), closed chains pay
 /// a constant factor for indistinguishability.
 pub fn t8_open_vs_closed(e: Effort) -> Table {
     let mut t = Table::new(
@@ -415,7 +417,7 @@ pub fn t8_open_vs_closed(e: Effort) -> Table {
     t
 }
 
-/// T8b — the Manhattan Hopper [KM09]: fixed-endpoint open chains reach
+/// T8b — the Manhattan Hopper \[KM09\]: fixed-endpoint open chains reach
 /// the optimal (Manhattan-shortest) length.
 pub fn t8b_hopper(e: Effort) -> Table {
     let mut t = Table::new(
@@ -586,21 +588,38 @@ pub fn t10_suppression(e: Effort) -> Table {
     t
 }
 
+/// The table inventory, in presentation order (the valid values of the
+/// experiments binary's `--table` flag, matched case-insensitively).
+pub const TABLE_IDS: [&str; 11] = [
+    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10",
+];
+
+/// Compute one table by its id (case-insensitive); `None` for ids outside
+/// [`TABLE_IDS`]. Unlike filtering [`all_tables`], this runs only the
+/// requested table's scenarios.
+pub fn table_by_id(id: &str, e: Effort) -> Option<Table> {
+    match id.to_uppercase().as_str() {
+        "T1" => Some(t1_theorem1(e)),
+        "T2" => Some(t2_lemma1(e)),
+        "T3" => Some(t3_lemma2(e)),
+        "T4" => Some(t4_lemma3(e)),
+        "T5" => Some(t5_pipelining(e)),
+        "T6" => Some(t6_goodpairs(e)),
+        "T7" => Some(t7_baselines(e)),
+        "T8" => Some(t8_open_vs_closed(e)),
+        "T8B" => Some(t8b_hopper(e)),
+        "T9" => Some(t9_ablation(e)),
+        "T10" => Some(t10_suppression(e)),
+        _ => None,
+    }
+}
+
 /// All tables in order.
 pub fn all_tables(e: Effort) -> Vec<Table> {
-    vec![
-        t1_theorem1(e),
-        t2_lemma1(e),
-        t3_lemma2(e),
-        t4_lemma3(e),
-        t5_pipelining(e),
-        t6_goodpairs(e),
-        t7_baselines(e),
-        t8_open_vs_closed(e),
-        t8b_hopper(e),
-        t9_ablation(e),
-        t10_suppression(e),
-    ]
+    TABLE_IDS
+        .iter()
+        .map(|id| table_by_id(id, e).expect("inventory ids all dispatch"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -631,5 +650,17 @@ mod tests {
     fn quick_t9_has_one_row_per_config() {
         let t = t9_ablation(Effort::Quick);
         assert_eq!(t.rows.len(), 9);
+    }
+
+    #[test]
+    fn table_ids_dispatch_and_match() {
+        for id in TABLE_IDS {
+            let t = table_by_id(id, Effort::Quick).expect("inventory id dispatches");
+            assert_eq!(t.id, id, "dispatch must return the table it names");
+            // Case-insensitive lookup.
+            assert!(table_by_id(&id.to_lowercase(), Effort::Quick).is_some());
+        }
+        assert!(table_by_id("T99", Effort::Quick).is_none());
+        assert!(table_by_id("", Effort::Quick).is_none());
     }
 }

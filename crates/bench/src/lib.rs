@@ -17,11 +17,38 @@
 //! Every experiment flows through the unified [`scenario`] pipeline: tables
 //! enumerate [`ScenarioSpec`]s and consume [`ScenarioResult`]s from
 //! [`run_batch`], which fans out over std's scoped threads.
+//!
+//! ## Batch execution guarantees
+//!
+//! [`run_batch`] / [`run_batch_with`] promise, for any spec list:
+//!
+//! * **Ordering** — the result vector is index-aligned with the input
+//!   (`results[i].spec == specs[i]`), regardless of which worker ran
+//!   which spec or in what order they finished.
+//! * **Balancing** — work is claimed from a single atomic next-index
+//!   queue, so workers self-balance: a worker that draws a cheap spec
+//!   immediately claims another, and a heterogeneous batch (65k paper
+//!   runs next to 64-robot controls) keeps every core busy until the
+//!   queue drains.
+//! * **Determinism** — every result is a pure function of its spec
+//!   (modulo the measured [`ScenarioResult::wall`]); thread count and
+//!   scheduling cannot change fingerprints.
+//!
+//! ## Campaigns
+//!
+//! On top of the batch executor, the [`campaign`] module scales sweeps to
+//! campaign size: named scenario grids, sharded execution for CI fan-out,
+//! a resumable JSON Lines result store keyed by stable spec hashes, and
+//! the `BENCH_*.json` scaling artifacts (see docs/CAMPAIGNS.md).
 
+#![deny(missing_docs)]
+
+pub mod campaign;
 pub mod experiments;
 pub mod scenario;
 pub mod table;
 
+pub use campaign::{CampaignRow, CampaignSpec, RunOptions, StrategySweep};
 pub use experiments::{all_tables, Effort};
 pub use scenario::{
     run_batch, run_batch_with, run_scenario, BatchOptions, LimitPolicy, OpenChainOutcome,
@@ -29,20 +56,25 @@ pub use scenario::{
 };
 pub use table::Table;
 
-use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy, TraceConfig};
+use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy};
 use gathering_core::{ClosedChainGathering, GatherConfig};
 
 /// One gathering measurement (single-run convenience API; sweeps should go
 /// through [`run_batch`]).
 #[derive(Clone, Debug)]
 pub struct GatherRun {
+    /// Chain length at the start of the run.
     pub n: usize,
+    /// How the run ended.
     pub outcome: Outcome,
+    /// Total robots removed by merges over the run.
     pub merges_total: usize,
+    /// Longest mergeless gap (rounds), the Theorem 1 progress measure.
     pub longest_gap: u64,
 }
 
 impl GatherRun {
+    /// Rounds to gather, if the run gathered.
     pub fn rounds(&self) -> Option<u64> {
         match self.outcome {
             Outcome::Gathered { rounds } => Some(rounds),
@@ -56,8 +88,7 @@ impl GatherRun {
 /// the one constructor every limit derivation routes through.
 pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
     let n = chain.len();
-    let mut sim =
-        Sim::new(chain, ClosedChainGathering::new(cfg)).with_trace(TraceConfig::headless());
+    let mut sim = Sim::headless(chain, ClosedChainGathering::new(cfg));
     let outcome = sim.run(RunLimits::for_gathering(n, cfg.l_period));
     let trace = sim.trace();
     GatherRun {
@@ -73,7 +104,7 @@ pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
 pub fn measure_strategy<S: Strategy>(chain: ClosedChain, strategy: S) -> GatherRun {
     let n = chain.len();
     let d = chain.bounding().diameter() as u64;
-    let mut sim = Sim::new(chain, strategy).with_trace(TraceConfig::headless());
+    let mut sim = Sim::headless(chain, strategy);
     let outcome = sim.run(RunLimits::generous(n, d));
     let trace = sim.trace();
     GatherRun {

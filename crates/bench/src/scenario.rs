@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use baselines::{manhattan_hopper, open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
 use chain_sim::strategy::Stand;
-use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, Sim, Strategy, TraceConfig};
+use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, Sim, Strategy};
 use gathering_core::audit::{audited_run, AuditSummary};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
 use workloads::Family;
@@ -65,6 +65,38 @@ impl StrategyKind {
         }
     }
 
+    /// Every registry name, in registry order (the order campaign grids
+    /// and report columns use).
+    pub const ALL_NAMES: [&'static str; 8] = [
+        "paper",
+        "paper-audited",
+        "global-vision",
+        "compass-se",
+        "naive-local",
+        "stand",
+        "open-zip",
+        "hopper",
+    ];
+
+    /// Parse a registry name back into a strategy (the inverse of
+    /// [`StrategyKind::name`]). The paper kinds come back with the
+    /// *canonical* configuration — ablated configs are not representable
+    /// as bare names, which is exactly the property the campaign store
+    /// relies on: a name in a result row denotes one canonical spec.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(StrategyKind::paper()),
+            "paper-audited" => Some(StrategyKind::PaperAudited(GatherConfig::paper())),
+            "global-vision" => Some(StrategyKind::GlobalVision),
+            "compass-se" => Some(StrategyKind::CompassSe),
+            "naive-local" => Some(StrategyKind::NaiveLocal),
+            "stand" => Some(StrategyKind::Stand),
+            "open-zip" => Some(StrategyKind::OpenZip),
+            "hopper" => Some(StrategyKind::Hopper),
+            _ => None,
+        }
+    }
+
     /// The closed-chain strategy factory: the paper's algorithm and all
     /// four baselines behind one object-safe interface. Returns `None` for
     /// the kinds that do not run on the closed-chain engine (audited runs
@@ -95,13 +127,17 @@ pub enum LimitPolicy {
 /// One cell of the experiment grid.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScenarioSpec {
+    /// Workload family generating the input chain.
     pub family: Family,
     /// Target robot count (the family's `generate` treats it as a hint;
     /// the generated chain's `len()` is authoritative and lands in
     /// [`ScenarioResult::n`]).
     pub n: usize,
+    /// Generator seed (pure: same spec, same chain).
     pub seed: u64,
+    /// Registry strategy to run on the generated chain.
     pub strategy: StrategyKind,
+    /// How the run limits are derived.
     pub limits: LimitPolicy,
 }
 
@@ -180,7 +216,9 @@ impl ScenarioSpec {
 /// Extra outcome detail for the open-chain settings.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OpenChainOutcome {
+    /// Rounds until the open-chain procedure stopped.
     pub rounds: u64,
+    /// Chain length when it stopped.
     pub final_len: usize,
     /// The Manhattan optimum between the fixed endpoints (hopper only).
     pub optimal_len: Option<usize>,
@@ -194,6 +232,7 @@ pub struct ScenarioResult {
     pub spec: ScenarioSpec,
     /// Actual generated chain length.
     pub n: usize,
+    /// How the run ended.
     pub outcome: Outcome,
     /// Total robots removed by merges over the run.
     pub merges_total: usize,
@@ -210,6 +249,7 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// `true` if the scenario reached the gathered (2×2) configuration.
     pub fn is_gathered(&self) -> bool {
         self.outcome.is_gathered()
     }
@@ -243,8 +283,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
 
     let (outcome, merges_total, longest_gap, stats, audit, open) = match spec.strategy {
         StrategyKind::Paper(cfg) => {
-            let mut sim =
-                Sim::new(chain, ClosedChainGathering::new(cfg)).with_trace(TraceConfig::headless());
+            let mut sim = Sim::headless(chain, ClosedChainGathering::new(cfg));
             let outcome = sim.run(limits);
             let trace = sim.trace();
             (
@@ -275,7 +314,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
                 .strategy
                 .build()
                 .expect("closed-chain kinds always build");
-            let mut sim = Sim::new(chain, strategy).with_trace(TraceConfig::headless());
+            let mut sim = Sim::headless(chain, strategy);
             let outcome = sim.run(limits);
             let trace = sim.trace();
             (
@@ -356,6 +395,7 @@ pub struct BatchOptions {
 }
 
 impl BatchOptions {
+    /// Options with an explicit worker-thread count (`0` = per core).
     pub fn threads(threads: usize) -> Self {
         BatchOptions { threads }
     }
@@ -440,6 +480,25 @@ mod tests {
     }
 
     #[test]
+    fn registry_names_round_trip() {
+        for name in StrategyKind::ALL_NAMES {
+            let kind = StrategyKind::from_name(name).expect("every listed name parses");
+            assert_eq!(kind.name(), name);
+        }
+        assert_eq!(StrategyKind::from_name("no-such-strategy"), None);
+        // Ablated configs serialize to the same name but are not the
+        // canonical kind — from_name intentionally returns the canonical.
+        let ablated = StrategyKind::Paper(GatherConfig {
+            l_period: 7,
+            ..GatherConfig::paper()
+        });
+        assert_eq!(
+            StrategyKind::from_name(ablated.name()),
+            Some(StrategyKind::paper())
+        );
+    }
+
+    #[test]
     fn registry_builds_paper_and_all_baselines() {
         let kinds = [
             StrategyKind::paper(),
@@ -463,7 +522,7 @@ mod tests {
         let chain = Family::Rectangle.generate(24, 0);
         let n = chain.len();
         let strategy = StrategyKind::paper().build().unwrap();
-        let mut sim = Sim::new(chain, strategy).with_trace(TraceConfig::headless());
+        let mut sim = Sim::headless(chain, strategy);
         let outcome = sim.run(RunLimits::for_chain_len(n));
         assert!(outcome.is_gathered());
     }

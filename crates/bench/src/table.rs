@@ -5,14 +5,20 @@ use std::fmt;
 /// A titled, column-aligned table with free-form notes.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
+    /// Short identifier (`T1` … `T10`, `C1` …), used by `--table` lookup.
     pub id: String,
+    /// Human-readable caption.
     pub title: String,
+    /// Column names.
     pub header: Vec<String>,
+    /// Data cells; every row has exactly `header.len()` cells.
     pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes rendered after the rows.
     pub notes: Vec<String>,
 }
 
 impl Table {
+    /// A titled empty table with the given column names.
     pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
         Table {
             id: id.to_string(),
@@ -23,12 +29,14 @@ impl Table {
         }
     }
 
+    /// Append one row; panics if the cell count mismatches the header.
     pub fn row<S: ToString>(&mut self, cells: Vec<S>) {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
         self.rows
             .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
+    /// Append a footnote.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
     }
@@ -66,6 +74,26 @@ impl Table {
             s.push_str(&format!("\n> {n}\n"));
         }
         s
+    }
+
+    /// Render as RFC-4180-style CSV (header + rows; cells containing a
+    /// comma, quote, or newline are quoted). Notes and the title are not
+    /// emitted — CSV is the machine-readable view.
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -112,6 +140,16 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.starts_with("### T0"));
         assert!(md.contains("| rectangle |"));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new("T0", "demo", &["a", "b"]);
+        t.row(vec!["plain".to_string(), "has,comma".into()]);
+        t.row(vec!["has\"quote".to_string(), "x".into()]);
+        t.note("notes are not emitted");
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Campaign subsystem integration tests: spec-hash stability, shard
+//! partition correctness, resume, and shard+merge ≡ unsharded equivalence.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use bench::campaign::StrategySweep;
+use bench::campaign::{self, spec_hash, spec_id, store, CampaignRow, CampaignSpec, RunOptions};
+use bench::scenario::{ScenarioSpec, StrategyKind};
+use workloads::Family;
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-campaign-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fast campaign small enough for tests: 6 scenarios, n ≤ 32.
+fn tiny_campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "tiny".to_string(),
+        families: vec![Family::Rectangle],
+        sizes: vec![16, 32],
+        seeds: vec![0, 1],
+        strategies: vec![
+            StrategySweep::up_to(StrategyKind::paper(), 32),
+            StrategySweep::up_to(StrategyKind::GlobalVision, 16),
+        ],
+    }
+}
+
+fn opts(dir: &std::path::Path) -> RunOptions {
+    RunOptions {
+        dir: dir.to_path_buf(),
+        threads: 2,
+        ..RunOptions::default()
+    }
+}
+
+/// Golden spec hashes. These pin the canonical encoding (`spec_id`) and
+/// the FNV-1a hash: if this test fails, every campaign store on disk is
+/// invalidated — bump the `v1|` prefix and regenerate artifacts
+/// deliberately instead of shipping a silent change.
+#[test]
+fn spec_hashes_are_stable() {
+    let golden = [
+        (
+            ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::paper()),
+            "v1|family=rectangle|n=64|seed=0|strategy=paper|cfg=L13,V11,K10,opc1,c21|limits=auto",
+        ),
+        (
+            ScenarioSpec::strategy(Family::Skyline, 65536, 1, StrategyKind::GlobalVision),
+            "v1|family=skyline|n=65536|seed=1|strategy=global-vision|cfg=-|limits=auto",
+        ),
+        (
+            ScenarioSpec::strategy(Family::RandomLoop, 256, 7, StrategyKind::Stand),
+            "v1|family=random-loop|n=256|seed=7|strategy=stand|cfg=-|limits=auto",
+        ),
+    ];
+    for (spec, id) in &golden {
+        assert_eq!(spec_id(spec), *id);
+    }
+    // The hashes themselves (16 lowercase hex digits of FNV-1a 64).
+    let hashes: Vec<String> = golden.iter().map(|(s, _)| spec_hash(s)).collect();
+    assert_eq!(
+        hashes,
+        vec![
+            "c0a65e37ef65eef9".to_string(),
+            "25d95dd78a0d3cc3".to_string(),
+            "57b2663da3a129a8".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn hash_distinguishes_every_spec_dimension() {
+    let base = ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::paper());
+    let variants = [
+        ScenarioSpec::strategy(Family::Skyline, 64, 0, StrategyKind::paper()),
+        ScenarioSpec::strategy(Family::Rectangle, 65, 0, StrategyKind::paper()),
+        ScenarioSpec::strategy(Family::Rectangle, 64, 1, StrategyKind::paper()),
+        ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::GlobalVision),
+        ScenarioSpec::audited(Family::Rectangle, 64, 0),
+    ];
+    for v in &variants {
+        assert_ne!(spec_hash(&base), spec_hash(v), "{v:?}");
+    }
+}
+
+#[test]
+fn shards_partition_the_grid() {
+    let spec = CampaignSpec::scaling(false);
+    let grid = spec.grid();
+    for k in [1usize, 2, 3, 5, 7] {
+        let shards: Vec<Vec<ScenarioSpec>> = (0..k).map(|i| spec.shard(i, k)).collect();
+        // Disjoint: no hash appears in two shards.
+        let mut seen: HashSet<String> = HashSet::new();
+        for shard in &shards {
+            for s in shard {
+                assert!(seen.insert(spec_hash(s)), "duplicate across shards: {s:?}");
+            }
+        }
+        // Covering: every grid entry is in exactly one shard.
+        assert_eq!(seen.len(), grid.len());
+        for s in &grid {
+            assert!(seen.contains(&spec_hash(s)));
+        }
+        // Balanced: round-robin sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}
+
+#[test]
+fn run_resumes_and_skips_completed() {
+    let dir = scratch("resume");
+    let spec = tiny_campaign();
+    let o = opts(&dir);
+
+    let first = campaign::run(&spec, &o).unwrap();
+    assert_eq!(first.assigned, spec.grid().len());
+    assert_eq!(first.executed, first.assigned);
+    assert_eq!(first.resumed, 0);
+
+    let second = campaign::run(&spec, &o).unwrap();
+    assert_eq!(second.executed, 0, "resume must skip every stored result");
+    assert_eq!(second.resumed, second.assigned);
+
+    // The store did not grow duplicate rows.
+    let rows = store::read_rows(&first.store).unwrap();
+    assert_eq!(rows.len(), first.assigned);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_alone_is_enough_to_resume() {
+    let dir = scratch("artifact-resume");
+    let spec = tiny_campaign();
+    let artifact = dir.join("BENCH_tiny.json");
+    let mut o = opts(&dir);
+    o.artifact = Some(artifact.clone());
+
+    let first = campaign::run(&spec, &o).unwrap();
+    assert_eq!(first.executed, first.assigned);
+    assert_eq!(first.artifact.as_deref(), Some(artifact.as_path()));
+    assert!(artifact.exists());
+
+    // Blow away the JSONL store; the artifact still covers the grid.
+    std::fs::remove_file(&first.store).unwrap();
+    let second = campaign::run(&spec, &o).unwrap();
+    assert_eq!(
+        second.executed, 0,
+        "a present artifact must satisfy resume on its own"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Normalize the one non-deterministic field.
+fn strip_wall(mut row: CampaignRow) -> CampaignRow {
+    row.wall_ms = 0;
+    row
+}
+
+#[test]
+fn sharded_runs_plus_merge_match_unsharded() {
+    let spec = tiny_campaign();
+
+    // Unsharded reference run.
+    let ref_dir = scratch("merge-ref");
+    let ref_run = campaign::run(&spec, &opts(&ref_dir)).unwrap();
+    let mut reference = store::read_rows(&ref_run.store).unwrap();
+
+    // Two shards into a separate store, then merge.
+    let dir = scratch("merge-sharded");
+    for i in 0..2 {
+        let mut o = opts(&dir);
+        o.shard = Some((i, 2));
+        let r = campaign::run(&spec, &o).unwrap();
+        assert_eq!(r.executed, r.assigned);
+    }
+    let artifact = dir.join("BENCH_tiny.json");
+    let m = campaign::merge(&spec, &dir, Some(&artifact)).unwrap();
+    assert_eq!(m.covered, m.grid);
+    assert_eq!(m.artifact.as_deref(), Some(artifact.as_path()));
+    let mut merged = store::read_rows(&m.store).unwrap();
+
+    // Identical rows (grid order) up to wall-clock, byte-for-byte in the
+    // serialized representation.
+    assert_eq!(merged.len(), reference.len());
+    // The reference store is already in grid order (unsharded append order
+    // == grid order); compare directly.
+    for (a, b) in merged.drain(..).zip(reference.drain(..)) {
+        let (a, b) = (strip_wall(a), strip_wall(b));
+        assert_eq!(
+            a.to_store_json().to_compact(),
+            b.to_store_json().to_compact()
+        );
+    }
+
+    // The artifact parses back and its rows carry the same hashes in the
+    // same order as the grid.
+    let ((name, _commit, date), rows) = store::read_artifact(&artifact).unwrap();
+    assert_eq!(name, "tiny");
+    assert_eq!(date.len(), 10);
+    let grid_hashes: Vec<String> = spec.grid().iter().map(spec_hash).collect();
+    let row_hashes: Vec<String> = rows.iter().map(|r| r.spec_hash().unwrap()).collect();
+    assert_eq!(row_hashes, grid_hashes);
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The quick grid of the tiny campaign: a strict subset (one size, one
+/// seed), mirroring `scaling --quick` vs the full scaling grid.
+fn tiny_quick_campaign() -> CampaignSpec {
+    CampaignSpec {
+        sizes: vec![16],
+        seeds: vec![0],
+        ..tiny_campaign()
+    }
+}
+
+#[test]
+fn quick_rerun_never_shrinks_a_full_artifact_or_store() {
+    let dir = scratch("no-shrink");
+    let artifact = dir.join("BENCH_tiny.json");
+    let full = tiny_campaign();
+    let quick = tiny_quick_campaign();
+    let mut o = opts(&dir);
+    o.artifact = Some(artifact.clone());
+
+    // Complete the full campaign.
+    let full_run = campaign::run(&full, &o).unwrap();
+    assert_eq!(full_run.artifact.as_deref(), Some(artifact.as_path()));
+    let full_rows = store::read_artifact(&artifact).unwrap().1.len();
+    assert_eq!(full_rows, full.grid().len());
+
+    // A quick run over the same store/artifact resumes everything and
+    // must leave the richer artifact untouched.
+    let quick_run = campaign::run(&quick, &o).unwrap();
+    assert_eq!(quick_run.executed, 0);
+    assert_eq!(
+        quick_run.artifact, None,
+        "quick must not rewrite the artifact"
+    );
+    assert_eq!(store::read_artifact(&artifact).unwrap().1.len(), full_rows);
+
+    // `merge --quick` keeps the out-of-grid rows in the store too.
+    let m = campaign::merge(&quick, &dir, Some(&artifact)).unwrap();
+    assert_eq!(m.covered, quick.grid().len());
+    assert_eq!(
+        store::read_rows(&m.store).unwrap().len(),
+        full.grid().len(),
+        "merge with a narrower grid must not drop rows"
+    );
+    assert_eq!(store::read_artifact(&artifact).unwrap().1.len(), full_rows);
+
+    // And the full grid still resumes to zero afterwards.
+    let again = campaign::run(&full, &o).unwrap();
+    assert_eq!(again.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_and_report_reflect_coverage() {
+    let dir = scratch("status");
+    let spec = tiny_campaign();
+
+    let empty = campaign::status(&spec, &dir, None).unwrap();
+    assert_eq!(empty.covered, 0);
+    assert!(!empty.complete());
+
+    // Run only shard 0 of 2.
+    let mut o = opts(&dir);
+    o.shard = Some((0, 2));
+    campaign::run(&spec, &o).unwrap();
+    let partial = campaign::status(&spec, &dir, None).unwrap();
+    assert_eq!(partial.covered, spec.shard(0, 2).len());
+    assert!(!partial.complete());
+
+    // Finish and check the report shape.
+    o.shard = Some((1, 2));
+    campaign::run(&spec, &o).unwrap();
+    let full = campaign::status(&spec, &dir, None).unwrap();
+    assert!(full.complete());
+    let tables = campaign::report(&spec, &dir, None).unwrap();
+    assert_eq!(tables.len(), 2);
+    let rounds = &tables[0];
+    // family, n, n_actual + one column per strategy.
+    assert_eq!(rounds.header.len(), 3 + spec.strategies.len());
+    assert_eq!(rounds.rows.len(), spec.sizes.len());
+    // The capped strategy has no n=32 cell.
+    let n32 = rounds.rows.iter().find(|r| r[1] == "32").unwrap();
+    assert_eq!(n32[4], "-");
+    assert_ne!(n32[3], "-");
+    // CSV view round-trips the header.
+    assert!(rounds
+        .to_csv()
+        .starts_with("family,n,n_actual,paper,global-vision"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -147,6 +147,16 @@ impl<S: Strategy> Sim<S> {
         }
     }
 
+    /// The cheap benchmark run path: a simulator that retains nothing per
+    /// round — no [`RoundReport`]s, no snapshots — only the incremental
+    /// trace aggregates and the [`RoundSummary`] each [`Sim::step`]
+    /// returns. Equivalent to `Sim::new(..).with_trace(TraceConfig::headless())`;
+    /// campaign sweeps at 65k robots go through this constructor so memory
+    /// stays O(n) regardless of round count.
+    pub fn headless(chain: ClosedChain, strategy: S) -> Self {
+        Self::new(chain, strategy).with_trace(TraceConfig::headless())
+    }
+
     /// Set the trace configuration (snapshot recording for visualization /
     /// replay, or [`TraceConfig::headless`] for benchmark sweeps).
     pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
@@ -435,6 +445,18 @@ mod tests {
         assert_eq!(sim.trace().reports.len(), 6);
         assert_eq!(sim.trace().snapshots.len(), 4); // capped
         assert_eq!(sim.trace().total_removed(), 0);
+    }
+
+    #[test]
+    fn headless_constructor_matches_headless_trace_config() {
+        let mut a = Sim::headless(ring6(), Stand);
+        let mut b = Sim::new(ring6(), Stand).with_trace(TraceConfig::headless());
+        for _ in 0..4 {
+            assert_eq!(a.step().unwrap(), b.step().unwrap());
+        }
+        assert!(a.trace().reports.is_empty());
+        assert!(a.trace().snapshots.is_empty());
+        assert_eq!(a.trace().rounds(), 4);
     }
 
     #[test]

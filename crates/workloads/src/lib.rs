@@ -89,6 +89,12 @@ impl Family {
         }
     }
 
+    /// Parse a family from its [`Family::name`] string (the inverse
+    /// round-trip, used by the campaign store to deserialize specs).
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
     /// Generate an instance with roughly `n` robots (exact size depends on
     /// the family's parameterization; the returned chain's `len()` is
     /// authoritative). `seed` feeds the random families and is ignored by
@@ -186,5 +192,14 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn family_name_round_trips() {
+        for fam in Family::ALL {
+            assert_eq!(Family::from_name(fam.name()), Some(fam));
+        }
+        assert_eq!(Family::from_name("no-such-family"), None);
+        assert_eq!(Family::from_name("Rectangle"), None); // names are exact
     }
 }
