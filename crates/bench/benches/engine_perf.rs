@@ -14,7 +14,7 @@
 //! ```
 
 use bench::{run_batch_with, BatchOptions, ScenarioSpec};
-use chain_sim::{RunLimits, Sim};
+use chain_sim::{Recorder, RunLimits, Sim};
 use gathering_core::{ClosedChainGathering, GatherConfig, MergeScan};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -48,7 +48,7 @@ fn bench_single_round() {
         let chain = Family::Rectangle.generate(n, 0);
         let len = chain.len();
         let (iters, _, elapsed) = time_until_stable(|| {
-            let mut sim = Sim::headless(chain.clone(), ClosedChainGathering::paper());
+            let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper());
             sim.step().unwrap();
             black_box(sim.round());
             1
@@ -89,7 +89,7 @@ fn bench_full_gathering() {
         let chain = fam.generate(n, 1);
         let len = chain.len();
         let (iters, rounds_total, elapsed) = time_until_stable(|| {
-            let mut sim = Sim::headless(chain.clone(), ClosedChainGathering::paper());
+            let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper());
             let out = sim.run(RunLimits::for_chain_len(len));
             assert!(out.is_gathered());
             out.rounds()
@@ -100,6 +100,36 @@ fn bench_full_gathering() {
             per_sec(rounds_total * len as u128, elapsed)
         );
     }
+}
+
+/// What instrumentation costs: the same full gathering with no observers
+/// (the hot path) vs with the trace-recording observer attached. The
+/// observer-free figure is the one the acceptance gate tracks; the
+/// recorded figure documents the price of full report retention.
+fn bench_observer_overhead() {
+    println!("## observer_overhead (full gathering at n=256, observer-free vs Recorder)");
+    let chain = Family::Rectangle.generate(256, 1);
+    let len = chain.len();
+    let (_, rounds_free, elapsed_free) = time_until_stable(|| {
+        let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper());
+        let out = sim.run(RunLimits::for_chain_len(len));
+        assert!(out.is_gathered());
+        out.rounds()
+    });
+    let (_, rounds_rec, elapsed_rec) = time_until_stable(|| {
+        let mut sim =
+            Sim::new(chain.clone(), ClosedChainGathering::paper()).observe(Recorder::new());
+        let out = sim.run(RunLimits::for_chain_len(len));
+        assert!(out.is_gathered());
+        out.rounds()
+    });
+    let free = per_sec(rounds_free * len as u128, elapsed_free);
+    let rec = per_sec(rounds_rec * len as u128, elapsed_rec);
+    println!("  observer-free   {free:>12.0} robot·rounds/s");
+    println!(
+        "  with Recorder   {rec:>12.0} robot·rounds/s  ({:.1}% of free)",
+        100.0 * rec / free
+    );
 }
 
 fn bench_workload_generation() {
@@ -176,6 +206,9 @@ fn main() {
     }
     if want("full_gathering") {
         bench_full_gathering();
+    }
+    if want("observer_overhead") {
+        bench_observer_overhead();
     }
     if want("workload_generation") {
         bench_workload_generation();

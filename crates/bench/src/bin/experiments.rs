@@ -4,24 +4,36 @@
 //! cargo run --release -p bench --bin experiments            # full tables
 //! cargo run --release -p bench --bin experiments -- --quick # smoke sizes
 //! cargo run --release -p bench --bin experiments -- --table T1 --table T9
+//! cargo run --release -p bench --bin experiments -- --family rectangle --family comb
 //! cargo run --release -p bench --bin experiments -- --markdown
 //! ```
 //!
-//! Unknown `--table` names are an error: the binary prints the inventory
-//! and exits nonzero instead of silently producing nothing.
+//! Unknown `--table` or `--family` names are an error: the binary prints
+//! the respective inventory and exits with code 2 instead of silently
+//! producing nothing.
 
-use bench::experiments::{table_by_id, TABLE_IDS};
+use bench::experiments::{table_by_id, FamilySelection, TABLE_IDS};
 use bench::Effort;
+use workloads::Family;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
-    let wanted: Vec<String> = args
-        .windows(2)
-        .filter(|w| w[0] == "--table")
-        .map(|w| w[1].clone())
-        .collect();
+    if let Some(last) = args.last() {
+        if last == "--table" || last == "--family" {
+            eprintln!("error: {last} needs a value");
+            std::process::exit(2);
+        }
+    }
+    let flag_values = |flag: &str| -> Vec<String> {
+        args.windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1].clone())
+            .collect()
+    };
+    let wanted = flag_values("--table");
+    let families = flag_values("--family");
     let effort = if quick { Effort::Quick } else { Effort::Full };
 
     let unknown: Vec<&String> = wanted
@@ -35,6 +47,15 @@ fn main() {
         eprintln!("valid tables: {}", TABLE_IDS.join(", "));
         std::process::exit(2);
     }
+
+    let selection = FamilySelection::parse(&families).unwrap_or_else(|unknown| {
+        for f in &unknown {
+            eprintln!("error: unknown family '{f}'");
+        }
+        let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        eprintln!("valid families: {}", names.join(", "));
+        std::process::exit(2);
+    });
 
     let ids: Vec<&str> = if wanted.is_empty() {
         TABLE_IDS.to_vec()
@@ -53,7 +74,7 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     for id in ids {
-        let table = table_by_id(id, effort).expect("ids are validated above");
+        let table = table_by_id(id, effort, &selection).expect("ids are validated above");
         if markdown {
             println!("{}", table.to_markdown());
         } else {

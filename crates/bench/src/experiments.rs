@@ -15,6 +15,61 @@ use crate::Table;
 use gathering_core::GatherConfig;
 use workloads::Family;
 
+/// Which workload families an experiment run covers — the `experiments`
+/// binary's `--family` flag. The default ([`FamilySelection::all`]) keeps
+/// every table's built-in family list; a restricted selection intersects
+/// with it (tables keep their own ordering, and a table none of whose
+/// families are selected simply emits no rows).
+#[derive(Clone, Debug, Default)]
+pub struct FamilySelection(Option<Vec<Family>>);
+
+impl FamilySelection {
+    /// No restriction: every table uses its built-in families.
+    pub fn all() -> Self {
+        FamilySelection(None)
+    }
+
+    /// Restrict to exactly these families.
+    pub fn only(families: Vec<Family>) -> Self {
+        FamilySelection(Some(families))
+    }
+
+    /// Parse registry names ([`Family::name`]); returns the unknown names
+    /// if any fail (callers print the inventory and bail). An empty name
+    /// list means no restriction.
+    pub fn parse(names: &[String]) -> Result<Self, Vec<String>> {
+        if names.is_empty() {
+            return Ok(Self::all());
+        }
+        let mut families = Vec::new();
+        let mut unknown = Vec::new();
+        for name in names {
+            match Family::from_name(name) {
+                Some(f) => families.push(f),
+                None => unknown.push(name.clone()),
+            }
+        }
+        if unknown.is_empty() {
+            Ok(Self::only(families))
+        } else {
+            Err(unknown)
+        }
+    }
+
+    /// Intersect a table's built-in family list with the selection,
+    /// preserving the table's order.
+    pub fn pick(&self, defaults: &[Family]) -> Vec<Family> {
+        match &self.0 {
+            None => defaults.to_vec(),
+            Some(sel) => defaults
+                .iter()
+                .copied()
+                .filter(|f| sel.contains(f))
+                .collect(),
+        }
+    }
+}
+
 /// Experiment effort: quick for CI smoke, full for the real tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Effort {
@@ -62,7 +117,7 @@ fn outcome_cell(r: &ScenarioResult) -> String {
 }
 
 /// T1 — Theorem 1: gathering completes and the round count is linear in n.
-pub fn t1_theorem1(e: Effort) -> Table {
+pub fn t1_theorem1(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T1",
         "Theorem 1: rounds to gather vs n (paper bound 2Ln + n = 27n)",
@@ -78,9 +133,10 @@ pub fn t1_theorem1(e: Effort) -> Table {
     );
     let l = GatherConfig::paper().l_period;
     let seeds = e.seeds();
-    let specs: Vec<ScenarioSpec> = Family::ALL
-        .iter()
-        .flat_map(|&fam| {
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&Family::ALL)
+        .into_iter()
+        .flat_map(|fam| {
             e.sizes().iter().flat_map(move |&size| {
                 (0..seeds).map(move |seed| ScenarioSpec::paper(fam, size, seed))
             })
@@ -126,7 +182,7 @@ pub fn t1_theorem1(e: Effort) -> Table {
 
 /// T2 — Lemma 1: every L = 13 rounds a merge happened or a new progress
 /// pair started.
-pub fn t2_lemma1(e: Effort) -> Table {
+pub fn t2_lemma1(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T2",
         "Lemma 1: L-window accounting (merge or new progress pair)",
@@ -141,9 +197,10 @@ pub fn t2_lemma1(e: Effort) -> Table {
         ],
     );
     let l = GatherConfig::paper().l_period;
-    let specs: Vec<ScenarioSpec> = Family::ALL
-        .iter()
-        .flat_map(|&fam| {
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&Family::ALL)
+        .into_iter()
+        .flat_map(|fam| {
             (0..e.seeds().min(3)).map(move |seed| ScenarioSpec::audited(fam, e.audit_n(), seed))
         })
         .collect();
@@ -168,7 +225,7 @@ pub fn t2_lemma1(e: Effort) -> Table {
 }
 
 /// T3 — Lemma 2: progress pairs enable merges within ≤ n rounds.
-pub fn t3_lemma2(e: Effort) -> Table {
+pub fn t3_lemma2(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T3",
         "Lemma 2: progress pairs enable (distinct) merges within n rounds",
@@ -183,9 +240,10 @@ pub fn t3_lemma2(e: Effort) -> Table {
             "latency ≤ n?",
         ],
     );
-    let specs: Vec<ScenarioSpec> = Family::ALL
-        .iter()
-        .map(|&fam| ScenarioSpec::audited(fam, e.audit_n(), 1))
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&Family::ALL)
+        .into_iter()
+        .map(|fam| ScenarioSpec::audited(fam, e.audit_n(), 1))
         .collect();
     for r in run_batch(&specs) {
         let s = r.audit.as_ref().expect("audited spec");
@@ -209,7 +267,7 @@ pub fn t3_lemma2(e: Effort) -> Table {
 }
 
 /// T4 — Lemma 3: run invariants hold every round.
-pub fn t4_lemma3(e: Effort) -> Table {
+pub fn t4_lemma3(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T4",
         "Lemma 3: run invariants (speed 1; no sequent run visible ahead)",
@@ -222,9 +280,10 @@ pub fn t4_lemma3(e: Effort) -> Table {
             "clean?",
         ],
     );
-    let specs: Vec<ScenarioSpec> = Family::ALL
-        .iter()
-        .map(|&fam| ScenarioSpec::audited(fam, e.audit_n(), 2))
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&Family::ALL)
+        .into_iter()
+        .map(|fam| ScenarioSpec::audited(fam, e.audit_n(), 2))
         .collect();
     for r in run_batch(&specs) {
         let s = r.audit.as_ref().expect("audited spec");
@@ -246,7 +305,7 @@ pub fn t4_lemma3(e: Effort) -> Table {
 }
 
 /// T5 — Fig. 9: pipelining — many runs work in parallel.
-pub fn t5_pipelining(e: Effort) -> Table {
+pub fn t5_pipelining(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T5",
         "Pipelining (Fig. 9): parallel runs and their work profile",
@@ -254,16 +313,17 @@ pub fn t5_pipelining(e: Effort) -> Table {
             "family", "n", "starts", "max live", "folds", "walks", "passings",
         ],
     );
-    let specs: Vec<ScenarioSpec> = [
-        Family::Rectangle,
-        Family::Comb,
-        Family::Spiral,
-        Family::Serpentine,
-        Family::StaircaseDiamond,
-    ]
-    .iter()
-    .map(|&fam| ScenarioSpec::paper(fam, e.audit_n(), 3))
-    .collect();
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&[
+            Family::Rectangle,
+            Family::Comb,
+            Family::Spiral,
+            Family::Serpentine,
+            Family::StaircaseDiamond,
+        ])
+        .into_iter()
+        .map(|fam| ScenarioSpec::paper(fam, e.audit_n(), 3))
+        .collect();
     for r in run_batch(&specs) {
         let stats = r.stats.as_ref().expect("paper runs carry stats");
         t.row(vec![
@@ -284,7 +344,7 @@ pub fn t5_pipelining(e: Effort) -> Table {
 
 /// T6 — Section 5.1 / Fig. 16–18: mergeless chains always develop good
 /// pairs (the structural heart of Lemma 1's proof).
-pub fn t6_goodpairs(e: Effort) -> Table {
+pub fn t6_goodpairs(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T6",
         "Good pairs in mergeless phases (Fig. 17/18 argument)",
@@ -296,15 +356,16 @@ pub fn t6_goodpairs(e: Effort) -> Table {
             "without",
         ],
     );
-    let specs: Vec<ScenarioSpec> = [
-        Family::StaircaseDiamond,
-        Family::Crenellated,
-        Family::Comb,
-        Family::Skyline,
-    ]
-    .iter()
-    .map(|&fam| ScenarioSpec::audited(fam, e.audit_n(), 4))
-    .collect();
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&[
+            Family::StaircaseDiamond,
+            Family::Crenellated,
+            Family::Comb,
+            Family::Skyline,
+        ])
+        .into_iter()
+        .map(|fam| ScenarioSpec::audited(fam, e.audit_n(), 4))
+        .collect();
     for r in run_batch(&specs) {
         let s = r.audit.as_ref().expect("audited spec");
         // Progress pairs are exactly good pairs started in mergeless
@@ -324,7 +385,7 @@ pub fn t6_goodpairs(e: Effort) -> Table {
 }
 
 /// T7 — Section 1: what global information would buy (baseline race).
-pub fn t7_baselines(e: Effort) -> Table {
+pub fn t7_baselines(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T7",
         "Baselines: rounds to gather (same inputs)",
@@ -343,20 +404,21 @@ pub fn t7_baselines(e: Effort) -> Table {
         StrategyKind::NaiveLocal,
     ];
     let size = e.audit_n();
-    let specs: Vec<ScenarioSpec> = [
-        Family::Rectangle,
-        Family::Skyline,
-        Family::RandomLoop,
-        Family::HairpinFlower,
-    ]
-    .iter()
-    .flat_map(|&fam| {
-        std::iter::once(ScenarioSpec::paper(fam, size, 5)).chain(
-            RACE.iter()
-                .map(move |&kind| ScenarioSpec::strategy(fam, size, 5, kind)),
-        )
-    })
-    .collect();
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&[
+            Family::Rectangle,
+            Family::Skyline,
+            Family::RandomLoop,
+            Family::HairpinFlower,
+        ])
+        .into_iter()
+        .flat_map(|fam| {
+            std::iter::once(ScenarioSpec::paper(fam, size, 5)).chain(
+                RACE.iter()
+                    .map(move |&kind| ScenarioSpec::strategy(fam, size, 5, kind)),
+            )
+        })
+        .collect();
     let results = run_batch(&specs);
     for group in results.chunks(1 + RACE.len()) {
         let mut row = vec![
@@ -372,7 +434,7 @@ pub fn t7_baselines(e: Effort) -> Table {
 
 /// T8 — the \[KM09\] relation: open chains are easy (zip), closed chains pay
 /// a constant factor for indistinguishability.
-pub fn t8_open_vs_closed(e: Effort) -> Table {
+pub fn t8_open_vs_closed(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T8",
         "Open-chain zip [KM09 setting] vs closed-chain algorithm (same geometry)",
@@ -384,9 +446,10 @@ pub fn t8_open_vs_closed(e: Effort) -> Table {
             "closed/open",
         ],
     );
-    let specs: Vec<ScenarioSpec> = [Family::Rectangle, Family::Skyline, Family::Comb]
-        .iter()
-        .flat_map(|&fam| {
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&[Family::Rectangle, Family::Skyline, Family::Comb])
+        .into_iter()
+        .flat_map(|fam| {
             e.sizes()[..e.sizes().len().min(4)]
                 .iter()
                 .flat_map(move |&size| {
@@ -419,7 +482,7 @@ pub fn t8_open_vs_closed(e: Effort) -> Table {
 
 /// T8b — the Manhattan Hopper \[KM09\]: fixed-endpoint open chains reach
 /// the optimal (Manhattan-shortest) length.
-pub fn t8b_hopper(e: Effort) -> Table {
+pub fn t8b_hopper(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T8b",
         "Manhattan Hopper [KM09 setting]: open chain with fixed endpoints reaches optimal length",
@@ -432,9 +495,10 @@ pub fn t8b_hopper(e: Effort) -> Table {
             "optimal?",
         ],
     );
-    let specs: Vec<ScenarioSpec> = [Family::Skyline, Family::Comb, Family::StaircaseDiamond]
-        .iter()
-        .map(|&fam| ScenarioSpec::strategy(fam, e.audit_n(), 7, StrategyKind::Hopper))
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&[Family::Skyline, Family::Comb, Family::StaircaseDiamond])
+        .into_iter()
+        .map(|fam| ScenarioSpec::strategy(fam, e.audit_n(), 7, StrategyKind::Hopper))
         .collect();
     for r in run_batch(&specs) {
         let out = r.open.expect("hopper detail");
@@ -457,7 +521,7 @@ pub fn t8b_hopper(e: Effort) -> Table {
 }
 
 /// T9 — ablation of the paper's constants (L = 13, V = 11, merge length).
-pub fn t9_ablation(e: Effort) -> Table {
+pub fn t9_ablation(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T9",
         "Ablation: pipelining period L, viewing path length V, merge bound k",
@@ -465,12 +529,12 @@ pub fn t9_ablation(e: Effort) -> Table {
     );
     let suite: Vec<(Family, usize, u64)> = {
         let mut v = Vec::new();
-        for fam in [
+        for fam in sel.pick(&[
             Family::Rectangle,
             Family::Skyline,
             Family::RandomLoop,
             Family::StaircaseDiamond,
-        ] {
+        ]) {
             for seed in 0..e.seeds().min(3) {
                 v.push((fam, e.audit_n() / 2, seed));
             }
@@ -532,6 +596,10 @@ pub fn t9_ablation(e: Effort) -> Table {
             },
         ),
     ];
+    if suite.is_empty() {
+        // Family selection excluded every ablation input.
+        return t;
+    }
     let specs: Vec<ScenarioSpec> = configs
         .iter()
         .flat_map(|(_, cfg)| {
@@ -560,15 +628,16 @@ pub fn t9_ablation(e: Effort) -> Table {
 
 /// T10 — oscillation suppression (DESIGN.md §2.3): the symmetry breaker is
 /// dormant on healthy inputs and fires only on closed interference cycles.
-pub fn t10_suppression(e: Effort) -> Table {
+pub fn t10_suppression(e: Effort, sel: &FamilySelection) -> Table {
     let mut t = Table::new(
         "T10",
         "Oscillation suppression activity (symmetry breaker for closed merge-interference cycles)",
         &["family", "n", "rounds", "suppression triggers", "gathered?"],
     );
-    let specs: Vec<ScenarioSpec> = Family::ALL
-        .iter()
-        .map(|&fam| ScenarioSpec::paper(fam, e.audit_n(), 2))
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&Family::ALL)
+        .into_iter()
+        .map(|fam| ScenarioSpec::paper(fam, e.audit_n(), 2))
         .collect();
     for r in run_batch(&specs) {
         let stats = r.stats.as_ref().expect("paper runs carry stats");
@@ -596,29 +665,31 @@ pub const TABLE_IDS: [&str; 11] = [
 
 /// Compute one table by its id (case-insensitive); `None` for ids outside
 /// [`TABLE_IDS`]. Unlike filtering [`all_tables`], this runs only the
-/// requested table's scenarios.
-pub fn table_by_id(id: &str, e: Effort) -> Option<Table> {
+/// requested table's scenarios (restricted further by the family
+/// selection).
+pub fn table_by_id(id: &str, e: Effort, sel: &FamilySelection) -> Option<Table> {
     match id.to_uppercase().as_str() {
-        "T1" => Some(t1_theorem1(e)),
-        "T2" => Some(t2_lemma1(e)),
-        "T3" => Some(t3_lemma2(e)),
-        "T4" => Some(t4_lemma3(e)),
-        "T5" => Some(t5_pipelining(e)),
-        "T6" => Some(t6_goodpairs(e)),
-        "T7" => Some(t7_baselines(e)),
-        "T8" => Some(t8_open_vs_closed(e)),
-        "T8B" => Some(t8b_hopper(e)),
-        "T9" => Some(t9_ablation(e)),
-        "T10" => Some(t10_suppression(e)),
+        "T1" => Some(t1_theorem1(e, sel)),
+        "T2" => Some(t2_lemma1(e, sel)),
+        "T3" => Some(t3_lemma2(e, sel)),
+        "T4" => Some(t4_lemma3(e, sel)),
+        "T5" => Some(t5_pipelining(e, sel)),
+        "T6" => Some(t6_goodpairs(e, sel)),
+        "T7" => Some(t7_baselines(e, sel)),
+        "T8" => Some(t8_open_vs_closed(e, sel)),
+        "T8B" => Some(t8b_hopper(e, sel)),
+        "T9" => Some(t9_ablation(e, sel)),
+        "T10" => Some(t10_suppression(e, sel)),
         _ => None,
     }
 }
 
-/// All tables in order.
+/// All tables in order, unrestricted families.
 pub fn all_tables(e: Effort) -> Vec<Table> {
+    let sel = FamilySelection::all();
     TABLE_IDS
         .iter()
-        .map(|id| table_by_id(id, e).expect("inventory ids all dispatch"))
+        .map(|id| table_by_id(id, e, &sel).expect("inventory ids all dispatch"))
         .collect()
 }
 
@@ -626,15 +697,19 @@ pub fn all_tables(e: Effort) -> Vec<Table> {
 mod tests {
     use super::*;
 
+    fn all() -> FamilySelection {
+        FamilySelection::all()
+    }
+
     #[test]
     fn quick_t5_runs() {
-        let t = t5_pipelining(Effort::Quick);
+        let t = t5_pipelining(Effort::Quick, &all());
         assert_eq!(t.rows.len(), 5);
     }
 
     #[test]
     fn quick_t7_has_all_columns() {
-        let t = t7_baselines(Effort::Quick);
+        let t = t7_baselines(Effort::Quick, &all());
         assert_eq!(t.header.len(), 6);
         assert!(!t.rows.is_empty());
     }
@@ -642,25 +717,59 @@ mod tests {
     #[test]
     fn quick_t1_groups_by_family_and_size() {
         let e = Effort::Quick;
-        let t = t1_theorem1(e);
+        let t = t1_theorem1(e, &all());
         assert_eq!(t.rows.len(), Family::ALL.len() * e.sizes().len());
     }
 
     #[test]
     fn quick_t9_has_one_row_per_config() {
-        let t = t9_ablation(Effort::Quick);
+        let t = t9_ablation(Effort::Quick, &all());
         assert_eq!(t.rows.len(), 9);
     }
 
     #[test]
     fn table_ids_dispatch_and_match() {
         for id in TABLE_IDS {
-            let t = table_by_id(id, Effort::Quick).expect("inventory id dispatches");
+            let t = table_by_id(id, Effort::Quick, &all()).expect("inventory id dispatches");
             assert_eq!(t.id, id, "dispatch must return the table it names");
             // Case-insensitive lookup.
-            assert!(table_by_id(&id.to_lowercase(), Effort::Quick).is_some());
+            assert!(table_by_id(&id.to_lowercase(), Effort::Quick, &all()).is_some());
         }
-        assert!(table_by_id("T99", Effort::Quick).is_none());
-        assert!(table_by_id("", Effort::Quick).is_none());
+        assert!(table_by_id("T99", Effort::Quick, &all()).is_none());
+        assert!(table_by_id("", Effort::Quick, &all()).is_none());
+    }
+
+    #[test]
+    fn family_selection_parses_and_rejects() {
+        assert!(FamilySelection::parse(&[]).is_ok());
+        let sel = FamilySelection::parse(&["rectangle".into(), "comb".into()]).unwrap();
+        assert_eq!(
+            sel.pick(&Family::ALL),
+            vec![Family::Rectangle, Family::Comb]
+        );
+        // Picks preserve the table's order, not the selection's.
+        let sel = FamilySelection::parse(&["comb".into(), "rectangle".into()]).unwrap();
+        assert_eq!(
+            sel.pick(&Family::ALL),
+            vec![Family::Rectangle, Family::Comb]
+        );
+        let err =
+            FamilySelection::parse(&["rectangle".into(), "nope".into(), "zig".into()]).unwrap_err();
+        assert_eq!(err, vec!["nope".to_string(), "zig".to_string()]);
+    }
+
+    #[test]
+    fn family_selection_restricts_tables() {
+        let e = Effort::Quick;
+        let sel = FamilySelection::only(vec![Family::Rectangle]);
+        let t1 = t1_theorem1(e, &sel);
+        assert_eq!(t1.rows.len(), e.sizes().len());
+        assert!(t1.rows.iter().all(|r| r[0] == "rectangle"));
+        // A table whose family list misses the selection emits no rows
+        // (T8b runs skyline/comb/staircase-diamond only) — and T9's
+        // grouped fold stays well-defined.
+        assert!(t8b_hopper(e, &sel).rows.is_empty());
+        let sel_none = FamilySelection::only(vec![Family::Cross]);
+        assert!(t9_ablation(e, &sel_none).rows.is_empty());
     }
 }

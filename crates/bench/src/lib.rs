@@ -49,10 +49,10 @@ pub mod scenario;
 pub mod table;
 
 pub use campaign::{CampaignRow, CampaignSpec, RunOptions, StrategySweep};
-pub use experiments::{all_tables, Effort};
+pub use experiments::{all_tables, Effort, FamilySelection};
 pub use scenario::{
-    run_batch, run_batch_with, run_scenario, BatchOptions, LimitPolicy, OpenChainOutcome,
-    ScenarioResult, ScenarioSpec, StrategyKind,
+    run_batch, run_batch_with, run_scenario, BatchOptions, DriveReport, LimitPolicy,
+    OpenChainOutcome, ScenarioDriver, ScenarioResult, ScenarioSpec, StrategyKind,
 };
 pub use table::Table;
 
@@ -88,14 +88,14 @@ impl GatherRun {
 /// the one constructor every limit derivation routes through.
 pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
     let n = chain.len();
-    let mut sim = Sim::headless(chain, ClosedChainGathering::new(cfg));
+    let mut sim = Sim::new(chain, ClosedChainGathering::new(cfg));
     let outcome = sim.run(RunLimits::for_gathering(n, cfg.l_period));
-    let trace = sim.trace();
+    let progress = sim.progress();
     GatherRun {
         n,
         outcome,
-        merges_total: trace.total_removed(),
-        longest_gap: trace.longest_mergeless_gap(),
+        merges_total: progress.total_removed(),
+        longest_gap: progress.longest_mergeless_gap(),
     }
 }
 
@@ -104,14 +104,14 @@ pub fn measure_gathering(chain: ClosedChain, cfg: GatherConfig) -> GatherRun {
 pub fn measure_strategy<S: Strategy>(chain: ClosedChain, strategy: S) -> GatherRun {
     let n = chain.len();
     let d = chain.bounding().diameter() as u64;
-    let mut sim = Sim::headless(chain, strategy);
+    let mut sim = Sim::new(chain, strategy);
     let outcome = sim.run(RunLimits::generous(n, d));
-    let trace = sim.trace();
+    let progress = sim.progress();
     GatherRun {
         n,
         outcome,
-        merges_total: trace.total_removed(),
-        longest_gap: trace.longest_mergeless_gap(),
+        merges_total: progress.total_removed(),
+        longest_gap: progress.longest_mergeless_gap(),
     }
 }
 

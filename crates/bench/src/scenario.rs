@@ -11,6 +11,14 @@
 //! baselines of Section 1 (behind one `Box<dyn Strategy>` factory), the
 //! audited paper runs that feed the Lemma tables, and the two open-chain
 //! \[KM09\] settings (zip, Manhattan hopper) the paper generalizes.
+//!
+//! Execution is **one pipeline**: [`run_scenario`] asks the registry for a
+//! [`ScenarioDriver`] and runs it under the spec's [`RunLimits`] — no
+//! per-kind branching. The audited kind is not a separate engine path; its
+//! driver is the paper strategy on the same engine with the
+//! `LemmaAuditor` observer attached (see `chain_sim::observe`), and the
+//! open-chain settings run behind the same driver interface and limit
+//! policy as everything else.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -18,7 +26,7 @@ use std::time::{Duration, Instant};
 use baselines::{manhattan_hopper, open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
 use chain_sim::strategy::Stand;
 use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, Sim, Strategy};
-use gathering_core::audit::{audited_run, AuditSummary};
+use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
 use workloads::Family;
 
@@ -98,17 +106,230 @@ impl StrategyKind {
     }
 
     /// The closed-chain strategy factory: the paper's algorithm and all
-    /// four baselines behind one object-safe interface. Returns `None` for
-    /// the kinds that do not run on the closed-chain engine (audited runs
-    /// drive their own loop; the open-chain settings have no `Strategy`).
+    /// four baselines behind one object-safe interface. The audited kind
+    /// builds the same paper strategy with event recording on — the audit
+    /// itself is an *observer* the driver attaches, not a different
+    /// strategy. A recording strategy accumulates run events until
+    /// something drains them, so run it with an auditor attached (or go
+    /// through [`StrategyKind::driver`], which composes one); bare engine
+    /// runs that want zero overhead should build
+    /// [`StrategyKind::Paper`] instead. Returns `None` only for the
+    /// open-chain settings, which have no closed-chain `Strategy`.
     pub fn build(&self) -> Option<Box<dyn Strategy + Send>> {
         match self {
             StrategyKind::Paper(cfg) => Some(Box::new(ClosedChainGathering::new(*cfg))),
+            StrategyKind::PaperAudited(cfg) => Some(Box::new(
+                ClosedChainGathering::new(*cfg).with_event_recording(),
+            )),
             StrategyKind::GlobalVision => Some(Box::new(GlobalVision::new())),
             StrategyKind::CompassSe => Some(Box::new(CompassSe::new())),
             StrategyKind::NaiveLocal => Some(Box::new(NaiveLocal::new())),
             StrategyKind::Stand => Some(Box::new(Stand)),
-            StrategyKind::PaperAudited(_) | StrategyKind::OpenZip | StrategyKind::Hopper => None,
+            StrategyKind::OpenZip | StrategyKind::Hopper => None,
+        }
+    }
+
+    /// The registry's limit policy: how [`LimitPolicy::Auto`] resolves for
+    /// this kind on a *generated* chain. Paper kinds get the Theorem 1
+    /// bound ([`RunLimits::for_gathering`] with the config's `L`),
+    /// diameter-bound baselines get [`RunLimits::generous`], and the
+    /// open-chain settings get the linear [`RunLimits::for_open_chain`].
+    pub fn auto_limits(&self, chain: &ClosedChain) -> RunLimits {
+        let n = chain.len();
+        match self {
+            StrategyKind::Paper(cfg) | StrategyKind::PaperAudited(cfg) => {
+                RunLimits::for_gathering(n, cfg.l_period)
+            }
+            StrategyKind::GlobalVision
+            | StrategyKind::CompassSe
+            | StrategyKind::NaiveLocal
+            | StrategyKind::Stand => RunLimits::generous(n, chain.bounding().diameter() as u64),
+            StrategyKind::OpenZip | StrategyKind::Hopper => RunLimits::for_open_chain(n),
+        }
+    }
+
+    /// Build the driver that executes this kind on `chain` — the single
+    /// entry point [`run_scenario`] uses for every registry kind. Closed
+    /// kinds get the engine (audited = paper + the `LemmaAuditor`
+    /// observer); the open-chain kinds get the corresponding \[KM09\]
+    /// procedure over the chain cut open.
+    pub fn driver(&self, chain: ClosedChain) -> Box<dyn ScenarioDriver> {
+        match self {
+            StrategyKind::Paper(cfg) => Box::new(PaperDriver {
+                sim: Sim::new(chain, ClosedChainGathering::new(*cfg)),
+                audited: false,
+            }),
+            StrategyKind::PaperAudited(cfg) => {
+                let strategy = ClosedChainGathering::new(*cfg).with_event_recording();
+                let auditor = LemmaAuditor::new(&strategy);
+                Box::new(PaperDriver {
+                    sim: Sim::new(chain, strategy).observe(auditor),
+                    audited: true,
+                })
+            }
+            StrategyKind::GlobalVision
+            | StrategyKind::CompassSe
+            | StrategyKind::NaiveLocal
+            | StrategyKind::Stand => Box::new(EngineDriver {
+                sim: Sim::new(
+                    chain,
+                    self.build().expect("closed-chain kinds always build"),
+                ),
+            }),
+            StrategyKind::OpenZip => Box::new(OpenDriver {
+                chain,
+                hopper: false,
+            }),
+            StrategyKind::Hopper => Box::new(OpenDriver {
+                chain,
+                hopper: true,
+            }),
+        }
+    }
+}
+
+/// What any [`ScenarioDriver`] reports back: the uniform superset of every
+/// kind's detail (paper stats, audit summaries, open-chain outcomes).
+#[derive(Clone, Debug)]
+pub struct DriveReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Total robots removed by merges over the run.
+    pub merges_total: usize,
+    /// Longest mergeless gap (rounds).
+    pub longest_gap: u64,
+    /// Run statistics of the paper's strategy (paper kinds only).
+    pub stats: Option<RunStats>,
+    /// Lemma audit summary (audited kinds only).
+    pub audit: Option<AuditSummary>,
+    /// Open-chain detail (open kinds only).
+    pub open: Option<OpenChainOutcome>,
+}
+
+/// The uniform execution interface behind [`run_scenario`]: one driver per
+/// registry kind, built by [`StrategyKind::driver`], run once under the
+/// spec's [`RunLimits`]. Closed-chain kinds wrap the engine's single run
+/// loop (plus whatever observers the kind composes); open-chain kinds wrap
+/// the \[KM09\] procedures.
+pub trait ScenarioDriver {
+    /// Run to completion under `limits` and report. Consumes the driver —
+    /// a driver executes exactly one scenario (build a fresh one per run).
+    fn drive(self: Box<Self>, limits: RunLimits) -> DriveReport;
+}
+
+/// Closed-chain driver for the paper's algorithm — plain or with the
+/// Lemma audit observer attached (`audited`).
+struct PaperDriver {
+    sim: Sim<ClosedChainGathering>,
+    audited: bool,
+}
+
+impl ScenarioDriver for PaperDriver {
+    fn drive(mut self: Box<Self>, limits: RunLimits) -> DriveReport {
+        let outcome = self.sim.run(limits);
+        let progress = self.sim.progress();
+        // Preserve the registry's reporting split: audited results carry
+        // the audit summary (whose gap/merge accounting is authoritative
+        // for the Lemma tables), plain paper results carry the run stats.
+        let audit = self.audited.then(|| {
+            self.sim
+                .observer::<LemmaAuditor>()
+                .expect("audited driver attached the auditor")
+                .summary()
+        });
+        match audit {
+            Some(summary) => DriveReport {
+                outcome,
+                merges_total: summary.total_merged_robots,
+                longest_gap: summary.longest_mergeless_gap,
+                stats: None,
+                audit: Some(summary),
+                open: None,
+            },
+            None => DriveReport {
+                outcome,
+                merges_total: progress.total_removed(),
+                longest_gap: progress.longest_mergeless_gap(),
+                stats: Some(self.sim.strategy().stats().clone()),
+                audit: None,
+                open: None,
+            },
+        }
+    }
+}
+
+/// Closed-chain driver for the boxed baseline strategies.
+struct EngineDriver {
+    sim: Sim<Box<dyn Strategy + Send>>,
+}
+
+impl ScenarioDriver for EngineDriver {
+    fn drive(mut self: Box<Self>, limits: RunLimits) -> DriveReport {
+        let outcome = self.sim.run(limits);
+        let progress = self.sim.progress();
+        DriveReport {
+            outcome,
+            merges_total: progress.total_removed(),
+            longest_gap: progress.longest_mergeless_gap(),
+            stats: None,
+            audit: None,
+            open: None,
+        }
+    }
+}
+
+/// Open-chain driver: the generated closed chain is cut open
+/// ([`OpenChain::from_closed_positions`]) and run through the zip or the
+/// Manhattan hopper.
+struct OpenDriver {
+    chain: ClosedChain,
+    hopper: bool,
+}
+
+impl ScenarioDriver for OpenDriver {
+    fn drive(self: Box<Self>, limits: RunLimits) -> DriveReport {
+        let chain = self.chain;
+        let n = chain.len();
+        let open = OpenChain::from_closed_positions(chain.positions())
+            .expect("family chains cut open cleanly");
+        let (outcome, detail) = if self.hopper {
+            let out = manhattan_hopper(open, limits.max_rounds);
+            let outcome = if out.is_optimal() {
+                Outcome::Gathered { rounds: out.rounds }
+            } else {
+                Outcome::RoundLimit { rounds: out.rounds }
+            };
+            (
+                outcome,
+                OpenChainOutcome {
+                    rounds: out.rounds,
+                    final_len: out.final_len,
+                    optimal_len: Some(out.optimal_len),
+                },
+            )
+        } else {
+            let zip = open_chain_zip(open, limits.max_rounds);
+            let outcome = if zip.gathered {
+                Outcome::Gathered { rounds: zip.rounds }
+            } else {
+                Outcome::RoundLimit { rounds: zip.rounds }
+            };
+            (
+                outcome,
+                OpenChainOutcome {
+                    rounds: zip.rounds,
+                    final_len: zip.final_len,
+                    optimal_len: None,
+                },
+            )
+        };
+        DriveReport {
+            outcome,
+            merges_total: n - detail.final_len,
+            longest_gap: 0,
+            stats: None,
+            audit: None,
+            open: Some(detail),
         }
     }
 }
@@ -185,30 +406,12 @@ impl ScenarioSpec {
         self.family.generate(self.n, self.seed)
     }
 
-    fn resolve_limits(&self, chain: &ClosedChain) -> RunLimits {
+    /// The limits this spec runs under, given its generated chain: the
+    /// fixed override, or the registry's [`StrategyKind::auto_limits`].
+    pub fn resolve_limits(&self, chain: &ClosedChain) -> RunLimits {
         match self.limits {
             LimitPolicy::Fixed(l) => l,
-            LimitPolicy::Auto => {
-                let n = chain.len();
-                match self.strategy {
-                    StrategyKind::Paper(cfg) | StrategyKind::PaperAudited(cfg) => {
-                        RunLimits::for_gathering(n, cfg.l_period)
-                    }
-                    StrategyKind::GlobalVision
-                    | StrategyKind::CompassSe
-                    | StrategyKind::NaiveLocal
-                    | StrategyKind::Stand => {
-                        RunLimits::generous(n, chain.bounding().diameter() as u64)
-                    }
-                    StrategyKind::OpenZip | StrategyKind::Hopper => {
-                        let n = n as u64;
-                        RunLimits {
-                            max_rounds: 64 * n,
-                            stall_window: 64 * n,
-                        }
-                    }
-                }
-            }
+            LimitPolicy::Auto => self.strategy.auto_limits(chain),
         }
     }
 }
@@ -274,115 +477,25 @@ impl ScenarioResult {
     }
 }
 
-/// Run one scenario to completion.
+/// Run one scenario to completion: generate the chain, resolve the limits,
+/// build the registry driver, drive. One pipeline for every kind — the
+/// per-kind differences live entirely in [`StrategyKind::driver`].
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
     let t0 = Instant::now();
     let chain = spec.generate();
     let n = chain.len();
     let limits = spec.resolve_limits(&chain);
-
-    let (outcome, merges_total, longest_gap, stats, audit, open) = match spec.strategy {
-        StrategyKind::Paper(cfg) => {
-            let mut sim = Sim::headless(chain, ClosedChainGathering::new(cfg));
-            let outcome = sim.run(limits);
-            let trace = sim.trace();
-            (
-                outcome,
-                trace.total_removed(),
-                trace.longest_mergeless_gap(),
-                Some(sim.strategy().stats().clone()),
-                None,
-                None,
-            )
-        }
-        StrategyKind::PaperAudited(cfg) => {
-            let (outcome, summary) = audited_run(chain, cfg, limits.max_rounds);
-            (
-                outcome,
-                summary.total_merged_robots,
-                summary.longest_mergeless_gap,
-                None,
-                Some(summary),
-                None,
-            )
-        }
-        StrategyKind::GlobalVision
-        | StrategyKind::CompassSe
-        | StrategyKind::NaiveLocal
-        | StrategyKind::Stand => {
-            let strategy = spec
-                .strategy
-                .build()
-                .expect("closed-chain kinds always build");
-            let mut sim = Sim::headless(chain, strategy);
-            let outcome = sim.run(limits);
-            let trace = sim.trace();
-            (
-                outcome,
-                trace.total_removed(),
-                trace.longest_mergeless_gap(),
-                None,
-                None,
-                None,
-            )
-        }
-        StrategyKind::OpenZip => {
-            let open = OpenChain::from_closed_positions(chain.positions())
-                .expect("family chains cut open cleanly");
-            let zip = open_chain_zip(open, limits.max_rounds);
-            let outcome = if zip.gathered {
-                Outcome::Gathered { rounds: zip.rounds }
-            } else {
-                Outcome::RoundLimit { rounds: zip.rounds }
-            };
-            let removed = n - zip.final_len;
-            (
-                outcome,
-                removed,
-                0,
-                None,
-                None,
-                Some(OpenChainOutcome {
-                    rounds: zip.rounds,
-                    final_len: zip.final_len,
-                    optimal_len: None,
-                }),
-            )
-        }
-        StrategyKind::Hopper => {
-            let open = OpenChain::from_closed_positions(chain.positions())
-                .expect("family chains cut open cleanly");
-            let out = manhattan_hopper(open, limits.max_rounds);
-            let outcome = if out.is_optimal() {
-                Outcome::Gathered { rounds: out.rounds }
-            } else {
-                Outcome::RoundLimit { rounds: out.rounds }
-            };
-            let removed = n - out.final_len;
-            (
-                outcome,
-                removed,
-                0,
-                None,
-                None,
-                Some(OpenChainOutcome {
-                    rounds: out.rounds,
-                    final_len: out.final_len,
-                    optimal_len: Some(out.optimal_len),
-                }),
-            )
-        }
-    };
+    let report = spec.strategy.driver(chain).drive(limits);
 
     ScenarioResult {
         spec: *spec,
         n,
-        outcome,
-        merges_total,
-        longest_gap,
-        stats,
-        audit,
-        open,
+        outcome: report.outcome,
+        merges_total: report.merges_total,
+        longest_gap: report.longest_gap,
+        stats: report.stats,
+        audit: report.audit,
+        open: report.open,
         wall: t0.elapsed(),
     }
 }
@@ -502,6 +615,7 @@ mod tests {
     fn registry_builds_paper_and_all_baselines() {
         let kinds = [
             StrategyKind::paper(),
+            StrategyKind::PaperAudited(GatherConfig::paper()),
             StrategyKind::GlobalVision,
             StrategyKind::CompassSe,
             StrategyKind::NaiveLocal,
@@ -513,8 +627,31 @@ mod tests {
             strategy.init(&chain);
             assert!(!strategy.name().is_empty());
         }
+        // Only the open-chain settings have no closed-chain strategy; they
+        // still get a driver like everything else.
         assert!(StrategyKind::OpenZip.build().is_none());
         assert!(StrategyKind::Hopper.build().is_none());
+    }
+
+    #[test]
+    fn every_kind_gets_a_driver() {
+        for name in StrategyKind::ALL_NAMES {
+            let kind = StrategyKind::from_name(name).unwrap();
+            let chain = Family::Rectangle.generate(16, 0);
+            let limits = kind.auto_limits(&chain);
+            let report = kind.driver(chain).drive(limits);
+            // Stand stalls; every other kind finishes this tiny input.
+            if name != "stand" {
+                assert!(report.outcome.is_gathered(), "{name}: {:?}", report.outcome);
+            }
+            assert_eq!(report.audit.is_some(), name == "paper-audited", "{name}");
+            assert_eq!(report.stats.is_some(), name == "paper", "{name}");
+            assert_eq!(
+                report.open.is_some(),
+                name == "open-zip" || name == "hopper",
+                "{name}"
+            );
+        }
     }
 
     #[test]
@@ -522,9 +659,39 @@ mod tests {
         let chain = Family::Rectangle.generate(24, 0);
         let n = chain.len();
         let strategy = StrategyKind::paper().build().unwrap();
-        let mut sim = Sim::headless(chain, strategy);
+        let mut sim = Sim::new(chain, strategy);
         let outcome = sim.run(RunLimits::for_chain_len(n));
         assert!(outcome.is_gathered());
+    }
+
+    /// Satellite: `from_closed_positions` round-trips under the unified
+    /// driver — the open drivers cut the *same* generated geometry open,
+    /// and the reported final lengths are consistent with the cut chain.
+    #[test]
+    fn open_chain_round_trip_under_unified_driver() {
+        let spec = ScenarioSpec::strategy(Family::Comb, 48, 2, StrategyKind::OpenZip);
+        let chain = spec.generate();
+        let cut = OpenChain::from_closed_positions(chain.positions()).unwrap();
+        assert_eq!(cut.positions(), chain.positions());
+        let r = run_scenario(&spec);
+        let detail = r.open.expect("zip detail");
+        assert_eq!(r.n, cut.len());
+        assert_eq!(r.merges_total, cut.len() - detail.final_len);
+        assert!(r.is_gathered());
+        // The hopper on the same geometry reports the Manhattan optimum
+        // between the cut's endpoints.
+        let hop = run_scenario(&ScenarioSpec::strategy(
+            Family::Comb,
+            48,
+            2,
+            StrategyKind::Hopper,
+        ));
+        let a = cut.pos(0);
+        let b = cut.pos(cut.len() - 1);
+        assert_eq!(
+            hop.open.unwrap().optimal_len,
+            Some((a.x - b.x).unsigned_abs() as usize + (a.y - b.y).unsigned_abs() as usize + 1)
+        );
     }
 
     #[test]

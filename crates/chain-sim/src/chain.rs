@@ -17,14 +17,34 @@ use grid_geom::{chain_adjacent, Offset, Point, Rect};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChainError {
     /// Fewer than 2 robots cannot form a (meaningful) closed chain.
-    TooShort { len: usize },
+    TooShort {
+        /// Offending chain length.
+        len: usize,
+    },
     /// Chain neighbors further than one grid step apart — the chain broke.
-    Disconnected { index: usize, a: Point, b: Point },
+    Disconnected {
+        /// Index of the first robot of the broken edge.
+        index: usize,
+        /// Position of the robot at `index`.
+        a: Point,
+        /// Position of its chain successor.
+        b: Point,
+    },
     /// Chain neighbors on the same point outside a merge pass (the chain
     /// must be taut between rounds).
-    CoincidentNeighbors { index: usize, at: Point },
+    CoincidentNeighbors {
+        /// Index of the first robot of the coinciding pair.
+        index: usize,
+        /// The shared position.
+        at: Point,
+    },
     /// A robot hop with a component outside `{-1, 0, 1}`.
-    IllegalHop { index: usize, hop: Offset },
+    IllegalHop {
+        /// Index of the robot with the illegal hop.
+        index: usize,
+        /// The rejected hop.
+        hop: Offset,
+    },
 }
 
 impl std::fmt::Display for ChainError {
@@ -79,6 +99,7 @@ pub struct SpliceLog {
 }
 
 impl SpliceLog {
+    /// Reset the log for the next merge pass (buffers keep their capacity).
     pub fn clear(&mut self) {
         self.removed_indices.clear();
         self.keeper_indices.clear();
@@ -133,6 +154,8 @@ impl ClosedChain {
         self.pos.len()
     }
 
+    /// `true` if the chain holds no robots (never the case for a validated
+    /// chain; provided for the `len`/`is_empty` API convention).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.pos.is_empty()

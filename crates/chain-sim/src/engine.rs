@@ -5,15 +5,21 @@
 //! connectivity preservation, and the merge pass that implements the
 //! paper's chain-shortening progress measure.
 //!
-//! The round loop is the simulator's hot path. It performs no per-round
-//! allocation: the hop buffer and splice log are reused across rounds, the
-//! trace aggregates are folded in-place, and the full [`RoundReport`]
-//! (whose merge-event list owns heap memory) is built and *moved* into the
-//! trace only when [`TraceConfig::keep_reports`] asks for it.
+//! There is exactly **one run loop**. Instrumentation — trace recording,
+//! Lemma audits, invariant checks, frame capture — attaches to it as
+//! [`Observer`]s ([`Sim::observe`]) instead of owning a second loop.
+//!
+//! The round loop is the simulator's hot path. With no observers attached
+//! it performs no per-round allocation and retains nothing: the hop buffer
+//! and splice log are reused across rounds and only the [`Progress`]
+//! aggregates (a few counters) are folded in-place. Observers see each
+//! round through a borrowed [`RoundCtx`] and pay for exactly what they
+//! retain.
 
 use crate::chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
+use crate::observe::{AnyObserver, Observer, RoundCtx};
 use crate::strategy::Strategy;
-use crate::trace::{RoundReport, Trace, TraceConfig};
+use crate::trace::Progress;
 use grid_geom::Offset;
 
 /// Limits for [`Sim::run`].
@@ -64,26 +70,57 @@ impl RunLimits {
             stall_window: 8 * n * d + 2048,
         }
     }
+
+    /// Limits for the open-chain procedures (\[KM09\] settings): both the
+    /// zip and the Manhattan hopper finish well within `O(n)` rounds, so a
+    /// generous linear cap suffices. The stall window equals the cap —
+    /// open-chain progress is monotone, stalling is indistinguishable from
+    /// the cap.
+    pub fn for_open_chain(n: usize) -> Self {
+        let n = n as u64;
+        RunLimits {
+            max_rounds: 64 * n,
+            stall_window: 64 * n,
+        }
+    }
 }
 
 /// Why a simulation run ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
     /// Gathered into a 2×2 subgrid after `rounds` rounds.
-    Gathered { rounds: u64 },
+    Gathered {
+        /// Rounds executed before the gathering criterion held.
+        rounds: u64,
+    },
     /// Round cap exceeded.
-    RoundLimit { rounds: u64 },
+    RoundLimit {
+        /// Rounds executed when the cap tripped.
+        rounds: u64,
+    },
     /// No merge for `stall_window` rounds.
-    Stalled { rounds: u64, since_last_merge: u64 },
+    Stalled {
+        /// Rounds executed when the stall was declared.
+        rounds: u64,
+        /// Consecutive mergeless rounds at that point.
+        since_last_merge: u64,
+    },
     /// The strategy broke the chain (always a bug; simulation aborted).
-    ChainBroken { rounds: u64, error: ChainError },
+    ChainBroken {
+        /// Rounds executed when the chain broke.
+        rounds: u64,
+        /// What broke.
+        error: ChainError,
+    },
 }
 
 impl Outcome {
+    /// `true` if the run reached the gathered (2×2) configuration.
     pub fn is_gathered(&self) -> bool {
         matches!(self, Outcome::Gathered { .. })
     }
 
+    /// Rounds executed, whatever the outcome.
     pub fn rounds(&self) -> u64 {
         match self {
             Outcome::Gathered { rounds }
@@ -95,10 +132,10 @@ impl Outcome {
 }
 
 /// Lightweight, allocation-free summary of one round — what [`Sim::step`]
-/// returns. The full [`RoundReport`] (with merge events) lands in the
-/// trace when report retention is on.
+/// returns and what observers receive in their [`RoundCtx`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoundSummary {
+    /// Round index (0-based).
     pub round: u64,
     /// Number of robots that performed a nonzero hop.
     pub moved: usize,
@@ -117,20 +154,31 @@ impl RoundSummary {
     }
 }
 
-/// The FSYNC simulator: one strategy driving one closed chain.
+/// The FSYNC simulator: one strategy driving one closed chain, plus an
+/// observer stack for composable instrumentation.
 pub struct Sim<S: Strategy> {
     chain: ClosedChain,
     strategy: S,
     round: u64,
     hops: Vec<Offset>,
     splice: SpliceLog,
-    trace_cfg: TraceConfig,
-    trace: Trace,
+    progress: Progress,
+    observers: Vec<Box<dyn AnyObserver<S>>>,
     rounds_since_merge: u64,
     broken: Option<ChainError>,
+    /// The outcome last announced to the observers via `on_finish`. A
+    /// repeated `run` call that decides the identical outcome (nothing
+    /// advanced) does not re-announce; any *new* outcome — resumed runs
+    /// included — does.
+    last_finish: Option<Outcome>,
 }
 
 impl<S: Strategy> Sim<S> {
+    /// A simulator with no observers: the zero-retention hot path. Nothing
+    /// is kept per round — only the [`Progress`] aggregates and the
+    /// [`RoundSummary`] each [`Sim::step`] returns — so campaign sweeps at
+    /// 65k robots stay O(n) in memory regardless of round count. Attach
+    /// instrumentation with [`Sim::observe`].
     pub fn new(chain: ClosedChain, mut strategy: S) -> Self {
         strategy.init(&chain);
         let n = chain.len();
@@ -140,67 +188,84 @@ impl<S: Strategy> Sim<S> {
             round: 0,
             hops: vec![Offset::ZERO; n],
             splice: SpliceLog::default(),
-            trace_cfg: TraceConfig::default(),
-            trace: Trace::default(),
+            progress: Progress::default(),
+            observers: Vec::new(),
             rounds_since_merge: 0,
             broken: None,
+            last_finish: None,
         }
     }
 
-    /// The cheap benchmark run path: a simulator that retains nothing per
-    /// round — no [`RoundReport`]s, no snapshots — only the incremental
-    /// trace aggregates and the [`RoundSummary`] each [`Sim::step`]
-    /// returns. Equivalent to `Sim::new(..).with_trace(TraceConfig::headless())`;
-    /// campaign sweeps at 65k robots go through this constructor so memory
-    /// stays O(n) regardless of round count.
-    pub fn headless(chain: ClosedChain, strategy: S) -> Self {
-        Self::new(chain, strategy).with_trace(TraceConfig::headless())
-    }
-
-    /// Set the trace configuration (snapshot recording for visualization /
-    /// replay, or [`TraceConfig::headless`] for benchmark sweeps).
-    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
-        self.trace_cfg = cfg;
+    /// Attach an observer (builder style). Observers fire in attachment
+    /// order; [`Observer::on_init`] fires immediately with the chain as it
+    /// is at attachment time (normally the initial configuration).
+    pub fn observe<O: Observer<S> + 'static>(mut self, observer: O) -> Self {
+        self.add_observer(observer);
         self
     }
 
+    /// Attach an observer to a simulator in place (non-builder form of
+    /// [`Sim::observe`]).
+    pub fn add_observer<O: Observer<S> + 'static>(&mut self, mut observer: O) {
+        observer.on_init(&self.chain, &self.strategy);
+        self.observers.push(Box::new(observer));
+    }
+
+    /// The first attached observer of concrete type `T`, if any.
+    pub fn observer<T: Observer<S> + 'static>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to the first attached observer of type `T`, if any
+    /// (used to drain results, e.g. a recorded trace or an audit summary).
+    pub fn observer_mut<T: Observer<S> + 'static>(&mut self) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| o.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// The chain in its current state.
     pub fn chain(&self) -> &ClosedChain {
         &self.chain
     }
 
+    /// The strategy being driven.
     pub fn strategy(&self) -> &S {
         &self.strategy
     }
 
+    /// Mutable access to the strategy.
     pub fn strategy_mut(&mut self) -> &mut S {
         &mut self.strategy
     }
 
+    /// Rounds executed so far.
     pub fn round(&self) -> u64 {
         self.round
     }
 
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
+    /// The always-on aggregate statistics (merge totals, mergeless gaps).
+    /// Maintained in-place every round, observers or not.
+    pub fn progress(&self) -> Progress {
+        self.progress
     }
 
     /// Merge events of the most recent round (reused buffer; valid until
-    /// the next [`Sim::step`]). Empty when reports are retained — the
-    /// events then live in the trace's last [`RoundReport`] instead.
+    /// the next [`Sim::step`]). Always reflects the latest round,
+    /// regardless of which observers are attached.
     pub fn last_merges(&self) -> &[MergeEvent] {
         &self.splice.events
     }
 
+    /// `true` if the gathering criterion (2×2 bounding box) holds.
     pub fn is_gathered(&self) -> bool {
         self.chain.is_gathered()
     }
 
     /// Execute one FSYNC round: look/compute (strategy), move
-    /// (simultaneous hops), merge pass, bookkeeping.
+    /// (simultaneous hops), merge pass, bookkeeping, observer dispatch.
     ///
     /// Returns the round summary, or the chain error if the strategy broke
     /// connectivity (in which case the simulation refuses further rounds).
@@ -250,43 +315,38 @@ impl<S: Strategy> Sim<S> {
             len_after: self.chain.len(),
             gathered: self.chain.is_gathered(),
         };
-        self.trace.record_round(removed);
-        if self.trace_cfg.snapshot_every > 0
-            && self.round.is_multiple_of(self.trace_cfg.snapshot_every)
-            && self.trace.snapshots.len() < self.trace_cfg.max_snapshots
-        {
-            self.trace
-                .snapshots
-                .push((self.round, self.chain.positions().to_vec()));
-        }
-        if self.trace_cfg.keep_reports {
-            // Move (not clone) the merge events into the retained report;
-            // the splice log's index buffers stay warm for the next round.
-            self.trace.reports.push(RoundReport {
-                round: self.round,
-                moved,
-                removed,
-                merges: std::mem::take(&mut self.splice.events),
-                len_after: summary.len_after,
-                bbox: self.chain.bounding(),
-                gathered: summary.gathered,
-            });
+        self.progress.record_round(removed);
+        if !self.observers.is_empty() {
+            let ctx = RoundCtx {
+                summary,
+                hops: &self.hops,
+                chain: &self.chain,
+                splice: &self.splice,
+            };
+            for obs in &mut self.observers {
+                obs.on_round(&ctx, &mut self.strategy);
+            }
         }
         self.round += 1;
         Ok(summary)
     }
 
-    /// Run until gathered or a limit trips.
+    /// Run until gathered or a limit trips. Fires [`Observer::on_finish`]
+    /// before returning — once per decided outcome: calling `run` again
+    /// and deciding the identical outcome (e.g. after `Gathered`) does
+    /// not re-fire, while any *new* outcome — a resumed run under larger
+    /// limits, or the same rounds re-judged under different limits —
+    /// finishes again.
     pub fn run(&mut self, limits: RunLimits) -> Outcome {
-        loop {
+        let outcome = loop {
             if self.chain.is_gathered() {
-                return Outcome::Gathered { rounds: self.round };
+                break Outcome::Gathered { rounds: self.round };
             }
             if self.round >= limits.max_rounds {
-                return Outcome::RoundLimit { rounds: self.round };
+                break Outcome::RoundLimit { rounds: self.round };
             }
             if self.rounds_since_merge >= limits.stall_window {
-                return Outcome::Stalled {
+                break Outcome::Stalled {
                     rounds: self.round,
                     since_last_merge: self.rounds_since_merge,
                 };
@@ -294,13 +354,20 @@ impl<S: Strategy> Sim<S> {
             match self.step() {
                 Ok(_) => {}
                 Err(error) => {
-                    return Outcome::ChainBroken {
+                    break Outcome::ChainBroken {
                         rounds: self.round,
                         error,
                     }
                 }
             }
+        };
+        if self.last_finish.as_ref() != Some(&outcome) {
+            self.last_finish = Some(outcome.clone());
+            for obs in &mut self.observers {
+                obs.on_finish(&self.chain, &self.strategy, &outcome);
+            }
         }
+        outcome
     }
 
     /// Run with default limits derived from the initial chain length.
@@ -313,6 +380,7 @@ impl<S: Strategy> Sim<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::Recorder;
     use crate::strategy::Stand;
     use grid_geom::Point;
 
@@ -363,6 +431,8 @@ mod tests {
         // Theorem 1's 2Ln + n bound fits well inside the limits.
         assert!(a.max_rounds > 27 * 100);
         assert!(a.stall_window > 27 * 100);
+        // The open-chain cap is linear.
+        assert_eq!(RunLimits::for_open_chain(100).max_rounds, 6400);
     }
 
     /// A test strategy: the two robots of a specific pattern hop downwards
@@ -384,10 +454,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn engine_runs_fig1_merge() {
+    fn fig1_chain() -> ClosedChain {
         // Fig. 1: 2x3 ring; top row hops down; merge; gathered 2x2.
-        let c = ClosedChain::new(vec![
+        ClosedChain::new(vec![
             Point::new(0, 0),
             Point::new(0, 1),
             Point::new(0, 2),
@@ -395,19 +464,45 @@ mod tests {
             Point::new(1, 1),
             Point::new(1, 0),
         ])
-        .unwrap();
-        let mut sim = Sim::new(c, Fig1);
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_runs_fig1_merge() {
+        let mut sim = Sim::new(fig1_chain(), Fig1).observe(Recorder::new());
         let summary = sim.step().unwrap();
         assert_eq!(summary.moved, 2);
         assert_eq!(summary.removed, 2);
         assert_eq!(summary.len_after, 4);
         assert!(summary.gathered);
-        // Report retention is on by default; the merge events moved into
-        // the trace.
-        let report = sim.trace().reports.last().unwrap();
-        assert_eq!(report.merges.len(), 2);
+        // The recorder retained the full report with the merge events...
+        let report = sim.observer::<Recorder>().unwrap().trace().reports.last();
+        assert_eq!(report.unwrap().merges.len(), 2);
+        // ...and the engine's own splice buffer still shows them too.
+        assert_eq!(sim.last_merges().len(), 2);
         let outcome = sim.run_default();
         assert_eq!(outcome, Outcome::Gathered { rounds: 1 });
+    }
+
+    /// Regression (previously: `last_merges` was silently empty whenever
+    /// reports were retained, because the engine moved the events into the
+    /// trace): `last_merges` reflects the most recent round no matter what
+    /// observers are attached.
+    #[test]
+    fn last_merges_valid_in_every_mode() {
+        for observed in [false, true] {
+            let mut sim = Sim::new(fig1_chain(), Fig1);
+            if observed {
+                sim.add_observer(Recorder::new());
+            }
+            let summary = sim.step().unwrap();
+            assert_eq!(summary.removed, 2);
+            assert_eq!(
+                sim.last_merges().len(),
+                2,
+                "observed={observed}: last_merges must always hold the last round's events"
+            );
+        }
     }
 
     /// A strategy that breaks the chain on purpose: engine must catch it.
@@ -433,54 +528,139 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_reports() {
-        let mut sim = Sim::new(ring6(), Stand).with_trace(TraceConfig {
-            snapshot_every: 1,
-            max_snapshots: 4,
-            ..TraceConfig::default()
-        });
+    fn recorder_observer_records_reports_and_snapshots() {
+        let mut sim =
+            Sim::new(ring6(), Stand).observe(Recorder::with_config(crate::trace::TraceConfig {
+                snapshot_every: 1,
+                max_snapshots: 4,
+                keep_reports: true,
+            }));
         for _ in 0..6 {
             sim.step().unwrap();
         }
-        assert_eq!(sim.trace().reports.len(), 6);
-        assert_eq!(sim.trace().snapshots.len(), 4); // capped
-        assert_eq!(sim.trace().total_removed(), 0);
+        let trace = sim.observer::<Recorder>().unwrap().trace();
+        assert_eq!(trace.reports.len(), 6);
+        assert_eq!(trace.snapshots.len(), 4); // capped
+        assert_eq!(trace.total_removed(), 0);
+        // The engine's own aggregates agree.
+        assert_eq!(sim.progress().rounds(), 6);
+        assert_eq!(sim.progress().total_removed(), 0);
     }
 
     #[test]
-    fn headless_constructor_matches_headless_trace_config() {
-        let mut a = Sim::headless(ring6(), Stand);
-        let mut b = Sim::new(ring6(), Stand).with_trace(TraceConfig::headless());
+    fn observer_free_sim_keeps_aggregates_only() {
+        // Same Fig. 1 merge, no observers: nothing retained, aggregates
+        // correct, splice buffer still readable.
+        let mut sim = Sim::new(fig1_chain(), Fig1);
+        let summary = sim.step().unwrap();
+        assert_eq!(summary.removed, 2);
+        assert_eq!(sim.progress().total_removed(), 2);
+        assert_eq!(sim.progress().rounds_with_merges(), 1);
+        assert_eq!(sim.last_merges().len(), 2);
+        assert!(sim.observer::<Recorder>().is_none());
+    }
+
+    #[test]
+    fn observed_and_headless_runs_agree() {
+        let mut a = Sim::new(ring6(), Stand);
+        let mut b = Sim::new(ring6(), Stand).observe(Recorder::new());
         for _ in 0..4 {
             assert_eq!(a.step().unwrap(), b.step().unwrap());
         }
-        assert!(a.trace().reports.is_empty());
-        assert!(a.trace().snapshots.is_empty());
-        assert_eq!(a.trace().rounds(), 4);
+        assert_eq!(a.progress(), b.progress());
+        assert_eq!(
+            b.observer::<Recorder>().unwrap().trace().progress(),
+            a.progress()
+        );
+    }
+
+    /// `on_finish` fires exactly once, with the final outcome.
+    struct FinishCounter {
+        finishes: usize,
+        last: Option<Outcome>,
+    }
+    impl<S: Strategy> Observer<S> for FinishCounter {
+        fn on_finish(&mut self, _chain: &ClosedChain, _strategy: &S, outcome: &Outcome) {
+            self.finishes += 1;
+            self.last = Some(outcome.clone());
+        }
     }
 
     #[test]
-    fn headless_trace_keeps_aggregates_only() {
-        // Same Fig. 1 merge as above, but with report retention gated off:
-        // no reports or snapshots accumulate, aggregates stay correct.
-        let c = ClosedChain::new(vec![
-            Point::new(0, 0),
-            Point::new(0, 1),
-            Point::new(0, 2),
-            Point::new(1, 2),
-            Point::new(1, 1),
-            Point::new(1, 0),
-        ])
-        .unwrap();
-        let mut sim = Sim::new(c, Fig1).with_trace(TraceConfig::headless());
-        let summary = sim.step().unwrap();
-        assert_eq!(summary.removed, 2);
-        assert!(sim.trace().reports.is_empty());
-        assert!(sim.trace().snapshots.is_empty());
-        assert_eq!(sim.trace().total_removed(), 2);
-        assert_eq!(sim.trace().rounds_with_merges(), 1);
-        // The splice buffer retains the last round's events for callers
-        // (e.g. auditors) that want them without report retention.
-        assert_eq!(sim.last_merges().len(), 2);
+    fn on_finish_fires_once() {
+        let mut sim = Sim::new(fig1_chain(), Fig1).observe(FinishCounter {
+            finishes: 0,
+            last: None,
+        });
+        let outcome = sim.run_default();
+        let again = sim.run_default();
+        assert_eq!(outcome, again);
+        let fc = sim.observer::<FinishCounter>().unwrap();
+        assert_eq!(fc.finishes, 1);
+        assert_eq!(fc.last.as_ref(), Some(&outcome));
+    }
+
+    /// A re-judged run that decides a new outcome *without stepping*
+    /// (tighter stall window at loop entry) still finishes with it.
+    #[test]
+    fn on_finish_refires_on_rejudged_outcome() {
+        let mut sim = Sim::new(ring6(), Stand).observe(FinishCounter {
+            finishes: 0,
+            last: None,
+        });
+        let limit = sim.run(RunLimits {
+            max_rounds: 10,
+            stall_window: 100,
+        });
+        assert_eq!(limit, Outcome::RoundLimit { rounds: 10 });
+        let stalled = sim.run(RunLimits {
+            max_rounds: 1000,
+            stall_window: 5,
+        });
+        assert!(matches!(stalled, Outcome::Stalled { .. }));
+        let fc = sim.observer::<FinishCounter>().unwrap();
+        assert_eq!(fc.finishes, 2);
+        assert_eq!(fc.last.as_ref(), Some(&stalled));
+    }
+
+    /// A resumed run that immediately breaks the chain still finishes:
+    /// the fresh `ChainBroken` outcome reaches the observers even though
+    /// no round completed between the two finishes.
+    #[test]
+    fn on_finish_refires_when_resume_breaks() {
+        let mut sim = Sim::new(ring6(), Breaker).observe(FinishCounter {
+            finishes: 0,
+            last: None,
+        });
+        let bounded = sim.run(RunLimits {
+            max_rounds: 0,
+            stall_window: 10,
+        });
+        assert_eq!(bounded, Outcome::RoundLimit { rounds: 0 });
+        let broken = sim.run_default();
+        assert!(matches!(broken, Outcome::ChainBroken { .. }));
+        let fc = sim.observer::<FinishCounter>().unwrap();
+        assert_eq!(fc.finishes, 2);
+        assert_eq!(fc.last.as_ref(), Some(&broken));
+    }
+
+    /// Resuming a limit-bounded run with larger limits finishes again:
+    /// observers see one finish per decided outcome, never a stale one.
+    #[test]
+    fn on_finish_refires_after_resume() {
+        let mut sim = Sim::new(fig1_chain(), Fig1).observe(FinishCounter {
+            finishes: 0,
+            last: None,
+        });
+        let bounded = sim.run(RunLimits {
+            max_rounds: 0,
+            stall_window: 100,
+        });
+        assert_eq!(bounded, Outcome::RoundLimit { rounds: 0 });
+        let full = sim.run_default();
+        assert_eq!(full, Outcome::Gathered { rounds: 1 });
+        let fc = sim.observer::<FinishCounter>().unwrap();
+        assert_eq!(fc.finishes, 2);
+        assert_eq!(fc.last.as_ref(), Some(&full));
     }
 }

@@ -11,23 +11,33 @@
 //!   configuration; hops are applied simultaneously; then the **merge pass**
 //!   splices out robots that coincide with a chain neighbor (the paper's
 //!   progress measure, Fig. 1).
+//! * **Composable instrumentation** ([`observe`]): there is one run loop;
+//!   everything that watches a run — trace recording ([`Recorder`]),
+//!   invariant checking ([`observe::Invariants`]), the Lemma auditors in
+//!   `gathering-core`, frame capture in `chain-viz` — plugs into it as an
+//!   [`Observer`] via [`Sim::observe`]. A simulation with no observers is
+//!   the zero-retention benchmark hot path.
 //! * **Stable robot identities** ([`RobotId`]) for instrumentation and for
 //!   the run-state bookkeeping of the gathering strategy (target corners of
 //!   the run passing operation, Fig. 8/14).
 //! * **Invariant checking** ([`invariant`]): connectivity must never break;
 //!   violations abort the simulation with a diagnosable error.
-//! * **Tracing** ([`trace`]): per-round reports (merges, movement, bounding
-//!   boxes) that the experiment harness aggregates into the paper's tables.
+//! * **Tracing** ([`trace`]): always-on [`Progress`] aggregates plus the
+//!   retained per-round reports the experiment harness aggregates into the
+//!   paper's tables.
 //! * An **open chain** variant ([`OpenChain`]) used by the \[KM09\]-style
 //!   baseline the paper generalizes.
 //!
 //! The crate is deliberately strategy-agnostic: the paper's algorithm
 //! (`gathering-core`) and all baselines implement [`Strategy`].
 
+#![deny(missing_docs)]
+
 pub mod chain;
 pub mod engine;
 pub mod invariant;
 pub mod metrics;
+pub mod observe;
 pub mod open_chain;
 pub mod robot;
 pub mod snapshot;
@@ -38,8 +48,9 @@ pub mod view;
 pub use chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
 pub use engine::{Outcome, RoundSummary, RunLimits, Sim};
 pub use metrics::{metrics, ChainMetrics};
+pub use observe::{Observer, Recorder, RoundCtx};
 pub use open_chain::OpenChain;
 pub use robot::RobotId;
 pub use strategy::Strategy;
-pub use trace::{RoundReport, Trace, TraceConfig};
+pub use trace::{Progress, RoundReport, Trace, TraceConfig};
 pub use view::Ring;

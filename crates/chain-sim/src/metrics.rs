@@ -13,8 +13,9 @@ pub struct ChainMetrics {
     pub occupied_points: usize,
     /// Largest number of robots on one grid point.
     pub max_multiplicity: usize,
-    /// Bounding box width/height.
+    /// Bounding box width.
     pub width: i64,
+    /// Bounding box height.
     pub height: i64,
     /// Number of corner robots (incident steps perpendicular).
     pub corners: usize,

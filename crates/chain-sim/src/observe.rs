@@ -1,0 +1,350 @@
+//! Composable run instrumentation: the [`Observer`] API.
+//!
+//! An [`Observer`] watches a [`Sim`](crate::Sim) from the outside — it has
+//! global knowledge and is *not* part of the robot model. The engine runs
+//! one loop; every kind of instrumentation (trace recording, Lemma audits,
+//! invariant checking, frame capture) plugs into that loop through the
+//! same three hooks instead of owning a copy of it:
+//!
+//! * [`Observer::on_init`] — once, when the observer is attached (the
+//!   chain is the initial configuration).
+//! * [`Observer::on_round`] — after every completed round, fed a
+//!   [`RoundCtx`]: the round summary, the hops the strategy chose at
+//!   round start, the post-round chain, and the round's [`SpliceLog`]
+//!   (merge events).
+//! * [`Observer::on_finish`] — once, when [`Sim::run`](crate::Sim::run)
+//!   decides the [`Outcome`].
+//!
+//! Observers compose: `Sim::new(chain, strategy).observe(a).observe(b)`
+//! runs both, in attachment order. A simulation with *no* observers pays
+//! nothing — the engine skips the dispatch entirely and retains nothing
+//! per round, which is the benchmark hot path.
+//!
+//! The hooks receive the strategy (`&mut S` in [`Observer::on_round`]) so
+//! instrumentation that drains strategy-recorded events (the Lemma
+//! auditor in `gathering-core`) needs no side channel. Observers over a
+//! concrete strategy type can use its inherent API; strategy-agnostic
+//! observers (like [`Recorder`]) implement `Observer<S>` for every `S`.
+
+use std::any::Any;
+
+use crate::chain::{ClosedChain, SpliceLog};
+use crate::engine::{Outcome, RoundSummary};
+use crate::invariant::signed_turning_quarters;
+use crate::strategy::Strategy;
+use crate::trace::{RoundReport, Trace, TraceConfig};
+use grid_geom::Offset;
+
+/// Everything an observer sees about one completed round. Borrows the
+/// engine's working state — valid for the duration of the
+/// [`Observer::on_round`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx<'a> {
+    /// The round's allocation-free summary (what [`Sim::step`](crate::Sim::step) returns).
+    pub summary: RoundSummary,
+    /// The hops the strategy chose at round start, indexed by the
+    /// *pre-move* chain indices.
+    pub hops: &'a [Offset],
+    /// The chain after the round (post-move, post-merge).
+    pub chain: &'a ClosedChain,
+    /// The round's splice log: merge events and index remapping.
+    pub splice: &'a SpliceLog,
+}
+
+/// Composable run instrumentation; see the [module docs](self).
+///
+/// Every hook has an empty default, so an observer implements only what it
+/// watches.
+pub trait Observer<S: Strategy> {
+    /// Called once when the observer is attached to a simulation.
+    fn on_init(&mut self, _chain: &ClosedChain, _strategy: &S) {}
+
+    /// Called after every completed round.
+    fn on_round(&mut self, _ctx: &RoundCtx<'_>, _strategy: &mut S) {}
+
+    /// Called once when [`Sim::run`](crate::Sim::run) decides the outcome.
+    fn on_finish(&mut self, _chain: &ClosedChain, _strategy: &S, _outcome: &Outcome) {}
+}
+
+/// Object-safe carrier for the observer stack: [`Observer`] plus `Any`
+/// downcasting, so [`Sim::observer`](crate::Sim::observer) can hand a
+/// concrete observer back out of the type-erased stack. Blanket-implemented
+/// for every `'static` observer; not meant to be implemented by hand.
+pub trait AnyObserver<S: Strategy>: Observer<S> {
+    /// The observer as `&dyn Any` (for downcasting).
+    fn as_any(&self) -> &dyn Any;
+    /// The observer as `&mut dyn Any` (for downcasting).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<S: Strategy, T: Observer<S> + 'static> AnyObserver<S> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The trace-recording observer: retains [`RoundReport`]s and position
+/// snapshots per [`TraceConfig`], producing the [`Trace`] that replays and
+/// per-round analyses consume.
+///
+/// This replaces the engine-internal report retention: the engine itself
+/// never keeps anything per round, so attach a `Recorder` exactly when a
+/// trace is wanted. The recorded trace also folds the
+/// [`Progress`](crate::Progress) aggregates, so a taken [`Trace`] is
+/// self-contained.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    cfg: TraceConfig,
+    trace: Trace,
+}
+
+impl Recorder {
+    /// Record full per-round reports, no snapshots (the
+    /// [`TraceConfig::default`] behavior).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record with an explicit configuration.
+    pub fn with_config(cfg: TraceConfig) -> Self {
+        Recorder {
+            cfg,
+            trace: Trace::default(),
+        }
+    }
+
+    /// Snapshot-only recording: positions every `every` rounds, capped at
+    /// `max` snapshots, no per-round reports (animation replays).
+    pub fn snapshots(every: u64, max: usize) -> Self {
+        Self::with_config(TraceConfig {
+            snapshot_every: every,
+            max_snapshots: max,
+            keep_reports: false,
+        })
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+impl<S: Strategy> Observer<S> for Recorder {
+    fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
+        let s = ctx.summary;
+        self.trace.record_round(s.removed);
+        if self.cfg.snapshot_every > 0
+            && s.round.is_multiple_of(self.cfg.snapshot_every)
+            && self.trace.snapshots.len() < self.cfg.max_snapshots
+        {
+            self.trace
+                .snapshots
+                .push((s.round, ctx.chain.positions().to_vec()));
+        }
+        if self.cfg.keep_reports {
+            self.trace.reports.push(RoundReport {
+                round: s.round,
+                moved: s.moved,
+                removed: s.removed,
+                merges: ctx.splice.events.clone(),
+                len_after: s.len_after,
+                bbox: ctx.chain.bounding(),
+                gathered: s.gathered,
+            });
+        }
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Round after which the violation was observed.
+    pub round: u64,
+    /// What was violated.
+    pub what: String,
+}
+
+/// The invariant-checking observer: audits every *successful* round for
+/// global consistency properties the engine does not itself enforce, and
+/// collects violations instead of aborting.
+///
+/// The engine already validates connectivity/tautness each round and
+/// refuses to continue past a broken chain (a broken round never reaches
+/// the observers), so re-checking those would be vacuous. What this
+/// observer verifies is the engine's *accounting* and the model's
+/// conserved quantities:
+///
+/// * the round summary agrees with the chain (`len_after`, `gathered`),
+/// * the splice log agrees with the summary (`removed` counts, and a
+///   merge-free round leaves the length unchanged),
+/// * the closed chain's signed turning stays even (any closed lattice
+///   loop has even total turning; an odd value means the chain and its
+///   cyclic structure have come apart).
+#[derive(Debug, Default)]
+pub struct Invariants {
+    violations: Vec<InvariantViolation>,
+    prev_len: Option<usize>,
+}
+
+impl Invariants {
+    /// A fresh checker with no recorded violations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All violations observed so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// `true` if no violation has been observed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl<S: Strategy> Observer<S> for Invariants {
+    fn on_init(&mut self, chain: &ClosedChain, _strategy: &S) {
+        self.prev_len = Some(chain.len());
+    }
+
+    fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
+        let round = ctx.summary.round;
+        let mut violate = |what: String| {
+            self.violations.push(InvariantViolation { round, what });
+        };
+        // Summary ↔ chain agreement.
+        if ctx.summary.len_after != ctx.chain.len() {
+            violate(format!(
+                "summary len_after {} != chain len {}",
+                ctx.summary.len_after,
+                ctx.chain.len()
+            ));
+        }
+        if ctx.summary.gathered != ctx.chain.is_gathered() {
+            violate("summary gathered flag disagrees with the chain".to_string());
+        }
+        // Summary ↔ splice-log agreement, and length conservation: robots
+        // only ever leave the chain through the merge pass.
+        if ctx.summary.removed != ctx.splice.removed_count() {
+            violate(format!(
+                "summary removed {} != splice log {}",
+                ctx.summary.removed,
+                ctx.splice.removed_count()
+            ));
+        }
+        if let Some(prev) = self.prev_len {
+            if prev != ctx.chain.len() + ctx.summary.removed {
+                violate(format!(
+                    "length not conserved: {prev} robots -> {} + {} removed",
+                    ctx.chain.len(),
+                    ctx.summary.removed
+                ));
+            }
+        }
+        self.prev_len = Some(ctx.chain.len());
+        // Conserved quantity of the model: a closed lattice loop's signed
+        // turning is always even (the engine never checks this).
+        if ctx.chain.len() > 2 && signed_turning_quarters(ctx.chain) % 2 != 0 {
+            violate("signed turning of the closed chain is odd".to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::strategy::Stand;
+    use grid_geom::Point;
+
+    fn ring6() -> ClosedChain {
+        ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 1),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recorder_snapshot_cap() {
+        let mut sim = Sim::new(ring6(), Stand).observe(Recorder::snapshots(1, 3));
+        for _ in 0..6 {
+            sim.step().unwrap();
+        }
+        let rec = sim.observer::<Recorder>().unwrap();
+        assert_eq!(rec.trace().snapshots.len(), 3);
+        assert!(rec.trace().reports.is_empty());
+        assert_eq!(rec.trace().rounds(), 6);
+    }
+
+    #[test]
+    fn invariants_stay_clean_on_stand() {
+        let mut sim = Sim::new(ring6(), Stand).observe(Invariants::new());
+        for _ in 0..4 {
+            sim.step().unwrap();
+        }
+        let inv = sim.observer::<Invariants>().unwrap();
+        assert!(inv.is_clean());
+        assert!(inv.violations().is_empty());
+    }
+
+    /// The checks are not vacuous: a fabricated inconsistent round is
+    /// flagged (summary claims a removal the splice log doesn't show, so
+    /// both the agreement and the conservation checks fire).
+    #[test]
+    fn invariants_detect_inconsistent_rounds() {
+        let chain = ring6();
+        let splice = SpliceLog::default();
+        let mut inv = Invariants::new();
+        let mut stand = Stand;
+        Observer::<Stand>::on_init(&mut inv, &chain, &stand);
+        let ctx = RoundCtx {
+            summary: crate::RoundSummary {
+                round: 0,
+                moved: 0,
+                removed: 1,
+                len_after: chain.len(),
+                gathered: false,
+            },
+            hops: &[],
+            chain: &chain,
+            splice: &splice,
+        };
+        Observer::<Stand>::on_round(&mut inv, &ctx, &mut stand);
+        assert!(!inv.is_clean());
+        assert_eq!(inv.violations().len(), 2);
+        assert_eq!(inv.violations()[0].round, 0);
+    }
+
+    /// Observer ordering: attachment order is call order.
+    struct Tagger(u8, std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+    impl<S: Strategy> Observer<S> for Tagger {
+        fn on_round(&mut self, _ctx: &RoundCtx<'_>, _strategy: &mut S) {
+            self.1.borrow_mut().push(self.0);
+        }
+    }
+
+    #[test]
+    fn observers_fire_in_attachment_order() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Sim::new(ring6(), Stand)
+            .observe(Tagger(1, log.clone()))
+            .observe(Tagger(2, log.clone()));
+        sim.step().unwrap();
+        sim.step().unwrap();
+        assert_eq!(*log.borrow(), vec![1, 2, 1, 2]);
+    }
+}

@@ -19,6 +19,12 @@ pub struct OpenChain {
 }
 
 impl OpenChain {
+    /// Build an open chain from positions; assigns fresh ids `r0, r1, …`.
+    ///
+    /// Valid open chains have at least 2 robots and every *consecutive*
+    /// pair on the same or 4-adjacent grid points; unlike a
+    /// [`crate::ClosedChain`] there is no wrap-around edge, so the two
+    /// endpoints may be arbitrarily far apart.
     pub fn new(positions: Vec<Point>) -> Result<Self, ChainError> {
         if positions.len() < 2 {
             return Err(ChainError::TooShort {
@@ -40,39 +46,49 @@ impl OpenChain {
         OpenChain::new(positions.to_vec())
     }
 
+    /// Number of robots currently on the chain.
     #[inline]
     pub fn len(&self) -> usize {
         self.pos.len()
     }
 
+    /// `true` if the chain holds no robots (never the case for a validated
+    /// chain; provided for the `len`/`is_empty` API convention).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.pos.is_empty()
     }
 
+    /// Position of robot `i`.
     #[inline]
     pub fn pos(&self, i: usize) -> Point {
         self.pos[i]
     }
 
+    /// Stable identity of robot `i`.
     #[inline]
     pub fn id(&self, i: usize) -> RobotId {
         self.id[i]
     }
 
+    /// All positions, in chain order.
     #[inline]
     pub fn positions(&self) -> &[Point] {
         &self.pos
     }
 
+    /// Bounding box of the configuration.
     pub fn bounding(&self) -> Rect {
         Rect::bounding(self.pos.iter().copied()).expect("non-empty")
     }
 
+    /// `true` if the configuration fits a 2×2 subgrid.
     pub fn is_gathered(&self) -> bool {
         self.bounding().is_gathered_2x2()
     }
 
+    /// Check the open-chain validity conditions (consecutive adjacency,
+    /// tautness); see [`OpenChain::new`].
     pub fn validate(&self) -> Result<(), ChainError> {
         for i in 0..self.pos.len().saturating_sub(1) {
             let (a, b) = (self.pos[i], self.pos[i + 1]);
@@ -145,6 +161,65 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert!(OpenChain::new(vec![Point::new(0, 0)]).is_err());
         assert!(OpenChain::new(vec![Point::new(0, 0), Point::new(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn len_2_edge_cases() {
+        // The minimal open chain: two adjacent robots.
+        let c = open(&[(0, 0), (1, 0)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_gathered());
+        // Two coinciding robots are not taut.
+        assert!(matches!(
+            OpenChain::new(vec![Point::new(0, 0), Point::new(0, 0)]),
+            Err(ChainError::CoincidentNeighbors { index: 0, .. })
+        ));
+        // Two robots a chess-knight-free diagonal apart are disconnected.
+        assert!(matches!(
+            OpenChain::new(vec![Point::new(0, 0), Point::new(1, 1)]),
+            Err(ChainError::Disconnected { index: 0, .. })
+        ));
+        // One robot (or zero) is too short.
+        assert!(matches!(
+            OpenChain::new(vec![Point::new(0, 0)]),
+            Err(ChainError::TooShort { len: 1 })
+        ));
+        assert!(matches!(
+            OpenChain::new(vec![]),
+            Err(ChainError::TooShort { len: 0 })
+        ));
+    }
+
+    #[test]
+    fn endpoint_adjacency_is_not_required() {
+        // Unlike the closed chain, the endpoints have no connecting edge:
+        // a straight line of 5 is valid even though its ends are 4 apart.
+        let c = open(&[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
+        c.validate().unwrap();
+        // The same positions do NOT form a valid closed chain.
+        assert!(crate::ClosedChain::new(c.positions().to_vec()).is_err());
+    }
+
+    #[test]
+    fn from_closed_positions_round_trips() {
+        // A closed ring cut open keeps length, order, and positions; the
+        // cut is between the last and first robot (the wrap edge).
+        let ring = crate::ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 1),
+            Point::new(1, 1),
+            Point::new(0, 1),
+        ])
+        .unwrap();
+        let cut = OpenChain::from_closed_positions(ring.positions()).unwrap();
+        assert_eq!(cut.len(), ring.len());
+        assert_eq!(cut.positions(), ring.positions());
+        // And the open positions re-close into the same ring (the wrap
+        // edge happens to be adjacent here).
+        let reclosed = crate::ClosedChain::new(cut.positions().to_vec()).unwrap();
+        assert_eq!(reclosed.positions(), ring.positions());
     }
 
     #[test]

@@ -27,8 +27,14 @@ pub fn to_string(chain: &ClosedChain) -> String {
 /// Errors from [`from_str`].
 #[derive(Debug, PartialEq, Eq)]
 pub enum ParseError {
+    /// The `ccg1:` version header is missing.
     BadHeader,
-    BadPoint { index: usize },
+    /// A point failed to parse as `x,y`.
+    BadPoint {
+        /// Index of the malformed point.
+        index: usize,
+    },
+    /// The points parsed but do not form a valid closed chain.
     InvalidChain(ChainError),
 }
 

@@ -1,21 +1,29 @@
-//! Round reports and traces.
+//! Round reports, traces, and the always-on progress aggregates.
 //!
 //! The experiment harness regenerates the paper's tables from aggregated
 //! round statistics; examples replay [`Trace`]s as ASCII animations.
 //!
-//! The trace maintains its aggregate statistics (merge totals, mergeless
-//! gaps) *incrementally*, so headless benchmark runs can disable per-round
-//! [`RoundReport`] retention entirely ([`TraceConfig::headless`]) and still
-//! answer the questions the harness asks — without a single per-round
-//! allocation in the engine loop.
+//! Two layers with different costs:
+//!
+//! * [`Progress`] — incremental aggregates (merge totals, mergeless gaps).
+//!   A handful of counters folded in-place; the engine maintains one for
+//!   every run, with no per-round allocation. This is all the headless
+//!   benchmark sweeps ever need.
+//! * [`Trace`] — full retention: per-round [`RoundReport`]s and position
+//!   snapshots. Produced by the [`Recorder`](crate::observe::Recorder)
+//!   observer, never by the engine itself — attach the observer when you
+//!   want a trace, and the observer-free engine stays on the zero-retention
+//!   hot path.
 
 use crate::chain::MergeEvent;
 use grid_geom::{Point, Rect};
 
-/// What happened in one FSYNC round (full record, retained only when
+/// What happened in one FSYNC round (full record, retained by the
+/// [`Recorder`](crate::observe::Recorder) observer when
 /// [`TraceConfig::keep_reports`] is set).
 #[derive(Clone, Debug)]
 pub struct RoundReport {
+    /// Round index (0-based).
     pub round: u64,
     /// Number of robots that performed a nonzero hop.
     pub moved: usize,
@@ -39,7 +47,8 @@ impl RoundReport {
     }
 }
 
-/// Recording options for [`Trace`].
+/// Recording options for the [`Recorder`](crate::observe::Recorder)
+/// observer.
 #[derive(Clone, Copy, Debug)]
 pub struct TraceConfig {
     /// Keep full position snapshots every `snapshot_every` rounds
@@ -48,9 +57,8 @@ pub struct TraceConfig {
     /// Hard cap on stored snapshots.
     pub max_snapshots: usize,
     /// Retain a full [`RoundReport`] (including its merge-event list) per
-    /// round. Aggregate statistics are maintained either way; headless
-    /// experiment sweeps turn this off so the engine loop allocates
-    /// nothing per round.
+    /// round. Turn this off for snapshot-only recording (e.g. animation
+    /// replays that never read per-round merge detail).
     pub keep_reports: bool,
 }
 
@@ -64,25 +72,13 @@ impl Default for TraceConfig {
     }
 }
 
-impl TraceConfig {
-    /// Record nothing per round: no reports, no snapshots — only the
-    /// incremental aggregates. The configuration for benchmark sweeps.
-    pub fn headless() -> Self {
-        TraceConfig {
-            snapshot_every: 0,
-            max_snapshots: 0,
-            keep_reports: false,
-        }
-    }
-}
-
-/// A recorded simulation trace.
-#[derive(Clone, Debug, Default)]
-pub struct Trace {
-    /// Per-round reports (empty when reports are gated off).
-    pub reports: Vec<RoundReport>,
-    /// (round, positions) snapshots, per [`TraceConfig`].
-    pub snapshots: Vec<(u64, Vec<Point>)>,
+/// Incrementally-maintained aggregate statistics of a run: a handful of
+/// counters, folded in-place every round. The engine keeps one per
+/// simulation ([`Sim::progress`](crate::Sim::progress)) — always on,
+/// allocation-free — so headless sweeps answer the harness's questions
+/// (total merges, longest mergeless gap) without retaining anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Progress {
     rounds: u64,
     total_removed: usize,
     rounds_with_merges: usize,
@@ -90,9 +86,8 @@ pub struct Trace {
     current_gap: u64,
 }
 
-impl Trace {
-    /// Fold one round's merge count into the aggregates. The engine calls
-    /// this every round, independent of report retention.
+impl Progress {
+    /// Fold one round's merge count into the aggregates.
     pub fn record_round(&mut self, removed: usize) {
         self.rounds += 1;
         if removed > 0 {
@@ -105,12 +100,12 @@ impl Trace {
         }
     }
 
-    /// Number of rounds folded into the trace.
+    /// Number of rounds folded in.
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
 
-    /// Total robots removed over the trace.
+    /// Total robots removed over the run.
     pub fn total_removed(&self) -> usize {
         self.total_removed
     }
@@ -125,6 +120,50 @@ impl Trace {
     /// gap after the last). The Lemma 1 / Theorem 1 audits bound this gap.
     pub fn longest_mergeless_gap(&self) -> u64 {
         self.longest_gap.max(self.current_gap)
+    }
+}
+
+/// A recorded simulation trace: retained reports and snapshots plus the
+/// same [`Progress`] aggregates the engine keeps, so a taken trace is
+/// self-contained.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Per-round reports (empty when report retention is off).
+    pub reports: Vec<RoundReport>,
+    /// (round, positions) snapshots, per [`TraceConfig`].
+    pub snapshots: Vec<(u64, Vec<Point>)>,
+    progress: Progress,
+}
+
+impl Trace {
+    /// Fold one round's merge count into the aggregates.
+    pub fn record_round(&mut self, removed: usize) {
+        self.progress.record_round(removed);
+    }
+
+    /// The trace's aggregate statistics.
+    pub fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    /// Number of rounds folded into the trace.
+    pub fn rounds(&self) -> u64 {
+        self.progress.rounds()
+    }
+
+    /// Total robots removed over the trace.
+    pub fn total_removed(&self) -> usize {
+        self.progress.total_removed()
+    }
+
+    /// Number of rounds in which at least one merge happened.
+    pub fn rounds_with_merges(&self) -> usize {
+        self.progress.rounds_with_merges()
+    }
+
+    /// Longest mergeless gap; see [`Progress::longest_mergeless_gap`].
+    pub fn longest_mergeless_gap(&self) -> u64 {
+        self.progress.longest_mergeless_gap()
     }
 }
 
@@ -161,6 +200,7 @@ mod tests {
         assert_eq!(t.rounds(), 0);
         assert_eq!(t.total_removed(), 0);
         assert_eq!(t.longest_mergeless_gap(), 0);
+        assert_eq!(t.progress(), Progress::default());
     }
 
     #[test]

@@ -4,15 +4,20 @@
 //!
 //! * [`ascii`] — terminal rendering with run-state overlays (used by the
 //!   examples to replay the paper's figures),
+//! * [`capture`] — live frame capture as a [`chain_sim::Observer`]: attach
+//!   [`FrameCapture`] to a simulation and collect rendered frames from the
+//!   engine's one run loop,
 //! * [`ppm`] — dependency-free binary PPM (P6) image writer,
 //! * [`anim`] — multi-frame ASCII animation of recorded traces.
 
 pub mod anim;
 pub mod ascii;
+pub mod capture;
 pub mod ppm;
 pub mod svg;
 
 pub use anim::render_trace;
 pub use ascii::{render, render_with_markers, AsciiOptions};
+pub use capture::{Frame, FrameCapture};
 pub use ppm::PpmImage;
 pub use svg::{render_svg, SvgOptions};

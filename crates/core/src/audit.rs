@@ -11,7 +11,8 @@
 
 use crate::runs::{RunMode, StopReason};
 use crate::strategy::{ClosedChainGathering, RunEvent};
-use chain_sim::{ClosedChain, RobotId, RoundReport};
+use chain_sim::observe::{Observer, RoundCtx};
+use chain_sim::{ClosedChain, MergeEvent, RobotId};
 use grid_geom::Offset;
 use std::collections::HashMap;
 
@@ -74,8 +75,14 @@ struct RunTrack {
     expected_next: RobotId,
 }
 
-/// The auditor. Drive it with [`LemmaAuditor::after_round`] after every
-/// engine step; it drains the strategy's recorded events.
+/// The auditor — an [`Observer`] over the engine's one run loop.
+///
+/// Attach it with `Sim::new(chain, strategy).observe(auditor)` (the
+/// strategy must have `with_event_recording()` on; the auditor drains the
+/// recorded events each round). After the run, extract the finalized
+/// summary through `sim.observer_mut::<LemmaAuditor>()` +
+/// [`LemmaAuditor::summary`], or drive the hooks manually via
+/// [`LemmaAuditor::after_round`] / [`LemmaAuditor::finish`].
 pub struct LemmaAuditor {
     l_period: u64,
     view: usize,
@@ -113,23 +120,29 @@ impl LemmaAuditor {
 
     pub fn set_initial(&mut self, chain: &ClosedChain) {
         self.summary.initial_n = chain.len();
+        // A run can finish without a single round (input already
+        // gathered); final_n must not default to 0 in that case.
+        self.summary.final_n = chain.len();
     }
 
-    /// Feed one completed round. `chain` is post-round; the strategy's
-    /// events are drained here (requires `with_event_recording()`).
+    /// Feed one completed round. `chain` is post-round, `merges` are the
+    /// round's merge events; the strategy's events are drained here
+    /// (requires `with_event_recording()`). The [`Observer`] impl calls
+    /// this with the pieces of its [`RoundCtx`].
     pub fn after_round(
         &mut self,
         chain: &ClosedChain,
         strategy: &mut ClosedChainGathering,
-        report: &RoundReport,
+        round: u64,
+        removed: usize,
+        merges: &[MergeEvent],
     ) {
-        let round = report.round;
         let events = strategy.take_events();
 
         // --- Gap accounting (Theorem 1 context). ---
         let mergeless_window =
-            self.rounds_since_merge >= self.l_period.saturating_sub(1) && report.removed == 0;
-        if report.removed > 0 {
+            self.rounds_since_merge >= self.l_period.saturating_sub(1) && removed == 0;
+        if removed > 0 {
             self.last_merge_round = Some(round);
             self.merge_rounds.push(round);
             self.rounds_since_merge = 0;
@@ -179,7 +192,7 @@ impl LemmaAuditor {
         }
 
         // --- Lemma 3.1 (speed) and 3.3 (no sequent run visible ahead). ---
-        self.check_run_tracks(chain, strategy, report);
+        self.check_run_tracks(chain, strategy, merges);
 
         // --- Lemma 1 window check at every start round. ---
         if round > 0 && round.is_multiple_of(self.l_period) {
@@ -258,11 +271,11 @@ impl LemmaAuditor {
         &mut self,
         chain: &ClosedChain,
         strategy: &ClosedChainGathering,
-        report: &RoundReport,
+        merges: &[MergeEvent],
     ) {
         // Map: removed robot -> keeper (for excusing merged successors).
         let mut keeper_of: HashMap<RobotId, RobotId> = HashMap::new();
-        for ev in &report.merges {
+        for ev in merges {
             for r in &ev.removed {
                 keeper_of.insert(*r, ev.keeper);
             }
@@ -329,6 +342,21 @@ impl LemmaAuditor {
 
     /// Finalize the summary.
     pub fn finish(mut self, strategy: &ClosedChainGathering) -> AuditSummary {
+        self.finalize(strategy);
+        self.summary
+    }
+
+    /// The finalized summary (for the observer flow:
+    /// [`chain_sim::Sim::run`] fires `on_finish`, which finalizes; then
+    /// the caller reads the summary via `sim.observer::<LemmaAuditor>()`).
+    /// The auditor keeps its state, so a run resumed with larger limits
+    /// re-finalizes correctly. Calling this before the run finished
+    /// returns the in-progress summary.
+    pub fn summary(&self) -> AuditSummary {
+        self.summary.clone()
+    }
+
+    fn finalize(&mut self, strategy: &ClosedChainGathering) {
         self.summary.longest_mergeless_gap = self.longest_gap;
         self.summary.pairs_started = self.pairs.len();
         self.summary.good_pairs = self.pairs.iter().filter(|p| p.good).count();
@@ -360,64 +388,58 @@ impl LemmaAuditor {
             .unwrap_or(0);
         self.summary.total_merged_robots = self.summary.initial_n - self.summary.final_n;
         self.summary.live_runs_at_end = strategy.cells().iter().map(|c| c.count()).sum();
-        self.summary
     }
 
+    /// The pair records collected so far.
     pub fn pairs(&self) -> &[PairRecord] {
         &self.pairs
     }
 }
 
-/// Convenience: run a full audited simulation.
+impl Observer<ClosedChainGathering> for LemmaAuditor {
+    fn on_init(&mut self, chain: &ClosedChain, _strategy: &ClosedChainGathering) {
+        self.set_initial(chain);
+    }
+
+    fn on_round(&mut self, ctx: &RoundCtx<'_>, strategy: &mut ClosedChainGathering) {
+        self.after_round(
+            ctx.chain,
+            strategy,
+            ctx.summary.round,
+            ctx.summary.removed,
+            &ctx.splice.events,
+        );
+    }
+
+    fn on_finish(
+        &mut self,
+        _chain: &ClosedChain,
+        strategy: &ClosedChainGathering,
+        _outcome: &chain_sim::Outcome,
+    ) {
+        self.finalize(strategy);
+    }
+}
+
+/// Convenience: run a full audited simulation — the engine's one run loop
+/// plus the [`LemmaAuditor`] observer. This is pure composition; the audit
+/// owns no loop of its own.
 pub fn audited_run(
     chain: ClosedChain,
     cfg: crate::GatherConfig,
     max_rounds: u64,
 ) -> (chain_sim::Outcome, AuditSummary) {
     let strategy = ClosedChainGathering::new(cfg).with_event_recording();
-    let mut sim = chain_sim::Sim::new(chain, strategy);
-    let mut auditor = LemmaAuditor::new(sim.strategy());
-    auditor.set_initial(sim.chain());
-    let limits = chain_sim::RunLimits {
+    let auditor = LemmaAuditor::new(&strategy);
+    let mut sim = chain_sim::Sim::new(chain, strategy).observe(auditor);
+    let outcome = sim.run(chain_sim::RunLimits {
         max_rounds,
         stall_window: max_rounds,
-    };
-    let outcome = loop {
-        if sim.is_gathered() {
-            break chain_sim::Outcome::Gathered {
-                rounds: sim.round(),
-            };
-        }
-        if sim.round() >= limits.max_rounds {
-            break chain_sim::Outcome::RoundLimit {
-                rounds: sim.round(),
-            };
-        }
-        match sim.step() {
-            Ok(_) => {
-                // Split borrows: chain and strategy are distinct fields.
-                // Audited runs keep report retention on (the default), so
-                // the full report with merge events is the trace's last
-                // entry. The auditor is instrumentation, not the hot path;
-                // the snapshot clones are deliberate.
-                let chain_snapshot = sim.chain().clone();
-                let report = sim
-                    .trace()
-                    .reports
-                    .last()
-                    .expect("audited runs retain reports")
-                    .clone();
-                auditor.after_round(&chain_snapshot, sim.strategy_mut(), &report);
-            }
-            Err(error) => {
-                break chain_sim::Outcome::ChainBroken {
-                    rounds: sim.round(),
-                    error,
-                }
-            }
-        }
-    };
-    let summary = auditor.finish(sim.strategy());
+    });
+    let summary = sim
+        .observer_mut::<LemmaAuditor>()
+        .expect("the auditor was attached above")
+        .summary();
     (outcome, summary)
 }
 
@@ -451,6 +473,77 @@ mod tests {
         );
         assert!(summary.pairs_started > 0);
         assert!(summary.good_pairs > 0);
+    }
+
+    /// The audit must produce byte-identical summaries to the pre-observer
+    /// implementation (values pinned from the dedicated-loop `audited_run`
+    /// before it became `Sim` + observer composition).
+    #[test]
+    fn audit_summary_pinned_on_seeded_workloads() {
+        use workloads::Family;
+        // (family, n, seed) -> (rounds, initial, final, merged, gap,
+        //                       pairs, good, progress, progress_merged, latency)
+        type Workload = (Family, usize, u64);
+        type Pin = (u64, usize, usize, usize, u64, [usize; 4], u64);
+        let pinned: [(Workload, Pin); 3] = [
+            (
+                (Family::Rectangle, 48, 0),
+                (7, 48, 4, 44, 0, [0, 0, 0, 0], 0),
+            ),
+            (
+                (Family::Skyline, 96, 3),
+                (17, 94, 2, 92, 0, [1, 0, 0, 0], 0),
+            ),
+            (
+                (Family::StaircaseDiamond, 96, 2),
+                (66, 96, 1, 95, 25, [16, 16, 4, 4], 2),
+            ),
+        ];
+        for ((fam, n, seed), (rounds, initial, final_n, merged, gap, pairs, latency)) in pinned {
+            let chain = fam.generate(n, seed);
+            let len = chain.len() as u64;
+            let (outcome, s) = audited_run(chain, GatherConfig::paper(), 64 * len + 4096);
+            let tag = format!("{} n={n} seed={seed}", fam.name());
+            assert_eq!(outcome, chain_sim::Outcome::Gathered { rounds }, "{tag}");
+            assert_eq!(
+                (s.rounds, s.initial_n, s.final_n, s.total_merged_robots),
+                (rounds, initial, final_n, merged),
+                "{tag}"
+            );
+            assert_eq!(s.longest_mergeless_gap, gap, "{tag}");
+            assert_eq!(
+                [
+                    s.pairs_started,
+                    s.good_pairs,
+                    s.progress_pairs,
+                    s.progress_pairs_merged
+                ],
+                pairs,
+                "{tag}"
+            );
+            assert_eq!(s.max_pair_latency, latency, "{tag}");
+            assert!(s.clean(), "{tag}");
+            assert_eq!(s.live_runs_at_end, 0, "{tag}");
+        }
+    }
+
+    /// A zero-round audited run (input already gathered) reports no
+    /// merges, not `initial_n` of them.
+    #[test]
+    fn zero_round_audited_run_reports_no_merges() {
+        let chain = ClosedChain::new(vec![
+            grid_geom::Point::new(0, 0),
+            grid_geom::Point::new(1, 0),
+            grid_geom::Point::new(1, 1),
+            grid_geom::Point::new(0, 1),
+        ])
+        .unwrap();
+        let (outcome, summary) = audited_run(chain, GatherConfig::paper(), 100);
+        assert_eq!(outcome, chain_sim::Outcome::Gathered { rounds: 0 });
+        assert_eq!(summary.initial_n, 4);
+        assert_eq!(summary.final_n, 4);
+        assert_eq!(summary.total_merged_robots, 0);
+        assert!(summary.clean());
     }
 
     #[test]

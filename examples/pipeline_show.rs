@@ -1,12 +1,16 @@
 //! Animate the gathering of a rectangle ring: watch runs start at the
 //! corners, fold the edges inward, and merges shorten the chain.
 //!
+//! Demonstrates the observer API: one engine run with the
+//! [`chain_viz::FrameCapture`] observer attached — no hand-rolled loop
+//! interleaving `step()` with rendering.
+//!
 //! ```text
 //! cargo run --release --example pipeline_show [w] [h] [every]
 //! ```
 
-use chain_sim::{Sim, Strategy};
-use chain_viz::ascii::{self, AsciiOptions};
+use chain_sim::{RunLimits, Sim};
+use chain_viz::FrameCapture;
 use gathering_core::ClosedChainGathering;
 use grid_geom::Point;
 
@@ -30,37 +34,23 @@ fn main() {
     println!("gathering a {w}x{h} rectangle ring ({n} robots)");
     println!("legend: o robot · > < run states (direction) · X two runs\n");
 
-    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
-    let mut round = 0u64;
-    loop {
-        if round.is_multiple_of(every) || sim.is_gathered() {
-            let live: usize = sim.strategy().cells().iter().map(|c| c.count()).sum();
-            println!(
-                "-- round {round}: {} robots, {live} live runs --",
-                sim.chain().len()
-            );
-            println!(
-                "{}",
-                ascii::render_with_markers(
-                    sim.chain(),
-                    |i| sim.strategy().marker(i),
-                    AsciiOptions::default()
-                )
-            );
-        }
-        if sim.is_gathered() {
-            println!(
-                "gathered after {round} rounds (n = {n}, bound 27n = {})",
-                27 * n
-            );
-            break;
-        }
-        if round > 64 * n as u64 {
-            println!("giving up after {round} rounds");
-            break;
-        }
-        sim.step().expect("chain must never break");
-        round += 1;
+    let mut sim =
+        Sim::new(chain, ClosedChainGathering::paper()).observe(FrameCapture::every(every, 1024));
+    let outcome = sim.run(RunLimits::for_chain_len(n));
+
+    for frame in sim.observer::<FrameCapture>().unwrap().frames() {
+        println!("-- round {}: {} robots --", frame.rounds, frame.robots);
+        println!("{}", frame.art);
+    }
+
+    if outcome.is_gathered() {
+        println!(
+            "gathered after {} rounds (n = {n}, bound 27n = {})",
+            outcome.rounds(),
+            27 * n
+        );
+    } else {
+        println!("did not gather: {outcome:?}");
     }
 
     let stats = sim.strategy().stats();

@@ -1,7 +1,7 @@
 //! End-to-end integration tests: the paper's algorithm across all workload
 //! families, checked against the Theorem 1 contract.
 
-use chain_sim::{Outcome, RunLimits, Sim};
+use chain_sim::{Outcome, Recorder, RunLimits, Sim};
 use gathering_core::{ClosedChainGathering, GatherConfig};
 use workloads::Family;
 
@@ -97,7 +97,7 @@ fn merge_count_accounts_for_all_robots() {
     let outcome = sim.run(RunLimits::for_chain_len(len));
     assert!(outcome.is_gathered());
     let final_len = sim.chain().len();
-    assert_eq!(sim.trace().total_removed(), len - final_len);
+    assert_eq!(sim.progress().total_removed(), len - final_len);
     assert!(final_len <= 4, "2×2 gathering leaves at most 4 robots");
 }
 
@@ -105,10 +105,10 @@ fn merge_count_accounts_for_all_robots() {
 fn round_reports_are_monotone_in_length() {
     let chain = Family::Skyline.generate(200, 3);
     let len = chain.len();
-    let mut sim = Sim::new(chain, ClosedChainGathering::paper());
+    let mut sim = Sim::new(chain, ClosedChainGathering::paper()).observe(Recorder::new());
     let _ = sim.run(RunLimits::for_chain_len(len));
     let mut prev = len;
-    for report in &sim.trace().reports {
+    for report in &sim.observer::<Recorder>().unwrap().trace().reports {
         assert!(
             report.len_after <= prev,
             "chain grew at round {}",

@@ -1,0 +1,126 @@
+//! Observer passivity: instrumentation must never change a run.
+//!
+//! The engine has exactly one run loop; observers (trace recording, Lemma
+//! audits, invariant checks, frame capture) watch it from the outside.
+//! These property tests pin the contract that makes the composition safe:
+//! a fully-instrumented run is *byte-identical* — outcome, merge totals,
+//! gap accounting, final configuration — to the observer-free run of the
+//! same seeded workload.
+
+use chain_sim::observe::Invariants;
+use chain_sim::{Recorder, RunLimits, Sim, TraceConfig};
+use chain_viz::FrameCapture;
+use gathering_core::audit::LemmaAuditor;
+use gathering_core::ClosedChainGathering;
+use workloads::{Family, SplitMix64};
+
+/// Deterministic sampled workload grid (seeded-loop property test; the
+/// offline build has no proptest).
+fn sampled_cases() -> Vec<(Family, usize, u64)> {
+    let mut rng = SplitMix64::new(0x0b5e_77e5);
+    let mut cases = Vec::new();
+    for fam in [
+        Family::Rectangle,
+        Family::Skyline,
+        Family::RandomLoop,
+        Family::StaircaseDiamond,
+        Family::HairpinFlower,
+    ] {
+        cases.push((fam, 48, 0));
+        for _ in 0..3 {
+            cases.push((fam, rng.range_usize(16, 220), rng.next_u64() % 512));
+        }
+    }
+    cases
+}
+
+#[test]
+fn instrumented_runs_are_byte_identical_to_headless() {
+    for (fam, n, seed) in sampled_cases() {
+        let tag = format!("{} n={n} seed={seed}", fam.name());
+
+        // Headless: the zero-retention hot path.
+        let chain = fam.generate(n, seed);
+        let limits = RunLimits::for_chain_len(chain.len());
+        let mut headless = Sim::new(chain, ClosedChainGathering::paper());
+        let outcome_headless = headless.run(limits);
+
+        // Fully instrumented: trace (reports + snapshots) + Lemma audit +
+        // invariant checks + frame capture, all on the same loop. Event
+        // recording is on for the auditor; it must not change decisions.
+        let strategy = ClosedChainGathering::paper().with_event_recording();
+        let auditor = LemmaAuditor::new(&strategy);
+        let mut observed = Sim::new(fam.generate(n, seed), strategy)
+            .observe(Recorder::with_config(TraceConfig {
+                snapshot_every: 8,
+                max_snapshots: 64,
+                keep_reports: true,
+            }))
+            .observe(auditor)
+            .observe(Invariants::new())
+            .observe(FrameCapture::every(32, 16));
+        let outcome_observed = observed.run(limits);
+
+        // Byte-identical run results.
+        assert_eq!(outcome_headless, outcome_observed, "{tag}");
+        assert_eq!(headless.progress(), observed.progress(), "{tag}");
+        assert_eq!(
+            headless.chain().positions(),
+            observed.chain().positions(),
+            "{tag}"
+        );
+
+        // And the observers agree with the engine's own accounting.
+        let progress = headless.progress();
+        let trace = observed.observer::<Recorder>().unwrap().trace();
+        assert_eq!(trace.total_removed(), progress.total_removed(), "{tag}");
+        assert_eq!(
+            trace.longest_mergeless_gap(),
+            progress.longest_mergeless_gap(),
+            "{tag}"
+        );
+        assert_eq!(trace.reports.len() as u64, progress.rounds(), "{tag}");
+        let audit = observed.observer_mut::<LemmaAuditor>().unwrap().summary();
+        assert_eq!(audit.rounds, progress.rounds(), "{tag}");
+        assert_eq!(
+            audit.longest_mergeless_gap,
+            progress.longest_mergeless_gap(),
+            "{tag}"
+        );
+        assert_eq!(audit.total_merged_robots, progress.total_removed(), "{tag}");
+        assert!(
+            observed.observer::<Invariants>().unwrap().is_clean(),
+            "{tag}"
+        );
+        assert!(
+            !observed
+                .observer::<FrameCapture>()
+                .unwrap()
+                .frames()
+                .is_empty(),
+            "{tag}"
+        );
+    }
+}
+
+#[test]
+fn attachment_order_does_not_matter() {
+    let fam = Family::Skyline;
+    let (n, seed) = (96usize, 7u64);
+    let run = |flip: bool| {
+        let strategy = ClosedChainGathering::paper().with_event_recording();
+        let auditor = LemmaAuditor::new(&strategy);
+        let mut sim = Sim::new(fam.generate(n, seed), strategy);
+        if flip {
+            sim.add_observer(auditor);
+            sim.add_observer(Recorder::new());
+        } else {
+            sim.add_observer(Recorder::new());
+            sim.add_observer(auditor);
+        }
+        let outcome = sim.run_default();
+        let summary = sim.observer::<LemmaAuditor>().unwrap().summary();
+        (outcome, sim.progress(), summary.longest_mergeless_gap)
+    };
+    assert_eq!(run(false), run(true));
+}

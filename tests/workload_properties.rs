@@ -13,7 +13,7 @@
 //!    identical run, round for round, regardless of batch parallelism.
 
 use bench::{run_batch, run_batch_with, BatchOptions, ScenarioSpec};
-use chain_sim::{Sim, TraceConfig};
+use chain_sim::{Recorder, Sim};
 use gathering_core::ClosedChainGathering;
 use workloads::{Family, SplitMix64};
 
@@ -96,11 +96,11 @@ fn run_batch_is_deterministic_across_parallelism() {
 fn same_spec_identical_trace() {
     let spec = ScenarioSpec::paper(Family::Skyline, 96, 5);
     let run = |spec: &ScenarioSpec| {
-        let mut sim = Sim::new(spec.generate(), ClosedChainGathering::paper())
-            .with_trace(TraceConfig::default());
+        let mut sim =
+            Sim::new(spec.generate(), ClosedChainGathering::paper()).observe(Recorder::new());
         let out = sim.run_default();
         assert!(out.is_gathered());
-        sim.take_trace()
+        sim.observer_mut::<Recorder>().unwrap().take_trace()
     };
     let ta = run(&spec);
     let tb = run(&spec);
