@@ -188,7 +188,11 @@ fn main() {
     };
 
     if let Err(e) = result {
+        // Malformed stores/artifacts (and plain IO failures) land here:
+        // the error message carries the offending path and position. Exit
+        // 2 like the other usage/validation failures — never panic on bad
+        // input files.
         eprintln!("error: {e}");
-        exit(1);
+        exit(2);
     }
 }

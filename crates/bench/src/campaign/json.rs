@@ -278,11 +278,28 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid).
+                    // Consume one UTF-8 scalar. The input arrived as a
+                    // &str and every branch advances by whole scalars, so
+                    // decoding should always succeed — but a scanner bug
+                    // must surface as a parse error on the offending
+                    // input, never as a panic inside merge/report. Decode
+                    // from a ≤ 4-byte window (one scalar is at most 4
+                    // bytes) so string scanning stays O(n): validating
+                    // the whole remaining document per character would be
+                    // quadratic in the artifact size.
                     let rest = &self.bytes[self.pos..];
-                    let text = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = text.chars().next().unwrap();
+                    let window = &rest[..rest.len().min(4)];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(text) => text.chars().next(),
+                        // A trailing *incomplete* scalar at the window
+                        // edge still yields the valid prefix.
+                        Err(e) => std::str::from_utf8(&window[..e.valid_up_to()])
+                            .ok()
+                            .and_then(|text| text.chars().next()),
+                    };
+                    let Some(c) = c else {
+                        return Err(self.err("invalid utf-8 inside string"));
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -308,8 +325,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
+        // The scanned range is ASCII by construction; fail as a parse
+        // error rather than a panic all the same.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?
+            .parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("bad number"))
     }

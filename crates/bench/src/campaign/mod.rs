@@ -3,8 +3,10 @@
 //! A [`CampaignSpec`] names a *grid* of [`ScenarioSpec`]s — the cartesian
 //! product of workload families × an n-ladder × seeds × registry
 //! strategies (each strategy with its own size cap, so diameter-bound
-//! baselines don't hold the 65k paper runs hostage). The grid order is
-//! canonical (family-major, then size, seed, strategy), every spec has a
+//! baselines don't hold the 65k paper runs hostage) × activation
+//! schedulers (FSYNC-only for ordinary campaigns; the `robustness`
+//! campaign sweeps the SSYNC registry). The grid order is canonical
+//! (family-major, then size, seed, strategy, scheduler), every spec has a
 //! stable 64-bit FNV-1a hash ([`spec_hash`]) over its canonical encoding
 //! ([`spec_id`]), and everything downstream keys off that hash:
 //!
@@ -31,6 +33,7 @@ use std::path::{Path, PathBuf};
 
 use crate::scenario::{run_batch_with, BatchOptions, LimitPolicy, ScenarioSpec, StrategyKind};
 use crate::table::Table;
+use chain_sim::SchedulerKind;
 use json::Json;
 use workloads::Family;
 
@@ -69,6 +72,11 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// Strategies with their per-strategy size caps (report columns).
     pub strategies: Vec<StrategySweep>,
+    /// Activation schedules every (family, size, seed, strategy) cell is
+    /// swept over. `[Fsync]` — the paper's model — for ordinary
+    /// campaigns; the `robustness` campaign sweeps the SSYNC registry.
+    /// Open-chain strategies are FSYNC-only and skip SSYNC combinations.
+    pub schedulers: Vec<SchedulerKind>,
 }
 
 impl CampaignSpec {
@@ -82,15 +90,20 @@ impl CampaignSpec {
     ///   being affordable), two seeds. `quick` shrinks the ladder to
     ///   {64, 256} × one seed — a strict subset of the full grid, so quick
     ///   results resume into a full run.
+    /// * `robustness` — the scheduler sweep behind T11: the same three
+    ///   families × the closed-chain strategies × every scheduler of
+    ///   [`SchedulerKind::SWEEP`], measuring which strategies survive
+    ///   semi-synchrony and at what round-count cost.
     pub fn named(name: &str, quick: bool) -> Option<CampaignSpec> {
         match name {
             "scaling" => Some(Self::scaling(quick)),
+            "robustness" => Some(Self::robustness(quick)),
             _ => None,
         }
     }
 
     /// Names [`CampaignSpec::named`] accepts (for CLI error messages).
-    pub const BUILTIN_NAMES: [&'static str; 1] = ["scaling"];
+    pub const BUILTIN_NAMES: [&'static str; 2] = ["scaling", "robustness"];
 
     /// The built-in scaling campaign (see [`CampaignSpec::named`]).
     pub fn scaling(quick: bool) -> CampaignSpec {
@@ -111,21 +124,58 @@ impl CampaignSpec {
                 StrategySweep::up_to(StrategyKind::NaiveLocal, 4096),
                 StrategySweep::up_to(StrategyKind::Stand, 256),
             ],
+            schedulers: vec![SchedulerKind::Fsync],
+        }
+    }
+
+    /// The built-in robustness campaign (see [`CampaignSpec::named`]):
+    /// every closed-chain strategy under every scheduler of
+    /// [`SchedulerKind::SWEEP`]. Sizes stay moderate — SSYNC runs pay the
+    /// scheduler's slowdown factor, and the interesting signal (who breaks
+    /// the chain, who merely slows down) saturates early.
+    pub fn robustness(quick: bool) -> CampaignSpec {
+        let (sizes, seeds): (Vec<usize>, Vec<u64>) = if quick {
+            (vec![64], vec![0])
+        } else {
+            (vec![64, 256, 1024], vec![0, 1])
+        };
+        CampaignSpec {
+            name: "robustness".to_string(),
+            families: vec![Family::Rectangle, Family::Skyline, Family::RandomLoop],
+            sizes,
+            seeds,
+            strategies: vec![
+                StrategySweep::up_to(StrategyKind::paper(), 1024),
+                StrategySweep::up_to(StrategyKind::GlobalVision, 1024),
+                StrategySweep::up_to(StrategyKind::CompassSe, 1024),
+                StrategySweep::up_to(StrategyKind::NaiveLocal, 1024),
+            ],
+            schedulers: SchedulerKind::SWEEP.to_vec(),
         }
     }
 
     /// The full grid in canonical order: family-major, then size, then
-    /// seed, then strategy (registry order), strategies filtered by their
-    /// size cap. Everything downstream — sharding, resume bookkeeping,
-    /// store order, artifact row order — derives from this one ordering.
+    /// seed, then strategy (registry order), then scheduler — strategies
+    /// filtered by their size cap, open-chain strategies filtered to
+    /// FSYNC. Everything downstream — sharding, resume bookkeeping, store
+    /// order, artifact row order — derives from this one ordering.
     pub fn grid(&self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::new();
         for &family in &self.families {
             for &n in &self.sizes {
                 for &seed in &self.seeds {
                     for sweep in &self.strategies {
-                        if n <= sweep.max_n {
-                            specs.push(ScenarioSpec::strategy(family, n, seed, sweep.kind));
+                        if n > sweep.max_n {
+                            continue;
+                        }
+                        for &sched in &self.schedulers {
+                            if sweep.kind.is_open_chain() && !sched.is_fsync() {
+                                continue;
+                            }
+                            specs.push(
+                                ScenarioSpec::strategy(family, n, seed, sweep.kind)
+                                    .with_scheduler(sched),
+                            );
                         }
                     }
                 }
@@ -157,10 +207,15 @@ impl CampaignSpec {
 
 /// Canonical textual encoding of a spec — the preimage of [`spec_hash`].
 ///
-/// Versioned (`v1|`) so a future encoding change invalidates old stores
-/// loudly (every hash changes) instead of silently colliding. Paper kinds
-/// encode their full [`gathering_core::GatherConfig`], so an ablated
-/// config never collides with the canonical one.
+/// Versioned so a future encoding change invalidates old stores loudly
+/// (every hash changes) instead of silently colliding. `v2` added the
+/// `sched=` axis when the engine grew SSYNC schedulers — a deliberate
+/// bump: every `v1` hash on disk is invalid, but stores and artifacts
+/// survive, because readers recompute hashes from the row's identity
+/// fields (legacy rows default to `sched=fsync`, which is what they
+/// measured). Paper kinds encode their full
+/// [`gathering_core::GatherConfig`], so an ablated config never collides
+/// with the canonical one.
 pub fn spec_id(spec: &ScenarioSpec) -> String {
     let cfg = match spec.strategy {
         StrategyKind::Paper(c) | StrategyKind::PaperAudited(c) => format!(
@@ -178,12 +233,13 @@ pub fn spec_id(spec: &ScenarioSpec) -> String {
         LimitPolicy::Fixed(l) => format!("fixed:{}:{}", l.max_rounds, l.stall_window),
     };
     format!(
-        "v1|family={}|n={}|seed={}|strategy={}|cfg={}|limits={}",
+        "v2|family={}|n={}|seed={}|strategy={}|cfg={}|sched={}|limits={}",
         spec.family.name(),
         spec.n,
         spec.seed,
         spec.strategy.name(),
         cfg,
+        spec.scheduler.name(),
         limits
     )
 }
@@ -217,11 +273,16 @@ pub struct CampaignRow {
     pub seed: u64,
     /// Registry strategy name ([`StrategyKind::name`]).
     pub strategy: String,
+    /// Activation scheduler name ([`SchedulerKind::name`]); `fsync` for
+    /// every row written before the scheduler axis existed.
+    pub scheduler: String,
     /// Rounds executed (rounds-to-gather when `outcome == "gathered"`).
     pub rounds: u64,
-    /// Wall-clock milliseconds of this scenario alone (the one field that
-    /// is *not* a pure function of the spec).
-    pub wall_ms: u64,
+    /// Wall-clock microseconds of this scenario alone (the one field that
+    /// is *not* a pure function of the spec). Microseconds, not
+    /// milliseconds: sub-millisecond cells used to truncate to
+    /// `wall_ms: 0` and corrupt every throughput aggregate downstream.
+    pub wall_us: u64,
     /// Outcome label: `gathered`, `round-limit`, `stalled`, or
     /// `chain-broken`.
     pub outcome: String,
@@ -249,21 +310,29 @@ impl CampaignRow {
             n_actual: r.n,
             seed: r.spec.seed,
             strategy: r.spec.strategy.name().to_string(),
+            scheduler: r.spec.scheduler.name(),
             rounds: r.outcome.rounds(),
-            wall_ms: r.wall.as_millis() as u64,
+            wall_us: r.wall.as_micros() as u64,
             outcome: outcome.to_string(),
             merges: r.merges_total,
             longest_gap: r.longest_gap,
         }
     }
 
+    /// The row's wall time in (fractional) milliseconds, derived from the
+    /// stored microseconds — what human-facing reports print.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_us as f64 / 1000.0
+    }
+
     /// Reconstruct the canonical [`ScenarioSpec`] this row answers for,
-    /// or `None` if its family/strategy names are unknown to this build
-    /// (e.g. a store written by a newer version).
+    /// or `None` if its family/strategy/scheduler names are unknown to
+    /// this build (e.g. a store written by a newer version).
     pub fn to_spec(&self) -> Option<ScenarioSpec> {
         let family = Family::from_name(&self.family)?;
         let strategy = StrategyKind::from_name(&self.strategy)?;
-        Some(ScenarioSpec::strategy(family, self.n, self.seed, strategy))
+        let scheduler = SchedulerKind::from_name(&self.scheduler)?;
+        Some(ScenarioSpec::strategy(family, self.n, self.seed, strategy).with_scheduler(scheduler))
     }
 
     /// The row's resume key: [`spec_hash`] of its reconstructed spec.
@@ -296,15 +365,19 @@ impl CampaignRow {
             ("n_actual", Json::usize(self.n_actual)),
             ("seed", Json::u64(self.seed)),
             ("strategy", Json::str(&self.strategy)),
+            ("scheduler", Json::str(&self.scheduler)),
             ("rounds", Json::u64(self.rounds)),
-            ("wall_ms", Json::u64(self.wall_ms)),
+            ("wall_us", Json::u64(self.wall_us)),
             ("outcome", Json::str(&self.outcome)),
         ]
     }
 
     /// Parse a row from either representation. The store-only detail
     /// fields (`merges`, `longest_gap`, `n_actual`) are optional so
-    /// artifact rows re-ingest for resume.
+    /// artifact rows re-ingest for resume; two legacy spellings are
+    /// honored so stores and artifacts written before the scheduler axis
+    /// keep resuming — a missing `scheduler` means `fsync`, and a
+    /// legacy `wall_ms` is widened to microseconds.
     pub fn from_json(v: &Json) -> Result<CampaignRow, String> {
         let s = |key: &str| -> Result<String, String> {
             v.get(key)
@@ -318,14 +391,28 @@ impl CampaignRow {
                 .ok_or_else(|| format!("missing integer field '{key}'"))
         };
         let n = u("n")? as usize;
+        let wall_us = match v.get("wall_us").and_then(|x| x.as_u64()) {
+            Some(us) => us,
+            None => match v.get("wall_ms").and_then(|x| x.as_u64()) {
+                Some(ms) => ms.saturating_mul(1000),
+                None => {
+                    return Err("missing integer field 'wall_us' (or legacy 'wall_ms')".to_string())
+                }
+            },
+        };
         Ok(CampaignRow {
             family: s("family")?,
             n,
             n_actual: v.get("n_actual").and_then(|x| x.as_usize()).unwrap_or(n),
             seed: u("seed")?,
             strategy: s("strategy")?,
+            scheduler: v
+                .get("scheduler")
+                .and_then(|x| x.as_str())
+                .unwrap_or("fsync")
+                .to_string(),
             rounds: u("rounds")?,
-            wall_ms: u("wall_ms")?,
+            wall_us,
             outcome: s("outcome")?,
             merges: v.get("merges").and_then(|x| x.as_usize()).unwrap_or(0),
             longest_gap: v.get("longest_gap").and_then(|x| x.as_u64()).unwrap_or(0),
@@ -432,7 +519,7 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<RunReport> {
 /// Write `BENCH_{name}.json` if every grid entry has a row on disk;
 /// returns the path when written. Rows are emitted in canonical grid
 /// order, so a sharded-then-merged campaign and an unsharded run produce
-/// identical artifacts (up to the measured `wall_ms`).
+/// identical artifacts (up to the measured `wall_us`).
 ///
 /// Never shrinks: if the existing artifact's rows are a strict superset
 /// of what would be written (a `--quick` run next to a completed full
@@ -595,15 +682,31 @@ pub fn status(
 }
 
 /// Build the report tables from the stored rows: rounds-to-gather and
-/// wall-clock per grid cell, one column per strategy, seeds averaged.
-/// Cells show `-` where no row exists yet, the outcome label where a run
-/// did not gather.
+/// wall-clock per grid cell, one column per strategy (per scheduler, when
+/// the campaign sweeps more than FSYNC), seeds averaged. Cells show `-`
+/// where no row exists yet, the outcome label where a run did not gather.
 pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::Result<Vec<Table>> {
     let rows = store::collect_rows(dir, &spec.name, artifact)?;
-    let strategies: Vec<&str> = spec.strategies.iter().map(|s| s.kind.name()).collect();
+    // One column per (strategy, scheduler) pair of the grid; plain
+    // strategy names when the campaign is FSYNC-only (the common case).
+    let fsync_only = spec.schedulers.iter().all(SchedulerKind::is_fsync);
+    let mut columns: Vec<(StrategySweep, SchedulerKind, String)> = Vec::new();
+    for sweep in &spec.strategies {
+        for &sched in &spec.schedulers {
+            if sweep.kind.is_open_chain() && !sched.is_fsync() {
+                continue;
+            }
+            let label = if fsync_only {
+                sweep.kind.name().to_string()
+            } else {
+                format!("{}@{}", sweep.kind.name(), sched.name())
+            };
+            columns.push((*sweep, sched, label));
+        }
+    }
 
     let mut header = vec!["family", "n", "n_actual"];
-    header.extend(strategies.iter().copied());
+    header.extend(columns.iter().map(|(_, _, label)| label.as_str()));
     let mut rounds_table = Table::new(
         "C1",
         &format!(
@@ -626,7 +729,7 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
             let mut rounds_cells = Vec::new();
             let mut wall_cells = Vec::new();
             let mut n_actual = None;
-            for sweep in &spec.strategies {
+            for (sweep, sched, _) in &columns {
                 if n > sweep.max_n {
                     rounds_cells.push("-".to_string());
                     wall_cells.push("-".to_string());
@@ -636,7 +739,8 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
                     .seeds
                     .iter()
                     .filter_map(|&seed| {
-                        let s = ScenarioSpec::strategy(family, n, seed, sweep.kind);
+                        let s = ScenarioSpec::strategy(family, n, seed, sweep.kind)
+                            .with_scheduler(*sched);
                         rows.get(&spec_hash(&s))
                     })
                     .collect();
@@ -655,9 +759,9 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
                         format!("{mean:.0}")
                     }
                 });
-                let wall = cell_rows.iter().map(|r| r.wall_ms).sum::<u64>() as f64
-                    / cell_rows.len() as f64;
-                wall_cells.push(format!("{wall:.0}"));
+                let wall =
+                    cell_rows.iter().map(|r| r.wall_ms()).sum::<f64>() / cell_rows.len() as f64;
+                wall_cells.push(format!("{wall:.2}"));
             }
             if n_actual.is_none() && rounds_cells.iter().all(|c| c == "-") {
                 continue;
@@ -697,6 +801,7 @@ mod tests {
                 StrategySweep::up_to(StrategyKind::paper(), 32),
                 StrategySweep::up_to(StrategyKind::Stand, 16),
             ],
+            schedulers: vec![SchedulerKind::Fsync],
         };
         let grid = spec.grid();
         // 2 families × (n=16: 2 strategies + n=32: 1 strategy) × 2 seeds.
@@ -734,9 +839,55 @@ mod tests {
 
     #[test]
     fn spec_ids_are_injective_over_a_grid() {
-        let grid = CampaignSpec::scaling(false).grid();
-        let ids: HashSet<String> = grid.iter().map(spec_id).collect();
-        assert_eq!(ids.len(), grid.len());
+        for campaign in [
+            CampaignSpec::scaling(false),
+            CampaignSpec::robustness(false),
+        ] {
+            let grid = campaign.grid();
+            let ids: HashSet<String> = grid.iter().map(spec_id).collect();
+            assert_eq!(ids.len(), grid.len(), "{}", campaign.name);
+        }
+    }
+
+    #[test]
+    fn robustness_sweeps_every_scheduler() {
+        let spec = CampaignSpec::robustness(true);
+        let grid = spec.grid();
+        // families × sizes × seeds × strategies × schedulers, no caps hit.
+        assert_eq!(grid.len(), 3 * 4 * SchedulerKind::SWEEP.len());
+        for &sched in &SchedulerKind::SWEEP {
+            assert!(grid.iter().any(|s| s.scheduler == sched));
+        }
+        // Quick is a strict subset of the full robustness grid.
+        let quick: HashSet<String> = grid.iter().map(spec_hash).collect();
+        let full: HashSet<String> = CampaignSpec::robustness(false)
+            .grid()
+            .iter()
+            .map(spec_hash)
+            .collect();
+        assert!(quick.is_subset(&full));
+    }
+
+    #[test]
+    fn grid_skips_open_chain_ssync_combinations() {
+        let spec = CampaignSpec {
+            name: "t".into(),
+            families: vec![Family::Rectangle],
+            sizes: vec![16],
+            seeds: vec![0],
+            strategies: vec![
+                StrategySweep::up_to(StrategyKind::paper(), 16),
+                StrategySweep::up_to(StrategyKind::OpenZip, 16),
+            ],
+            schedulers: vec![SchedulerKind::Fsync, SchedulerKind::KFair(4)],
+        };
+        let grid = spec.grid();
+        // paper × both schedulers + open-zip × fsync only.
+        assert_eq!(grid.len(), 3);
+        assert!(grid
+            .iter()
+            .filter(|s| s.strategy.is_open_chain())
+            .all(|s| s.scheduler.is_fsync()));
     }
 
     #[test]
@@ -755,19 +906,64 @@ mod tests {
 
     #[test]
     fn unknown_names_do_not_panic() {
-        let row = CampaignRow {
+        let mut row = CampaignRow {
             family: "future-family".into(),
             n: 10,
             n_actual: 10,
             seed: 0,
             strategy: "paper".into(),
+            scheduler: "fsync".into(),
             rounds: 1,
-            wall_ms: 1,
+            wall_us: 1,
             outcome: "gathered".into(),
             merges: 0,
             longest_gap: 0,
         };
         assert_eq!(row.to_spec(), None);
         assert_eq!(row.spec_hash(), None);
+        // An unknown scheduler name is equally non-fatal.
+        row.family = "rectangle".into();
+        row.scheduler = "quantum9000".into();
+        assert_eq!(row.to_spec(), None);
+    }
+
+    /// Legacy rows (written before the scheduler axis / the microsecond
+    /// wall clock) keep parsing: `scheduler` defaults to fsync and
+    /// `wall_ms` widens to microseconds, so old stores and artifacts
+    /// resume instead of erroring.
+    #[test]
+    fn legacy_rows_parse_with_defaults() {
+        let legacy = Json::parse(
+            r#"{"family":"rectangle","n":64,"n_actual":64,"seed":0,
+                "strategy":"paper","rounds":94,"wall_ms":12,"outcome":"gathered"}"#,
+        )
+        .unwrap();
+        let row = CampaignRow::from_json(&legacy).unwrap();
+        assert_eq!(row.scheduler, "fsync");
+        assert_eq!(row.wall_us, 12_000);
+        assert_eq!(row.wall_ms(), 12.0);
+        let spec = row.to_spec().unwrap();
+        assert_eq!(spec.scheduler, SchedulerKind::Fsync);
+        assert_eq!(row.spec_hash().unwrap(), spec_hash(&spec));
+        // A row with neither wall field is malformed — and the error
+        // steers the user to the modern field, not the legacy one.
+        let bad = Json::parse(r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","rounds":1,"outcome":"gathered"}"#).unwrap();
+        let err = CampaignRow::from_json(&bad).unwrap_err();
+        assert!(err.contains("wall_us"), "{err}");
+    }
+
+    /// An SSYNC row round-trips with its scheduler, and hashes to the
+    /// SSYNC grid cell, not the FSYNC one.
+    #[test]
+    fn ssync_rows_round_trip_and_hash_distinctly() {
+        let base = ScenarioSpec::strategy(Family::Rectangle, 32, 0, StrategyKind::CompassSe);
+        let ssync = base.with_scheduler(SchedulerKind::KFair(4));
+        assert_ne!(spec_hash(&base), spec_hash(&ssync));
+        let result = crate::scenario::run_scenario(&ssync);
+        let row = CampaignRow::from_result(&result);
+        assert_eq!(row.scheduler, "kfair4");
+        let parsed = CampaignRow::from_json(&row.to_store_json()).unwrap();
+        assert_eq!(parsed, row);
+        assert_eq!(parsed.spec_hash().unwrap(), spec_hash(&ssync));
     }
 }

@@ -151,8 +151,9 @@ pub fn collect_rows(
 
 /// Write the `BENCH_{name}.json` artifact: the stable machine-readable
 /// schema `{campaign, commit, date, rows: [{family, n, n_actual, seed,
-/// strategy, rounds, wall_ms, outcome}]}`, with `rows` in the order given
-/// (callers pass canonical grid order, so emission is deterministic).
+/// strategy, scheduler, rounds, wall_us, outcome}]}`, with `rows` in the
+/// order given (callers pass canonical grid order, so emission is
+/// deterministic).
 pub fn write_artifact(
     path: &Path,
     name: &str,
@@ -160,15 +161,6 @@ pub fn write_artifact(
     date: &str,
     rows: &[&CampaignRow],
 ) -> io::Result<()> {
-    let doc = Json::obj(vec![
-        ("campaign", Json::str(name)),
-        ("commit", Json::str(commit)),
-        ("date", Json::str(date)),
-        (
-            "rows",
-            Json::Arr(rows.iter().map(|r| r.to_artifact_json()).collect()),
-        ),
-    ]);
     // Pretty-ish: one row per line so artifact diffs review like the store.
     let mut out = String::new();
     out.push_str("{\n");
@@ -182,11 +174,10 @@ pub fn write_artifact(
     ));
     out.push_str(&format!("  \"date\": {},\n", Json::str(date).to_compact()));
     out.push_str("  \"rows\": [\n");
-    let arr = doc.get("rows").unwrap().as_arr().unwrap();
-    for (i, row) in arr.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");
-        out.push_str(&row.to_compact());
-        out.push_str(if i + 1 < arr.len() { ",\n" } else { "\n" });
+        out.push_str(&row.to_artifact_json().to_compact());
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     fs::write(path, out)

@@ -1,4 +1,4 @@
-//! The paper-reproduction experiments (tables T1–T10 of DESIGN.md §4).
+//! The paper-reproduction experiments (tables T1–T11 of DESIGN.md §4).
 //!
 //! Every table corresponds to a claim or construction of the paper; the
 //! table's note states the expected *shape* and the success criterion. The
@@ -12,6 +12,7 @@
 
 use crate::scenario::{run_batch, ScenarioResult, ScenarioSpec, StrategyKind};
 use crate::Table;
+use chain_sim::SchedulerKind;
 use gathering_core::GatherConfig;
 use workloads::Family;
 
@@ -657,10 +658,83 @@ pub fn t10_suppression(e: Effort, sel: &FamilySelection) -> Table {
     t
 }
 
+/// T11 — scheduler robustness: which strategies survive semi-synchrony
+/// (SSYNC activation schedules), and at what round-count cost.
+pub fn t11_schedulers(e: Effort, sel: &FamilySelection) -> Table {
+    let mut t = Table::new(
+        "T11",
+        "Scheduler robustness: outcomes and round cost under SSYNC activation schedules",
+        &[
+            "family",
+            "n",
+            "strategy",
+            "fsync",
+            "rr2",
+            "rand50",
+            "kfair4",
+            "worst/fsync",
+        ],
+    );
+    let race = [
+        StrategyKind::paper(),
+        StrategyKind::GlobalVision,
+        StrategyKind::CompassSe,
+        StrategyKind::NaiveLocal,
+    ];
+    let size = e.audit_n() / 2;
+    let specs: Vec<ScenarioSpec> = sel
+        .pick(&[Family::Rectangle, Family::Skyline, Family::RandomLoop])
+        .into_iter()
+        .flat_map(|fam| {
+            race.into_iter().flat_map(move |kind| {
+                SchedulerKind::SWEEP.into_iter().map(move |sched| {
+                    ScenarioSpec::strategy(fam, size, 8, kind).with_scheduler(sched)
+                })
+            })
+        })
+        .collect();
+    let results = run_batch(&specs);
+    for group in results.chunks(SchedulerKind::SWEEP.len()) {
+        let mut row = vec![
+            group[0].spec.family.name().to_string(),
+            group[0].n.to_string(),
+            group[0].spec.strategy.name().to_string(),
+        ];
+        let cell = |r: &ScenarioResult| match r.rounds() {
+            Some(rounds) => rounds.to_string(),
+            None => match r.outcome {
+                chain_sim::Outcome::Stalled { .. } => "stalled".to_string(),
+                chain_sim::Outcome::RoundLimit { .. } => "round-limit".to_string(),
+                chain_sim::Outcome::ChainBroken { .. } => "BROKEN".to_string(),
+                chain_sim::Outcome::Gathered { .. } => unreachable!(),
+            },
+        };
+        row.extend(group.iter().map(cell));
+        // Worst gathered SSYNC cost relative to FSYNC; '-' once anything
+        // failed (a broken chain has no meaningful round cost).
+        let fsync_rounds = group[0].rounds();
+        let worst = group[1..].iter().filter_map(ScenarioResult::rounds).max();
+        row.push(
+            match (fsync_rounds, worst, group.iter().all(|r| r.is_gathered())) {
+                (Some(f), Some(w), true) => format!("{:.1}", w as f64 / f.max(1) as f64),
+                _ => "-".to_string(),
+            },
+        );
+        t.row(row);
+    }
+    t.note(
+        "Expected: strategies whose per-robot moves preserve adjacency unilaterally \
+         (compass-se, naive-local) gather under every schedule at ~slowdown-proportional \
+         cost; strategies relying on synchronized neighbor motion (paper, global-vision) \
+         break the chain under SSYNC — the paper's FSYNC assumption is load-bearing.",
+    );
+    t
+}
+
 /// The table inventory, in presentation order (the valid values of the
 /// experiments binary's `--table` flag, matched case-insensitively).
-pub const TABLE_IDS: [&str; 11] = [
-    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10",
+pub const TABLE_IDS: [&str; 12] = [
+    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10", "T11",
 ];
 
 /// Compute one table by its id (case-insensitive); `None` for ids outside
@@ -680,6 +754,7 @@ pub fn table_by_id(id: &str, e: Effort, sel: &FamilySelection) -> Option<Table> 
         "T8B" => Some(t8b_hopper(e, sel)),
         "T9" => Some(t9_ablation(e, sel)),
         "T10" => Some(t10_suppression(e, sel)),
+        "T11" => Some(t11_schedulers(e, sel)),
         _ => None,
     }
 }
@@ -725,6 +800,26 @@ mod tests {
     fn quick_t9_has_one_row_per_config() {
         let t = t9_ablation(Effort::Quick, &all());
         assert_eq!(t.rows.len(), 9);
+    }
+
+    #[test]
+    fn quick_t11_covers_strategies_and_schedules() {
+        let t = t11_schedulers(Effort::Quick, &all());
+        // 3 families × 4 strategies, one column per scheduler.
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.header.len(), 3 + SchedulerKind::SWEEP.len() + 1);
+        // The FSYNC column is the control: every strategy gathers there.
+        for row in &t.rows {
+            assert!(
+                row[3].parse::<u64>().is_ok(),
+                "fsync cell must be a round count: {row:?}"
+            );
+        }
+        // SSYNC survivors exist, and so do casualties — the table is not
+        // degenerate in either direction.
+        let kfair: Vec<&str> = t.rows.iter().map(|r| r[6].as_str()).collect();
+        assert!(kfair.iter().any(|c| c.parse::<u64>().is_ok()));
+        assert!(kfair.contains(&"BROKEN"));
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub use scenario::{
     OpenChainOutcome, ScenarioDriver, ScenarioResult, ScenarioSpec, StrategyKind,
 };
 pub use table::Table;
+// The scheduler registry is engine-level (`chain_sim::scheduler`) but is a
+// grid axis here; re-exported so campaign construction needs one import.
+pub use chain_sim::SchedulerKind;
 
 use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy};
 use gathering_core::{ClosedChainGathering, GatherConfig};

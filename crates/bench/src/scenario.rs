@@ -1,8 +1,9 @@
 //! The unified scenario pipeline.
 //!
-//! Every experiment in the harness — every cell of every table T1–T10 — is
+//! Every experiment in the harness — every cell of every table T1–T11 — is
 //! one [`ScenarioSpec`]: a workload family, a target size, a seed, a
-//! strategy from the registry ([`StrategyKind`]), and a limit policy. The
+//! strategy from the registry ([`StrategyKind`]), an activation schedule
+//! ([`SchedulerKind`], FSYNC by default), and a limit policy. The
 //! batch executor [`run_batch`] fans a spec list out over worker threads
 //! (std's scoped threads with an atomic work queue — self-balancing, no
 //! locks, order-preserving) and returns one [`ScenarioResult`] per spec.
@@ -25,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use baselines::{manhattan_hopper, open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
 use chain_sim::strategy::Stand;
-use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, Sim, Strategy};
+use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, SchedulerKind, Sim, Strategy};
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
 use workloads::Family;
@@ -129,6 +130,13 @@ impl StrategyKind {
         }
     }
 
+    /// `true` for the open-chain \[KM09\] settings, which run outside the
+    /// engine (and therefore outside the scheduler axis: they are
+    /// FSYNC-only; campaign grids skip their SSYNC combinations).
+    pub fn is_open_chain(&self) -> bool {
+        matches!(self, StrategyKind::OpenZip | StrategyKind::Hopper)
+    }
+
     /// The registry's limit policy: how [`LimitPolicy::Auto`] resolves for
     /// this kind on a *generated* chain. Paper kinds get the Theorem 1
     /// bound ([`RunLimits::for_gathering`] with the config's `L`),
@@ -148,22 +156,38 @@ impl StrategyKind {
         }
     }
 
-    /// Build the driver that executes this kind on `chain` — the single
-    /// entry point [`run_scenario`] uses for every registry kind. Closed
-    /// kinds get the engine (audited = paper + the `LemmaAuditor`
-    /// observer); the open-chain kinds get the corresponding \[KM09\]
-    /// procedure over the chain cut open.
-    pub fn driver(&self, chain: ClosedChain) -> Box<dyn ScenarioDriver> {
+    /// Build the driver that executes this kind on `chain` under the
+    /// given activation `scheduler` — the single entry point
+    /// [`run_scenario`] uses for every registry kind. Closed kinds get
+    /// the engine (audited = paper + the `LemmaAuditor` observer) with
+    /// the scheduler attached, `seed` feeding its randomized kinds (one
+    /// scenario seed determines both the chain and the schedule). The
+    /// open-chain kinds get the corresponding \[KM09\] procedure over the
+    /// chain cut open; the \[KM09\] procedures are FSYNC-only, so an
+    /// SSYNC scheduler on an open kind is rejected at grid-construction
+    /// time rather than silently ignored.
+    ///
+    /// # Panics
+    /// If `scheduler` is an SSYNC kind and `self` is an open-chain kind.
+    pub fn driver(
+        &self,
+        chain: ClosedChain,
+        scheduler: SchedulerKind,
+        seed: u64,
+    ) -> Box<dyn ScenarioDriver> {
         match self {
             StrategyKind::Paper(cfg) => Box::new(PaperDriver {
-                sim: Sim::new(chain, ClosedChainGathering::new(*cfg)),
+                sim: Sim::new(chain, ClosedChainGathering::new(*cfg))
+                    .with_scheduler(scheduler.build(seed)),
                 audited: false,
             }),
             StrategyKind::PaperAudited(cfg) => {
                 let strategy = ClosedChainGathering::new(*cfg).with_event_recording();
                 let auditor = LemmaAuditor::new(&strategy);
                 Box::new(PaperDriver {
-                    sim: Sim::new(chain, strategy).observe(auditor),
+                    sim: Sim::new(chain, strategy)
+                        .with_scheduler(scheduler.build(seed))
+                        .observe(auditor),
                     audited: true,
                 })
             }
@@ -174,16 +198,21 @@ impl StrategyKind {
                 sim: Sim::new(
                     chain,
                     self.build().expect("closed-chain kinds always build"),
-                ),
+                )
+                .with_scheduler(scheduler.build(seed)),
             }),
-            StrategyKind::OpenZip => Box::new(OpenDriver {
-                chain,
-                hopper: false,
-            }),
-            StrategyKind::Hopper => Box::new(OpenDriver {
-                chain,
-                hopper: true,
-            }),
+            StrategyKind::OpenZip | StrategyKind::Hopper => {
+                assert!(
+                    scheduler.is_fsync(),
+                    "open-chain kind {} has no SSYNC semantics (scheduler {})",
+                    self.name(),
+                    scheduler.name()
+                );
+                Box::new(OpenDriver {
+                    chain,
+                    hopper: matches!(self, StrategyKind::Hopper),
+                })
+            }
         }
     }
 }
@@ -358,6 +387,10 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Registry strategy to run on the generated chain.
     pub strategy: StrategyKind,
+    /// Activation schedule the engine runs under
+    /// ([`SchedulerKind::Fsync`] — the paper's model — unless a
+    /// robustness sweep says otherwise).
+    pub scheduler: SchedulerKind,
     /// How the run limits are derived.
     pub limits: LimitPolicy,
 }
@@ -375,6 +408,7 @@ impl ScenarioSpec {
             n,
             seed,
             strategy: StrategyKind::Paper(cfg),
+            scheduler: SchedulerKind::Fsync,
             limits: LimitPolicy::Auto,
         }
     }
@@ -386,6 +420,7 @@ impl ScenarioSpec {
             n,
             seed,
             strategy: StrategyKind::PaperAudited(GatherConfig::paper()),
+            scheduler: SchedulerKind::Fsync,
             limits: LimitPolicy::Auto,
         }
     }
@@ -397,8 +432,16 @@ impl ScenarioSpec {
             n,
             seed,
             strategy,
+            scheduler: SchedulerKind::Fsync,
             limits: LimitPolicy::Auto,
         }
+    }
+
+    /// Run under an SSYNC (or explicit FSYNC) activation schedule
+    /// (builder style; the default everywhere else is FSYNC).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Generate this scenario's input chain (pure in `(family, n, seed)`).
@@ -407,11 +450,22 @@ impl ScenarioSpec {
     }
 
     /// The limits this spec runs under, given its generated chain: the
-    /// fixed override, or the registry's [`StrategyKind::auto_limits`].
+    /// fixed override, or the registry's [`StrategyKind::auto_limits`]
+    /// scaled by the scheduler's inverse duty cycle
+    /// ([`SchedulerKind::slowdown`]) — an SSYNC run that activates 1/k of
+    /// the robots per round gets k× the FSYNC round budget before a limit
+    /// trips. Fixed limits are used verbatim.
     pub fn resolve_limits(&self, chain: &ClosedChain) -> RunLimits {
         match self.limits {
             LimitPolicy::Fixed(l) => l,
-            LimitPolicy::Auto => self.strategy.auto_limits(chain),
+            LimitPolicy::Auto => {
+                let base = self.strategy.auto_limits(chain);
+                let s = self.scheduler.slowdown();
+                RunLimits {
+                    max_rounds: base.max_rounds.saturating_mul(s),
+                    stall_window: base.stall_window.saturating_mul(s),
+                }
+            }
         }
     }
 }
@@ -485,7 +539,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
     let chain = spec.generate();
     let n = chain.len();
     let limits = spec.resolve_limits(&chain);
-    let report = spec.strategy.driver(chain).drive(limits);
+    let report = spec
+        .strategy
+        .driver(chain, spec.scheduler, spec.seed)
+        .drive(limits);
 
     ScenarioResult {
         spec: *spec,
@@ -639,7 +696,7 @@ mod tests {
             let kind = StrategyKind::from_name(name).unwrap();
             let chain = Family::Rectangle.generate(16, 0);
             let limits = kind.auto_limits(&chain);
-            let report = kind.driver(chain).drive(limits);
+            let report = kind.driver(chain, SchedulerKind::Fsync, 0).drive(limits);
             // Stand stalls; every other kind finishes this tiny input.
             if name != "stand" {
                 assert!(report.outcome.is_gathered(), "{name}: {:?}", report.outcome);

@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use bench::campaign::StrategySweep;
 use bench::campaign::{self, spec_hash, spec_id, store, CampaignRow, CampaignSpec, RunOptions};
 use bench::scenario::{ScenarioSpec, StrategyKind};
+use chain_sim::SchedulerKind;
 use workloads::Family;
 
 /// A fresh scratch directory under the system temp dir.
@@ -28,6 +29,7 @@ fn tiny_campaign() -> CampaignSpec {
             StrategySweep::up_to(StrategyKind::paper(), 32),
             StrategySweep::up_to(StrategyKind::GlobalVision, 16),
         ],
+        schedulers: vec![SchedulerKind::Fsync],
     }
 }
 
@@ -41,22 +43,28 @@ fn opts(dir: &std::path::Path) -> RunOptions {
 
 /// Golden spec hashes. These pin the canonical encoding (`spec_id`) and
 /// the FNV-1a hash: if this test fails, every campaign store on disk is
-/// invalidated — bump the `v1|` prefix and regenerate artifacts
-/// deliberately instead of shipping a silent change.
+/// invalidated — bump the version prefix and regenerate artifacts
+/// deliberately instead of shipping a silent change. (`v1` → `v2` was
+/// exactly such a bump: the scheduler axis joined the encoding.)
 #[test]
 fn spec_hashes_are_stable() {
     let golden = [
         (
             ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::paper()),
-            "v1|family=rectangle|n=64|seed=0|strategy=paper|cfg=L13,V11,K10,opc1,c21|limits=auto",
+            "v2|family=rectangle|n=64|seed=0|strategy=paper|cfg=L13,V11,K10,opc1,c21|sched=fsync|limits=auto",
         ),
         (
             ScenarioSpec::strategy(Family::Skyline, 65536, 1, StrategyKind::GlobalVision),
-            "v1|family=skyline|n=65536|seed=1|strategy=global-vision|cfg=-|limits=auto",
+            "v2|family=skyline|n=65536|seed=1|strategy=global-vision|cfg=-|sched=fsync|limits=auto",
         ),
         (
             ScenarioSpec::strategy(Family::RandomLoop, 256, 7, StrategyKind::Stand),
-            "v1|family=random-loop|n=256|seed=7|strategy=stand|cfg=-|limits=auto",
+            "v2|family=random-loop|n=256|seed=7|strategy=stand|cfg=-|sched=fsync|limits=auto",
+        ),
+        (
+            ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::CompassSe)
+                .with_scheduler(SchedulerKind::KFair(4)),
+            "v2|family=rectangle|n=64|seed=0|strategy=compass-se|cfg=-|sched=kfair4|limits=auto",
         ),
     ];
     for (spec, id) in &golden {
@@ -67,9 +75,10 @@ fn spec_hashes_are_stable() {
     assert_eq!(
         hashes,
         vec![
-            "c0a65e37ef65eef9".to_string(),
-            "25d95dd78a0d3cc3".to_string(),
-            "57b2663da3a129a8".to_string(),
+            "84b0ea0287c02ecd".to_string(),
+            "6d2f604b24a3209b".to_string(),
+            "2b27cbe1b8646e98".to_string(),
+            "bcf6b2e98646a5f0".to_string(),
         ]
     );
 }
@@ -83,10 +92,18 @@ fn hash_distinguishes_every_spec_dimension() {
         ScenarioSpec::strategy(Family::Rectangle, 64, 1, StrategyKind::paper()),
         ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::GlobalVision),
         ScenarioSpec::audited(Family::Rectangle, 64, 0),
+        base.with_scheduler(SchedulerKind::RoundRobin(2)),
+        base.with_scheduler(SchedulerKind::Random(50)),
+        base.with_scheduler(SchedulerKind::KFair(4)),
     ];
     for v in &variants {
         assert_ne!(spec_hash(&base), spec_hash(v), "{v:?}");
     }
+    // Scheduler parameters are part of the identity too.
+    assert_ne!(
+        spec_hash(&base.with_scheduler(SchedulerKind::KFair(4))),
+        spec_hash(&base.with_scheduler(SchedulerKind::KFair(8))),
+    );
 }
 
 #[test]
@@ -159,7 +176,7 @@ fn artifact_alone_is_enough_to_resume() {
 
 /// Normalize the one non-deterministic field.
 fn strip_wall(mut row: CampaignRow) -> CampaignRow {
-    row.wall_ms = 0;
+    row.wall_us = 0;
     row
 }
 
@@ -260,6 +277,133 @@ fn quick_rerun_never_shrinks_a_full_artifact_or_store() {
     // And the full grid still resumes to zero afterwards.
     let again = campaign::run(&full, &o).unwrap();
     assert_eq!(again.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tiny SSYNC campaign: the scheduler axis flows through run / store /
+/// resume / report end to end.
+fn tiny_ssync_campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "tiny-ssync".to_string(),
+        families: vec![Family::Rectangle],
+        sizes: vec![16],
+        seeds: vec![0, 1],
+        strategies: vec![StrategySweep::up_to(StrategyKind::CompassSe, 16)],
+        schedulers: vec![SchedulerKind::Fsync, SchedulerKind::KFair(4)],
+    }
+}
+
+#[test]
+fn ssync_campaign_runs_resumes_and_reports() {
+    let dir = scratch("ssync");
+    let spec = tiny_ssync_campaign();
+    let o = opts(&dir);
+
+    let first = campaign::run(&spec, &o).unwrap();
+    assert_eq!(first.assigned, 4, "2 seeds × 2 schedulers");
+    assert_eq!(first.executed, 4);
+    let second = campaign::run(&spec, &o).unwrap();
+    assert_eq!(second.executed, 0, "SSYNC rows must resume by hash");
+
+    let rows = store::read_rows(&first.store).unwrap();
+    let schedulers: Vec<&str> = rows.iter().map(|r| r.scheduler.as_str()).collect();
+    assert_eq!(schedulers, vec!["fsync", "kfair4", "fsync", "kfair4"]);
+
+    // The report gets one column per (strategy, scheduler) pair, and the
+    // k-fair column shows the SSYNC slowdown.
+    let tables = campaign::report(&spec, &dir, None).unwrap();
+    assert_eq!(
+        tables[0].header,
+        vec![
+            "family",
+            "n",
+            "n_actual",
+            "compass-se@fsync",
+            "compass-se@kfair4"
+        ]
+    );
+    let row = &tables[0].rows[0];
+    let (fsync, kfair) = (
+        row[3].parse::<f64>().unwrap(),
+        row[4].parse::<f64>().unwrap(),
+    );
+    assert!(
+        kfair > fsync,
+        "k-fair activation must cost extra rounds ({kfair} vs {fsync})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: malformed or truncated store/artifact files must
+/// surface as proper errors (with the offending path in the message) from
+/// every campaign entry point — run, status, merge, report — never as
+/// panics.
+#[test]
+fn malformed_artifacts_error_instead_of_panicking() {
+    let spec = tiny_campaign();
+
+    // Garbage JSONL store line.
+    let dir = scratch("malformed-store");
+    std::fs::write(dir.join("tiny.jsonl"), "this is not json\n").unwrap();
+    for result in [
+        campaign::run(&spec, &opts(&dir)).map(|_| ()),
+        campaign::status(&spec, &dir, None).map(|_| ()),
+        campaign::merge(&spec, &dir, None).map(|_| ()),
+        campaign::report(&spec, &dir, None).map(|_| ()),
+    ] {
+        let err = result.expect_err("garbage store must error");
+        assert!(
+            err.to_string().contains("tiny.jsonl"),
+            "error must name the offending file: {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Truncated artifact (killed mid-write).
+    let dir = scratch("malformed-artifact");
+    let artifact = dir.join("BENCH_tiny.json");
+    std::fs::write(&artifact, "{\"campaign\":\"tiny\",\"rows\":[{\"family\":").unwrap();
+    let err = campaign::status(&spec, &dir, Some(&artifact)).expect_err("truncated artifact");
+    assert!(err.to_string().contains("BENCH_tiny.json"), "{err}");
+    let err = campaign::run(
+        &spec,
+        &RunOptions {
+            artifact: Some(artifact.clone()),
+            ..opts(&dir)
+        },
+    )
+    .expect_err("run must refuse a truncated artifact");
+    assert!(err.to_string().contains("BENCH_tiny.json"), "{err}");
+
+    // Structurally valid JSON that is not an artifact (no rows array).
+    std::fs::write(&artifact, "{\"campaign\":\"tiny\"}").unwrap();
+    let err = campaign::merge(&spec, &dir, Some(&artifact)).expect_err("missing rows array");
+    assert!(err.to_string().contains("missing rows"), "{err}");
+
+    // Rows present but a row is missing required fields.
+    std::fs::write(&artifact, "{\"rows\":[{\"family\":\"rectangle\"}]}").unwrap();
+    let err = campaign::report(&spec, &dir, Some(&artifact)).expect_err("incomplete row");
+    assert!(err.to_string().contains("missing"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store line truncated mid-object (the documented killed-run repair
+/// case) is a positioned hard error, not a silent drop.
+#[test]
+fn truncated_store_line_is_a_positioned_error() {
+    let dir = scratch("truncated-line");
+    let path = dir.join("tiny.jsonl");
+    let spec = ScenarioSpec::strategy(Family::Rectangle, 16, 0, StrategyKind::paper());
+    let row = CampaignRow::from_result(&bench::scenario::run_scenario(&spec));
+    let mut text = String::new();
+    row.to_store_json().write(&mut text);
+    let keep = text.len() / 2;
+    std::fs::write(&path, format!("{}\n{}", text, &text[..keep])).unwrap();
+    let err = store::read_rows(&path).expect_err("truncated line");
+    assert!(
+        err.to_string().contains(":2:"),
+        "error must carry the line number: {err}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

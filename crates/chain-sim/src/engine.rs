@@ -1,9 +1,13 @@
-//! The FSYNC engine.
+//! The round engine.
 //!
-//! [`Sim`] drives a [`Strategy`] over a [`ClosedChain`], one fully
-//! synchronous round at a time, enforcing the model: simultaneous hops,
-//! connectivity preservation, and the merge pass that implements the
-//! paper's chain-shortening progress measure.
+//! [`Sim`] drives a [`Strategy`] over a [`ClosedChain`], one synchronous
+//! round at a time, enforcing the model: simultaneous hops, connectivity
+//! preservation, and the merge pass that implements the paper's
+//! chain-shortening progress measure. *Which* robots act each round is the
+//! [`Scheduler`]'s decision — the default [`Fsync`]
+//! activates everyone (the paper's model); SSYNC schedulers
+//! ([`Sim::with_scheduler`]) activate a per-round subset, whose complement
+//! keeps zero hops.
 //!
 //! There is exactly **one run loop**. Instrumentation — trace recording,
 //! Lemma audits, invariant checks, frame capture — attaches to it as
@@ -18,9 +22,24 @@
 
 use crate::chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
 use crate::observe::{AnyObserver, Observer, RoundCtx};
+use crate::scheduler::{Fsync, Scheduler};
 use crate::strategy::Strategy;
 use crate::trace::Progress;
 use grid_geom::Offset;
+
+/// Rounds without a single robot movement (and without a merge) after
+/// which [`Sim::run`] declares the run [`Outcome::Stalled`]. A
+/// deterministic strategy that has moved nobody for this long is
+/// quiescent for every practical strategy in the workspace — the window
+/// comfortably covers the paper's L-periodic pauses (L = 13, and the
+/// ablations up to L = 26) while cutting the `stand` control's stalled
+/// cells from O(stall_window) rounds to O(window).
+///
+/// Under an SSYNC schedule the engine multiplies this by the scheduler's
+/// [`Scheduler::slowdown`] (its inverse duty cycle), so a low-duty
+/// adversary legitimately withholding activations for more than 64
+/// rounds — e.g. `KFair(k)` with k > 64 — is not misread as quiescence.
+pub const QUIESCENCE_WINDOW: u64 = 64;
 
 /// Limits for [`Sim::run`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,17 +173,21 @@ impl RoundSummary {
     }
 }
 
-/// The FSYNC simulator: one strategy driving one closed chain, plus an
-/// observer stack for composable instrumentation.
+/// The simulator: one strategy driving one closed chain under one
+/// activation [`Scheduler`], plus an observer stack for composable
+/// instrumentation.
 pub struct Sim<S: Strategy> {
     chain: ClosedChain,
     strategy: S,
+    scheduler: Box<dyn Scheduler + Send>,
     round: u64,
     hops: Vec<Offset>,
+    active: Vec<bool>,
     splice: SpliceLog,
     progress: Progress,
     observers: Vec<Box<dyn AnyObserver<S>>>,
     rounds_since_merge: u64,
+    rounds_since_move: u64,
     broken: Option<ChainError>,
     /// The outcome last announced to the observers via `on_finish`. A
     /// repeated `run` call that decides the identical outcome (nothing
@@ -185,15 +208,27 @@ impl<S: Strategy> Sim<S> {
         Sim {
             chain,
             strategy,
+            scheduler: Box::new(Fsync),
             round: 0,
             hops: vec![Offset::ZERO; n],
+            active: vec![true; n],
             splice: SpliceLog::default(),
             progress: Progress::default(),
             observers: Vec::new(),
             rounds_since_merge: 0,
+            rounds_since_move: 0,
             broken: None,
             last_finish: None,
         }
+    }
+
+    /// Replace the activation scheduler (builder style). The default is
+    /// [`Fsync`]; attach an SSYNC scheduler before stepping — the schedule
+    /// is indexed by round, so swapping mid-run would splice two schedules
+    /// together.
+    pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler + Send>) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Attach an observer (builder style). Observers fire in attachment
@@ -264,8 +299,9 @@ impl<S: Strategy> Sim<S> {
         self.chain.is_gathered()
     }
 
-    /// Execute one FSYNC round: look/compute (strategy), move
-    /// (simultaneous hops), merge pass, bookkeeping, observer dispatch.
+    /// Execute one round: schedule (activation mask), look/compute
+    /// (strategy), move (simultaneous hops of the *active* robots), merge
+    /// pass, bookkeeping, observer dispatch.
     ///
     /// Returns the round summary, or the chain error if the strategy broke
     /// connectivity (in which case the simulation refuses further rounds).
@@ -277,9 +313,24 @@ impl<S: Strategy> Sim<S> {
         self.hops.clear();
         self.hops.resize(n, Offset::ZERO);
 
+        // Schedule: who acts this round. The mask arrives all-true (the
+        // FSYNC default); SSYNC schedulers clear the sleepers.
+        self.active.clear();
+        self.active.resize(n, true);
+        self.scheduler.activate(self.round, &mut self.active);
+
         // Look + compute from the common snapshot.
         self.strategy
             .compute(&self.chain, self.round, &mut self.hops);
+
+        // Inactive robots were not scheduled: their computed hops are
+        // discarded before anything observes them, exactly as if their
+        // look–compute–move cycle had not run this round.
+        for (hop, active) in self.hops.iter_mut().zip(&self.active) {
+            if !active {
+                *hop = Offset::ZERO;
+            }
+        }
 
         // Move (simultaneous).
         let moved = self.hops.iter().filter(|h| **h != Offset::ZERO).count();
@@ -307,6 +358,11 @@ impl<S: Strategy> Sim<S> {
         } else {
             self.rounds_since_merge += 1;
         }
+        if moved > 0 || removed > 0 {
+            self.rounds_since_move = 0;
+        } else {
+            self.rounds_since_move += 1;
+        }
 
         let summary = RoundSummary {
             round: self.round,
@@ -320,6 +376,7 @@ impl<S: Strategy> Sim<S> {
             let ctx = RoundCtx {
                 summary,
                 hops: &self.hops,
+                active: &self.active,
                 chain: &self.chain,
                 splice: &self.splice,
             };
@@ -345,7 +402,16 @@ impl<S: Strategy> Sim<S> {
             if self.round >= limits.max_rounds {
                 break Outcome::RoundLimit { rounds: self.round };
             }
-            if self.rounds_since_merge >= limits.stall_window {
+            // Quiescence: a strategy that declares itself idle, or one
+            // that has moved nobody (and merged nothing) for a full
+            // [`QUIESCENCE_WINDOW`] (scaled by the scheduler's inverse
+            // duty cycle), will never gather — declare the stall now
+            // instead of burning the rest of the stall window.
+            let quiescence = QUIESCENCE_WINDOW.saturating_mul(self.scheduler.slowdown());
+            if self.rounds_since_merge >= limits.stall_window
+                || self.strategy.is_idle()
+                || self.rounds_since_move >= quiescence
+            {
                 break Outcome::Stalled {
                     rounds: self.round,
                     since_last_merge: self.rounds_since_merge,
@@ -396,15 +462,57 @@ mod tests {
         .unwrap()
     }
 
+    /// An inert strategy that does *not* declare itself idle — exercises
+    /// the engine-side quiescence detection and the limit mechanics
+    /// without the `is_idle` shortcut.
+    struct Inert;
+
+    impl Strategy for Inert {
+        fn name(&self) -> &'static str {
+            "inert"
+        }
+        fn init(&mut self, _chain: &ClosedChain) {}
+        fn compute(&mut self, _chain: &ClosedChain, _round: u64, _hops: &mut [Offset]) {}
+    }
+
+    /// Regression (previously: `run` never consulted `Strategy::is_idle`,
+    /// so the stand control burned the entire stall window — 176 128
+    /// rounds at n = 256 in BENCH_scaling.json): an idle strategy stalls
+    /// immediately, with the mergeless gap reported honestly.
     #[test]
     fn stand_stalls() {
         let mut sim = Sim::new(ring6(), Stand);
         let outcome = sim.run(RunLimits {
-            max_rounds: 1000,
-            stall_window: 10,
+            max_rounds: 1_000_000,
+            stall_window: 1_000_000,
         });
-        assert!(matches!(outcome, Outcome::Stalled { .. }));
+        assert_eq!(
+            outcome,
+            Outcome::Stalled {
+                rounds: 0,
+                since_last_merge: 0
+            }
+        );
         assert_eq!(sim.chain().len(), 6);
+    }
+
+    /// Regression (same bug, second form): a strategy that never moves but
+    /// never claims idleness is caught by the engine's own quiescence
+    /// window — O(QUIESCENCE_WINDOW) rounds, not O(stall_window).
+    #[test]
+    fn quiescence_window_catches_silent_non_movers() {
+        let mut sim = Sim::new(ring6(), Inert);
+        let outcome = sim.run(RunLimits {
+            max_rounds: 1_000_000,
+            stall_window: 1_000_000,
+        });
+        assert_eq!(
+            outcome,
+            Outcome::Stalled {
+                rounds: QUIESCENCE_WINDOW,
+                since_last_merge: QUIESCENCE_WINDOW
+            }
+        );
     }
 
     #[test]
@@ -604,7 +712,7 @@ mod tests {
     /// (tighter stall window at loop entry) still finishes with it.
     #[test]
     fn on_finish_refires_on_rejudged_outcome() {
-        let mut sim = Sim::new(ring6(), Stand).observe(FinishCounter {
+        let mut sim = Sim::new(ring6(), Inert).observe(FinishCounter {
             finishes: 0,
             last: None,
         });
@@ -642,6 +750,131 @@ mod tests {
         let fc = sim.observer::<FinishCounter>().unwrap();
         assert_eq!(fc.finishes, 2);
         assert_eq!(fc.last.as_ref(), Some(&broken));
+    }
+
+    /// A chain with a fold at (1,0): index 2 at (1,1) can legally hop down
+    /// onto both its neighbors without anyone else moving.
+    fn folded6() -> ClosedChain {
+        ClosedChain::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(1, 0),
+            Point::new(0, 0),
+            Point::new(0, 1),
+        ])
+        .unwrap()
+    }
+
+    /// Strategy: the robot at (1,1) hops down every round.
+    struct FoldDown;
+
+    impl Strategy for FoldDown {
+        fn name(&self) -> &'static str {
+            "fold-down"
+        }
+        fn init(&mut self, _chain: &ClosedChain) {}
+        fn compute(&mut self, chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
+            for (i, hop) in hops.iter_mut().enumerate() {
+                if chain.pos(i) == Point::new(1, 1) {
+                    *hop = Offset::DOWN;
+                }
+            }
+        }
+    }
+
+    /// A test scheduler: one fixed index never acts.
+    struct Mute(usize);
+
+    impl crate::scheduler::Scheduler for Mute {
+        fn activate(&mut self, _round: u64, mask: &mut [bool]) {
+            if let Some(slot) = mask.get_mut(self.0) {
+                *slot = false;
+            }
+        }
+    }
+
+    /// The engine discards the hops of inactive robots: under a scheduler
+    /// muting the only mover, nothing moves; under the FSYNC default the
+    /// hop applies and the fold merges away.
+    #[test]
+    fn scheduler_masks_inactive_hops() {
+        let mut fsync = Sim::new(folded6(), FoldDown);
+        let s = fsync.step().unwrap();
+        assert_eq!(s.moved, 1);
+        assert!(s.removed > 0, "fold collapse merges");
+
+        let mut muted = Sim::new(folded6(), FoldDown).with_scheduler(Box::new(Mute(2)));
+        for _ in 0..4 {
+            let s = muted.step().unwrap();
+            assert_eq!(s.moved, 0, "the muted mover must keep a zero hop");
+            assert_eq!(s.removed, 0);
+        }
+        assert_eq!(muted.chain().len(), 6);
+    }
+
+    /// Observers receive the activation mask (and the already-masked hops).
+    struct MaskLog(Vec<Vec<bool>>);
+
+    impl<S: Strategy> Observer<S> for MaskLog {
+        fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
+            for (hop, active) in ctx.hops.iter().zip(ctx.active) {
+                if !active {
+                    assert_eq!(hop, &Offset::ZERO);
+                }
+            }
+            self.0.push(ctx.active.to_vec());
+        }
+    }
+
+    #[test]
+    fn observers_see_activation_masks() {
+        use crate::scheduler::RoundRobinSsync;
+        let mut sim = Sim::new(ring6(), Stand)
+            .with_scheduler(Box::new(RoundRobinSsync::new(2)))
+            .observe(MaskLog(Vec::new()));
+        sim.step().unwrap();
+        sim.step().unwrap();
+        let masks = &sim.observer::<MaskLog>().unwrap().0;
+        assert_eq!(
+            masks[0],
+            vec![true, false, true, false, true, false],
+            "round 0 activates the even class"
+        );
+        assert_eq!(masks[1], vec![false, true, false, true, false, true]);
+    }
+
+    /// Regression (review finding): a low-duty scheduler whose
+    /// legitimate activation gaps exceed the base quiescence window must
+    /// not be misdeclared stalled — the window scales with the
+    /// scheduler's inverse duty cycle. `RoundRobinSsync(100)` on a
+    /// 6-robot chain activates nobody for 94 consecutive rounds of every
+    /// period; the fold still collapses once index 2's turn comes.
+    #[test]
+    fn low_duty_scheduler_is_not_misread_as_quiescent() {
+        use crate::scheduler::RoundRobinSsync;
+        let mut sim =
+            Sim::new(folded6(), FoldDown).with_scheduler(Box::new(RoundRobinSsync::new(100)));
+        let outcome = sim.run(RunLimits {
+            max_rounds: 100_000,
+            stall_window: 100_000,
+        });
+        // Index 2 activates at round 2 of each 100-round period; the fold
+        // merges and the chain gathers — never a false Stalled.
+        assert!(outcome.is_gathered(), "{outcome:?}");
+    }
+
+    /// The explicit FSYNC scheduler is the default: identical step
+    /// sequences on the merge-exercising Fig. 1 workload.
+    #[test]
+    fn explicit_fsync_matches_default() {
+        use crate::scheduler::Fsync;
+        let mut a = Sim::new(fig1_chain(), Fig1);
+        let mut b = Sim::new(fig1_chain(), Fig1).with_scheduler(Box::new(Fsync));
+        for _ in 0..3 {
+            assert_eq!(a.step().ok(), b.step().ok());
+        }
+        assert_eq!(a.chain().positions(), b.chain().positions());
     }
 
     /// Resuming a limit-bounded run with larger limits finishes again:

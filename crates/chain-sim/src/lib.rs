@@ -6,11 +6,16 @@
 //!   ([`ClosedChain`]): a cyclic sequence whose neighbors occupy the same or
 //!   4-adjacent grid points. Between rounds every chain edge is a unit step
 //!   (coinciding neighbors are merged away).
-//! * The **FSYNC** time model: rounds of simultaneous look–compute–move
-//!   ([`Sim`]). A [`Strategy`] computes one hop per robot from the current
-//!   configuration; hops are applied simultaneously; then the **merge pass**
-//!   splices out robots that coincide with a chain neighbor (the paper's
-//!   progress measure, Fig. 1).
+//! * The **synchronous round** time model: rounds of simultaneous
+//!   look–compute–move ([`Sim`]). A [`Strategy`] computes one hop per robot
+//!   from the current configuration; hops are applied simultaneously; then
+//!   the **merge pass** splices out robots that coincide with a chain
+//!   neighbor (the paper's progress measure, Fig. 1).
+//! * The **activation schedule** as an explicit model axis ([`scheduler`]):
+//!   a [`Scheduler`] decides per round which robots act. The default
+//!   [`scheduler::Fsync`] activates everyone (the paper's FSYNC model);
+//!   SSYNC schedulers (round-robin, seeded random, adversarial k-fair)
+//!   activate a subset, and inactive robots keep zero hops.
 //! * **Composable instrumentation** ([`observe`]): there is one run loop;
 //!   everything that watches a run — trace recording ([`Recorder`]),
 //!   invariant checking ([`observe::Invariants`]), the Lemma auditors in
@@ -39,18 +44,21 @@ pub mod invariant;
 pub mod metrics;
 pub mod observe;
 pub mod open_chain;
+pub mod rng;
 pub mod robot;
+pub mod scheduler;
 pub mod snapshot;
 pub mod strategy;
 pub mod trace;
 pub mod view;
 
 pub use chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
-pub use engine::{Outcome, RoundSummary, RunLimits, Sim};
+pub use engine::{Outcome, RoundSummary, RunLimits, Sim, QUIESCENCE_WINDOW};
 pub use metrics::{metrics, ChainMetrics};
 pub use observe::{Observer, Recorder, RoundCtx};
 pub use open_chain::OpenChain;
 pub use robot::RobotId;
+pub use scheduler::{Scheduler, SchedulerKind};
 pub use strategy::Strategy;
 pub use trace::{Progress, RoundReport, Trace, TraceConfig};
 pub use view::Ring;

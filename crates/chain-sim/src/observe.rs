@@ -43,8 +43,13 @@ pub struct RoundCtx<'a> {
     /// The round's allocation-free summary (what [`Sim::step`](crate::Sim::step) returns).
     pub summary: RoundSummary,
     /// The hops the strategy chose at round start, indexed by the
-    /// *pre-move* chain indices.
+    /// *pre-move* chain indices. Hops of inactive robots are already
+    /// zeroed — what is observed here is what was applied.
     pub hops: &'a [Offset],
+    /// The round's activation mask (same pre-move indexing as `hops`):
+    /// which robots the [`Scheduler`](crate::Scheduler) let act. All-true
+    /// under FSYNC.
+    pub active: &'a [bool],
     /// The chain after the round (post-move, post-merge).
     pub chain: &'a ClosedChain,
     /// The round's splice log: merge events and index remapping.
@@ -241,6 +246,16 @@ impl<S: Strategy> Observer<S> for Invariants {
                 ctx.splice.removed_count()
             ));
         }
+        // Scheduler contract: an inactive robot never moves.
+        let masked_moves = ctx
+            .hops
+            .iter()
+            .zip(ctx.active)
+            .filter(|(h, active)| !**active && **h != Offset::ZERO)
+            .count();
+        if masked_moves > 0 {
+            violate(format!("{masked_moves} inactive robots moved"));
+        }
         if let Some(prev) = self.prev_len {
             if prev != ctx.chain.len() + ctx.summary.removed {
                 violate(format!(
@@ -320,6 +335,7 @@ mod tests {
                 gathered: false,
             },
             hops: &[],
+            active: &[],
             chain: &chain,
             splice: &splice,
         };

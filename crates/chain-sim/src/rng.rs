@@ -1,0 +1,133 @@
+//! A tiny deterministic PRNG shared across the workspace.
+//!
+//! The container builds offline, so the usual `rand` crate is not
+//! available; this SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014)
+//! provides everything the workspace needs — uniform ranges, coin flips,
+//! Fisher–Yates shuffles — as a pure function of the seed. Determinism is
+//! load-bearing twice over: the workload generators (`workloads`
+//! re-exports this type) rely on `(n, seed)` fully determining every
+//! generated chain, and the SSYNC [`Scheduler`](crate::Scheduler)s rely on
+//! `(seed, round, index)` fully determining every activation mask.
+
+/// SplitMix64: a fast, high-quality 64-bit PRNG with a one-word state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Any seed (including 0) is fine.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`. Uses Lemire's multiply-shift
+    /// reduction; the bias is < 2^-64 per draw, far below anything the
+    /// workload statistics could observe. `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (half-open, like `Rng::gen_range`).
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `i64` in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below((hi - lo) as u64 + 1) as i64
+    }
+
+    /// Fair coin flip with probability `num / den` of `true`.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range_usize(0, xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds_and_covers() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached: {seen:?}");
+    }
+
+    #[test]
+    fn ranges_respect_endpoints() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..500 {
+            let u = r.range_usize(3, 10);
+            assert!((3..10).contains(&u));
+            let i = r.range_i64_inclusive(-4, 4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(11);
+        let mut xs: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // And actually permutes (overwhelmingly likely).
+        assert_ne!(xs, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_is_roughly_fair() {
+        let mut r = SplitMix64::new(13);
+        let hits = (0..10_000).filter(|_| r.chance(1, 2)).count();
+        assert!((4_500..5_500).contains(&hits), "hits={hits}");
+    }
+}

@@ -46,8 +46,12 @@ pub trait Strategy {
         None
     }
 
-    /// `true` once the strategy knows it can make no further progress
-    /// (optional; the engine also detects quiescence itself).
+    /// `true` once the strategy knows it can make no further progress.
+    /// [`Sim::run`](crate::Sim::run) consults this every round and
+    /// declares the run stalled immediately; the engine *also* detects
+    /// quiescence itself (no movement for
+    /// [`QUIESCENCE_WINDOW`](crate::QUIESCENCE_WINDOW) rounds), so
+    /// implementing this is an optimization, not a requirement.
     fn is_idle(&self) -> bool {
         false
     }

@@ -97,9 +97,21 @@ impl<S: Strategy> Observer<S> for FrameCapture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chain_sim::strategy::Stand;
     use chain_sim::{RunLimits, Sim};
-    use grid_geom::Point;
+    use grid_geom::{Offset, Point};
+
+    /// A do-nothing strategy that never claims idleness, so `run` reaches
+    /// its round cap instead of stalling immediately (the engine stalls an
+    /// idle strategy at round 0 — these tests want mid-run frames).
+    struct Linger;
+
+    impl Strategy for Linger {
+        fn name(&self) -> &'static str {
+            "linger"
+        }
+        fn init(&mut self, _chain: &ClosedChain) {}
+        fn compute(&mut self, _chain: &ClosedChain, _round: u64, _hops: &mut [Offset]) {}
+    }
 
     fn ring6() -> ClosedChain {
         ClosedChain::new(vec![
@@ -115,7 +127,7 @@ mod tests {
 
     #[test]
     fn captures_initial_periodic_and_final_frames() {
-        let mut sim = Sim::new(ring6(), Stand).observe(FrameCapture::every(2, 100));
+        let mut sim = Sim::new(ring6(), Linger).observe(FrameCapture::every(2, 100));
         let outcome = sim.run(RunLimits {
             max_rounds: 5,
             stall_window: 100,
@@ -131,7 +143,7 @@ mod tests {
 
     #[test]
     fn frame_budget_is_respected() {
-        let mut sim = Sim::new(ring6(), Stand).observe(FrameCapture::every(1, 2));
+        let mut sim = Sim::new(ring6(), Linger).observe(FrameCapture::every(1, 2));
         let _ = sim.run(RunLimits {
             max_rounds: 10,
             stall_window: 100,
