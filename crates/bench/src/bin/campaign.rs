@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! campaign run    --name scaling [--quick] [--shard I/K] [--dir D] [--threads T] [--no-artifact]
-//! campaign status --name scaling [--quick] [--dir D]
+//! campaign status --name scaling [--quick] [--dir D] [--json] [--shards K]
 //! campaign merge  --name scaling [--quick] [--dir D]
 //! campaign report --name scaling [--quick] [--dir D] [--csv]
 //! ```
@@ -11,7 +11,10 @@
 //! `run` executes the campaign grid (or one shard of it), skipping every
 //! scenario whose result is already stored, and emits `BENCH_{name}.json`
 //! once the grid is complete. `merge` folds shard stores into the
-//! unsharded store. `status` shows coverage; `report` prints the result
+//! unsharded store. `status` shows coverage — `--json` emits the
+//! machine-readable schema (done/total per strategy and per shard of a
+//! `--shards K` fan-out, plus the missing spec hashes) that `gatherd` and
+//! CI consume instead of scraping markdown; `report` prints the result
 //! tables as markdown (or CSV with `--csv`).
 
 use std::path::PathBuf;
@@ -27,13 +30,16 @@ struct Cli {
     dir: PathBuf,
     threads: usize,
     csv: bool,
+    json: bool,
+    shards: usize,
     artifact: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign <run|status|merge|report> --name <campaign> \
-         [--quick] [--shard I/K] [--dir DIR] [--threads T] [--csv] [--no-artifact]\n\
+         [--quick] [--shard I/K] [--dir DIR] [--threads T] [--csv] [--json] [--shards K] \
+         [--no-artifact]\n\
          built-in campaigns: {}",
         CampaignSpec::BUILTIN_NAMES.join(", ")
     );
@@ -63,6 +69,8 @@ fn parse_cli() -> Cli {
         dir: PathBuf::from("bench-results"),
         threads: 0,
         csv: false,
+        json: false,
+        shards: 1,
         artifact: None,
     };
     let mut no_artifact = false;
@@ -78,7 +86,15 @@ fn parse_cli() -> Cli {
             "--name" => cli.name = value("--name"),
             "--quick" => cli.quick = true,
             "--csv" => cli.csv = true,
+            "--json" => cli.json = true,
             "--no-artifact" => no_artifact = true,
+            "--shards" => {
+                cli.shards = value("--shards").parse().unwrap_or(0);
+                if cli.shards == 0 {
+                    eprintln!("error: --shards needs a positive integer");
+                    usage();
+                }
+            }
             "--dir" => cli.dir = PathBuf::from(value("--dir")),
             "--threads" => {
                 cli.threads = value("--threads").parse().unwrap_or_else(|_| {
@@ -156,12 +172,17 @@ fn main() {
                 }
             })
         }
-        "status" => campaign::status(&spec, &cli.dir, cli.artifact.as_deref()).map(|s| {
-            println!("{}", s.table(&spec.name));
-            if !s.complete() {
-                eprintln!("{} scenarios still pending", s.grid - s.covered);
-            }
-        }),
+        "status" => campaign::status_sharded(&spec, &cli.dir, cli.artifact.as_deref(), cli.shards)
+            .map(|s| {
+                if cli.json {
+                    println!("{}", s.to_json(&spec.name).to_compact());
+                } else {
+                    println!("{}", s.table(&spec.name));
+                    if !s.complete() {
+                        eprintln!("{} scenarios still pending", s.grid - s.covered);
+                    }
+                }
+            }),
         "merge" => campaign::merge(&spec, &cli.dir, cli.artifact.as_deref()).map(|m| {
             eprintln!(
                 "campaign '{}': merged {}/{} rows -> {}",

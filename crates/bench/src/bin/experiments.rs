@@ -6,14 +6,19 @@
 //! cargo run --release -p bench --bin experiments -- --table T1 --table T9
 //! cargo run --release -p bench --bin experiments -- --family rectangle --family comb
 //! cargo run --release -p bench --bin experiments -- --markdown
+//! cargo run --release -p bench --bin experiments -- --threads 4
 //! ```
+//!
+//! `--threads N` overrides the batch executor's worker count (default:
+//! one per available core) for every table — results are identical at any
+//! thread count (a `run_batch` guarantee); only wall-clock changes.
 //!
 //! Unknown `--table` or `--family` names are an error: the binary prints
 //! the respective inventory and exits with code 2 instead of silently
 //! producing nothing.
 
 use bench::experiments::{table_by_id, FamilySelection, TABLE_IDS};
-use bench::Effort;
+use bench::{set_default_threads, Effort};
 use workloads::Family;
 
 fn main() {
@@ -21,7 +26,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
     if let Some(last) = args.last() {
-        if last == "--table" || last == "--family" {
+        if last == "--table" || last == "--family" || last == "--threads" {
             eprintln!("error: {last} needs a value");
             std::process::exit(2);
         }
@@ -35,6 +40,15 @@ fn main() {
     let wanted = flag_values("--table");
     let families = flag_values("--family");
     let effort = if quick { Effort::Quick } else { Effort::Full };
+    if let Some(threads) = flag_values("--threads").last() {
+        match threads.parse::<usize>() {
+            Ok(t) => set_default_threads(t),
+            Err(_) => {
+                eprintln!("error: --threads needs an integer (got '{threads}')");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let unknown: Vec<&String> = wanted
         .iter()

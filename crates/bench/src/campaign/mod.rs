@@ -618,12 +618,67 @@ pub struct StatusReport {
     pub covered: usize,
     /// `(strategy name, covered, total)` per campaign strategy.
     pub by_strategy: Vec<(String, usize, usize)>,
+    /// `(shard index, covered, total)` per shard of the requested
+    /// fan-out (one pseudo-shard covering the grid when none was
+    /// requested) — what a CI fan-out consults to restart only the
+    /// shards that still have work.
+    pub by_shard: Vec<(usize, usize, usize)>,
+    /// Spec hashes of the grid entries with no stored row yet, in
+    /// canonical grid order — machine-readable "what's left" (the
+    /// service and CI consume these instead of scraping markdown).
+    pub missing: Vec<String>,
 }
 
 impl StatusReport {
     /// `true` when every grid entry has a stored result.
     pub fn complete(&self) -> bool {
         self.covered == self.grid
+    }
+
+    /// Machine-readable status: the schema behind `campaign status
+    /// --json`. Stable field order; `missing` lists spec hashes in
+    /// canonical grid order.
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::obj(vec![
+            ("campaign", Json::str(name)),
+            ("grid", Json::usize(self.grid)),
+            ("covered", Json::usize(self.covered)),
+            ("complete", Json::Bool(self.complete())),
+            (
+                "strategies",
+                Json::Arr(
+                    self.by_strategy
+                        .iter()
+                        .map(|(strategy, done, total)| {
+                            Json::obj(vec![
+                                ("strategy", Json::str(strategy)),
+                                ("done", Json::usize(*done)),
+                                ("total", Json::usize(*total)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shards",
+                Json::Arr(
+                    self.by_shard
+                        .iter()
+                        .map(|(shard, done, total)| {
+                            Json::obj(vec![
+                                ("shard", Json::usize(*shard)),
+                                ("done", Json::usize(*done)),
+                                ("total", Json::usize(*total)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "missing",
+                Json::Arr(self.missing.iter().map(Json::str).collect()),
+            ),
+        ])
     }
 
     /// Render as a table (`campaign status` output).
@@ -648,36 +703,68 @@ impl StatusReport {
     }
 }
 
-/// Compare the stores on disk against the campaign grid.
+/// Compare the stores on disk against the campaign grid (one
+/// pseudo-shard; see [`status_sharded`] for a per-shard breakdown).
 pub fn status(
     spec: &CampaignSpec,
     dir: &Path,
     artifact: Option<&Path>,
 ) -> io::Result<StatusReport> {
+    status_sharded(spec, dir, artifact, 1)
+}
+
+/// [`status`] with the grid viewed as `shards` round-robin shards
+/// ([`CampaignSpec::shard`]): the report's `by_shard` counts coverage per
+/// shard, so a CI fan-out can restart exactly the shards with pending
+/// work. `shards = 1` degenerates to one pseudo-shard covering the grid.
+///
+/// # Panics
+/// If `shards == 0` — the CLI validates `--shards` first.
+pub fn status_sharded(
+    spec: &CampaignSpec,
+    dir: &Path,
+    artifact: Option<&Path>,
+    shards: usize,
+) -> io::Result<StatusReport> {
+    assert!(shards > 0, "a campaign has at least one shard");
     let rows = store::collect_rows(dir, &spec.name, artifact)?;
     let grid = spec.grid();
-    let covered = grid
-        .iter()
-        .filter(|s| rows.contains_key(&spec_hash(s)))
-        .count();
-    let by_strategy = spec
+    // One hash pass over one grid; everything below derives from it.
+    // Shard membership is positional (round-robin: entry i belongs to
+    // shard i % k), matching `CampaignSpec::shard` by construction.
+    let mut covered = 0usize;
+    let mut by_strategy: Vec<(String, usize, usize)> = spec
         .strategies
         .iter()
-        .map(|sweep| {
-            let name = sweep.kind.name().to_string();
-            let of_strategy: Vec<&ScenarioSpec> =
-                grid.iter().filter(|s| s.strategy.name() == name).collect();
-            let done = of_strategy
-                .iter()
-                .filter(|s| rows.contains_key(&spec_hash(s)))
-                .count();
-            (name, done, of_strategy.len())
-        })
+        .map(|sweep| (sweep.kind.name().to_string(), 0, 0))
         .collect();
+    let mut by_shard: Vec<(usize, usize, usize)> = (0..shards).map(|i| (i, 0, 0)).collect();
+    let mut missing = Vec::new();
+    for (idx, s) in grid.iter().enumerate() {
+        let hash = spec_hash(s);
+        let done = rows.contains_key(&hash);
+        if done {
+            covered += 1;
+        } else {
+            missing.push(hash);
+        }
+        if let Some(entry) = by_strategy
+            .iter_mut()
+            .find(|(name, _, _)| name == s.strategy.name())
+        {
+            entry.1 += usize::from(done);
+            entry.2 += 1;
+        }
+        let shard = &mut by_shard[idx % shards];
+        shard.1 += usize::from(done);
+        shard.2 += 1;
+    }
     Ok(StatusReport {
         grid: grid.len(),
         covered,
         by_strategy,
+        by_shard,
+        missing,
     })
 }
 

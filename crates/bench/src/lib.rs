@@ -47,12 +47,14 @@ pub mod campaign;
 pub mod experiments;
 pub mod scenario;
 pub mod table;
+pub mod wire;
 
 pub use campaign::{CampaignRow, CampaignSpec, RunOptions, StrategySweep};
 pub use experiments::{all_tables, Effort, FamilySelection};
 pub use scenario::{
-    run_batch, run_batch_with, run_scenario, BatchOptions, DriveReport, LimitPolicy,
-    OpenChainOutcome, ScenarioDriver, ScenarioResult, ScenarioSpec, StrategyKind,
+    run_batch, run_batch_with, run_scenario, run_scenario_probed, set_default_threads,
+    BatchOptions, DriveReport, LimitPolicy, OpenChainOutcome, ScenarioDriver, ScenarioResult,
+    ScenarioSpec, StrategyKind,
 };
 pub use table::Table;
 // The scheduler registry is engine-level (`chain_sim::scheduler`) but is a

@@ -22,11 +22,15 @@
 //! policy as everything else.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use baselines::{manhattan_hopper, open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
 use chain_sim::strategy::Stand;
-use chain_sim::{ClosedChain, OpenChain, Outcome, RunLimits, SchedulerKind, Sim, Strategy};
+use chain_sim::{
+    ClosedChain, OpenChain, Outcome, ProgressProbe, ProgressSlot, RunLimits, SchedulerKind, Sim,
+    Strategy,
+};
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
 use workloads::Family;
@@ -175,32 +179,62 @@ impl StrategyKind {
         scheduler: SchedulerKind,
         seed: u64,
     ) -> Box<dyn ScenarioDriver> {
+        self.driver_probed(chain, scheduler, seed, None)
+    }
+
+    /// [`StrategyKind::driver`] with an optional live-progress feed: when
+    /// a [`ProgressSlot`] is supplied, engine kinds attach a
+    /// [`ProgressProbe`] observer so other threads can watch the run
+    /// round by round (the `gatherd` progress endpoint), and the
+    /// open-chain kinds publish their start and end states (their \[KM09\]
+    /// procedures run outside the engine, so there is no per-round feed).
+    ///
+    /// # Panics
+    /// If `scheduler` is an SSYNC kind and `self` is an open-chain kind.
+    pub fn driver_probed(
+        &self,
+        chain: ClosedChain,
+        scheduler: SchedulerKind,
+        seed: u64,
+        probe: Option<Arc<ProgressSlot>>,
+    ) -> Box<dyn ScenarioDriver> {
         match self {
-            StrategyKind::Paper(cfg) => Box::new(PaperDriver {
-                sim: Sim::new(chain, ClosedChainGathering::new(*cfg))
-                    .with_scheduler(scheduler.build(seed)),
-                audited: false,
-            }),
+            StrategyKind::Paper(cfg) => {
+                let mut sim = Sim::new(chain, ClosedChainGathering::new(*cfg))
+                    .with_scheduler(scheduler.build(seed));
+                if let Some(slot) = probe {
+                    sim.add_observer(ProgressProbe::new(slot));
+                }
+                Box::new(PaperDriver {
+                    sim,
+                    audited: false,
+                })
+            }
             StrategyKind::PaperAudited(cfg) => {
                 let strategy = ClosedChainGathering::new(*cfg).with_event_recording();
                 let auditor = LemmaAuditor::new(&strategy);
-                Box::new(PaperDriver {
-                    sim: Sim::new(chain, strategy)
-                        .with_scheduler(scheduler.build(seed))
-                        .observe(auditor),
-                    audited: true,
-                })
+                let mut sim = Sim::new(chain, strategy)
+                    .with_scheduler(scheduler.build(seed))
+                    .observe(auditor);
+                if let Some(slot) = probe {
+                    sim.add_observer(ProgressProbe::new(slot));
+                }
+                Box::new(PaperDriver { sim, audited: true })
             }
             StrategyKind::GlobalVision
             | StrategyKind::CompassSe
             | StrategyKind::NaiveLocal
-            | StrategyKind::Stand => Box::new(EngineDriver {
-                sim: Sim::new(
+            | StrategyKind::Stand => {
+                let mut sim = Sim::new(
                     chain,
                     self.build().expect("closed-chain kinds always build"),
                 )
-                .with_scheduler(scheduler.build(seed)),
-            }),
+                .with_scheduler(scheduler.build(seed));
+                if let Some(slot) = probe {
+                    sim.add_observer(ProgressProbe::new(slot));
+                }
+                Box::new(EngineDriver { sim })
+            }
             StrategyKind::OpenZip | StrategyKind::Hopper => {
                 assert!(
                     scheduler.is_fsync(),
@@ -211,6 +245,7 @@ impl StrategyKind {
                 Box::new(OpenDriver {
                     chain,
                     hopper: matches!(self, StrategyKind::Hopper),
+                    probe,
                 })
             }
         }
@@ -313,12 +348,16 @@ impl ScenarioDriver for EngineDriver {
 struct OpenDriver {
     chain: ClosedChain,
     hopper: bool,
+    probe: Option<Arc<ProgressSlot>>,
 }
 
 impl ScenarioDriver for OpenDriver {
     fn drive(self: Box<Self>, limits: RunLimits) -> DriveReport {
         let chain = self.chain;
         let n = chain.len();
+        if let Some(slot) = &self.probe {
+            slot.publish(0, n, 0);
+        }
         let open = OpenChain::from_closed_positions(chain.positions())
             .expect("family chains cut open cleanly");
         let (outcome, detail) = if self.hopper {
@@ -352,6 +391,10 @@ impl ScenarioDriver for OpenDriver {
                 },
             )
         };
+        if let Some(slot) = &self.probe {
+            slot.publish(detail.rounds, detail.final_len, n - detail.final_len);
+            slot.finish();
+        }
         DriveReport {
             outcome,
             merges_total: n - detail.final_len,
@@ -535,13 +578,24 @@ impl ScenarioResult {
 /// build the registry driver, drive. One pipeline for every kind — the
 /// per-kind differences live entirely in [`StrategyKind::driver`].
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
+    run_scenario_probed(spec, None)
+}
+
+/// [`run_scenario`] with an optional live-progress feed: supply a shared
+/// [`ProgressSlot`] and watch the run from another thread while it
+/// executes (see [`StrategyKind::driver_probed`]). The probe changes
+/// nothing about the result — observers are passive.
+pub fn run_scenario_probed(
+    spec: &ScenarioSpec,
+    probe: Option<Arc<ProgressSlot>>,
+) -> ScenarioResult {
     let t0 = Instant::now();
     let chain = spec.generate();
     let n = chain.len();
     let limits = spec.resolve_limits(&chain);
     let report = spec
         .strategy
-        .driver(chain, spec.scheduler, spec.seed)
+        .driver_probed(chain, spec.scheduler, spec.seed, probe)
         .drive(limits);
 
     ScenarioResult {
@@ -557,15 +611,33 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioResult {
     }
 }
 
+/// Process-wide default worker-thread count consulted whenever
+/// [`BatchOptions::threads`] is `0` (see [`set_default_threads`]).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default worker-thread count for batch execution.
+///
+/// Every [`run_batch`] call (and every [`run_batch_with`] call whose
+/// options say `threads: 0`) uses this value instead of
+/// `available_parallelism` once it is nonzero — the `--threads` override
+/// of the `experiments` and `campaign` binaries. `0` restores the
+/// per-core default. Thread count never changes results (determinism is a
+/// batch guarantee), only parallelism.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
 /// Executor knobs for [`run_batch_with`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchOptions {
-    /// Worker threads; `0` means one per available core.
+    /// Worker threads; `0` means the process default
+    /// ([`set_default_threads`]), falling back to one per available core.
     pub threads: usize,
 }
 
 impl BatchOptions {
-    /// Options with an explicit worker-thread count (`0` = per core).
+    /// Options with an explicit worker-thread count (`0` = process
+    /// default, then per core).
     pub fn threads(threads: usize) -> Self {
         BatchOptions { threads }
     }
@@ -574,7 +646,11 @@ impl BatchOptions {
         let hw = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4);
-        let t = if self.threads == 0 { hw } else { self.threads };
+        let t = match (self.threads, DEFAULT_THREADS.load(Ordering::Relaxed)) {
+            (0, 0) => hw,
+            (0, d) => d,
+            (t, _) => t,
+        };
         t.min(jobs.max(1))
     }
 }
@@ -779,6 +855,29 @@ mod tests {
         ));
         let detail = hop.open.expect("hopper detail");
         assert!(detail.optimal_len.is_some());
+    }
+
+    /// The probe is passive (identical fingerprints) and the shared slot
+    /// ends finished with the run's final counters, for engine and
+    /// open-chain kinds alike.
+    #[test]
+    fn probed_runs_match_and_publish_final_state() {
+        let spec = ScenarioSpec::paper(Family::Rectangle, 32, 0);
+        let slot = ProgressSlot::new();
+        let probed = run_scenario_probed(&spec, Some(slot.clone()));
+        assert_eq!(probed.fingerprint(), run_scenario(&spec).fingerprint());
+        let snap = slot.snapshot();
+        assert!(snap.finished);
+        assert_eq!(snap.removed, probed.merges_total);
+        assert_eq!(snap.len, probed.n - probed.merges_total);
+        assert!(snap.round > 0);
+
+        let zip = ScenarioSpec::strategy(Family::Rectangle, 32, 0, StrategyKind::OpenZip);
+        let zslot = ProgressSlot::new();
+        let z = run_scenario_probed(&zip, Some(zslot.clone()));
+        let zs = zslot.snapshot();
+        assert!(zs.finished);
+        assert_eq!(zs.removed, z.merges_total);
     }
 
     #[test]

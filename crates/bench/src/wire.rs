@@ -1,0 +1,208 @@
+//! The service wire dialect: [`ScenarioSpec`]s and results as JSON.
+//!
+//! `gatherd` speaks the campaign store's JSON dialect on the wire — a
+//! request is the identity fields of a
+//! [`CampaignRow`](crate::campaign::CampaignRow) (`family`, `n`, `seed`,
+//! `strategy`, optional `scheduler`), a result is the row's store
+//! representation
+//! ([`CampaignRow::to_store_json`](crate::campaign::CampaignRow::to_store_json))
+//! — so a service response
+//! and a campaign store line are the same bytes for the same spec, and the
+//! service's content-addressed cache can be backed by the JSON Lines
+//! store unchanged. The cache key is [`spec_hash`](super::campaign::spec_hash)
+//! of the decoded spec, exactly like campaign resume.
+//!
+//! Decoding validates instead of trusting: unknown names report the
+//! registry inventory, non-integer or out-of-range sizes are rejected,
+//! and open-chain strategies refuse SSYNC schedulers at decode time (the
+//! pipeline would panic later — the same combination campaign grids skip
+//! at construction time).
+
+use crate::campaign::json::Json;
+use crate::scenario::{ScenarioSpec, StrategyKind};
+use chain_sim::SchedulerKind;
+use workloads::Family;
+
+/// Smallest accepted request size. Families quantize tiny hints into
+/// degenerate chains; four robots (the gathered configuration itself) is
+/// the floor below which a request is a mistake.
+pub const MIN_N: usize = 4;
+
+/// Largest accepted request size: one shared simulation should stay
+/// interactive. The full campaign ladder tops out at 65 536; the service
+/// accepts double that before calling a request abusive.
+pub const MAX_N: usize = 131_072;
+
+/// Decode a [`ScenarioSpec`] from the wire dialect.
+///
+/// Required fields: `family`, `n`, `seed`, `strategy`. Optional:
+/// `scheduler` (default `fsync`). Every error names the offending field
+/// and, for registry names, the accepted inventory — the service turns
+/// these into 400 responses.
+pub fn spec_from_json(v: &Json) -> Result<ScenarioSpec, String> {
+    let Json::Obj(pairs) = v else {
+        return Err("request must be a JSON object".to_string());
+    };
+    // Strict keys: a misspelled optional field ("schedular") must not
+    // silently measure the default instead of what was asked for.
+    const KNOWN: [&str; 5] = ["family", "n", "seed", "strategy", "scheduler"];
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+        return Err(format!(
+            "unknown field '{key}' (expected: {})",
+            KNOWN.join(", ")
+        ));
+    }
+    let family_name = v
+        .get("family")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'family'")?;
+    let family = Family::from_name(family_name).ok_or_else(|| {
+        let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        format!(
+            "unknown family '{family_name}' (expected one of: {})",
+            names.join(", ")
+        )
+    })?;
+    let n = v
+        .get("n")
+        .and_then(Json::as_usize)
+        .ok_or("missing non-negative integer field 'n'")?;
+    if !(MIN_N..=MAX_N).contains(&n) {
+        return Err(format!("n={n} out of range [{MIN_N}, {MAX_N}]"));
+    }
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("missing non-negative integer field 'seed'")?;
+    let strategy_name = v
+        .get("strategy")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'strategy'")?;
+    let strategy = StrategyKind::from_name(strategy_name).ok_or_else(|| {
+        format!(
+            "unknown strategy '{strategy_name}' (expected one of: {})",
+            StrategyKind::ALL_NAMES.join(", ")
+        )
+    })?;
+    let scheduler = match v.get("scheduler") {
+        None | Some(Json::Null) => SchedulerKind::Fsync,
+        Some(s) => {
+            let name = s.as_str().ok_or("field 'scheduler' must be a string")?;
+            SchedulerKind::from_name(name)
+                .ok_or_else(|| format!("unknown scheduler '{name}' (e.g. fsync, rr2, kfair4)"))?
+        }
+    };
+    if strategy.is_open_chain() && !scheduler.is_fsync() {
+        return Err(format!(
+            "open-chain strategy '{}' has no SSYNC semantics (scheduler '{}')",
+            strategy.name(),
+            scheduler.name()
+        ));
+    }
+    Ok(ScenarioSpec::strategy(family, n, seed, strategy).with_scheduler(scheduler))
+}
+
+/// Encode a spec back into the wire dialect (the inverse of
+/// [`spec_from_json`] for canonical registry specs).
+pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
+    Json::obj(vec![
+        ("family", Json::str(spec.family.name())),
+        ("n", Json::usize(spec.n)),
+        ("seed", Json::u64(spec.seed)),
+        ("strategy", Json::str(spec.strategy.name())),
+        ("scheduler", Json::str(spec.scheduler.name())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{spec_hash, CampaignRow};
+    use crate::scenario::run_scenario;
+
+    #[test]
+    fn decodes_minimal_and_full_requests() {
+        let v =
+            Json::parse(r#"{"family":"rectangle","n":64,"seed":3,"strategy":"paper"}"#).unwrap();
+        let spec = spec_from_json(&v).unwrap();
+        assert_eq!(spec.family, Family::Rectangle);
+        assert_eq!(spec.n, 64);
+        assert_eq!(spec.seed, 3);
+        assert_eq!(spec.scheduler, SchedulerKind::Fsync);
+
+        let v = Json::parse(
+            r#"{"family":"skyline","n":128,"seed":0,"strategy":"compass-se","scheduler":"kfair4"}"#,
+        )
+        .unwrap();
+        let spec = spec_from_json(&v).unwrap();
+        assert_eq!(spec.scheduler, SchedulerKind::KFair(4));
+        // Round-trips through the encoder.
+        assert_eq!(spec_from_json(&spec_to_json(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_named_fields() {
+        let cases = [
+            (r#"[1,2]"#, "object"),
+            (r#"{"n":64,"seed":0,"strategy":"paper"}"#, "family"),
+            (
+                r#"{"family":"nope","n":64,"seed":0,"strategy":"paper"}"#,
+                "unknown family",
+            ),
+            (
+                r#"{"family":"rectangle","seed":0,"strategy":"paper"}"#,
+                "'n'",
+            ),
+            (
+                r#"{"family":"rectangle","n":2.5,"seed":0,"strategy":"paper"}"#,
+                "'n'",
+            ),
+            (
+                r#"{"family":"rectangle","n":2,"seed":0,"strategy":"paper"}"#,
+                "out of range",
+            ),
+            (
+                r#"{"family":"rectangle","n":99999999,"seed":0,"strategy":"paper"}"#,
+                "out of range",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":-1,"strategy":"paper"}"#,
+                "'seed'",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"quantum"}"#,
+                "unknown strategy",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","scheduler":"x"}"#,
+                "unknown scheduler",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"open-zip","scheduler":"rr2"}"#,
+                "SSYNC",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","schedular":"kfair4"}"#,
+                "unknown field 'schedular'",
+            ),
+        ];
+        for (input, needle) in cases {
+            let err = spec_from_json(&Json::parse(input).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{input}: {err}");
+        }
+    }
+
+    /// The wire result of a run is exactly the campaign store line, and
+    /// its hash matches the decoded spec's — one dialect end to end.
+    #[test]
+    fn results_are_store_rows() {
+        let v =
+            Json::parse(r#"{"family":"rectangle","n":32,"seed":0,"strategy":"paper"}"#).unwrap();
+        let spec = spec_from_json(&v).unwrap();
+        let row = CampaignRow::from_result(&run_scenario(&spec));
+        let encoded = row.to_store_json().to_compact();
+        let parsed = CampaignRow::from_json(&Json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(parsed, row);
+        assert_eq!(parsed.spec_hash().unwrap(), spec_hash(&spec));
+    }
+}

@@ -407,6 +407,82 @@ fn truncated_store_line_is_a_positioned_error() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite: the worker-thread count is a pure performance knob — a
+/// campaign run with 1 thread and one with 4 produce byte-identical
+/// stores (up to the measured wall clock).
+#[test]
+fn thread_count_never_changes_results() {
+    let spec = tiny_campaign();
+    let mut stores = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = scratch(&format!("threads-{threads}"));
+        let r = campaign::run(
+            &spec,
+            &RunOptions {
+                threads,
+                ..opts(&dir)
+            },
+        )
+        .unwrap();
+        let rows: Vec<String> = store::read_rows(&r.store)
+            .unwrap()
+            .into_iter()
+            .map(|row| strip_wall(row).to_store_json().to_compact())
+            .collect();
+        stores.push(rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(stores[0], stores[1], "threads=1 and threads=4 must agree");
+}
+
+/// Satellite: `status --json` — machine-readable coverage with per-shard
+/// done/total and the missing spec hashes, in canonical grid order.
+#[test]
+fn status_json_reports_shards_and_missing_hashes() {
+    let dir = scratch("status-json");
+    let spec = tiny_campaign();
+
+    // Run only shard 0 of 2; shard 1 stays missing.
+    let mut o = opts(&dir);
+    o.shard = Some((0, 2));
+    campaign::run(&spec, &o).unwrap();
+
+    let s = campaign::status_sharded(&spec, &dir, None, 2).unwrap();
+    assert_eq!(s.by_shard.len(), 2);
+    let (i0, done0, total0) = s.by_shard[0];
+    let (i1, done1, total1) = s.by_shard[1];
+    assert_eq!((i0, i1), (0, 1));
+    assert_eq!(done0, total0, "shard 0 ran to completion");
+    assert_eq!(done1, 0, "shard 1 has not run");
+    assert_eq!(total0 + total1, s.grid);
+    // The missing hashes are exactly shard 1, in grid order.
+    let shard1: Vec<String> = spec.shard(1, 2).iter().map(spec_hash).collect();
+    assert_eq!(s.missing, shard1);
+
+    // The JSON rendering parses back and carries the same numbers.
+    let text = s.to_json(&spec.name).to_compact();
+    let v = bench::campaign::json::Json::parse(&text).unwrap();
+    assert_eq!(v.get("campaign").unwrap().as_str(), Some("tiny"));
+    assert_eq!(v.get("grid").unwrap().as_usize(), Some(s.grid));
+    assert_eq!(
+        v.get("complete"),
+        Some(&bench::campaign::json::Json::Bool(false))
+    );
+    assert_eq!(
+        v.get("missing").unwrap().as_arr().unwrap().len(),
+        s.missing.len()
+    );
+    assert_eq!(v.get("shards").unwrap().as_arr().unwrap().len(), 2);
+
+    // A complete campaign reports complete:true and no missing hashes.
+    o.shard = Some((1, 2));
+    campaign::run(&spec, &o).unwrap();
+    let s = campaign::status_sharded(&spec, &dir, None, 2).unwrap();
+    assert!(s.complete());
+    assert!(s.missing.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn status_and_report_reflect_coverage() {
     let dir = scratch("status");

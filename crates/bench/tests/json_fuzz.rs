@@ -1,0 +1,141 @@
+//! Property tests for the campaign JSON dialect: every [`CampaignRow`]
+//! field round-trips, and no input — garbage, truncations, byte
+//! mutations, NaN spellings — ever panics the parser or the row decoder.
+//! Errors must be positioned (byte offset for the parser, field name for
+//! the decoder) so a corrupted store is diagnosable.
+//!
+//! The workspace has no proptest/quickcheck (offline build), so the fuzz
+//! is a seeded loop over SplitMix64 byte mutations — deterministic,
+//! reproducible by seed.
+
+use bench::campaign::json::Json;
+use bench::campaign::CampaignRow;
+use chain_sim::rng::SplitMix64;
+
+/// A row exercising every field with assorted values (pure in `seed`).
+fn sample_row(seed: u64) -> CampaignRow {
+    let mut r = SplitMix64::new(seed);
+    let families = ["rectangle", "skyline", "random-loop", "comb"];
+    let strategies = ["paper", "global-vision", "compass-se", "naive-local"];
+    let schedulers = ["fsync", "rr2", "rand50", "kfair4"];
+    let outcomes = ["gathered", "round-limit", "stalled", "chain-broken"];
+    CampaignRow {
+        family: families[r.range_usize(0, families.len())].to_string(),
+        n: r.range_usize(4, 70_000),
+        n_actual: r.range_usize(4, 70_000),
+        seed: r.next_u64() >> 12,
+        strategy: strategies[r.range_usize(0, strategies.len())].to_string(),
+        scheduler: schedulers[r.range_usize(0, schedulers.len())].to_string(),
+        rounds: r.next_u64() >> 12,
+        wall_us: r.next_u64() >> 12,
+        outcome: outcomes[r.range_usize(0, outcomes.len())].to_string(),
+        merges: r.range_usize(0, 70_000),
+        longest_gap: r.next_u64() >> 12,
+    }
+}
+
+/// Every field of every sampled row survives store-JSON → text → parse →
+/// row, byte-stably (emitting the parsed row reproduces the text).
+#[test]
+fn every_row_field_round_trips() {
+    for seed in 0..200 {
+        let row = sample_row(seed);
+        let text = row.to_store_json().to_compact();
+        let parsed = CampaignRow::from_json(&Json::parse(&text).unwrap())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(parsed, row, "seed {seed}");
+        assert_eq!(parsed.to_store_json().to_compact(), text, "seed {seed}");
+    }
+}
+
+/// Every truncation of a valid line fails with a position inside the
+/// input — never a panic, never a bogus success past the cut.
+#[test]
+fn truncations_error_with_positions() {
+    let text = sample_row(7).to_store_json().to_compact();
+    for cut in 0..text.len() {
+        let Some(prefix) = text.get(..cut) else {
+            continue; // mid-UTF-8 cut (ASCII store text never hits this)
+        };
+        let err = Json::parse(prefix).expect_err("every strict prefix is incomplete");
+        assert!(
+            err.pos <= prefix.len(),
+            "cut {cut}: position {} outside input of {} bytes",
+            err.pos,
+            prefix.len()
+        );
+    }
+}
+
+/// Seeded byte-mutation fuzz: flip/overwrite a handful of bytes of a
+/// valid line and feed the result to the parser and the row decoder.
+/// Any outcome is acceptable except a panic or an unpositioned error.
+#[test]
+fn mutated_lines_never_panic() {
+    let mut rng = SplitMix64::new(0x6a74_6865_7264);
+    for round in 0..2_000 {
+        let row = sample_row(round % 50);
+        let mut bytes = row.to_store_json().to_compact().into_bytes();
+        for _ in 0..rng.range_usize(1, 6) {
+            let at = rng.range_usize(0, bytes.len());
+            bytes[at] = (rng.next_u64() & 0x7f) as u8; // keep it ASCII-ish
+        }
+        let Ok(text) = String::from_utf8(bytes) else {
+            continue;
+        };
+        match Json::parse(&text) {
+            Err(e) => assert!(e.pos <= text.len(), "round {round}: {e}"),
+            Ok(v) => {
+                // Structurally valid JSON after mutation: the decoder must
+                // accept or reject, never panic.
+                if let Err(e) = CampaignRow::from_json(&v) {
+                    assert!(e.contains("field"), "round {round}: undiagnostic error {e}");
+                }
+            }
+        }
+    }
+}
+
+/// NaN/Infinity spellings, non-integer counters, and other JSON-adjacent
+/// garbage are rejected with diagnosable errors.
+#[test]
+fn nan_and_garbage_are_rejected() {
+    for bad in [
+        "NaN",
+        "{\"n\": NaN}",
+        "{\"n\": Infinity}",
+        "{\"n\": -Infinity}",
+        "nul",
+        "{\"a\" 1}",
+        "{\"a\": 1,,}",
+        "[1, 2",
+        "\"\\u12\"",
+        "{\"a\": 1e}",
+        "",
+        "   ",
+    ] {
+        let err = Json::parse(bad).expect_err(bad);
+        assert!(err.pos <= bad.len(), "{bad:?}: {err}");
+        assert!(!err.msg.is_empty(), "{bad:?}");
+    }
+
+    // A float where an integer field belongs is a decoder error naming
+    // the field, not a truncation or a panic.
+    let v = Json::parse(
+        r#"{"family":"rectangle","n":64.5,"seed":0,"strategy":"paper",
+            "scheduler":"fsync","rounds":1,"wall_us":1,"outcome":"gathered"}"#,
+    )
+    .unwrap();
+    let err = CampaignRow::from_json(&v).unwrap_err();
+    assert!(err.contains("'n'"), "{err}");
+
+    // Oversized numbers (beyond 2^53) don't round-trip as integers and
+    // are rejected rather than silently truncated.
+    let v = Json::parse(&format!(
+        r#"{{"family":"rectangle","n":{},"seed":0,"strategy":"paper",
+            "scheduler":"fsync","rounds":1,"wall_us":1,"outcome":"gathered"}}"#,
+        (1u64 << 60)
+    ))
+    .unwrap();
+    assert!(CampaignRow::from_json(&v).is_err());
+}

@@ -19,9 +19,10 @@
 //! * **Composable instrumentation** ([`observe`]): there is one run loop;
 //!   everything that watches a run — trace recording ([`Recorder`]),
 //!   invariant checking ([`observe::Invariants`]), the Lemma auditors in
-//!   `gathering-core`, frame capture in `chain-viz` — plugs into it as an
-//!   [`Observer`] via [`Sim::observe`]. A simulation with no observers is
-//!   the zero-retention benchmark hot path.
+//!   `gathering-core`, frame capture in `chain-viz`, live progress
+//!   publication for the service layer ([`ProgressProbe`]) — plugs into
+//!   it as an [`Observer`] via [`Sim::observe`]. A simulation with no
+//!   observers is the zero-retention benchmark hot path.
 //! * **Stable robot identities** ([`RobotId`]) for instrumentation and for
 //!   the run-state bookkeeping of the gathering strategy (target corners of
 //!   the run passing operation, Fig. 8/14).
@@ -55,7 +56,7 @@ pub mod view;
 pub use chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
 pub use engine::{Outcome, RoundSummary, RunLimits, Sim, QUIESCENCE_WINDOW};
 pub use metrics::{metrics, ChainMetrics};
-pub use observe::{Observer, Recorder, RoundCtx};
+pub use observe::{Observer, ProgressProbe, ProgressSlot, ProgressSnapshot, Recorder, RoundCtx};
 pub use open_chain::OpenChain;
 pub use robot::RobotId;
 pub use scheduler::{Scheduler, SchedulerKind};

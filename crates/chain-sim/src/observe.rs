@@ -27,6 +27,8 @@
 //! observers (like [`Recorder`]) implement `Observer<S>` for every `S`.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::chain::{ClosedChain, SpliceLog};
 use crate::engine::{Outcome, RoundSummary};
@@ -274,6 +276,113 @@ impl<S: Strategy> Observer<S> for Invariants {
     }
 }
 
+/// A point-in-time read of a [`ProgressSlot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Rounds completed so far.
+    pub round: u64,
+    /// Current chain length.
+    pub len: usize,
+    /// Total robots removed by merges so far.
+    pub removed: usize,
+    /// `true` once the run's outcome has been decided.
+    pub finished: bool,
+}
+
+/// A shared, lock-free progress slot: the publication side of the
+/// [`ProgressProbe`] observer.
+///
+/// A running simulation publishes its round/merge counters into the slot
+/// every round; any other thread (a service's progress endpoint, a TUI)
+/// reads a [`ProgressSnapshot`] at any time without blocking the run. All
+/// accesses are `Relaxed` atomics — a reader may observe the fields of two
+/// adjacent rounds mixed, which is fine for progress reporting: every
+/// field is individually monotone (round up, length down, removals up)
+/// and converges once `finished` is set.
+#[derive(Debug, Default)]
+pub struct ProgressSlot {
+    round: AtomicU64,
+    len: AtomicUsize,
+    removed: AtomicUsize,
+    finished: AtomicBool,
+}
+
+impl ProgressSlot {
+    /// A fresh shared slot (round 0, nothing removed, not finished).
+    pub fn new() -> Arc<ProgressSlot> {
+        Arc::new(ProgressSlot::default())
+    }
+
+    /// Publish the counters of a completed round (or the initial
+    /// configuration, with `round = 0`).
+    pub fn publish(&self, round: u64, len: usize, removed: usize) {
+        self.round.store(round, Ordering::Relaxed);
+        self.len.store(len, Ordering::Relaxed);
+        self.removed.store(removed, Ordering::Relaxed);
+    }
+
+    /// Mark the run finished (the outcome is decided; the counters are
+    /// final).
+    pub fn finish(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// Read the slot's current state.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            round: self.round.load(Ordering::Relaxed),
+            len: self.len.load(Ordering::Relaxed),
+            removed: self.removed.load(Ordering::Relaxed),
+            finished: self.finished.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The progress-publishing observer: feeds a shared [`ProgressSlot`] from
+/// the run loop so other threads can watch a simulation live.
+///
+/// Strategy-agnostic (like [`Recorder`]); retains nothing beyond three
+/// counters. Attach with `Sim::observe(ProgressProbe::new(slot.clone()))`
+/// and hand the other end of the `Arc` to whoever reports progress.
+#[derive(Debug)]
+pub struct ProgressProbe {
+    slot: Arc<ProgressSlot>,
+    removed_total: usize,
+}
+
+impl ProgressProbe {
+    /// A probe publishing into `slot`.
+    pub fn new(slot: Arc<ProgressSlot>) -> Self {
+        ProgressProbe {
+            slot,
+            removed_total: 0,
+        }
+    }
+}
+
+impl<S: Strategy> Observer<S> for ProgressProbe {
+    fn on_init(&mut self, chain: &ClosedChain, _strategy: &S) {
+        self.slot.publish(0, chain.len(), 0);
+    }
+
+    fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
+        self.removed_total += ctx.summary.removed;
+        self.slot.publish(
+            ctx.summary.round + 1,
+            ctx.summary.len_after,
+            self.removed_total,
+        );
+    }
+
+    fn on_finish(&mut self, chain: &ClosedChain, _strategy: &S, _outcome: &Outcome) {
+        // The counters may be ahead of the last published round when the
+        // outcome was decided without stepping; republish the final state.
+        self.slot
+            .publish(self.slot.snapshot().round, chain.len(), self.removed_total);
+        self.slot.finish();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +452,35 @@ mod tests {
         assert!(!inv.is_clean());
         assert_eq!(inv.violations().len(), 2);
         assert_eq!(inv.violations()[0].round, 0);
+    }
+
+    /// The probe publishes the initial configuration on attach, each
+    /// round's counters as they complete, and the finished flag exactly
+    /// when the outcome is decided — all readable from the shared slot.
+    #[test]
+    fn progress_probe_publishes_live_counters() {
+        let slot = ProgressSlot::new();
+        let mut sim = Sim::new(ring6(), Stand).observe(ProgressProbe::new(slot.clone()));
+        assert_eq!(
+            slot.snapshot(),
+            ProgressSnapshot {
+                round: 0,
+                len: 6,
+                removed: 0,
+                finished: false
+            }
+        );
+        sim.step().unwrap();
+        sim.step().unwrap();
+        let snap = slot.snapshot();
+        assert_eq!(snap.round, 2);
+        assert_eq!(snap.len, 6);
+        assert!(!snap.finished);
+        sim.run(crate::RunLimits {
+            max_rounds: 4,
+            stall_window: 1_000,
+        });
+        assert!(slot.snapshot().finished);
     }
 
     /// Observer ordering: attachment order is call order.

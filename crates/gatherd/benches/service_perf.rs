@@ -1,0 +1,68 @@
+//! Service wall-clock bench: the miss path (full simulation behind the
+//! socket) versus the hit path (content-addressed cache lookup), end to
+//! end over real HTTP on loopback.
+//!
+//! Pins the acceptance bound: a cache hit must be at least 10× faster
+//! than the miss it replays — in practice the gap is orders of magnitude
+//! (a lookup and one small write vs. an O(n · rounds) simulation), so
+//! 10× holds with a wide margin even on noisy CI machines.
+//!
+//! Run with `cargo bench -p gatherd --bench service_perf`.
+
+use std::time::Instant;
+
+use gatherd::{client, Config, Server};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("gatherd-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = Server::spawn(Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        handlers: 8,
+        queue: 16,
+        dir: dir.clone(),
+    })
+    .expect("bench server boots");
+    let addr = handle.addr();
+
+    let spec = "{\"family\":\"rectangle\",\"n\":1024,\"seed\":0,\"strategy\":\"paper\"}";
+
+    // Miss: one full simulation behind the socket.
+    let t0 = Instant::now();
+    let miss = client::post_run(&addr, spec, false).expect("miss request");
+    let miss_wall = t0.elapsed();
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(miss.header("x-gatherd-cache"), Some("miss"));
+
+    // Hits: the same spec, repeatedly, all served from the cache.
+    const HITS: u32 = 25;
+    let t0 = Instant::now();
+    for _ in 0..HITS {
+        let hit = client::post_run(&addr, spec, false).expect("hit request");
+        assert_eq!(hit.status, 200);
+        assert_eq!(hit.header("x-gatherd-cache"), Some("hit"));
+    }
+    let hit_wall = t0.elapsed() / HITS;
+
+    let speedup = miss_wall.as_secs_f64() / hit_wall.as_secs_f64().max(1e-9);
+    println!("service_perf: POST /run (n=1024 paper, loopback HTTP)");
+    println!(
+        "  miss: {:>10.3} ms  (simulation + cache fill)",
+        miss_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  hit:  {:>10.3} ms  (content-addressed lookup, avg of {HITS})",
+        hit_wall.as_secs_f64() * 1e3
+    );
+    println!("  speedup: {speedup:.0}x");
+
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The acceptance bound: pinned, not just printed.
+    assert!(
+        speedup >= 10.0,
+        "cache hit must be >= 10x faster than the miss path (got {speedup:.1}x)"
+    );
+}

@@ -1,0 +1,193 @@
+//! `gatherctl` — the command-line client for a running `gatherd`.
+//!
+//! ```text
+//! gatherctl health   --addr HOST:PORT
+//! gatherctl run      --addr HOST:PORT --family F --n N --seed S --strategy K
+//!                    [--scheduler S] [--async]
+//! gatherctl raw      --addr HOST:PORT --body TEXT     # POST /run verbatim
+//! gatherctl result   --addr HOST:PORT --hash H
+//! gatherctl progress --addr HOST:PORT --job N
+//! gatherctl flood    --addr HOST:PORT --count N --family F --n N --seed S --strategy K
+//! gatherctl shutdown --addr HOST:PORT
+//! ```
+//!
+//! Every command prints `HTTP <status>` followed by the response body and
+//! exits 0 on 2xx, 3 on any other status, 1 on transport errors — so CI
+//! can both grep the body and branch on the code. `flood` fires `count`
+//! concurrent `POST /run`s with distinct seeds (starting at `--seed`) and
+//! prints a status histogram (`200 x5 / 429 x3`); it exits 0 whenever
+//! every request got *some* HTTP response.
+
+use std::process::exit;
+
+use gatherd::client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gatherctl <health|run|raw|result|progress|flood|shutdown> --addr HOST:PORT \
+         [--family F] [--n N] [--seed S] [--strategy K] [--scheduler S] [--async] \
+         [--hash H] [--job N] [--count N] [--body TEXT]"
+    );
+    exit(2)
+}
+
+struct Cli {
+    cmd: String,
+    addr: String,
+    family: String,
+    n: u64,
+    seed: u64,
+    strategy: String,
+    scheduler: Option<String>,
+    r#async: bool,
+    hash: String,
+    job: u64,
+    count: usize,
+    body: String,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+    };
+    let known = [
+        "health", "run", "raw", "result", "progress", "flood", "shutdown",
+    ];
+    if !known.contains(&cmd.as_str()) {
+        eprintln!("error: unknown command '{cmd}'");
+        usage();
+    }
+    let mut cli = Cli {
+        cmd,
+        addr: String::new(),
+        family: "rectangle".to_string(),
+        n: 64,
+        seed: 0,
+        strategy: "paper".to_string(),
+        scheduler: None,
+        r#async: false,
+        hash: String::new(),
+        job: 0,
+        count: 8,
+        body: String::new(),
+    };
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage();
+            })
+        };
+        let parse_u64 = |flag: &str, raw: String| -> u64 {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} needs an integer (got '{raw}')");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cli.addr = value("--addr"),
+            "--family" => cli.family = value("--family"),
+            "--n" => cli.n = parse_u64("--n", value("--n")),
+            "--seed" => cli.seed = parse_u64("--seed", value("--seed")),
+            "--strategy" => cli.strategy = value("--strategy"),
+            "--scheduler" => cli.scheduler = Some(value("--scheduler")),
+            "--async" => cli.r#async = true,
+            "--hash" => cli.hash = value("--hash"),
+            "--job" => cli.job = parse_u64("--job", value("--job")),
+            "--count" => cli.count = parse_u64("--count", value("--count")) as usize,
+            "--body" => cli.body = value("--body"),
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    if cli.addr.is_empty() {
+        eprintln!("error: --addr is required");
+        usage();
+    }
+    cli
+}
+
+fn spec_json(cli: &Cli, seed: u64) -> String {
+    let scheduler = match &cli.scheduler {
+        Some(s) => format!(",\"scheduler\":\"{s}\""),
+        None => String::new(),
+    };
+    format!(
+        "{{\"family\":\"{}\",\"n\":{},\"seed\":{seed},\"strategy\":\"{}\"{scheduler}}}",
+        cli.family, cli.n, cli.strategy
+    )
+}
+
+fn finish(reply: std::io::Result<client::Reply>) -> ! {
+    match reply {
+        Ok(r) => {
+            println!("HTTP {}", r.status);
+            println!("{}", r.body);
+            exit(if r.ok() { 0 } else { 3 });
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    match cli.cmd.as_str() {
+        "health" => finish(client::request(&cli.addr, "GET", "/healthz", None)),
+        "run" => finish(client::post_run(
+            &cli.addr,
+            &spec_json(&cli, cli.seed),
+            cli.r#async,
+        )),
+        "raw" => finish(client::request(&cli.addr, "POST", "/run", Some(&cli.body))),
+        "result" => finish(client::request(
+            &cli.addr,
+            "GET",
+            &format!("/result/{}", cli.hash),
+            None,
+        )),
+        "progress" => finish(client::request(
+            &cli.addr,
+            "GET",
+            &format!("/progress/{}", cli.job),
+            None,
+        )),
+        "shutdown" => finish(client::request(&cli.addr, "POST", "/shutdown", None)),
+        "flood" => {
+            let replies: Vec<_> = (0..cli.count)
+                .map(|i| {
+                    let addr = cli.addr.clone();
+                    let body = spec_json(&cli, cli.seed + i as u64);
+                    let r#async = cli.r#async;
+                    std::thread::spawn(move || client::post_run(&addr, &body, r#async))
+                })
+                .collect();
+            let mut codes: Vec<u16> = Vec::new();
+            let mut failures = 0usize;
+            for t in replies {
+                match t.join().expect("flood thread") {
+                    Ok(r) => codes.push(r.status),
+                    Err(_) => failures += 1,
+                }
+            }
+            codes.sort_unstable();
+            let mut parts: Vec<String> = Vec::new();
+            let mut i = 0;
+            while i < codes.len() {
+                let code = codes[i];
+                let run = codes[i..].iter().take_while(|c| **c == code).count();
+                parts.push(format!("{code} x{run}"));
+                i += run;
+            }
+            println!("flood: {}", parts.join(" / "));
+            exit(if failures == 0 { 0 } else { 1 });
+        }
+        _ => unreachable!("command validated in parse_cli"),
+    }
+}

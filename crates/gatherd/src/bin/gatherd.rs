@@ -1,0 +1,90 @@
+//! The `gatherd` service binary.
+//!
+//! ```text
+//! gatherd [--addr HOST:PORT] [--workers N] [--handlers N] [--queue N] [--dir DIR]
+//! ```
+//!
+//! * `--addr` — bind address; port 0 picks an ephemeral port (default
+//!   `127.0.0.1:7117`). The bound address is printed to stdout as
+//!   `gatherd listening on HOST:PORT` before serving, so scripts can
+//!   capture the ephemeral port.
+//! * `--workers` — simulation worker threads (0 = one per core).
+//! * `--handlers` — connection handler threads (0 = default 16).
+//! * `--queue` — job queue capacity before `POST /run` gets 429.
+//! * `--dir` — cache directory; results persist in `DIR/gatherd.jsonl`
+//!   (the campaign store format) and survive restarts.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::exit;
+
+use gatherd::{Config, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gatherd [--addr HOST:PORT] [--workers N] [--handlers N] [--queue N] [--dir DIR]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage();
+            })
+        };
+        let parse_usize = |flag: &str, raw: String| -> usize {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} needs an integer (got '{raw}')");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse_usize("--workers", value("--workers")),
+            "--handlers" => cfg.handlers = parse_usize("--handlers", value("--handlers")),
+            "--queue" => {
+                cfg.queue = parse_usize("--queue", value("--queue"));
+                if cfg.queue == 0 {
+                    eprintln!("error: --queue must be positive");
+                    usage();
+                }
+            }
+            "--dir" => cfg.dir = PathBuf::from(value("--dir")),
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start gatherd: {e}");
+            exit(1);
+        }
+    };
+    let state = server.state();
+    println!("gatherd listening on {}", server.local_addr());
+    eprintln!(
+        "gatherd: {} cached results in {}, queue capacity {}",
+        state.cache().len(),
+        cfg.dir.display(),
+        cfg.queue,
+    );
+    // Scripts parse the stdout line to find an ephemeral port; make sure
+    // it is out before the accept loop blocks.
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run() {
+        eprintln!("error: gatherd terminated abnormally: {e}");
+        exit(1);
+    }
+    eprintln!("gatherd: clean shutdown");
+}

@@ -1,0 +1,167 @@
+//! The content-addressed result cache.
+//!
+//! Keys are campaign spec hashes ([`bench::campaign::spec_hash`]):
+//! 64-bit FNV-1a over the versioned canonical spec encoding — the same
+//! key campaign resume uses, so a result computed by *either* system
+//! answers for the other. Values are [`CampaignRow`]s, persisted in the
+//! campaign store's JSON Lines format (`gatherd.jsonl` in the cache
+//! directory): the cache file is a valid campaign store, and loading it
+//! back recomputes every key from the row's identity fields rather than
+//! trusting the stored hash, exactly like campaign readers do.
+//!
+//! A hit serves the stored row; re-serialization is deterministic
+//! ([`CampaignRow::to_store_json`] emits byte-stable JSON), so a repeated
+//! request gets a byte-identical `result` object without touching the
+//! engine. `wall_us` is the *first* run's measurement — replays are
+//! marked `cached` in the response envelope, and a cached `wall_us`
+//! deliberately keeps measuring the original simulation, not the lookup.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use bench::campaign::store;
+use bench::campaign::CampaignRow;
+
+/// The persistent, shared result cache (interior mutability; one instance
+/// per service, shared across handler and worker threads).
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    inner: Mutex<HashMap<String, CampaignRow>>,
+}
+
+impl ResultCache {
+    /// Open (or create) the cache backed by `dir/gatherd.jsonl`, loading
+    /// every stored row. Malformed store lines are a hard error, like
+    /// campaign resume: a corrupted cache should be repaired or deleted,
+    /// not silently half-loaded.
+    pub fn open(dir: &Path) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("gatherd.jsonl");
+        let mut map = HashMap::new();
+        if path.exists() {
+            for row in store::read_rows(&path)? {
+                if let Some(hash) = row.spec_hash() {
+                    map.insert(hash, row);
+                }
+            }
+        }
+        Ok(ResultCache {
+            path,
+            inner: Mutex::new(map),
+        })
+    }
+
+    /// The backing store file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Look up a result by spec hash.
+    pub fn get(&self, hash: &str) -> Option<CampaignRow> {
+        self.inner.lock().unwrap().get(hash).cloned()
+    }
+
+    /// Insert a freshly computed row, or return the row that beat it
+    /// there (two racing misses of the same spec: the first insert wins
+    /// and both callers serve identical bytes).
+    ///
+    /// Returns the canonical row plus the persistence error, if the
+    /// store append failed. A failed append does **not** evict the row
+    /// from the in-memory cache — an unwritable disk degrades to
+    /// memory-only caching (hits keep working, byte-identical) instead
+    /// of silently re-simulating the spec on every request; the caller
+    /// surfaces the error to the operator.
+    pub fn insert_or_get(&self, hash: &str, row: CampaignRow) -> (CampaignRow, Option<io::Error>) {
+        let mut map = self.inner.lock().unwrap();
+        if let Some(existing) = map.get(hash) {
+            return (existing.clone(), None);
+        }
+        let persist = store::append_rows(&self.path, std::slice::from_ref(&row)).err();
+        map.insert(hash.to_string(), row.clone());
+        (row, persist)
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bench::campaign::spec_hash;
+    use bench::scenario::{run_scenario, ScenarioSpec, StrategyKind};
+    use workloads::Family;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gatherd-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persists_and_reloads_by_recomputed_hash() {
+        let dir = scratch("reload");
+        let spec = ScenarioSpec::strategy(Family::Rectangle, 16, 0, StrategyKind::paper());
+        let hash = spec_hash(&spec);
+        let row = CampaignRow::from_result(&run_scenario(&spec));
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        assert!(cache.get(&hash).is_none());
+        let (stored, persist) = cache.insert_or_get(&hash, row.clone());
+        assert_eq!(stored, row);
+        assert!(persist.is_none());
+        assert_eq!(cache.len(), 1);
+
+        // A second cache over the same directory sees the row, keyed by
+        // the hash recomputed from its identity fields.
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.get(&hash), Some(row.clone()));
+
+        // Racing insert of the same hash returns the first row untouched
+        // and does not grow the store file.
+        let mut other = row.clone();
+        other.wall_us += 999_999;
+        assert_eq!(reopened.insert_or_get(&hash, other).0, row);
+        assert_eq!(store::read_rows(reopened.path()).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An unwritable store degrades to memory-only caching: the insert
+    /// reports the persistence error but hits keep being served.
+    #[test]
+    fn append_failure_keeps_the_row_in_memory() {
+        let dir = scratch("readonly");
+        let spec = ScenarioSpec::strategy(Family::Rectangle, 16, 1, StrategyKind::paper());
+        let hash = spec_hash(&spec);
+        let row = CampaignRow::from_result(&run_scenario(&spec));
+        let cache = ResultCache::open(&dir).unwrap();
+        // Replace the store file with a directory so the append fails.
+        std::fs::create_dir_all(cache.path()).unwrap();
+        let (stored, persist) = cache.insert_or_get(&hash, row.clone());
+        assert_eq!(stored, row);
+        assert!(persist.is_some(), "append into a directory must fail");
+        assert_eq!(cache.get(&hash), Some(row), "memory caching must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_cache_is_a_hard_error() {
+        let dir = scratch("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("gatherd.jsonl"), "not json\n").unwrap();
+        let err = ResultCache::open(&dir).expect_err("corrupt cache must error");
+        assert!(err.to_string().contains("gatherd.jsonl"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

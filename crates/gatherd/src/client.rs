@@ -1,0 +1,82 @@
+//! The client side of the wire: one function speaking the same
+//! one-request-per-connection HTTP/1.1 slice the server serves. Shared by
+//! `gatherctl`, the integration tests, and the service bench.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A received response.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// Status code.
+    pub status: u16,
+    /// Response headers (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl Reply {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` for 2xx.
+    pub fn ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Send one request and read the full response. `addr` is `host:port`;
+/// `body` (when given) is sent with a `Content-Length`.
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    // Longer than the server's SYNC_WAIT (300 s): a blocking run that
+    // exhausts the server's patience must deliver its 202
+    // poll-instead answer here rather than dying as a client timeout.
+    stream.set_read_timeout(Some(Duration::from_secs(330)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| io::Error::other("non-utf8 response"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::other("response without header block"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line '{status_line}'")))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// `POST /run` with a spec body; returns the reply.
+pub fn post_run(addr: &str, spec_json: &str, async_mode: bool) -> io::Result<Reply> {
+    let path = if async_mode { "/run?async" } else { "/run" };
+    request(addr, "POST", path, Some(spec_json))
+}

@@ -1,0 +1,265 @@
+//! A hand-rolled, dependency-free slice of HTTP/1.1 — exactly what the
+//! service needs and no more.
+//!
+//! One request per connection (`Connection: close` on every response):
+//! the service's requests are short and the simplicity is worth more than
+//! keep-alive here. Reads are bounded three ways — header block and body
+//! size caps, a per-read socket timeout, and a whole-request deadline
+//! ([`REQUEST_DEADLINE`], so a client trickling bytes cannot stretch the
+//! per-read timeout indefinitely) — so a slow or malicious client cannot
+//! wedge a handler thread or balloon memory.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted header block (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// Largest accepted request body.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// How long a handler waits on a single read from a slow client.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Hard ceiling on reading one whole request, whatever the per-read
+/// pace — a client trickling one byte per `IO_TIMEOUT` must not hold a
+/// handler thread past this.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// A parsed request: method, path (with any query string split off), and
+/// body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/run`).
+    pub path: String,
+    /// Query string after `?`, empty if none (`async`).
+    pub query: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Read and parse one request from the stream.
+///
+/// Errors are IO-shaped; the caller turns them into a closed connection
+/// (a client that sends garbage framing gets no response, like any HTTP
+/// server mid-parse).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    let deadline = std::time::Instant::now() + REQUEST_DEADLINE;
+    let overdue = || io::Error::new(io::ErrorKind::TimedOut, "request took too long to arrive");
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+
+    // Read until the blank line ending the header block.
+    let head_end = loop {
+        if let Some(pos) = find_double_crlf(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::other("header block too large"));
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(overdue());
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::other("non-utf8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::other("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::other("request line without a path"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| io::Error::other("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::other("body too large"));
+    }
+
+    // The body: whatever followed the blank line, plus the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        if std::time::Instant::now() > deadline {
+            return Err(overdue());
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response under construction: status, extra headers, JSON body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code (200, 202, 400, 404, 405, 429, 500).
+    pub status: u16,
+    /// Extra headers beyond the standard set (`X-Gatherd-Cache`, ...).
+    pub headers: Vec<(String, String)>,
+    /// The JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Add a header (builder style).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize and send on the stream (best effort: the client may have
+    /// hung up — the caller ignores the error and moves on).
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut out = String::with_capacity(self.body.len() + 256);
+        out.push_str(&format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()));
+        out.push_str("Content-Type: application/json\r\n");
+        out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        out.push_str("Connection: close\r\n");
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = round_trip(
+            b"POST /run?async HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.query, "async");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_requests_error() {
+        assert!(round_trip(b"GET /healthz HTTP/1.1\r\n").is_err());
+        assert!(round_trip(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err());
+        assert!(round_trip(b"POST /run HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(429, "{\"error\":\"full\"}")
+            .header("X-Gatherd-Cache", "miss")
+            .write_to(&mut stream)
+            .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("X-Gatherd-Cache: miss\r\n"));
+        assert!(text.ends_with("{\"error\":\"full\"}"));
+    }
+}

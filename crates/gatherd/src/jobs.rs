@@ -1,0 +1,389 @@
+//! The bounded job queue: admission control, single-flight coalescing,
+//! and the job registry behind the progress endpoint.
+//!
+//! Jobs flow `submit → queue → worker pop → run → complete`. The queue is
+//! bounded — [`JobTable::submit`] refuses new work once `capacity`
+//! uncompleted jobs exist (the service's 429 backpressure) — and
+//! *single-flight*: a submission whose spec hash is already queued or
+//! running joins the existing job instead of enqueueing a duplicate, so a
+//! thundering herd of identical requests costs one simulation.
+//!
+//! Every job carries a shared [`ProgressSlot`]; the worker attaches a
+//! `ProgressProbe` to the simulation, so `GET /progress/<job>` reads live
+//! round/merge counts from the slot without touching the run.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bench::campaign::CampaignRow;
+use bench::scenario::ScenarioSpec;
+use chain_sim::ProgressSlot;
+
+/// Where a job is in its life cycle.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Submitted, waiting for a worker.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the result row is cached and attached.
+    Done(CampaignRow),
+    /// The simulation panicked; the message is all that is left. Failed
+    /// jobs are never cached — a resubmission runs fresh.
+    Failed(String),
+}
+
+impl JobState {
+    /// Stable state label (`queued` / `running` / `done` / `failed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+/// One submitted simulation job.
+#[derive(Debug)]
+pub struct Job {
+    /// Service-unique job id (monotone).
+    pub id: u64,
+    /// The decoded spec to run.
+    pub spec: ScenarioSpec,
+    /// The spec's content hash — cache key and single-flight key.
+    pub hash: String,
+    /// Live progress feed, published by the worker's `ProgressProbe`.
+    pub slot: Arc<ProgressSlot>,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl Job {
+    /// The job's current state (cloned snapshot).
+    pub fn state(&self) -> JobState {
+        self.state.lock().unwrap().clone()
+    }
+
+    /// The state label alone — no clone of a finished job's result row
+    /// (the progress endpoint polls this).
+    pub fn state_name(&self) -> &'static str {
+        self.state.lock().unwrap().name()
+    }
+
+    /// Block until the job reaches a terminal state: the result row, or
+    /// the failure message if the simulation panicked.
+    pub fn wait(&self) -> Result<CampaignRow, String> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                JobState::Done(row) => return Ok(row.clone()),
+                JobState::Failed(msg) => return Err(msg.clone()),
+                _ => state = self.done.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// [`Job::wait`] with a patience bound: `None` if the job is still
+    /// going when `timeout` elapses (the job itself keeps running — only
+    /// the waiter gives up).
+    pub fn wait_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Option<Result<CampaignRow, String>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                JobState::Done(row) => return Some(Ok(row.clone())),
+                JobState::Failed(msg) => return Some(Err(msg.clone())),
+                _ => {}
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self.done.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+        }
+    }
+
+    fn set(&self, new: JobState) {
+        let mut state = self.state.lock().unwrap();
+        let finished = new.is_terminal();
+        *state = new;
+        if finished {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// What [`JobTable::submit`] decided.
+#[derive(Debug)]
+pub enum Submit {
+    /// A new job was enqueued.
+    New(Arc<Job>),
+    /// An identical spec is already queued or running; the caller shares
+    /// its job (single-flight).
+    Joined(Arc<Job>),
+    /// The queue is at capacity — backpressure (429).
+    Full,
+}
+
+struct Tables {
+    queue: VecDeque<Arc<Job>>,
+    /// Every job ever submitted, by id (pruned once `done` jobs exceed
+    /// [`RETAINED_JOBS`] — the progress endpoint's lookup table).
+    jobs: HashMap<u64, Arc<Job>>,
+    /// Uncompleted jobs by spec hash (single-flight index). Also the
+    /// measure the capacity bound applies to: queued + running.
+    inflight: HashMap<String, Arc<Job>>,
+    stopped: bool,
+}
+
+/// Completed jobs retained for the progress endpoint before pruning.
+const RETAINED_JOBS: usize = 4096;
+
+/// The bounded, single-flight job queue plus the job registry.
+pub struct JobTable {
+    inner: Mutex<Tables>,
+    avail: Condvar,
+    capacity: usize,
+    next_id: AtomicU64,
+}
+
+impl JobTable {
+    /// A queue admitting at most `capacity` uncompleted jobs.
+    pub fn new(capacity: usize) -> JobTable {
+        JobTable {
+            inner: Mutex::new(Tables {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                inflight: HashMap::new(),
+                stopped: false,
+            }),
+            avail: Condvar::new(),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Uncompleted jobs (queued + running).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().inflight.len()
+    }
+
+    /// Admit a job (or join / refuse — see [`Submit`]).
+    pub fn submit(&self, spec: ScenarioSpec, hash: String) -> Submit {
+        let mut t = self.inner.lock().unwrap();
+        if let Some(job) = t.inflight.get(&hash) {
+            return Submit::Joined(job.clone());
+        }
+        if t.inflight.len() >= self.capacity || t.stopped {
+            return Submit::Full;
+        }
+        let job = Arc::new(Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            spec,
+            hash: hash.clone(),
+            slot: ProgressSlot::new(),
+            state: Mutex::new(JobState::Queued),
+            done: Condvar::new(),
+        });
+        t.queue.push_back(job.clone());
+        t.jobs.insert(job.id, job.clone());
+        t.inflight.insert(hash, job.clone());
+        drop(t);
+        self.avail.notify_one();
+        Submit::New(job)
+    }
+
+    /// Worker side: block for the next job, mark it running; `None` once
+    /// the table is stopped and drained (the worker exits).
+    pub fn pop(&self) -> Option<Arc<Job>> {
+        let mut t = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = t.queue.pop_front() {
+                job.set(JobState::Running);
+                return Some(job);
+            }
+            if t.stopped {
+                return None;
+            }
+            t = self.avail.wait(t).unwrap();
+        }
+    }
+
+    /// Worker side: attach the result, wake every waiter, release the
+    /// single-flight slot, and prune old finished jobs.
+    pub fn complete(&self, job: &Arc<Job>, row: CampaignRow) {
+        self.finish(job, JobState::Done(row));
+    }
+
+    /// Worker side: record a simulation failure (panic). Waiters get the
+    /// message; the single-flight slot is released so a resubmission of
+    /// the same spec runs fresh instead of joining a dead job.
+    pub fn fail(&self, job: &Arc<Job>, message: String) {
+        self.finish(job, JobState::Failed(message));
+    }
+
+    fn finish(&self, job: &Arc<Job>, terminal: JobState) {
+        job.set(terminal);
+        let mut t = self.inner.lock().unwrap();
+        t.inflight.remove(&job.hash);
+        if t.jobs.len() > RETAINED_JOBS {
+            let mut finished: Vec<u64> = t
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.state.lock().unwrap().is_terminal())
+                .map(|(id, _)| *id)
+                .collect();
+            // Keep the most recent half so fresh terminal polls still hit.
+            finished.sort_unstable();
+            for id in finished.iter().take(finished.len() / 2) {
+                t.jobs.remove(id);
+            }
+        }
+    }
+
+    /// Look up a job by id (the progress endpoint).
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.inner.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Refuse new work and wake every blocked worker so the pool can
+    /// drain and exit. Already-queued jobs still run to completion.
+    pub fn stop(&self) {
+        self.inner.lock().unwrap().stopped = true;
+        self.avail.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bench::scenario::StrategyKind;
+    use workloads::Family;
+
+    fn spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::strategy(Family::Rectangle, 16, seed, StrategyKind::paper())
+    }
+
+    fn row() -> CampaignRow {
+        CampaignRow {
+            family: "rectangle".into(),
+            n: 16,
+            n_actual: 16,
+            seed: 0,
+            strategy: "paper".into(),
+            scheduler: "fsync".into(),
+            rounds: 1,
+            wall_us: 1,
+            outcome: "gathered".into(),
+            merges: 0,
+            longest_gap: 0,
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_admission_and_identical_specs_join() {
+        let table = JobTable::new(2);
+        let Submit::New(a) = table.submit(spec(0), "h0".into()) else {
+            panic!("first submit admits");
+        };
+        assert!(matches!(table.submit(spec(1), "h1".into()), Submit::New(_)));
+        // Full at capacity...
+        assert!(matches!(table.submit(spec(2), "h2".into()), Submit::Full));
+        // ...but an identical in-flight spec joins instead of filling.
+        let Submit::Joined(shared) = table.submit(spec(0), "h0".into()) else {
+            panic!("identical spec must join");
+        };
+        assert_eq!(shared.id, a.id);
+        assert_eq!(table.depth(), 2);
+
+        // Completing one frees a slot.
+        let popped = table.pop().unwrap();
+        assert_eq!(popped.id, a.id);
+        assert_eq!(popped.state().name(), "running");
+        table.complete(&popped, row());
+        assert_eq!(table.depth(), 1);
+        assert!(matches!(table.submit(spec(2), "h2".into()), Submit::New(_)));
+        assert_eq!(a.wait().unwrap().rounds, 1);
+        assert_eq!(table.job(a.id).unwrap().state().name(), "done");
+    }
+
+    /// A failed (panicked) job releases its single-flight slot, reports
+    /// the message to waiters, and a resubmission runs fresh.
+    #[test]
+    fn failed_jobs_release_their_hash() {
+        let table = JobTable::new(2);
+        let Submit::New(job) = table.submit(spec(0), "h0".into()) else {
+            panic!()
+        };
+        let popped = table.pop().unwrap();
+        table.fail(&popped, "simulation panicked: boom".into());
+        assert_eq!(job.wait().unwrap_err(), "simulation panicked: boom");
+        assert_eq!(table.job(job.id).unwrap().state().name(), "failed");
+        assert_eq!(table.depth(), 0);
+        // The same hash is admitted again (New, not Joined).
+        assert!(matches!(table.submit(spec(0), "h0".into()), Submit::New(_)));
+    }
+
+    /// `wait_timeout` gives up without killing the job.
+    #[test]
+    fn wait_timeout_returns_none_on_a_slow_job() {
+        let table = JobTable::new(2);
+        let Submit::New(job) = table.submit(spec(0), "h0".into()) else {
+            panic!()
+        };
+        assert!(job
+            .wait_timeout(std::time::Duration::from_millis(30))
+            .is_none());
+        let popped = table.pop().unwrap();
+        table.complete(&popped, row());
+        assert_eq!(
+            job.wait_timeout(std::time::Duration::from_millis(30))
+                .unwrap()
+                .unwrap()
+                .rounds,
+            1
+        );
+    }
+
+    #[test]
+    fn waiters_unblock_on_completion_across_threads() {
+        let table = Arc::new(JobTable::new(4));
+        let Submit::New(job) = table.submit(spec(9), "h9".into()) else {
+            panic!()
+        };
+        let waiter = {
+            let job = job.clone();
+            std::thread::spawn(move || job.wait().unwrap().rounds)
+        };
+        let popped = table.pop().unwrap();
+        table.complete(&popped, row());
+        assert_eq!(waiter.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn stop_drains_workers() {
+        let table = Arc::new(JobTable::new(4));
+        let t2 = table.clone();
+        let worker = std::thread::spawn(move || t2.pop().is_none());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.stop();
+        assert!(worker.join().unwrap(), "stopped pop must return None");
+        assert!(matches!(table.submit(spec(0), "h".into()), Submit::Full));
+    }
+}

@@ -1,0 +1,46 @@
+//! # gatherd
+//!
+//! Simulation-as-a-service: a **dependency-free** HTTP/1.1 front end for
+//! the scenario pipeline, built on `std::net::TcpListener` like
+//! everything else in this offline workspace. The service turns the
+//! ROADMAP's "serve heavy traffic" direction into a concrete vertical
+//! slice — socket to engine:
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `POST /run` | Decode a [`ScenarioSpec`](bench::ScenarioSpec) (campaign JSON dialect), serve from the content-addressed cache or simulate; `?async` returns 202 + a job id instead of blocking |
+//! | `GET /result/<spec_hash>` | Cache lookup by content hash — a hit never touches the engine |
+//! | `GET /progress/<job>` | Live round/merge counters of a queued/running/finished job |
+//! | `GET /healthz` | Queue depth, cache size, hit/miss/reject counters |
+//! | `POST /shutdown` | Drain both pools and exit cleanly |
+//!
+//! The load-bearing ideas, all reused from the existing stack:
+//!
+//! * **Content-addressed caching** — the cache key is
+//!   [`bench::campaign::spec_hash`], the same versioned FNV-1a hash
+//!   campaign resume keys on, and the cache file (`gatherd.jsonl`) is a
+//!   campaign JSON Lines store. A repeated spec is answered from the
+//!   store with a byte-identical `result` object, no simulation.
+//! * **Bounded work** — a fixed worker pool and a bounded job queue;
+//!   when the queue is full, `POST /run` gets 429 immediately
+//!   (backpressure) instead of buffering unbounded work. Identical
+//!   in-flight specs coalesce (single-flight) rather than running twice.
+//! * **Observable runs** — workers attach a
+//!   [`ProgressProbe`](chain_sim::ProgressProbe) observer; the progress
+//!   endpoint reads its shared atomic slot without perturbing the run.
+//!
+//! See `docs/SERVICE.md` for the wire contract and `gatherctl` (this
+//! crate's client binary) for a command-line driver.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::{post_run, request, Reply};
+pub use jobs::{Job, JobState, JobTable, Submit};
+pub use server::{Config, Server, ServerHandle, ServiceState};

@@ -1,0 +1,539 @@
+//! The service itself: socket → handler pool → job queue → worker pool →
+//! engine → cache.
+//!
+//! Two fixed thread pools with distinct roles, so a blocked request can
+//! never starve the simulations that would unblock it:
+//!
+//! * **Handler threads** parse requests and write responses. A `POST
+//!   /run` cache miss blocks its handler on the job's completion — the
+//!   connection *is* the delivery channel — which is why the handler pool
+//!   is sized independently of (and larger than) the worker pool.
+//! * **Worker threads** pop jobs from the bounded [`JobTable`] and run
+//!   the scenario pipeline with a `ProgressProbe` attached, so
+//!   `GET /progress/<job>` observes the run live.
+//!
+//! Backpressure is explicit: when `queue` uncompleted jobs exist, further
+//! cache-missing `POST /run`s get 429 immediately — the client retries,
+//! the service never buffers unbounded work. Cache hits are never
+//! backpressured; they cost a map lookup.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use bench::campaign::json::Json;
+use bench::campaign::{spec_hash, CampaignRow};
+use bench::scenario::run_scenario_probed;
+use bench::wire;
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, Request, Response};
+use crate::jobs::{JobTable, Submit};
+
+/// How long a blocking `POST /run` parks its handler before answering
+/// 202 and letting the client poll instead — bounds handler occupancy so
+/// a fleet of slow misses cannot hold the whole pool forever. Generous:
+/// the largest accepted spec simulates in well under this on release
+/// builds.
+pub const SYNC_WAIT: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Service configuration (all knobs of the `gatherd` binary).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address; port 0 picks an ephemeral port (tests, CI).
+    pub addr: String,
+    /// Simulation worker threads; 0 = one per available core.
+    pub workers: usize,
+    /// Connection handler threads; 0 = default (16).
+    pub handlers: usize,
+    /// Job queue capacity (uncompleted jobs admitted before 429).
+    pub queue: usize,
+    /// Cache directory (`gatherd.jsonl` lives here).
+    pub dir: PathBuf,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:7117".to_string(),
+            workers: 0,
+            handlers: 0,
+            queue: 64,
+            dir: PathBuf::from("bench-results"),
+        }
+    }
+}
+
+impl Config {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    }
+
+    /// Handler pool size. The default scales with the worker pool so the
+    /// module-level invariant (handlers outnumber workers) holds on any
+    /// core count — otherwise enough blocking misses could park every
+    /// handler while workers sit idle behind them.
+    fn effective_handlers(&self) -> usize {
+        if self.handlers > 0 {
+            self.handlers
+        } else {
+            (2 * self.effective_workers() + 4).max(16)
+        }
+    }
+}
+
+/// Monotone service counters (the healthz payload).
+#[derive(Debug, Default)]
+pub struct Stats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    /// Cache rows that could not be appended to the store file (disk
+    /// full, unwritable dir). The row still serves from memory; a
+    /// nonzero value tells the operator persistence is degraded.
+    persist_errors: AtomicU64,
+}
+
+/// Everything the handler and worker threads share.
+pub struct ServiceState {
+    cache: ResultCache,
+    jobs: JobTable,
+    stats: Stats,
+    workers: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServiceState {
+    /// The result cache (tests inspect it).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+}
+
+/// A bound, not-yet-running service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    handlers: usize,
+}
+
+/// Connection hand-off queue between the accept loop and the handler
+/// pool. Bounded like the job queue: when every handler is busy and
+/// `cap` connections already wait, further accepts are dropped on the
+/// floor (the client sees a closed connection and retries) instead of
+/// accumulating file descriptors without limit.
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    avail: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    /// `true` if the connection was admitted.
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        if q.0.len() >= self.cap {
+            return false; // dropping the stream closes the socket
+        }
+        q.0.push_back(stream);
+        drop(q);
+        self.avail.notify_one();
+        true
+    }
+
+    fn close(&self) {
+        self.queue.lock().unwrap().1 = true;
+        self.avail.notify_all();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(stream) = q.0.pop_front() {
+                return Some(stream);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.avail.wait(q).unwrap();
+        }
+    }
+}
+
+impl Server {
+    /// Bind the listener and open the cache. The service is not serving
+    /// until [`Server::run`].
+    pub fn bind(cfg: Config) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = ResultCache::open(&cfg.dir)?;
+        let state = Arc::new(ServiceState {
+            cache,
+            jobs: JobTable::new(cfg.queue),
+            stats: Stats::default(),
+            workers: cfg.effective_workers(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(Server {
+            listener,
+            state,
+            handlers: cfg.effective_handlers(),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Shared state (tests inspect the cache through it).
+    pub fn state(&self) -> Arc<ServiceState> {
+        self.state.clone()
+    }
+
+    /// Serve until a `POST /shutdown` arrives, then drain and join both
+    /// pools. Blocking; spawn it for tests ([`Server::spawn`]).
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            state,
+            handlers,
+        } = self;
+
+        let workers: Vec<JoinHandle<()>> = (0..state.workers)
+            .map(|_| {
+                let state = state.clone();
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+
+        let conns = Arc::new(ConnQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            avail: Condvar::new(),
+            // Enough headroom for a full handler turnover plus a burst;
+            // beyond this, accepts are shed instead of buffered.
+            cap: 8 * handlers.max(1),
+        });
+        let handler_pool: Vec<JoinHandle<()>> = (0..handlers)
+            .map(|_| {
+                let state = state.clone();
+                let conns = conns.clone();
+                std::thread::spawn(move || {
+                    while let Some(mut stream) = conns.pop() {
+                        handle_connection(&state, &mut stream);
+                    }
+                })
+            })
+            .collect();
+
+        for stream in listener.incoming() {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                // An unadmitted stream is dropped here: connection shed.
+                Ok(stream) => {
+                    let _ = conns.push(stream);
+                }
+                // Persistent accept errors (fd exhaustion) must not
+                // busy-spin the accept loop at 100% CPU.
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+
+        // Drain: stop admitting, finish queued jobs, join everything.
+        conns.close();
+        for h in handler_pool {
+            let _ = h.join();
+        }
+        state.jobs.stop();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Bind and serve on a background thread — the test/CI entry point.
+    pub fn spawn(cfg: Config) -> io::Result<ServerHandle> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr();
+        let state = server.state();
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// A running background service (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// `host:port` of the running service.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Shared state (tests inspect the cache through it).
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Request shutdown over the wire and join the server thread.
+    pub fn shutdown(self) -> io::Result<()> {
+        let _ = crate::client::request(&self.addr(), "POST", "/shutdown", None);
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+fn worker_loop(state: &ServiceState) {
+    while let Some(job) = state.jobs.pop() {
+        // A panicking simulation must not wedge the spec: catch it, fail
+        // the job (waking waiters and releasing the single-flight slot so
+        // a resubmission runs fresh), and keep the worker alive.
+        let spec = job.spec;
+        let slot = job.slot.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            run_scenario_probed(&spec, Some(slot))
+        }));
+        match outcome {
+            Ok(result) => {
+                let row = CampaignRow::from_result(&result);
+                // Two racing misses of one spec can both reach here only
+                // if they raced past single-flight (one completed between
+                // check and submit); the cache keeps the first row so
+                // every response for this hash serves identical bytes.
+                let (row, persist) = state.cache.insert_or_get(&job.hash, row);
+                if let Some(e) = persist {
+                    state.stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "gatherd: cache append failed for {} (serving from memory): {e}",
+                        job.hash
+                    );
+                }
+                state.jobs.complete(&job, row);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                job.slot.finish();
+                state.jobs.fail(&job, format!("simulation panicked: {msg}"));
+            }
+        }
+    }
+}
+
+fn handle_connection(state: &ServiceState, stream: &mut TcpStream) {
+    let Ok(req) = read_request(stream) else {
+        return; // unparseable framing: drop, like any HTTP server
+    };
+    let (response, shutdown_after) = route(state, &req);
+    let _ = response.write_to(stream);
+    if shutdown_after {
+        state.shutdown.store(true, Ordering::SeqCst);
+        state.jobs.stop();
+        // Wake the accept loop so it notices the flag.
+        let _ = TcpStream::connect(state.addr);
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    Json::obj(vec![("error", Json::str(msg))]).to_compact()
+}
+
+/// The response envelope around a result row: `spec_hash`, the job id
+/// when one ran, the cache verdict, and the row's store JSON — the
+/// `result` object is byte-identical across hits and the original miss
+/// because [`CampaignRow::to_store_json`] is deterministic.
+fn envelope(hash: &str, job: Option<u64>, cached: bool, row: &CampaignRow) -> String {
+    let mut pairs = vec![("spec_hash", Json::str(hash))];
+    if let Some(id) = job {
+        pairs.push(("job", Json::u64(id)));
+    }
+    pairs.push(("cached", Json::Bool(cached)));
+    pairs.push(("result", row.to_store_json()));
+    Json::obj(pairs).to_compact()
+}
+
+fn route(state: &ServiceState, req: &Request) -> (Response, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/run") => (post_run(state, req), false),
+        ("GET", "/healthz") => (healthz(state), false),
+        ("POST", "/shutdown") => (Response::json(200, r#"{"status":"shutting-down"}"#), true),
+        ("GET", path) => {
+            if let Some(hash) = path.strip_prefix("/result/") {
+                (get_result(state, hash), false)
+            } else if let Some(id) = path.strip_prefix("/progress/") {
+                (get_progress(state, id), false)
+            } else {
+                (Response::json(404, error_body("no such endpoint")), false)
+            }
+        }
+        ("POST", _) => (Response::json(404, error_body("no such endpoint")), false),
+        _ => (Response::json(405, error_body("method not allowed")), false),
+    }
+}
+
+fn post_run(state: &ServiceState, req: &Request) -> Response {
+    let bad = |msg: String| {
+        state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        Response::json(400, error_body(&msg))
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return bad("body is not utf-8".to_string());
+    };
+    let value = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return bad(format!("malformed JSON: {e}")),
+    };
+    let spec = match wire::spec_from_json(&value) {
+        Ok(s) => s,
+        Err(e) => return bad(e),
+    };
+    let hash = spec_hash(&spec);
+
+    if let Some(row) = state.cache.get(&hash) {
+        state.stats.hits.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, envelope(&hash, None, true, &row))
+            .header("X-Gatherd-Cache", "hit");
+    }
+    state.stats.misses.fetch_add(1, Ordering::Relaxed);
+
+    let job = match state.jobs.submit(spec, hash.clone()) {
+        Submit::New(job) | Submit::Joined(job) => job,
+        Submit::Full => {
+            state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let body = Json::obj(vec![
+                ("error", Json::str("job queue full, retry later")),
+                ("queue_capacity", Json::usize(state.jobs.capacity())),
+            ])
+            .to_compact();
+            return Response::json(429, body).header("Retry-After", "1");
+        }
+    };
+
+    if req.query.split('&').any(|q| q == "async") {
+        let body = Json::obj(vec![
+            ("spec_hash", Json::str(&hash)),
+            ("job", Json::u64(job.id)),
+            ("cached", Json::Bool(false)),
+            ("state", Json::str(job.state_name())),
+        ])
+        .to_compact();
+        return Response::json(202, body).header("X-Gatherd-Cache", "miss");
+    }
+
+    match job.wait_timeout(SYNC_WAIT) {
+        Some(Ok(row)) => Response::json(200, envelope(&hash, Some(job.id), false, &row))
+            .header("X-Gatherd-Cache", "miss"),
+        Some(Err(msg)) => Response::json(500, error_body(&msg)),
+        // Patience exhausted: free this handler thread; the job keeps
+        // running and the client can poll /progress and /result.
+        None => {
+            let body = Json::obj(vec![
+                ("spec_hash", Json::str(&hash)),
+                ("job", Json::u64(job.id)),
+                ("cached", Json::Bool(false)),
+                ("state", Json::str(job.state_name())),
+                (
+                    "error",
+                    Json::str(format!(
+                        "still {} after {}s; poll /progress/{} then /result/{hash}",
+                        job.state_name(),
+                        SYNC_WAIT.as_secs(),
+                        job.id
+                    )),
+                ),
+            ])
+            .to_compact();
+            Response::json(202, body).header("X-Gatherd-Cache", "miss")
+        }
+    }
+}
+
+fn get_result(state: &ServiceState, hash: &str) -> Response {
+    if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Response::json(400, error_body("spec hash must be 16 hex digits"));
+    }
+    match state.cache.get(hash) {
+        Some(row) => {
+            state.stats.hits.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, envelope(hash, None, true, &row)).header("X-Gatherd-Cache", "hit")
+        }
+        None => Response::json(404, error_body(&format!("no cached result for '{hash}'"))),
+    }
+}
+
+fn get_progress(state: &ServiceState, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::json(400, error_body("job id must be an integer"));
+    };
+    let Some(job) = state.jobs.job(id) else {
+        return Response::json(404, error_body(&format!("no such job {id}")));
+    };
+    let snap = job.slot.snapshot();
+    let state_name = job.state_name();
+    let body = Json::obj(vec![
+        ("job", Json::u64(id)),
+        ("spec_hash", Json::str(&job.hash)),
+        ("state", Json::str(state_name)),
+        ("round", Json::u64(snap.round)),
+        ("len", Json::usize(snap.len)),
+        ("removed", Json::usize(snap.removed)),
+        ("finished", Json::Bool(snap.finished)),
+    ])
+    .to_compact();
+    Response::json(200, body)
+}
+
+fn healthz(state: &ServiceState) -> Response {
+    let body = Json::obj(vec![
+        ("status", Json::str("ok")),
+        ("workers", Json::usize(state.workers)),
+        ("queue_depth", Json::usize(state.jobs.depth())),
+        ("queue_capacity", Json::usize(state.jobs.capacity())),
+        ("cache_entries", Json::usize(state.cache.len())),
+        ("hits", Json::u64(state.stats.hits.load(Ordering::Relaxed))),
+        (
+            "misses",
+            Json::u64(state.stats.misses.load(Ordering::Relaxed)),
+        ),
+        (
+            "rejected",
+            Json::u64(state.stats.rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "bad_requests",
+            Json::u64(state.stats.bad_requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "persist_errors",
+            Json::u64(state.stats.persist_errors.load(Ordering::Relaxed)),
+        ),
+    ])
+    .to_compact();
+    Response::json(200, body)
+}

@@ -1,0 +1,369 @@
+//! End-to-end service tests: a real `gatherd` on an ephemeral port,
+//! driven over real sockets by client threads — concurrency, cache
+//! semantics (miss → hit, byte-identical replays), live progress,
+//! backpressure, validation, and restart persistence.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use bench::campaign::json::Json;
+use bench::campaign::spec_hash;
+use bench::scenario::{run_scenario, ScenarioSpec, StrategyKind};
+use gatherd::{client, Config, Server};
+use workloads::Family;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gatherd-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &std::path::Path) -> Config {
+    Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        handlers: 16,
+        queue: 32,
+        dir: dir.to_path_buf(),
+    }
+}
+
+fn spec_body(family: &str, n: usize, seed: u64, strategy: &str) -> String {
+    format!("{{\"family\":\"{family}\",\"n\":{n},\"seed\":{seed},\"strategy\":\"{strategy}\"}}")
+}
+
+/// The `result` object of a response envelope (always the last field).
+fn result_bytes(body: &str) -> &str {
+    let at = body.find("\"result\":").expect("envelope carries a result");
+    &body[at + "\"result\":".len()..body.len() - 1]
+}
+
+/// Acceptance: ≥ 8 concurrent `POST /run`s are served correctly (each
+/// result matches a local run of the same spec), and a repeated wave is
+/// answered from the cache — marked in the metadata, byte-identical
+/// `result` objects, engine untouched (miss counter flat).
+#[test]
+fn serves_eight_concurrent_runs_then_replays_from_cache() {
+    let dir = scratch("concurrent");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    let specs: Vec<(ScenarioSpec, String)> = (0..8)
+        .map(|i| {
+            let family = [Family::Rectangle, Family::Skyline][i % 2];
+            let strategy = if i % 3 == 0 {
+                StrategyKind::GlobalVision
+            } else {
+                StrategyKind::paper()
+            };
+            let spec = ScenarioSpec::strategy(family, 48 + 4 * i, i as u64, strategy);
+            let body = spec_body(family.name(), spec.n, spec.seed, spec.strategy.name());
+            (spec, body)
+        })
+        .collect();
+
+    let wave = |expect_cached: bool| -> Vec<String> {
+        let threads: Vec<_> = specs
+            .iter()
+            .map(|(_, body)| {
+                let addr = addr.clone();
+                let body = body.clone();
+                std::thread::spawn(move || client::post_run(&addr, &body, false).unwrap())
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| {
+                let reply = t.join().unwrap();
+                assert_eq!(reply.status, 200, "{}", reply.body);
+                let verdict = if expect_cached { "hit" } else { "miss" };
+                assert_eq!(reply.header("x-gatherd-cache"), Some(verdict));
+                let v = Json::parse(&reply.body).unwrap();
+                assert_eq!(v.get("cached"), Some(&Json::Bool(expect_cached)));
+                reply.body
+            })
+            .collect()
+    };
+
+    let first = wave(false);
+    // Every response carries the right hash and agrees with a local run.
+    for ((spec, _), body) in specs.iter().zip(&first) {
+        let v = Json::parse(body).unwrap();
+        assert_eq!(
+            v.get("spec_hash").unwrap().as_str(),
+            Some(spec_hash(spec).as_str())
+        );
+        let result = v.get("result").unwrap();
+        let local = run_scenario(spec);
+        assert_eq!(
+            result.get("rounds").unwrap().as_u64(),
+            Some(local.outcome.rounds()),
+            "{spec:?}"
+        );
+        assert_eq!(
+            result.get("merges").unwrap().as_usize(),
+            Some(local.merges_total)
+        );
+        assert_eq!(result.get("outcome").unwrap().as_str(), Some("gathered"));
+    }
+
+    let misses_after_first = {
+        let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+        Json::parse(&health.body)
+            .unwrap()
+            .get("misses")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+
+    let second = wave(true);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            result_bytes(a),
+            result_bytes(b),
+            "cached replay must be byte-identical"
+        );
+    }
+
+    // The hit wave touched neither the engine nor the miss counter.
+    let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+    let v = Json::parse(&health.body).unwrap();
+    assert_eq!(v.get("misses").unwrap().as_u64(), Some(misses_after_first));
+    assert_eq!(v.get("hits").unwrap().as_u64(), Some(8));
+    assert_eq!(v.get("cache_entries").unwrap().as_usize(), Some(8));
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /result/<hash>` answers from the cache without a run, and the
+/// cache survives a full service restart (JSON Lines persistence).
+#[test]
+fn results_are_addressable_and_survive_restart() {
+    let dir = scratch("restart");
+    let spec = ScenarioSpec::strategy(Family::Comb, 40, 3, StrategyKind::paper());
+    let hash = spec_hash(&spec);
+    let body = spec_body("comb", 40, 3, "paper");
+
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+    // Unknown hash first: 404 with the hash named.
+    let miss = client::request(&addr, "GET", &format!("/result/{hash}"), None).unwrap();
+    assert_eq!(miss.status, 404);
+    assert!(miss.body.contains(&hash));
+
+    let run = client::post_run(&addr, &body, false).unwrap();
+    assert_eq!(run.status, 200);
+    let by_hash = client::request(&addr, "GET", &format!("/result/{hash}"), None).unwrap();
+    assert_eq!(by_hash.status, 200);
+    assert_eq!(result_bytes(&run.body), result_bytes(&by_hash.body));
+    handle.shutdown().unwrap();
+
+    // A fresh service over the same directory serves the result as a hit.
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+    let replay = client::post_run(&addr, &body, false).unwrap();
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.header("x-gatherd-cache"), Some("hit"));
+    assert_eq!(result_bytes(&run.body), result_bytes(&replay.body));
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Async submission + the progress endpoint: a job is observable while
+/// queued/running and reports its final counters once done.
+#[test]
+fn async_jobs_stream_progress() {
+    let dir = scratch("progress");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    let body = spec_body("rectangle", 256, 0, "paper");
+    let accepted = client::post_run(&addr, &body, true).unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let v = Json::parse(&accepted.body).unwrap();
+    let job = v.get("job").unwrap().as_u64().unwrap();
+    let hash = v.get("spec_hash").unwrap().as_str().unwrap().to_string();
+
+    // Poll until done; states observed must stay in the job vocabulary.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let final_snapshot = loop {
+        assert!(Instant::now() < deadline, "job never finished");
+        let p = client::request(&addr, "GET", &format!("/progress/{job}"), None).unwrap();
+        assert_eq!(p.status, 200, "{}", p.body);
+        let v = Json::parse(&p.body).unwrap();
+        let state = v.get("state").unwrap().as_str().unwrap().to_string();
+        assert!(
+            ["queued", "running", "done"].contains(&state.as_str()),
+            "{state}"
+        );
+        if state == "done" {
+            break v;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(
+        final_snapshot.get("finished"),
+        Some(&Json::Bool(true)),
+        "{final_snapshot:?}"
+    );
+    assert!(final_snapshot.get("round").unwrap().as_u64().unwrap() > 0);
+
+    // The finished job's result is now content-addressable.
+    let result = client::request(&addr, "GET", &format!("/result/{hash}"), None).unwrap();
+    assert_eq!(result.status, 200);
+    // And the progress snapshot agrees with the cached row.
+    let row = Json::parse(result_bytes(&result.body)).unwrap();
+    assert_eq!(
+        final_snapshot.get("removed").unwrap().as_usize(),
+        row.get("merges").unwrap().as_usize()
+    );
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Backpressure: with one worker and a 4-deep queue, a burst of 8
+/// distinct expensive submissions is partially refused with 429 — the
+/// queue admits its capacity and rejects the rest instead of buffering.
+#[test]
+fn full_queue_rejects_with_429() {
+    let dir = scratch("backpressure");
+    let handle = Server::spawn(Config {
+        workers: 1,
+        queue: 4,
+        ..config(&dir)
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            let body = spec_body("rectangle", 512, 100 + i, "paper");
+            std::thread::spawn(move || client::post_run(&addr, &body, true).unwrap())
+        })
+        .collect();
+    let statuses: Vec<u16> = threads
+        .into_iter()
+        .map(|t| t.join().unwrap().status)
+        .collect();
+
+    let accepted = statuses.iter().filter(|s| **s == 202).count();
+    let rejected = statuses.iter().filter(|s| **s == 429).count();
+    assert_eq!(
+        accepted + rejected,
+        8,
+        "only 202/429 expected: {statuses:?}"
+    );
+    assert!(
+        accepted >= 4,
+        "the queue must admit its capacity: {statuses:?}"
+    );
+    assert!(rejected >= 1, "an 8-burst into a 4-queue must backpressure");
+
+    // Rejections are visible in healthz and carry the capacity.
+    let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+    let v = Json::parse(&health.body).unwrap();
+    assert!(v.get("rejected").unwrap().as_u64().unwrap() >= 1);
+
+    handle.shutdown().unwrap(); // drains the admitted jobs first
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Validation and routing: malformed specs get 400 with a diagnosable
+/// error, unknown resources 404, wrong methods 405 — never a hang or a
+/// panic.
+#[test]
+fn malformed_requests_are_rejected_cleanly() {
+    let dir = scratch("validation");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    let cases: [(&str, &str); 4] = [
+        ("this is not json", "malformed JSON"),
+        ("{\"family\":\"rectangle\"}", "'n'"),
+        (
+            "{\"family\":\"nope\",\"n\":64,\"seed\":0,\"strategy\":\"paper\"}",
+            "unknown family",
+        ),
+        (
+            "{\"family\":\"rectangle\",\"n\":64,\"seed\":0,\"strategy\":\"open-zip\",\"scheduler\":\"rr2\"}",
+            "SSYNC",
+        ),
+    ];
+    for (body, needle) in cases {
+        let reply = client::request(&addr, "POST", "/run", Some(body)).unwrap();
+        assert_eq!(reply.status, 400, "{body}: {}", reply.body);
+        assert!(reply.body.contains(needle), "{body}: {}", reply.body);
+    }
+
+    let bad_hash = client::request(&addr, "GET", "/result/nothex", None).unwrap();
+    assert_eq!(bad_hash.status, 400);
+    let no_job = client::request(&addr, "GET", "/progress/99999", None).unwrap();
+    assert_eq!(no_job.status, 404);
+    let no_route = client::request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(no_route.status, 404);
+    let bad_method = client::request(&addr, "DELETE", "/run", None).unwrap();
+    assert_eq!(bad_method.status, 405);
+
+    // Bad requests are counted, and none of them touched the engine.
+    let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+    let v = Json::parse(&health.body).unwrap();
+    assert_eq!(v.get("bad_requests").unwrap().as_u64(), Some(4));
+    assert_eq!(v.get("misses").unwrap().as_u64(), Some(0));
+    assert_eq!(v.get("cache_entries").unwrap().as_usize(), Some(0));
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SSYNC specs flow through the wire too: scheduler-qualified requests
+/// hash distinctly and cache independently.
+#[test]
+fn scheduler_axis_is_part_of_the_cache_key() {
+    let dir = scratch("scheduler");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    let fsync = spec_body("rectangle", 48, 0, "compass-se");
+    let kfair =
+        "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"compass-se\",\"scheduler\":\"kfair4\"}"
+            .to_string();
+    let a = client::post_run(&addr, &fsync, false).unwrap();
+    let b = client::post_run(&addr, &kfair, false).unwrap();
+    assert_eq!((a.status, b.status), (200, 200));
+    let ha = Json::parse(&a.body)
+        .unwrap()
+        .get("spec_hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let hb = Json::parse(&b.body)
+        .unwrap()
+        .get("spec_hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_ne!(ha, hb, "scheduler must be part of the identity");
+    // Both replay as hits under their own key.
+    assert_eq!(
+        client::post_run(&addr, &fsync, false)
+            .unwrap()
+            .header("x-gatherd-cache"),
+        Some("hit")
+    );
+    assert_eq!(
+        client::post_run(&addr, &kfair, false)
+            .unwrap()
+            .header("x-gatherd-cache"),
+        Some("hit")
+    );
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
