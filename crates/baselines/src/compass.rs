@@ -24,8 +24,9 @@
 //! with a compass, as the paper says, but a factor `diameter` worse than
 //! the paper's compass-free `O(n)` algorithm (table T7).
 
+use crate::{compass_is_mover, midpoint_hop};
 use chain_sim::{ClosedChain, Strategy};
-use grid_geom::{Offset, Point};
+use grid_geom::Offset;
 
 #[derive(Debug, Default, Clone)]
 pub struct CompassSe;
@@ -33,12 +34,6 @@ pub struct CompassSe;
 impl CompassSe {
     pub fn new() -> Self {
         CompassSe
-    }
-
-    /// The south-east key: larger is more SE.
-    #[inline]
-    fn se_key(p: Point) -> i64 {
-        p.x - p.y
     }
 }
 
@@ -54,13 +49,10 @@ impl Strategy for CompassSe {
             let p = chain.pos(i);
             let a = chain.pos(chain.nb(i, -1));
             let b = chain.pos(chain.nb(i, 1));
-            let k = Self::se_key(p);
-            if Self::se_key(a) > k && Self::se_key(b) > k {
+            if compass_is_mover(p, a, b) {
                 // Both neighbors at key+1: hop to their midpoint (diagonal
                 // fold or merge hop; adjacency is guaranteed).
-                let dx = (a.x + b.x - 2 * p.x).signum();
-                let dy = (a.y + b.y - 2 * p.y).signum();
-                *hop = Offset::new(dx, dy);
+                *hop = midpoint_hop(p, a, b);
                 debug_assert!(*hop != Offset::ZERO);
             }
         }
@@ -71,6 +63,7 @@ impl Strategy for CompassSe {
 mod tests {
     use super::*;
     use chain_sim::{Outcome, RunLimits, Sim};
+    use grid_geom::Point;
 
     fn rectangle(w: i64, h: i64) -> ClosedChain {
         let mut pts = vec![Point::new(0, 0)];

@@ -11,9 +11,9 @@
 //! faster than any local strategy on thin configurations, which is exactly
 //! the paper's point about what locality costs.
 
-use crate::cancel_breaking_hops;
+use crate::{cancel_breaking_hops, center_hop, enclosing_center};
 use chain_sim::{ClosedChain, Strategy};
-use grid_geom::{Offset, Point};
+use grid_geom::Offset;
 
 #[derive(Debug, Default, Clone)]
 pub struct GlobalVision;
@@ -32,16 +32,11 @@ impl Strategy for GlobalVision {
     fn init(&mut self, _chain: &ClosedChain) {}
 
     fn compute(&mut self, chain: &ClosedChain, _round: u64, hops: &mut [Offset]) {
-        let bbox = chain.bounding();
         // Center of the smallest enclosing square (ties toward min — every
         // robot computes the same point from the same global view).
-        let cx = (bbox.min.x + bbox.max.x).div_euclid(2);
-        let cy = (bbox.min.y + bbox.max.y).div_euclid(2);
-        let center = Point::new(cx, cy);
+        let center = enclosing_center(chain.bounding());
         for (i, hop) in hops.iter_mut().enumerate() {
-            let p = chain.pos(i);
-            let d = center - p;
-            *hop = Offset::new(d.dx.signum(), d.dy.signum());
+            *hop = center_hop(chain.pos(i), center);
         }
         cancel_breaking_hops(chain, hops);
     }
@@ -51,6 +46,7 @@ impl Strategy for GlobalVision {
 mod tests {
     use super::*;
     use chain_sim::{Outcome, RunLimits, Sim};
+    use grid_geom::Point;
 
     fn rectangle(w: i64, h: i64) -> ClosedChain {
         let mut pts = vec![Point::new(0, 0)];

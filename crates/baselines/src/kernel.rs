@@ -1,0 +1,534 @@
+//! Baseline strategy kernels over packed hop-code state.
+//!
+//! Each kernel is the data-oriented twin of one boxed baseline: the same
+//! decision rule (shared via this crate's pure decision functions, or
+//! pinned to them by LUT tests), computed from 2-bit edge codes instead
+//! of materialized positions, and plugged into
+//! [`chain_sim::KernelSim`] via [`RoundKernel`]. Byte-identity with the
+//! boxed strategies is enforced by the unit tests below and the
+//! workspace-level differential suite (`tests/kernel_diff.rs`).
+//!
+//! * [`CompassSeKernel`] — movers are the strict SE-key minima, found
+//!   word-parallel ([`chain_sim::PackedChain::strict_se_minima_into`]); each hops
+//!   to the neighbor midpoint via [`MIDPOINT_HOP`]. Movers are never
+//!   chain-adjacent and their hops keep both incident edges adjacent,
+//!   so the sparse (edge-local) apply path needs no safety scan.
+//! * [`NaiveLocalKernel`] — the midpoint rule for *every* robot, then
+//!   the global cancel fixpoint in code space
+//!   ([`cancel_breaking_hops_codes`]), then a dense apply.
+//! * [`GlobalVisionKernel`] — one step toward the enclosing-square
+//!   center of the exact bounding box (byte-LUT walk), then the cancel
+//!   fixpoint and a dense apply.
+//!
+//! The dense kernels can still break the chain under SSYNC activation
+//! (masking robots *after* the cancel fixpoint invalidates its safety
+//! argument — exactly as in the boxed engine), and report byte-identical
+//! [`ChainError`]s when they do.
+
+use crate::enclosing_center;
+use chain_sim::chain::ChainError;
+use chain_sim::kernel::{count_moved, ActivationRule, KernelChain, RoundKernel, HOP_ZERO};
+use chain_sim::packed::{edge_offset, LANES_PER_WORD};
+
+/// Midpoint-hop table: `MIDPOINT_HOP[ep][en]` is the hop code of the
+/// midpoint rule for a robot whose incoming edge (from its predecessor)
+/// has code `ep` and outgoing edge code `en` — with `a = p − off(ep)`
+/// and `b = p + off(en)`, the hop `signum(a + b − 2p)` collapses to
+/// `signum(off(en) − off(ep))`, a pure function of the two codes.
+pub static MIDPOINT_HOP: [[u8; 4]; 4] = build_midpoint_hop();
+
+const fn sgn(v: i64) -> i64 {
+    if v > 0 {
+        1
+    } else if v < 0 {
+        -1
+    } else {
+        0
+    }
+}
+
+const fn build_midpoint_hop() -> [[u8; 4]; 4] {
+    let mut t = [[0u8; 4]; 4];
+    let mut ep = 0;
+    while ep < 4 {
+        let po = edge_offset(ep as u8);
+        let mut en = 0;
+        while en < 4 {
+            let no = edge_offset(en as u8);
+            let dx = sgn(no.dx - po.dx);
+            let dy = sgn(no.dy - po.dy);
+            t[ep][en] = ((dx + 1) * 3 + (dy + 1)) as u8;
+            en += 1;
+        }
+        ep += 1;
+    }
+    t
+}
+
+/// Edge-survival table: `EDGE_OK[e][hl][hr]` is `true` iff the edge of
+/// code `e` stays chain-adjacent (manhattan ≤ 1) when its tail robot
+/// hops `hl` and its head robot hops `hr` — the per-edge predicate of
+/// the cancel fixpoint, in code space. One table serves both neighbor
+/// checks of a robot: the head-side test of an edge is the tail-side
+/// test of the same edge with the offset negated, and manhattan length
+/// is symmetric under negation.
+pub static EDGE_OK: [[[bool; 9]; 9]; 4] = build_edge_ok();
+
+const fn build_edge_ok() -> [[[bool; 9]; 9]; 4] {
+    let mut t = [[[false; 9]; 9]; 4];
+    let mut e = 0;
+    while e < 4 {
+        let eo = edge_offset(e as u8);
+        let mut hl = 0;
+        while hl < 9 {
+            let lo = chain_sim::kernel::hop_offset(hl as u8);
+            let mut hr = 0;
+            while hr < 9 {
+                let ro = chain_sim::kernel::hop_offset(hr as u8);
+                let dx = eo.dx + ro.dx - lo.dx;
+                let dy = eo.dy + ro.dy - lo.dy;
+                t[e][hl][hr] = dx.abs() + dy.abs() <= 1;
+                hr += 1;
+            }
+            hl += 1;
+        }
+        e += 1;
+    }
+    t
+}
+
+/// [`EDGE_OK`] with the head-hop axis packed into a bitmask:
+/// `EDGE_OK_BITS[e·9 + hl] >> hr & 1`. 36 `u16`s — the whole cancel
+/// predicate in two cache lines.
+static EDGE_OK_BITS: [u16; 36] = build_edge_ok_bits();
+
+const fn build_edge_ok_bits() -> [u16; 36] {
+    let mut t = [0u16; 36];
+    let mut e = 0;
+    while e < 4 {
+        let mut hl = 0;
+        while hl < 9 {
+            let mut hr = 0;
+            while hr < 9 {
+                if EDGE_OK[e][hl][hr] {
+                    t[e * 9 + hl] |= 1 << hr;
+                }
+                hr += 1;
+            }
+            hl += 1;
+        }
+        e += 1;
+    }
+    t
+}
+
+#[inline]
+fn edge_ok(e: u8, hl: u8, hr: u8) -> bool {
+    EDGE_OK_BITS[e as usize * 9 + hl as usize] >> hr & 1 != 0
+}
+
+/// The crate-level `cancel_breaking_hops` fixpoint, translated to hop
+/// codes over a decoded edge scratch (one byte per lane, from
+/// [`chain_sim::PackedChain::decode_into`]): the identical in-place sweep
+/// (ascending index, loop to fixpoint, earlier cancellations of a sweep
+/// visible to later tests), with both neighbor checks as [`EDGE_OK`]
+/// lookups. Each sweep pays one table probe per lane: a robot's
+/// prev-side check is the previous lane's next-side check, so it rolls
+/// forward in a register and is only re-probed when a cancellation
+/// invalidates it.
+pub fn cancel_breaking_hops_codes(edges: &[u8], hops: &mut [u8]) {
+    let n = edges.len();
+    debug_assert_eq!(hops.len(), n);
+    if n < 2 {
+        return;
+    }
+    loop {
+        let mut changed = false;
+        // ok_left for lane 0: the wrap edge, with hops[n−1] still at its
+        // start-of-sweep value (index 0 is checked first).
+        let mut ok_left = edge_ok(edges[n - 1], hops[n - 1], hops[0]);
+        let mut i = 0;
+        while i < n {
+            // 8-lane fast path: nine identical consecutive hops mean
+            // every edge inside the block keeps its offset, so each
+            // robot's next-side check passes and ok_left carries
+            // through unchanged — provided it was already true.
+            if ok_left && i + 9 <= n {
+                let h0 = u64::from_le_bytes(hops[i..i + 8].try_into().unwrap());
+                let h1 = u64::from_le_bytes(hops[i + 1..i + 9].try_into().unwrap());
+                if h0 == h1 {
+                    i += 8;
+                    continue;
+                }
+            }
+            let h = hops[i];
+            let next = if i + 1 == n { 0 } else { i + 1 };
+            let ok_right = edge_ok(edges[i], h, hops[next]);
+            if h == HOP_ZERO || (ok_left && ok_right) {
+                ok_left = ok_right;
+            } else {
+                hops[i] = HOP_ZERO;
+                changed = true;
+                ok_left = edge_ok(edges[i], HOP_ZERO, hops[next]);
+            }
+            i += 1;
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Kernel twin of [`CompassSe`](crate::CompassSe): word-parallel strict
+/// SE-minima scan, midpoint hops via LUT, sparse apply.
+#[derive(Debug, Default)]
+pub struct CompassSeKernel {
+    minima: Vec<u64>,
+    movers: Vec<(usize, u8)>,
+}
+
+impl CompassSeKernel {
+    /// A fresh kernel (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoundKernel for CompassSeKernel {
+    fn round<A: ActivationRule>(
+        &mut self,
+        chain: &mut KernelChain,
+        rule: &A,
+        round: u64,
+    ) -> Result<usize, ChainError> {
+        let n = chain.len();
+        if n < 2 {
+            return Ok(0);
+        }
+        let packed = chain.packed();
+        packed.strict_se_minima_into(&mut self.minima);
+        self.movers.clear();
+        for (w, &word) in self.minima.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                let i = w * LANES_PER_WORD + (m.trailing_zeros() as usize) / 2;
+                m &= m - 1;
+                if !A::ALWAYS_ON && !rule.active(round, i) {
+                    continue;
+                }
+                let ep = packed.get(if i == 0 { n - 1 } else { i - 1 });
+                let en = packed.get(i);
+                self.movers
+                    .push((i, MIDPOINT_HOP[ep as usize][en as usize]));
+            }
+        }
+        let moved = self.movers.len();
+        // Any subset of the strict minima is pairwise non-adjacent, and a
+        // minimum's midpoint hop keeps both incident edges adjacent (its
+        // neighbors never move), so the sparse apply cannot break the
+        // chain — compass-se is SSYNC-safe.
+        chain.apply_sparse(&self.movers);
+        Ok(moved)
+    }
+}
+
+/// Kernel twin of [`NaiveLocal`](crate::NaiveLocal): midpoint hops for
+/// everyone, cancel fixpoint, dense apply.
+#[derive(Debug, Default)]
+pub struct NaiveLocalKernel {
+    edges: Vec<u8>,
+    hops: Vec<u8>,
+}
+
+impl NaiveLocalKernel {
+    /// A fresh kernel (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoundKernel for NaiveLocalKernel {
+    fn round<A: ActivationRule>(
+        &mut self,
+        chain: &mut KernelChain,
+        rule: &A,
+        round: u64,
+    ) -> Result<usize, ChainError> {
+        let n = chain.len();
+        if n < 2 {
+            return Ok(0);
+        }
+        {
+            let packed = chain.packed();
+            packed.decode_into(&mut self.edges);
+            self.hops.clear();
+            self.hops.resize(n, HOP_ZERO);
+            // MIDPOINT_HOP[e][e] == HOP_ZERO, so straight runs keep the
+            // fill value: an 8-lane block whose incoming edges equal its
+            // outgoing edges (one shifted u64 compare) needs no writes.
+            let mut i = 0;
+            while i < n {
+                if i >= 1 && i + 8 <= n {
+                    let e0 = u64::from_le_bytes(self.edges[i - 1..i + 7].try_into().unwrap());
+                    let e1 = u64::from_le_bytes(self.edges[i..i + 8].try_into().unwrap());
+                    if e0 == e1 {
+                        i += 8;
+                        continue;
+                    }
+                }
+                let ep = self.edges[if i == 0 { n - 1 } else { i - 1 }];
+                self.hops[i] = MIDPOINT_HOP[ep as usize][self.edges[i] as usize];
+                i += 1;
+            }
+            // The cancel fixpoint runs on the *full* hop vector, then the
+            // activation mask zeroes inactive robots — the boxed engine's
+            // order. Under SSYNC the masking can reintroduce breaking
+            // pairs, and the dense apply reports them identically.
+            cancel_breaking_hops_codes(&self.edges, &mut self.hops);
+        }
+        if !A::ALWAYS_ON {
+            for (i, h) in self.hops.iter_mut().enumerate() {
+                if !rule.active(round, i) {
+                    *h = HOP_ZERO;
+                }
+            }
+        }
+        let moved = count_moved(&self.hops);
+        if moved == 0 {
+            return Ok(0);
+        }
+        chain.apply_dense(&self.hops)?;
+        Ok(moved)
+    }
+}
+
+/// Kernel twin of [`GlobalVision`](crate::GlobalVision): one step toward
+/// the enclosing-square center, cancel fixpoint, dense apply.
+#[derive(Debug, Default)]
+pub struct GlobalVisionKernel {
+    edges: Vec<u8>,
+    hops: Vec<u8>,
+}
+
+impl GlobalVisionKernel {
+    /// A fresh kernel (scratch buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoundKernel for GlobalVisionKernel {
+    fn round<A: ActivationRule>(
+        &mut self,
+        chain: &mut KernelChain,
+        rule: &A,
+        round: u64,
+    ) -> Result<usize, ChainError> {
+        let n = chain.len();
+        if n < 2 {
+            return Ok(0);
+        }
+        {
+            let packed = chain.packed();
+            packed.decode_into(&mut self.edges);
+            let center = enclosing_center(packed.bounding());
+            let (cx, cy) = (center.x, center.y);
+            self.hops.clear();
+            self.hops.resize(n, HOP_ZERO);
+            let (mut x, mut y) = (packed.origin().x, packed.origin().y);
+            const LO: u64 = 0x5555_5555_5555_5555;
+            for (chunk, &word) in self.hops.chunks_mut(LANES_PER_WORD).zip(packed.words()) {
+                // Whole-word fast path: the 32 robots of a word drift at
+                // most 31 cells from its first, so when the word starts
+                // more than 31 cells off both center axes every robot
+                // shares one signum pair. Fill the hop bytes with that
+                // single code and advance the walk by the word's net
+                // edge delta — E/S/W/N counts fall out of three
+                // popcounts over the 2-bit lanes.
+                if chunk.len() == LANES_PER_WORD && (cx - x).abs() > 31 && (cy - y).abs() > 31 {
+                    let dx = (cx > x) as i64 - (cx < x) as i64;
+                    let dy = (cy > y) as i64 - (cy < y) as i64;
+                    chunk.fill(((dx + 1) * 3 + (dy + 1)) as u8);
+                    let lo = word & LO;
+                    let hi = (word >> 1) & LO;
+                    let north = (hi & lo).count_ones() as i64;
+                    let west = hi.count_ones() as i64 - north;
+                    let south = lo.count_ones() as i64 - north;
+                    let east = LANES_PER_WORD as i64 - north - west - south;
+                    x += east - west;
+                    y += north - south;
+                    continue;
+                }
+                let mut w = word;
+                for h in chunk {
+                    // Branchless one-step-toward-center: signum per
+                    // axis, re-encoded as the hop code (dx+1)·3+(dy+1).
+                    let dx = (cx > x) as i64 - (cx < x) as i64;
+                    let dy = (cy > y) as i64 - (cy < y) as i64;
+                    *h = ((dx + 1) * 3 + (dy + 1)) as u8;
+                    // The position walk decodes the edge delta with pure
+                    // register arithmetic (`t` = ±1 magnitude, `m` =
+                    // axis mask) — no table load on the serial x/y
+                    // dependency chain.
+                    let e = w & 3;
+                    w >>= 2;
+                    let t = 1i64 - (e & 2) as i64;
+                    let m = (e & 1) as i64 - 1;
+                    x += t & m;
+                    y += -t & !m;
+                }
+            }
+            cancel_breaking_hops_codes(&self.edges, &mut self.hops);
+        }
+        if !A::ALWAYS_ON {
+            for (i, h) in self.hops.iter_mut().enumerate() {
+                if !rule.active(round, i) {
+                    *h = HOP_ZERO;
+                }
+            }
+        }
+        let moved = count_moved(&self.hops);
+        if moved == 0 {
+            return Ok(0);
+        }
+        chain.apply_dense(&self.hops)?;
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cancel_breaking_hops, midpoint_hop, CompassSe, GlobalVision, NaiveLocal};
+    use chain_sim::kernel::{hop_code, hop_offset, FsyncRule, KernelSim, RoundRobinRule};
+    use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy};
+    use grid_geom::{chain_adjacent, Offset, Point};
+
+    fn ring(w: i64, h: i64) -> ClosedChain {
+        let mut pts = Vec::new();
+        for x in 0..w {
+            pts.push(Point::new(x, 0));
+        }
+        for y in 1..h {
+            pts.push(Point::new(w - 1, y));
+        }
+        for x in (0..w - 1).rev() {
+            pts.push(Point::new(x, h - 1));
+        }
+        for y in (1..h - 1).rev() {
+            pts.push(Point::new(0, y));
+        }
+        ClosedChain::new(pts).unwrap()
+    }
+
+    fn kernel_chain(chain: &ClosedChain) -> KernelChain {
+        KernelChain::new(chain_sim::PackedChain::from_chain(chain).unwrap())
+    }
+
+    #[test]
+    fn midpoint_table_matches_pure_fn() {
+        for ep in 0..4u8 {
+            for en in 0..4u8 {
+                let p = Point::new(0, 0);
+                let a = p - edge_offset(ep); // predecessor: p = a + off(ep)
+                let b = p + edge_offset(en);
+                let want = midpoint_hop(p, a, b);
+                let got = hop_offset(MIDPOINT_HOP[ep as usize][en as usize]);
+                assert_eq!(got, want, "ep={ep} en={en}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ok_table_matches_chain_adjacent() {
+        for e in 0..4u8 {
+            for hl in 0..9u8 {
+                for hr in 0..9u8 {
+                    let tail = Point::new(0, 0) + hop_offset(hl);
+                    let head = Point::new(0, 0) + edge_offset(e) + hop_offset(hr);
+                    assert_eq!(
+                        EDGE_OK[e as usize][hl as usize][hr as usize],
+                        chain_adjacent(tail, head),
+                        "e={e} hl={hl} hr={hr}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The global-vision walk decodes edge deltas with register
+    /// arithmetic; pin it to [`edge_offset`] for all four codes.
+    #[test]
+    fn register_walk_deltas_match_edge_offset() {
+        for e in 0..4u64 {
+            let t = 1i64 - (e & 2) as i64;
+            let m = (e & 1) as i64 - 1;
+            let o = edge_offset(e as u8);
+            assert_eq!((t & m, -t & !m), (o.dx, o.dy), "e={e}");
+        }
+    }
+
+    /// The code-space cancel sweep reaches the same fixpoint as the
+    /// position-space original, on hop vectors that actually need
+    /// cascaded cancellation.
+    #[test]
+    fn cancel_codes_matches_boxed_cancel() {
+        let chain = ring(7, 4);
+        let n = chain.len();
+        let packed = chain_sim::PackedChain::from_chain(&chain).unwrap();
+        // A hostile vector: everyone pulls toward the origin, which is
+        // full of breaking pairs on the far sides.
+        let mut boxed: Vec<Offset> = (0..n)
+            .map(|i| {
+                let p = chain.pos(i);
+                Offset::new(-p.x.signum(), -p.y.signum())
+            })
+            .collect();
+        let mut codes: Vec<u8> = boxed.iter().map(|&o| hop_code(o)).collect();
+        let mut edges = Vec::new();
+        packed.decode_into(&mut edges);
+        cancel_breaking_hops(&chain, &mut boxed);
+        cancel_breaking_hops_codes(&edges, &mut codes);
+        let want: Vec<u8> = boxed.iter().map(|&o| hop_code(o)).collect();
+        assert_eq!(codes, want);
+    }
+
+    /// FSYNC and SSYNC smoke equivalence for all three kernels: same
+    /// outcome, progress, and final positions as the boxed strategies.
+    /// (The 500-draw sweep lives in `tests/kernel_diff.rs`.)
+    #[test]
+    fn kernels_match_boxed_strategies() {
+        fn check<S: Strategy, K: RoundKernel>(strategy: S, kernel: K, gathers: bool) {
+            let chain = ring(9, 6);
+            let limits = RunLimits::for_chain_len(chain.len());
+            let mut boxed = Sim::new(chain.clone(), strategy);
+            let out_boxed = boxed.run(limits);
+            let mut fast = KernelSim::new(kernel_chain(&chain), kernel, FsyncRule);
+            let out_fast = fast.run(limits);
+            assert_eq!(out_boxed, out_fast);
+            assert_eq!(&boxed.progress(), fast.progress());
+            assert_eq!(boxed.chain().positions(), fast.chain().positions());
+            assert_eq!(matches!(out_fast, Outcome::Gathered { .. }), gathers);
+        }
+        check(CompassSe::new(), CompassSeKernel::new(), true);
+        check(NaiveLocal::new(), NaiveLocalKernel::new(), true);
+        check(GlobalVision::new(), GlobalVisionKernel::new(), true);
+
+        // SSYNC round-robin: the activation mask threads through
+        // identically (compass-se gathers under any schedule).
+        let chain = ring(8, 5);
+        let limits = RunLimits::for_chain_len(chain.len());
+        let mut boxed = Sim::new(chain.clone(), CompassSe::new())
+            .with_scheduler(chain_sim::SchedulerKind::RoundRobin(2).build(0));
+        let out_boxed = boxed.run(limits);
+        let mut fast = KernelSim::new(
+            kernel_chain(&chain),
+            CompassSeKernel::new(),
+            RoundRobinRule::new(2),
+        );
+        let out_fast = fast.run(limits);
+        assert_eq!(out_boxed, out_fast);
+        assert_eq!(&boxed.progress(), fast.progress());
+        assert_eq!(boxed.chain().positions(), fast.chain().positions());
+    }
+}

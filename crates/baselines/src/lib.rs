@@ -32,17 +32,62 @@
 pub mod compass;
 pub mod global_vision;
 pub mod hopper;
+pub mod kernel;
 pub mod naive_local;
 pub mod open_zip;
 
 pub use compass::CompassSe;
 pub use global_vision::GlobalVision;
 pub use hopper::{manhattan_hopper, HopperOutcome};
+pub use kernel::{CompassSeKernel, GlobalVisionKernel, NaiveLocalKernel};
 pub use naive_local::NaiveLocal;
 pub use open_zip::{open_chain_zip, ZipOutcome};
 
 use chain_sim::ClosedChain;
-use grid_geom::{chain_adjacent, Offset};
+use grid_geom::{chain_adjacent, Offset, Point, Rect};
+
+/// The south-east key: larger is more south-east. Changes by exactly ±1
+/// along every chain edge.
+#[inline]
+pub const fn se_key(p: Point) -> i64 {
+    p.x - p.y
+}
+
+/// The compass-se mover rule: is `p` a strict SE-key minimum between its
+/// chain neighbors `a` and `b`?
+#[inline]
+pub fn compass_is_mover(p: Point, a: Point, b: Point) -> bool {
+    se_key(a) > se_key(p) && se_key(b) > se_key(p)
+}
+
+/// One axis-wise step from `p` toward the midpoint of `a` and `b`
+/// (midpoint taken in doubled coordinates to stay in integers) — the
+/// shared hop rule of [`CompassSe`] and [`NaiveLocal`].
+#[inline]
+pub fn midpoint_hop(p: Point, a: Point, b: Point) -> Offset {
+    Offset::new(
+        (a.x + b.x - 2 * p.x).signum(),
+        (a.y + b.y - 2 * p.y).signum(),
+    )
+}
+
+/// Center of the smallest enclosing square of `bbox` (ties toward min) —
+/// the [`GlobalVision`] rendezvous point.
+#[inline]
+pub fn enclosing_center(bbox: Rect) -> Point {
+    Point::new(
+        (bbox.min.x + bbox.max.x).div_euclid(2),
+        (bbox.min.y + bbox.max.y).div_euclid(2),
+    )
+}
+
+/// One axis-wise step from `p` toward `center` — the [`GlobalVision`]
+/// hop rule.
+#[inline]
+pub fn center_hop(p: Point, center: Point) -> Offset {
+    let d = center - p;
+    Offset::new(d.dx.signum(), d.dy.signum())
+}
 
 /// Cancel-iteration: given intended hops, repeatedly cancel any hop whose
 /// application (against the current surviving set) would break chain

@@ -13,7 +13,7 @@
 //! chain-safe from purely local evidence. This baseline is measured for
 //! reference (table T7) and documented as model-inadmissible.
 
-use crate::cancel_breaking_hops;
+use crate::{cancel_breaking_hops, midpoint_hop};
 use chain_sim::{ClosedChain, Strategy};
 use grid_geom::Offset;
 
@@ -38,10 +38,7 @@ impl Strategy for NaiveLocal {
             let p = chain.pos(i);
             let a = chain.pos(chain.nb(i, -1));
             let b = chain.pos(chain.nb(i, 1));
-            // Midpoint in doubled coordinates to stay in integers.
-            let dx = (a.x + b.x - 2 * p.x).signum();
-            let dy = (a.y + b.y - 2 * p.y).signum();
-            *hop = Offset::new(dx, dy);
+            *hop = midpoint_hop(p, a, b);
         }
         // Global safety oracle — inadmissible in the paper's local model;
         // see the module docs.

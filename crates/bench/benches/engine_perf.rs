@@ -13,8 +13,10 @@
 //! cargo bench -p bench --bench engine_perf
 //! ```
 
-use bench::{run_batch_with, BatchOptions, ScenarioSpec};
-use chain_sim::{Recorder, RunLimits, Sim};
+use baselines::{CompassSeKernel, GlobalVisionKernel, NaiveLocalKernel};
+use bench::{run_batch_with, BatchOptions, ScenarioSpec, StrategyKind};
+use chain_sim::kernel::{FsyncRule, KernelChain, KernelSim, RoundKernel};
+use chain_sim::{ClosedChain, PackedChain, Recorder, RunLimits, Sim};
 use gathering_core::{ClosedChainGathering, GatherConfig, MergeScan};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -190,6 +192,117 @@ fn bench_batch_scaling() {
     }
 }
 
+/// Step the boxed (observer-free) engine for up to `cap` rounds and
+/// return the robot·rounds executed — Σ of the live-robot count over the
+/// rounds actually stepped, so merges are accounted honestly.
+fn boxed_capped(kind: StrategyKind, chain: &ClosedChain, cap: u64) -> u64 {
+    let mut sim = Sim::new(chain.clone(), kind.build().expect("closed-chain kind"));
+    let mut work = 0u64;
+    for _ in 0..cap {
+        if sim.is_gathered() {
+            break;
+        }
+        work += sim.chain().len() as u64;
+        sim.step().expect("eligible strategies never break");
+    }
+    black_box(sim.chain().len());
+    work
+}
+
+/// The same capped stepping on the packed kernel path.
+fn kernel_capped<K: RoundKernel>(kernel: K, chain: &ClosedChain, cap: u64) -> u64 {
+    let packed = PackedChain::from_chain(chain).expect("generated chains pack");
+    let mut sim = KernelSim::new(KernelChain::new(packed), kernel, FsyncRule);
+    let mut work = 0u64;
+    for _ in 0..cap {
+        if sim.chain().is_gathered() {
+            break;
+        }
+        work += sim.chain().len() as u64;
+        sim.step().expect("eligible strategies never break");
+    }
+    black_box(sim.chain().len());
+    work
+}
+
+fn kernel_capped_kind(kind: StrategyKind, chain: &ClosedChain, cap: u64) -> u64 {
+    match kind {
+        StrategyKind::CompassSe => kernel_capped(CompassSeKernel::new(), chain, cap),
+        StrategyKind::NaiveLocal => kernel_capped(NaiveLocalKernel::new(), chain, cap),
+        StrategyKind::GlobalVision => kernel_capped(GlobalVisionKernel::new(), chain, cap),
+        other => panic!("not a kernel kind: {other:?}"),
+    }
+}
+
+/// The tentpole acceptance bench: observer-free throughput of the packed
+/// kernel path vs the boxed engine, per strategy, at three sizes. Writes
+/// the `BENCH_engine.json` artifact (full mode) and, with `--gate`,
+/// asserts kernel ≥ 5× boxed at n ≥ 16384 and exits non-zero otherwise
+/// (the CI smoke; the full bench targets ≥ 10×).
+fn bench_kernel_vs_boxed(gate: bool) {
+    println!("## kernel_vs_boxed (observer-free capped stepping, FSYNC)");
+    let sizes: &[usize] = if gate {
+        &[16384]
+    } else {
+        &[1024, 16384, 262144]
+    };
+    let kinds = [
+        StrategyKind::GlobalVision,
+        StrategyKind::CompassSe,
+        StrategyKind::NaiveLocal,
+    ];
+    let mut rows = String::new();
+    let mut gate_ok = true;
+    for &n in sizes {
+        let chain = Family::Rectangle.generate(n, 0);
+        let len = chain.len();
+        // Cap the stepped rounds so one iteration does ~2M robot·rounds
+        // regardless of n (big chains step few rounds, small chains many).
+        let cap = (2_000_000 / len as u64).clamp(4, 4096);
+        for kind in kinds {
+            let (_, bw, bt) = time_until_stable(|| boxed_capped(kind, &chain, cap));
+            let (_, kw, kt) = time_until_stable(|| kernel_capped_kind(kind, &chain, cap));
+            let boxed_rps = per_sec(bw, bt);
+            let kernel_rps = per_sec(kw, kt);
+            let speedup = kernel_rps / boxed_rps;
+            println!(
+                "  {:<14} n={len:>6}  boxed {boxed_rps:>12.0}  kernel {kernel_rps:>12.0}  robot·rounds/s  {speedup:>6.1}x",
+                kind.name()
+            );
+            if len >= 16384 && speedup < 10.0 {
+                println!("  WARNING: below the 10x full-bench target");
+            }
+            if gate && len >= 16384 && speedup < 5.0 {
+                gate_ok = false;
+            }
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"strategy\": \"{}\", \"n\": {len}, \"rounds_per_iter\": {cap}, \
+                 \"boxed_robot_rounds_per_s\": {boxed_rps:.0}, \
+                 \"kernel_robot_rounds_per_s\": {kernel_rps:.0}, \"speedup\": {speedup:.2}}}",
+                kind.name()
+            ));
+        }
+    }
+    if !gate {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+        let body = format!(
+            "{{\n  \"bench\": \"engine_perf/kernel_vs_boxed\",\n  \
+             \"unit\": \"robot_rounds_per_sec\",\n  \"schedule\": \"fsync\",\n  \
+             \"rows\": [\n{rows}\n  ]\n}}\n"
+        );
+        std::fs::write(path, body).expect("write BENCH_engine.json");
+        println!("  wrote {path}");
+    } else if gate_ok {
+        println!("  GATE OK: kernel >= 5x boxed at n >= 16384");
+    } else {
+        println!("  GATE FAILED: kernel < 5x boxed at n >= 16384");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     // `cargo bench` forwards its own flags (e.g. `--bench`); the first
     // non-flag argument, if any, filters the sections by substring.
@@ -197,7 +310,11 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
+    let gate = std::env::args().any(|a| a == "--gate");
     let want = |name: &str| filter.is_empty() || name.contains(&filter);
+    if want("kernel_vs_boxed") {
+        bench_kernel_vs_boxed(gate);
+    }
     if want("single_round") {
         bench_single_round();
     }

@@ -25,11 +25,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use baselines::{manhattan_hopper, open_chain_zip, CompassSe, GlobalVision, NaiveLocal};
+use baselines::{
+    manhattan_hopper, open_chain_zip, CompassSe, CompassSeKernel, GlobalVision, GlobalVisionKernel,
+    NaiveLocal, NaiveLocalKernel,
+};
+use chain_sim::kernel::{
+    ActivationRule, FsyncRule, KFairRule, KernelChain, KernelSim, RandomRule, RoundKernel,
+    RoundRobinRule, StandKernel,
+};
 use chain_sim::strategy::Stand;
 use chain_sim::{
-    ClosedChain, OpenChain, Outcome, ProgressProbe, ProgressSlot, RunLimits, SchedulerKind, Sim,
-    Strategy,
+    ClosedChain, OpenChain, Outcome, PackedChain, ProgressProbe, ProgressSlot, RunLimits,
+    SchedulerKind, Sim, Strategy,
 };
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
@@ -198,6 +205,19 @@ impl StrategyKind {
         seed: u64,
         probe: Option<Arc<ProgressSlot>>,
     ) -> Box<dyn ScenarioDriver> {
+        StrategyFactory::resolve(*self).driver_probed(chain, scheduler, seed, probe)
+    }
+
+    /// The boxed/engine execution paths — everything except the kernel
+    /// fast path, which [`StrategyFactory::driver_probed`] dispatches in
+    /// front of this.
+    fn driver_boxed(
+        &self,
+        chain: ClosedChain,
+        scheduler: SchedulerKind,
+        seed: u64,
+        probe: Option<Arc<ProgressSlot>>,
+    ) -> Box<dyn ScenarioDriver> {
         match self {
             StrategyKind::Paper(cfg) => {
                 let mut sim = Sim::new(chain, ClosedChainGathering::new(*cfg))
@@ -249,6 +269,115 @@ impl StrategyKind {
                 })
             }
         }
+    }
+}
+
+/// A resolved kind→driver factory: the registry resolution for one
+/// strategy kind — which execution path it takes, in particular whether
+/// its specs are eligible for the data-oriented kernel path — done once
+/// and reused by every spec sharing the kind. The batch executor hoists
+/// these into a [`FactorySet`], so batch setup resolves O(kinds)
+/// factories, not O(specs).
+#[derive(Clone, Copy, Debug)]
+pub struct StrategyFactory {
+    kind: StrategyKind,
+    kernel_eligible: bool,
+}
+
+impl StrategyFactory {
+    /// Resolve `kind` against the registry.
+    pub fn resolve(kind: StrategyKind) -> Self {
+        StrategyFactory {
+            kernel_eligible: matches!(
+                kind,
+                StrategyKind::GlobalVision
+                    | StrategyKind::CompassSe
+                    | StrategyKind::NaiveLocal
+                    | StrategyKind::Stand
+            ),
+            kind,
+        }
+    }
+
+    /// The kind this factory builds drivers for.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// `true` when this kind's scenarios run on the data-oriented kernel
+    /// path (see `chain_sim::kernel`).
+    pub fn kernel_eligible(&self) -> bool {
+        self.kernel_eligible
+    }
+
+    /// Build the driver for one scenario of this factory's kind — the
+    /// dispatch behind [`StrategyKind::driver_probed`].
+    ///
+    /// Kernel-eligible kinds ride the monomorphized kernel path
+    /// (byte-identical to the boxed engine; `tests/kernel_diff.rs`). A
+    /// progress slot is passive shared state the kernel driver publishes
+    /// into natively, so probed runs — the gatherd cache misses — stay
+    /// on the fast path too. Only an input chain the packed
+    /// representation rejects (coinciding neighbors, which only a
+    /// hand-built chain can have) falls back to the boxed engine, which
+    /// merges them away on round one.
+    pub fn driver_probed(
+        &self,
+        chain: ClosedChain,
+        scheduler: SchedulerKind,
+        seed: u64,
+        probe: Option<Arc<ProgressSlot>>,
+    ) -> Box<dyn ScenarioDriver> {
+        if self.kernel_eligible {
+            match kernel_driver(&self.kind, chain, scheduler, seed, probe.clone()) {
+                Ok(driver) => return driver,
+                Err(chain) => return self.kind.driver_boxed(chain, scheduler, seed, probe),
+            }
+        }
+        self.kind.driver_boxed(chain, scheduler, seed, probe)
+    }
+}
+
+/// The hoisted kind→factory table of a batch: exactly one
+/// [`StrategyFactory::resolve`] per *distinct* strategy kind in the spec
+/// list.
+pub struct FactorySet {
+    factories: Vec<StrategyFactory>,
+}
+
+impl FactorySet {
+    /// Resolve every distinct kind appearing in `specs` exactly once
+    /// (linear scan — kind counts are single digits).
+    pub fn for_specs(specs: &[ScenarioSpec]) -> Self {
+        let mut factories: Vec<StrategyFactory> = Vec::new();
+        for spec in specs {
+            if !factories.iter().any(|f| f.kind() == spec.strategy) {
+                factories.push(StrategyFactory::resolve(spec.strategy));
+            }
+        }
+        FactorySet { factories }
+    }
+
+    /// Resolved factories — equals the number of distinct kinds in the
+    /// batch, never the number of specs.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// `true` when the batch had no specs.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+
+    /// The factory for `kind`. Falls back to an on-the-fly resolution if
+    /// a kind outside the construction set is asked for, keeping the
+    /// lookup total.
+    pub fn get(&self, kind: StrategyKind) -> StrategyFactory {
+        self.factories
+            .iter()
+            .find(|f| f.kind() == kind)
+            .copied()
+            .unwrap_or_else(|| StrategyFactory::resolve(kind))
     }
 }
 
@@ -322,7 +451,8 @@ impl ScenarioDriver for PaperDriver {
     }
 }
 
-/// Closed-chain driver for the boxed baseline strategies.
+/// Closed-chain driver for the boxed baseline strategies (the fallback
+/// when the packed representation rejects the input chain).
 struct EngineDriver {
     sim: Sim<Box<dyn Strategy + Send>>,
 }
@@ -340,6 +470,106 @@ impl ScenarioDriver for EngineDriver {
             open: None,
         }
     }
+}
+
+/// Closed-chain driver on the data-oriented fast path: a monomorphized
+/// `(RoundKernel, ActivationRule)` pair over packed hop-code state,
+/// byte-identical to [`EngineDriver`] on the same spec. When a progress
+/// slot is attached it publishes exactly what a [`ProgressProbe`] would
+/// (the slot is passive shared state, not an observer, so the kernel
+/// path keeps its no-observers guarantee).
+struct KernelDriver<K: RoundKernel, A: ActivationRule> {
+    sim: KernelSim<K, A>,
+    probe: Option<Arc<ProgressSlot>>,
+}
+
+impl<K: RoundKernel, A: ActivationRule> ScenarioDriver for KernelDriver<K, A> {
+    fn drive(mut self: Box<Self>, limits: RunLimits) -> DriveReport {
+        let outcome = match &self.probe {
+            None => self.sim.run(limits),
+            Some(slot) => {
+                slot.publish(0, self.sim.chain().len(), 0);
+                let mut removed_total = 0usize;
+                let feed = Arc::clone(slot);
+                let outcome = self.sim.run_with(limits, |summary| {
+                    removed_total += summary.removed;
+                    feed.publish(summary.round + 1, summary.len_after, removed_total);
+                });
+                // Mirror `ProgressProbe::on_finish`: republish the final
+                // state at the last published round, then close the feed.
+                slot.publish(slot.snapshot().round, self.sim.chain().len(), removed_total);
+                slot.finish();
+                outcome
+            }
+        };
+        let progress = self.sim.progress();
+        DriveReport {
+            outcome,
+            merges_total: progress.total_removed(),
+            longest_gap: progress.longest_mergeless_gap(),
+            stats: None,
+            audit: None,
+            open: None,
+        }
+    }
+}
+
+/// Build the kernel-path driver for a kernel-eligible strategy kind, or
+/// hand the chain back if the packed representation rejects it (input
+/// chains with coinciding neighbors — the boxed engine merges those on
+/// round one, the packed invariant forbids them).
+///
+/// The double match monomorphizes one driver per (strategy, scheduler)
+/// combination; every combination replicates the boxed engine byte for
+/// byte (`tests/kernel_diff.rs`).
+fn kernel_driver(
+    kind: &StrategyKind,
+    chain: ClosedChain,
+    scheduler: SchedulerKind,
+    seed: u64,
+    probe: Option<Arc<ProgressSlot>>,
+) -> Result<Box<dyn ScenarioDriver>, ClosedChain> {
+    fn with_rule<K: RoundKernel + 'static>(
+        kernel: K,
+        chain: KernelChain,
+        scheduler: SchedulerKind,
+        seed: u64,
+        probe: Option<Arc<ProgressSlot>>,
+    ) -> Box<dyn ScenarioDriver> {
+        match scheduler {
+            SchedulerKind::Fsync => Box::new(KernelDriver {
+                sim: KernelSim::new(chain, kernel, FsyncRule),
+                probe,
+            }),
+            SchedulerKind::RoundRobin(groups) => Box::new(KernelDriver {
+                sim: KernelSim::new(chain, kernel, RoundRobinRule::new(groups)),
+                probe,
+            }),
+            SchedulerKind::Random(percent) => Box::new(KernelDriver {
+                sim: KernelSim::new(chain, kernel, RandomRule::new(seed, percent)),
+                probe,
+            }),
+            SchedulerKind::KFair(k) => Box::new(KernelDriver {
+                sim: KernelSim::new(chain, kernel, KFairRule::new(seed, k)),
+                probe,
+            }),
+        }
+    }
+
+    let packed = match PackedChain::from_chain(&chain) {
+        Ok(packed) => packed,
+        Err(_) => return Err(chain),
+    };
+    let kc = KernelChain::new(packed);
+    Ok(match kind {
+        StrategyKind::CompassSe => with_rule(CompassSeKernel::new(), kc, scheduler, seed, probe),
+        StrategyKind::NaiveLocal => with_rule(NaiveLocalKernel::new(), kc, scheduler, seed, probe),
+        StrategyKind::GlobalVision => {
+            with_rule(GlobalVisionKernel::new(), kc, scheduler, seed, probe)
+        }
+        StrategyKind::Stand => with_rule(StandKernel, kc, scheduler, seed, probe),
+        other => unreachable!("no kernel for strategy kind {}", other.name()),
+    })
 }
 
 /// Open-chain driver: the generated closed chain is cut open
@@ -589,12 +819,22 @@ pub fn run_scenario_probed(
     spec: &ScenarioSpec,
     probe: Option<Arc<ProgressSlot>>,
 ) -> ScenarioResult {
+    run_scenario_resolved(spec, &StrategyFactory::resolve(spec.strategy), probe)
+}
+
+/// [`run_scenario_probed`] against a pre-resolved factory — the batch
+/// executor's per-spec body, with the kind→factory resolution hoisted
+/// out ([`FactorySet`]).
+fn run_scenario_resolved(
+    spec: &ScenarioSpec,
+    factory: &StrategyFactory,
+    probe: Option<Arc<ProgressSlot>>,
+) -> ScenarioResult {
     let t0 = Instant::now();
     let chain = spec.generate();
     let n = chain.len();
     let limits = spec.resolve_limits(&chain);
-    let report = spec
-        .strategy
+    let report = factory
         .driver_probed(chain, spec.scheduler, spec.seed, probe)
         .drive(limits);
 
@@ -671,14 +911,21 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
     if specs.is_empty() {
         return Vec::new();
     }
+    // Hoisted batch setup: one factory per distinct kind, shared by every
+    // worker — O(kinds), not O(specs).
+    let factories = FactorySet::for_specs(specs);
     let threads = opts.effective_threads(specs.len());
     if threads <= 1 {
-        return specs.iter().map(run_scenario).collect();
+        return specs
+            .iter()
+            .map(|s| run_scenario_resolved(s, &factories.get(s.strategy), None))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<ScenarioResult>> = specs.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
+        let factories = &factories;
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -688,7 +935,11 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
                         if i >= specs.len() {
                             break;
                         }
-                        local.push((i, run_scenario(&specs[i])));
+                        let spec = &specs[i];
+                        local.push((
+                            i,
+                            run_scenario_resolved(spec, &factories.get(spec.strategy), None),
+                        ));
                     }
                     local
                 })
@@ -722,6 +973,30 @@ mod tests {
             assert_eq!(p.spec, *spec);
             assert_eq!(p.fingerprint(), s.fingerprint());
             assert!(p.is_gathered());
+        }
+    }
+
+    /// Satellite: batch setup resolves each distinct strategy kind once —
+    /// `FactorySet` is O(kinds), not O(specs) — and the hoisted factories
+    /// produce the same results as per-spec resolution.
+    #[test]
+    fn batch_setup_is_o_kinds_and_matches_per_spec_runs() {
+        let specs: Vec<ScenarioSpec> = (0..32)
+            .flat_map(|seed| {
+                [
+                    ScenarioSpec::strategy(Family::Rectangle, 32, seed, StrategyKind::CompassSe),
+                    ScenarioSpec::strategy(Family::Skyline, 32, seed, StrategyKind::NaiveLocal),
+                ]
+            })
+            .collect();
+        let factories = FactorySet::for_specs(&specs);
+        assert_eq!(factories.len(), 2, "64 specs over 2 kinds resolve twice");
+        for kind in [StrategyKind::CompassSe, StrategyKind::NaiveLocal] {
+            assert!(factories.get(kind).kernel_eligible());
+        }
+        let batch = run_batch_with(&specs, BatchOptions::threads(2));
+        for (r, spec) in batch.iter().zip(&specs) {
+            assert_eq!(r.fingerprint(), run_scenario(spec).fingerprint());
         }
     }
 

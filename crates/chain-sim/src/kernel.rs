@@ -1,0 +1,987 @@
+//! Specialized round kernels over [`PackedChain`] state: the
+//! data-oriented fast path of the engine.
+//!
+//! The boxed engine ([`Sim`](crate::Sim)) pays for its composability —
+//! `Box<dyn Strategy>` virtual dispatch, a `Vec<Point>` it rewrites
+//! every round, a full connectivity validation pass, a full merge scan,
+//! and a full bounding-box scan for the gathering check. None of that
+//! is needed on the *observer-free* path, where nothing inspects
+//! intermediate state: a round is then a pure function of the packed
+//! edge codes, and every per-robot geometric predicate collapses to a
+//! table lookup over 2-bit edge codes and 4-bit hop codes.
+//!
+//! This module provides the machinery shared by all kernels:
+//!
+//! * hop codes and the edge-update tables ([`HOP_ZERO`],
+//!   [`APPLY_EDGE`]): a post-hop edge is `old + hop(right) − hop(left)`,
+//!   precomputed for all `4 × 9 × 9` combinations;
+//! * [`KernelChain`] — packed state plus the round apply/merge engine
+//!   (sparse apply for never-adjacent mover sets, dense apply for
+//!   whole-chain hop vectors, zero-edge splice-out, and an amortized
+//!   O(1) gathering check via bounding-box staleness bounds);
+//! * [`ActivationRule`] — `Copy` monomorphic mirrors of the boxed
+//!   [`Scheduler`](crate::Scheduler) kinds, activation formulas shared
+//!   with the boxed implementations so the schedules cannot drift;
+//! * [`RoundKernel`] / [`KernelSim`] — the specialized round loop,
+//!   replicating [`Sim::step`](crate::Sim::step) /
+//!   [`Sim::run`](crate::Sim::run) byte-for-byte: identical
+//!   [`RoundSummary`] streams, identical [`Outcome`]s, identical
+//!   [`Progress`] accounting, identical [`ChainError`]s on breaks.
+//!
+//! Strategy-specific kernels (compass-se, naive-local, global-vision)
+//! live with their decision rules in the `baselines` crate; the trivial
+//! [`StandKernel`] lives here. The boxed engine remains the reference
+//! implementation and the only path that supports observers; the
+//! differential suite (`tests/kernel_diff.rs`) and the PR 4 golden
+//! fingerprints pin the byte-identity.
+
+use grid_geom::{Offset, Point, Rect};
+
+use crate::chain::ChainError;
+use crate::engine::{Outcome, RoundSummary, RunLimits, QUIESCENCE_WINDOW};
+use crate::packed::{edge_offset, PackedChain, LANES_PER_WORD};
+use crate::scheduler::draw;
+use crate::trace::Progress;
+
+/// Hop code of the zero hop (stay). Hop codes encode a legal hop
+/// `(dx, dy) ∈ {-1, 0, 1}²` as `(dx + 1) · 3 + (dy + 1)`, i.e. `0..9`.
+pub const HOP_ZERO: u8 = 4;
+
+/// The offset a hop code denotes.
+#[inline]
+pub const fn hop_offset(hop: u8) -> Offset {
+    Offset::new((hop / 3) as i64 - 1, (hop % 3) as i64 - 1)
+}
+
+/// The hop code of a legal hop offset.
+///
+/// # Panics
+/// In debug builds, if `o` is not a legal hop.
+#[inline]
+pub fn hop_code(o: Offset) -> u8 {
+    debug_assert!(o.is_hop());
+    ((o.dx + 1) * 3 + (o.dy + 1)) as u8
+}
+
+/// [`APPLY_EDGE`] marker: the edge collapsed to zero (the two robots
+/// now coincide — a merge candidate).
+pub const EDGE_COLLAPSED: u8 = 4;
+/// [`APPLY_EDGE`] marker: the edge left chain adjacency (the hops break
+/// the chain).
+pub const EDGE_BROKEN: u8 = u8::MAX;
+
+/// Edge-update table: `APPLY_EDGE[e][hl][hr]` is the state of an edge
+/// with code `e` after its left robot hops `hl` and its right robot
+/// hops `hr` (new offset = `edge + hop(hr) − hop(hl)`): a direction
+/// code `0..4`, [`EDGE_COLLAPSED`], or [`EDGE_BROKEN`].
+pub static APPLY_EDGE: [[[u8; 9]; 9]; 4] = build_apply_edge();
+
+const fn build_apply_edge() -> [[[u8; 9]; 9]; 4] {
+    let mut t = [[[0u8; 9]; 9]; 4];
+    let mut e = 0;
+    while e < 4 {
+        let eo = edge_offset(e as u8);
+        let mut hl = 0;
+        while hl < 9 {
+            let lo = hop_offset(hl as u8);
+            let mut hr = 0;
+            while hr < 9 {
+                let ro = hop_offset(hr as u8);
+                let dx = eo.dx + ro.dx - lo.dx;
+                let dy = eo.dy + ro.dy - lo.dy;
+                t[e][hl][hr] = match (dx, dy) {
+                    (0, 0) => EDGE_COLLAPSED,
+                    (1, 0) => crate::packed::EDGE_E,
+                    (0, -1) => crate::packed::EDGE_S,
+                    (-1, 0) => crate::packed::EDGE_W,
+                    (0, 1) => crate::packed::EDGE_N,
+                    _ => EDGE_BROKEN,
+                };
+                hr += 1;
+            }
+            hl += 1;
+        }
+        e += 1;
+    }
+    t
+}
+
+/// Count the robots with a nonzero hop, 8 hop bytes per machine word
+/// (the engine's `moved` statistic, and the idle-scan predicate).
+pub fn count_moved(hops: &[u8]) -> usize {
+    const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+    const ZEROS: u64 = u64::from_ne_bytes([HOP_ZERO; 8]);
+    let mut stay = 0u32;
+    let mut chunks = hops.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let x = u64::from_ne_bytes(c.try_into().expect("8-byte chunk")) ^ ZEROS;
+        // Exact zero-byte detector: high bit set per zero byte, all
+        // other bits clear.
+        stay += (!((((x & LOW7) + LOW7) | x) | LOW7)).count_ones();
+    }
+    let tail = chunks
+        .remainder()
+        .iter()
+        .filter(|&&h| h == HOP_ZERO)
+        .count();
+    hops.len() - stay as usize - tail
+}
+
+/// Monomorphic activation schedule: the kernel-side mirror of
+/// [`Scheduler`](crate::Scheduler). Activation is a pure function of
+/// `(rule, round, index)`, exactly as the boxed kinds compute it — the
+/// randomized rules share the boxed schedulers' draw function, so the
+/// two paths cannot drift.
+pub trait ActivationRule: Copy + Send {
+    /// `true` when the rule activates every robot every round; lets
+    /// kernels skip per-robot activation tests entirely (FSYNC).
+    const ALWAYS_ON: bool = false;
+
+    /// Is robot `index` active in `round`?
+    fn active(&self, round: u64, index: usize) -> bool;
+
+    /// Inverse duty cycle, mirroring
+    /// [`Scheduler::slowdown`](crate::Scheduler::slowdown).
+    fn slowdown(&self) -> u64 {
+        1
+    }
+}
+
+/// FSYNC: everyone, every round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsyncRule;
+
+impl ActivationRule for FsyncRule {
+    const ALWAYS_ON: bool = true;
+    #[inline]
+    fn active(&self, _round: u64, _index: usize) -> bool {
+        true
+    }
+}
+
+/// Round-robin residue classes, mirroring
+/// [`RoundRobinSsync`](crate::scheduler::RoundRobinSsync).
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRobinRule {
+    groups: u64,
+}
+
+impl RoundRobinRule {
+    /// A round-robin rule over `groups` classes (clamped to ≥ 1).
+    pub fn new(groups: u32) -> Self {
+        RoundRobinRule {
+            groups: u64::from(groups.max(1)),
+        }
+    }
+}
+
+impl ActivationRule for RoundRobinRule {
+    #[inline]
+    fn active(&self, round: u64, index: usize) -> bool {
+        self.groups <= 1 || (index as u64) % self.groups == round % self.groups
+    }
+    fn slowdown(&self) -> u64 {
+        self.groups
+    }
+}
+
+/// Independent seeded coin, mirroring
+/// [`SeededRandomSsync`](crate::scheduler::SeededRandomSsync).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomRule {
+    seed: u64,
+    percent: u64,
+}
+
+impl RandomRule {
+    /// Activation probability `percent`% (clamped to 1..=100) from
+    /// `seed`.
+    pub fn new(seed: u64, percent: u8) -> Self {
+        RandomRule {
+            seed,
+            percent: u64::from(percent.clamp(1, 100)),
+        }
+    }
+}
+
+impl ActivationRule for RandomRule {
+    #[inline]
+    fn active(&self, round: u64, index: usize) -> bool {
+        if self.percent >= 100 {
+            return true;
+        }
+        let coin = ((u128::from(draw(self.seed, round, index)) * 100) >> 64) as u64;
+        coin < self.percent
+    }
+    fn slowdown(&self) -> u64 {
+        100u64.div_ceil(self.percent.max(1))
+    }
+}
+
+/// Adversarial k-fair activation, mirroring
+/// [`KFair`](crate::scheduler::KFair).
+#[derive(Clone, Copy, Debug)]
+pub struct KFairRule {
+    seed: u64,
+    k: u64,
+}
+
+impl KFairRule {
+    /// A k-fair adversary with period `k` (clamped to ≥ 1) and a seeded
+    /// phase assignment.
+    pub fn new(seed: u64, k: u32) -> Self {
+        KFairRule {
+            seed,
+            k: u64::from(k.max(1)),
+        }
+    }
+}
+
+impl ActivationRule for KFairRule {
+    #[inline]
+    fn active(&self, round: u64, index: usize) -> bool {
+        if self.k <= 1 {
+            return true;
+        }
+        let phase = draw(self.seed, 0, index) % self.k;
+        round % self.k == phase
+    }
+    fn slowdown(&self) -> u64 {
+        self.k
+    }
+}
+
+/// Scratch word buffer for the dense apply and the merge repack; both
+/// accumulate 2-bit lanes in a register and store whole words, then swap
+/// the buffer with the chain's codes on commit (so the old buffer is
+/// reused next round).
+#[derive(Default)]
+struct LaneWriter {
+    words: Vec<u64>,
+    filled: usize,
+}
+
+impl LaneWriter {
+    fn reset(&mut self, lanes: usize) {
+        self.words.clear();
+        self.words.resize(lanes.div_ceil(LANES_PER_WORD), 0);
+        self.filled = 0;
+    }
+}
+
+/// Packed chain state plus the kernel round machinery: hop application,
+/// zero-edge merging, and an amortized-O(1) gathering check.
+///
+/// Between rounds the chain is taut (the engine invariant). During a
+/// round, applying hops turns some edges to zero; those lanes are
+/// recorded in a zero-edge list and spliced out by [`KernelChain::merge`]
+/// in the same round, restoring tautness. The gathering flag is kept
+/// exact at all times: the bounding box can shrink by at most 2 per
+/// moving round per axis, so a full recompute is only needed once the
+/// stale box's lower bound reaches the 2×2 criterion.
+pub struct KernelChain {
+    packed: PackedChain,
+    zero_edges: Vec<usize>,
+    removed: Vec<u64>,
+    writer: LaneWriter,
+    bbox: Rect,
+    bbox_age: u64,
+    gathered: bool,
+}
+
+impl KernelChain {
+    /// Wrap packed state; computes the initial bounding box and
+    /// gathering flag.
+    pub fn new(packed: PackedChain) -> Self {
+        let bbox = packed.bounding();
+        let gathered = packed.len() == 1 || bbox.is_gathered_2x2();
+        KernelChain {
+            packed,
+            zero_edges: Vec::new(),
+            removed: Vec::new(),
+            writer: LaneWriter::default(),
+            bbox,
+            bbox_age: 0,
+            gathered,
+        }
+    }
+
+    /// Robots in the chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// `true` when the chain has no robots (never happens through the
+    /// public constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// The packed representation.
+    #[inline]
+    pub fn packed(&self) -> &PackedChain {
+        &self.packed
+    }
+
+    /// Derived robot positions (robot 0 first).
+    pub fn positions(&self) -> Vec<Point> {
+        self.packed.positions()
+    }
+
+    /// The exact 2×2 gathering predicate, maintained incrementally.
+    #[inline]
+    pub fn is_gathered(&self) -> bool {
+        self.gathered
+    }
+
+    /// Apply hops of a sparse mover set whose members are pairwise
+    /// non-adjacent along the chain (each edge is then touched by at
+    /// most one mover) and whose hops keep both incident edges chain
+    /// adjacent — the compass-se guarantee. Collapsed edges are queued
+    /// for [`KernelChain::merge`].
+    ///
+    /// Movers must be listed in ascending index order with legal,
+    /// nonzero hop codes.
+    pub fn apply_sparse(&mut self, movers: &[(usize, u8)]) {
+        let n = self.packed.len();
+        for &(i, hop) in movers {
+            let prev_edge = (i + n - 1) % n;
+            let e_in = self.packed.get(prev_edge);
+            let e_out = self.packed.get(i);
+            let new_in = APPLY_EDGE[e_in as usize][HOP_ZERO as usize][hop as usize];
+            let new_out = APPLY_EDGE[e_out as usize][hop as usize][HOP_ZERO as usize];
+            debug_assert!(new_in != EDGE_BROKEN && new_out != EDGE_BROKEN);
+            if new_in == EDGE_COLLAPSED {
+                // Lane content is stale until `merge` splices it out.
+                self.zero_edges.push(prev_edge);
+            } else {
+                self.packed.set(prev_edge, new_in);
+            }
+            if new_out == EDGE_COLLAPSED {
+                self.zero_edges.push(i);
+            } else {
+                self.packed.set(i, new_out);
+            }
+            if i == 0 {
+                self.packed.origin += hop_offset(hop);
+            }
+        }
+    }
+
+    /// Apply a whole-chain hop vector (one hop code per robot).
+    /// Collapsed edges are queued for [`KernelChain::merge`]; a hop set
+    /// that breaks chain adjacency reports the first failing edge with
+    /// the same [`ChainError::Disconnected`] payload the boxed
+    /// `check_connected` computes (post-move endpoint positions), and
+    /// leaves the chain state untouched.
+    pub fn apply_dense(&mut self, hops: &[u8]) -> Result<(), ChainError> {
+        let n = self.packed.len();
+        debug_assert_eq!(hops.len(), n);
+        let hops = &hops[..n];
+        self.writer.reset(n);
+        // One word load and one word store per 32 lanes; new codes are
+        // accumulated in a register (collapsed lanes stay 0 — stale
+        // until `merge`).
+        for (w, (&word, out)) in self
+            .packed
+            .codes
+            .iter()
+            .zip(self.writer.words.iter_mut())
+            .enumerate()
+        {
+            let base = w * LANES_PER_WORD;
+            let lanes = LANES_PER_WORD.min(n - base);
+            // An edge's left hop is the previous edge's right hop — it
+            // rolls forward in a register, one hop load per lane.
+            let mut hl = hops[base] as usize;
+            let mut acc = 0u64;
+            let mut l = 0;
+            while l < lanes {
+                let i = base + l;
+                // 8-lane fast path: when nine consecutive hops are
+                // identical, all eight edges between them are translated
+                // rigidly — no change, no collapse, no break. Copy the
+                // code bits straight through.
+                if l + 8 <= lanes && i + 9 <= n {
+                    let h0 = u64::from_le_bytes(hops[i..i + 8].try_into().unwrap());
+                    let h1 = u64::from_le_bytes(hops[i + 1..i + 9].try_into().unwrap());
+                    if h0 == h1 {
+                        acc |= word & (0xFFFFu64 << (2 * l));
+                        hl = (h0 >> 56) as usize;
+                        l += 8;
+                        continue;
+                    }
+                }
+                let e = ((word >> (2 * l)) & 3) as usize;
+                let hr = hops[if i + 1 == n { 0 } else { i + 1 }] as usize;
+                match APPLY_EDGE[e][hl][hr] {
+                    EDGE_BROKEN => {
+                        self.zero_edges.clear();
+                        return Err(self.dense_break(i, hops));
+                    }
+                    EDGE_COLLAPSED => self.zero_edges.push(i),
+                    code => acc |= u64::from(code) << (2 * l),
+                }
+                hl = hr;
+                l += 1;
+            }
+            *out = acc;
+        }
+        self.writer.filled = n;
+        std::mem::swap(&mut self.writer.words, &mut self.packed.codes);
+        self.packed.origin += hop_offset(hops[0]);
+        Ok(())
+    }
+
+    /// Reconstruct the boxed engine's first-failure report for edge `j`:
+    /// the *post-move* positions of its endpoints.
+    #[cold]
+    fn dense_break(&self, j: usize, hops: &[u8]) -> ChainError {
+        let n = self.packed.len();
+        let mut p = self.packed.origin;
+        for k in 0..j {
+            p += edge_offset(self.packed.get(k));
+        }
+        let a = p + hop_offset(hops[j]);
+        let b = p
+            + edge_offset(self.packed.get(j))
+            + hop_offset(hops[if j + 1 == n { 0 } else { j + 1 }]);
+        ChainError::Disconnected { index: j, a, b }
+    }
+
+    /// Splice out the robots made coincident by the round's collapsed
+    /// edges, replicating the boxed `merge_pass` exactly: the robot
+    /// whose *incoming* edge collapsed is removed, survivors keep their
+    /// original cyclic order. Returns the number of robots removed.
+    pub fn merge(&mut self) -> usize {
+        if self.zero_edges.is_empty() {
+            return 0;
+        }
+        let n = self.packed.len();
+        let z = self.zero_edges.len();
+        self.zero_edges.sort_unstable();
+        self.zero_edges.dedup();
+        debug_assert_eq!(self.zero_edges.len(), z);
+        if z == n {
+            // Total collapse: every robot on one point; robot 0 survives.
+            self.packed.len = 1;
+            self.packed.codes.clear();
+            self.zero_edges.clear();
+            return n - 1;
+        }
+        // A cyclic direction sequence with n−1 zero edges would force the
+        // n-th to be zero too, so at least two survivors remain here.
+        debug_assert!(z < n - 1);
+        // Robot e+1 merges into its predecessor when edge e collapsed.
+        self.removed.clear();
+        self.removed.resize(n.div_ceil(64), 0);
+        for &e in &self.zero_edges {
+            let r = if e + 1 == n { 0 } else { e + 1 };
+            self.removed[r / 64] |= 1u64 << (r % 64);
+        }
+        let is_removed = |i: usize| self.removed[i / 64] >> (i % 64) & 1 == 1;
+        // First survivor: the new robot 0. If robot 0 was removed, every
+        // robot up to the first survivor f coincides with it, and f sits
+        // one (nonzero) edge further along.
+        let mut first = 0;
+        while is_removed(first) {
+            first += 1;
+        }
+        let new_origin = if first == 0 {
+            self.packed.origin
+        } else {
+            self.packed.origin + edge_offset(self.packed.get(first - 1))
+        };
+        // Repack: survivors in original order; the out-edge of each is
+        // the (nonzero) edge entering the *next* survivor. Output lanes
+        // accumulate in a register and flush one word at a time.
+        self.writer.reset(n - z);
+        let mut acc = 0u64;
+        let mut shift = 0usize;
+        let mut out_w = 0usize;
+        let mut emitted_any = false;
+        for j in 0..n {
+            if is_removed(j) {
+                continue;
+            }
+            if emitted_any {
+                acc |= u64::from(self.packed.get(j - 1)) << shift;
+                shift += 2;
+                if shift == 64 {
+                    self.writer.words[out_w] = acc;
+                    out_w += 1;
+                    acc = 0;
+                    shift = 0;
+                }
+            }
+            emitted_any = true;
+        }
+        acc |= u64::from(self.packed.get((first + n - 1) % n)) << shift;
+        self.writer.words[out_w] = acc;
+        self.writer.filled = n - z;
+        std::mem::swap(&mut self.writer.words, &mut self.packed.codes);
+        self.packed.len = n - z;
+        self.packed.origin = new_origin;
+        self.zero_edges.clear();
+        z
+    }
+
+    /// Re-establish the exact gathering flag after a round in which
+    /// `moved` robots hopped. Merges never change the occupied point
+    /// set, and each bounding-box side moves at most one per round, so
+    /// the exact box is only recomputed once its staleness bound allows
+    /// the 2×2 criterion at all.
+    pub fn refresh_gathered(&mut self, moved: usize) {
+        if self.packed.len() == 1 {
+            self.bbox = Rect::point(self.packed.origin());
+            self.bbox_age = 0;
+            self.gathered = true;
+            return;
+        }
+        if moved == 0 {
+            return;
+        }
+        self.bbox_age += 1;
+        let shrink = 2i64.saturating_mul(self.bbox_age as i64);
+        if self.bbox.width().saturating_sub(shrink) > 2
+            || self.bbox.height().saturating_sub(shrink) > 2
+        {
+            self.gathered = false;
+            return;
+        }
+        self.bbox = self.packed.bounding();
+        self.bbox_age = 0;
+        self.gathered = self.bbox.is_gathered_2x2();
+    }
+}
+
+/// One specialized round: compute the hops of the active robots and
+/// apply them (including queuing collapsed edges), returning how many
+/// robots moved. The surrounding [`KernelSim`] handles merging,
+/// bookkeeping, and termination.
+pub trait RoundKernel {
+    /// Execute the strategy's look–compute–move for `round` under the
+    /// activation `rule`.
+    fn round<A: ActivationRule>(
+        &mut self,
+        chain: &mut KernelChain,
+        rule: &A,
+        round: u64,
+    ) -> Result<usize, ChainError>;
+
+    /// Mirrors [`Strategy::is_idle`](crate::Strategy::is_idle): `true`
+    /// for kernels that never move anyone.
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+/// The control kernel: nobody ever moves (mirrors
+/// [`Stand`](crate::strategy::Stand), including its idle declaration).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandKernel;
+
+impl RoundKernel for StandKernel {
+    fn round<A: ActivationRule>(
+        &mut self,
+        _chain: &mut KernelChain,
+        _rule: &A,
+        _round: u64,
+    ) -> Result<usize, ChainError> {
+        Ok(0)
+    }
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+/// The specialized engine loop: a monomorphized
+/// (`RoundKernel`, `ActivationRule`) pair over [`KernelChain`] state,
+/// replicating [`Sim`](crate::Sim) byte-for-byte on the observer-free
+/// path — identical [`RoundSummary`] streams, [`Outcome`]s,
+/// [`Progress`] accounting, and break errors.
+pub struct KernelSim<K: RoundKernel, A: ActivationRule> {
+    chain: KernelChain,
+    kernel: K,
+    rule: A,
+    round: u64,
+    rounds_since_merge: u64,
+    rounds_since_move: u64,
+    progress: Progress,
+    broken: Option<ChainError>,
+}
+
+impl<K: RoundKernel, A: ActivationRule> KernelSim<K, A> {
+    /// A fresh simulation at round 0.
+    pub fn new(chain: KernelChain, kernel: K, rule: A) -> Self {
+        KernelSim {
+            chain,
+            kernel,
+            rule,
+            round: 0,
+            rounds_since_merge: 0,
+            rounds_since_move: 0,
+            progress: Progress::default(),
+            broken: None,
+        }
+    }
+
+    /// The chain state.
+    pub fn chain(&self) -> &KernelChain {
+        &self.chain
+    }
+
+    /// Merge/gap accounting, identical to the boxed engine's.
+    pub fn progress(&self) -> &Progress {
+        &self.progress
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Execute one round; see [`Sim::step`](crate::Sim::step) for the
+    /// replicated semantics.
+    pub fn step(&mut self) -> Result<RoundSummary, ChainError> {
+        if let Some(err) = &self.broken {
+            return Err(err.clone());
+        }
+        let moved = match self.kernel.round(&mut self.chain, &self.rule, self.round) {
+            Ok(moved) => moved,
+            Err(e) => {
+                self.broken = Some(e.clone());
+                return Err(e);
+            }
+        };
+        let removed = self.chain.merge();
+        // The boxed engine revalidates the chain here; kernel applies
+        // only commit unit-step-or-collapsed edges and the merge removes
+        // every collapsed one, so tautness holds by construction.
+        self.chain.refresh_gathered(moved);
+        if removed > 0 {
+            self.rounds_since_merge = 0;
+        } else {
+            self.rounds_since_merge += 1;
+        }
+        if moved > 0 || removed > 0 {
+            self.rounds_since_move = 0;
+        } else {
+            self.rounds_since_move += 1;
+        }
+        let summary = RoundSummary {
+            round: self.round,
+            moved,
+            removed,
+            len_after: self.chain.len(),
+            gathered: self.chain.is_gathered(),
+        };
+        self.progress.record_round(removed);
+        self.round += 1;
+        Ok(summary)
+    }
+
+    /// Run until gathered or a limit trips, invoking `on_round` with
+    /// every round summary; see [`Sim::run`](crate::Sim::run) for the
+    /// replicated termination logic.
+    pub fn run_with<F: FnMut(&RoundSummary)>(
+        &mut self,
+        limits: RunLimits,
+        mut on_round: F,
+    ) -> Outcome {
+        loop {
+            if self.chain.is_gathered() {
+                return Outcome::Gathered { rounds: self.round };
+            }
+            if self.round >= limits.max_rounds {
+                return Outcome::RoundLimit { rounds: self.round };
+            }
+            let quiescence = QUIESCENCE_WINDOW.saturating_mul(self.rule.slowdown());
+            if self.rounds_since_merge >= limits.stall_window
+                || self.kernel.is_idle()
+                || self.rounds_since_move >= quiescence
+            {
+                return Outcome::Stalled {
+                    rounds: self.round,
+                    since_last_merge: self.rounds_since_merge,
+                };
+            }
+            match self.step() {
+                Ok(summary) => on_round(&summary),
+                Err(error) => {
+                    return Outcome::ChainBroken {
+                        rounds: self.round,
+                        error,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run until gathered or a limit trips.
+    pub fn run(&mut self, limits: RunLimits) -> Outcome {
+        self.run_with(limits, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ClosedChain;
+    use crate::scheduler::{KFair, RoundRobinSsync, Scheduler, SeededRandomSsync};
+    use crate::strategy::Stand;
+    use crate::Sim;
+
+    fn ring(w: i64, h: i64) -> ClosedChain {
+        let mut pts = Vec::new();
+        for x in 0..w {
+            pts.push(Point::new(x, 0));
+        }
+        for y in 1..h {
+            pts.push(Point::new(w - 1, y));
+        }
+        for x in (0..w - 1).rev() {
+            pts.push(Point::new(x, h - 1));
+        }
+        for y in (1..h - 1).rev() {
+            pts.push(Point::new(0, y));
+        }
+        ClosedChain::new(pts).unwrap()
+    }
+
+    fn packed(chain: &ClosedChain) -> KernelChain {
+        KernelChain::new(PackedChain::from_chain(chain).unwrap())
+    }
+
+    #[test]
+    fn hop_code_round_trips() {
+        for code in 0..9u8 {
+            let o = hop_offset(code);
+            assert!(o.is_hop());
+            assert_eq!(hop_code(o), code);
+        }
+        assert_eq!(hop_offset(HOP_ZERO), Offset::ZERO);
+    }
+
+    #[test]
+    fn apply_edge_table_matches_geometry() {
+        for e in 0..4u8 {
+            for hl in 0..9u8 {
+                for hr in 0..9u8 {
+                    let d = edge_offset(e) + hop_offset(hr) - hop_offset(hl);
+                    let got = APPLY_EDGE[e as usize][hl as usize][hr as usize];
+                    match d.manhattan() {
+                        0 => assert_eq!(got, EDGE_COLLAPSED),
+                        1 => assert_eq!(edge_offset(got), d),
+                        _ => assert_eq!(got, EDGE_BROKEN),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The SWAR fast path in `apply_dense` copies code bits verbatim
+    /// when both endpoints carry the same hop; that is only sound if an
+    /// equal-hop edge is always preserved unchanged.
+    #[test]
+    fn equal_hops_preserve_every_edge() {
+        for (e, table) in APPLY_EDGE.iter().enumerate() {
+            for (h, row) in table.iter().enumerate() {
+                assert_eq!(row[h], e as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn count_moved_matches_filter() {
+        let mut hops = vec![HOP_ZERO; 133];
+        assert_eq!(count_moved(&hops), 0);
+        for (i, h) in hops.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *h = ((i * 7) % 9) as u8;
+            }
+        }
+        let brute = hops.iter().filter(|&&h| h != HOP_ZERO).count();
+        assert_eq!(count_moved(&hops), brute);
+    }
+
+    /// Every activation rule reproduces its boxed scheduler's mask,
+    /// round for round.
+    #[test]
+    fn rules_mirror_boxed_schedulers() {
+        let n = 77;
+        let seed = 42;
+        let check = |mut boxed: Box<dyn Scheduler>, rule: &dyn Fn(u64, usize) -> bool| {
+            for round in 0..40 {
+                let mut mask = vec![true; n];
+                boxed.activate(round, &mut mask);
+                for (i, &want) in mask.iter().enumerate() {
+                    assert_eq!(rule(round, i), want, "round {round} robot {i}");
+                }
+            }
+        };
+        let rr = RoundRobinRule::new(3);
+        check(Box::new(RoundRobinSsync::new(3)), &|r, i| rr.active(r, i));
+        let rnd = RandomRule::new(seed, 37);
+        check(Box::new(SeededRandomSsync::new(seed, 37)), &|r, i| {
+            rnd.active(r, i)
+        });
+        let kf = KFairRule::new(seed, 5);
+        check(Box::new(KFair::new(seed, 5)), &|r, i| kf.active(r, i));
+    }
+
+    /// Dense apply + merge replicate `apply_hops` + `merge_pass` on
+    /// handcrafted hop vectors, including wrap-around merges and the
+    /// first-failure break report.
+    #[test]
+    fn dense_apply_and_merge_match_boxed() {
+        // A "spike" fold: robots 1 and 3 coincide without being chain
+        // neighbors, so the tip robot 2 can drop onto both of them.
+        let spike = |pts: Vec<Point>| ClosedChain::new(pts).unwrap();
+        let cases: Vec<(ClosedChain, Vec<Offset>)> = vec![
+            // Fold one corner diagonally inwards: a plain move, no merge.
+            (ring(4, 3), {
+                let mut h = vec![Offset::ZERO; ring(4, 3).len()];
+                h[3] = Offset::new(-1, 1);
+                h
+            }),
+            // The spike tip drops onto both neighbors: a double merge.
+            (
+                spike(vec![
+                    Point::new(0, 0),
+                    Point::new(1, 0),
+                    Point::new(1, 1),
+                    Point::new(1, 0),
+                ]),
+                vec![Offset::ZERO, Offset::ZERO, Offset::new(0, -1), Offset::ZERO],
+            ),
+            // Same fold rotated so robot 0 itself is removed: wrap merge
+            // with an origin handoff to the first survivor.
+            (
+                spike(vec![
+                    Point::new(1, 1),
+                    Point::new(1, 0),
+                    Point::new(0, 0),
+                    Point::new(1, 0),
+                ]),
+                vec![Offset::new(0, -1), Offset::ZERO, Offset::ZERO, Offset::ZERO],
+            ),
+        ];
+        for (chain, hops) in cases {
+            let mut kc = packed(&chain);
+            let mut boxed = chain.clone();
+            let mut splice = crate::chain::SpliceLog::default();
+            boxed.apply_hops(&hops).unwrap();
+            let removed_boxed = boxed.merge_pass(&mut splice);
+
+            let codes: Vec<u8> = hops.iter().map(|&o| hop_code(o)).collect();
+            kc.apply_dense(&codes).unwrap();
+            let removed_kernel = kc.merge();
+
+            assert_eq!(removed_kernel, removed_boxed);
+            assert_eq!(kc.positions(), boxed.positions());
+        }
+
+        // Break: pull two neighbors apart; the error payload matches the
+        // boxed first-failure scan.
+        let chain = ring(6, 4);
+        let mut hops = vec![Offset::ZERO; chain.len()];
+        hops[2] = Offset::new(0, 1);
+        hops[3] = Offset::new(0, -1);
+        let mut boxed = chain.clone();
+        let boxed_err = boxed.apply_hops(&hops).unwrap_err();
+        let mut kc = packed(&chain);
+        let codes: Vec<u8> = hops.iter().map(|&o| hop_code(o)).collect();
+        let kernel_err = kc.apply_dense(&codes).unwrap_err();
+        assert_eq!(kernel_err, boxed_err);
+    }
+
+    /// Sparse apply on a non-adjacent mover set matches the dense path.
+    #[test]
+    fn sparse_apply_matches_dense() {
+        let chain = ring(8, 5);
+        let n = chain.len();
+        // Two far-apart corner robots hop diagonally inwards (legal for
+        // their corner geometry); robot 0 also exercises the origin shift.
+        let movers = [
+            (0usize, hop_code(Offset::new(1, 1))),
+            (7usize, hop_code(Offset::new(-1, 1))),
+        ];
+        let mut sparse = packed(&chain);
+        sparse.apply_sparse(&movers);
+        let removed_sparse = sparse.merge();
+
+        let mut dense = packed(&chain);
+        let mut codes = vec![HOP_ZERO; n];
+        for &(i, h) in &movers {
+            codes[i] = h;
+        }
+        dense.apply_dense(&codes).unwrap();
+        let removed_dense = dense.merge();
+
+        assert_eq!(removed_sparse, removed_dense);
+        assert_eq!(sparse.positions(), dense.positions());
+    }
+
+    /// Total collapse: a 2-ring merging to one robot.
+    #[test]
+    fn total_collapse_keeps_robot_zero() {
+        let chain = ClosedChain::new(vec![Point::new(0, 0), Point::new(1, 0)]).unwrap();
+        let mut kc = packed(&chain);
+        let codes = vec![hop_code(Offset::new(1, 0)), HOP_ZERO];
+        kc.apply_dense(&codes).unwrap();
+        assert_eq!(kc.merge(), 1);
+        assert_eq!(kc.len(), 1);
+        kc.refresh_gathered(1);
+        assert!(kc.is_gathered());
+        assert_eq!(kc.positions(), vec![Point::new(1, 0)]);
+    }
+
+    /// The stand kernel replicates the boxed `Stand` run byte-for-byte:
+    /// immediate stall with identical outcome and progress.
+    #[test]
+    fn stand_kernel_matches_boxed_stand() {
+        let chain = ring(9, 6);
+        let limits = RunLimits::for_chain_len(chain.len());
+        let mut boxed = Sim::new(chain.clone(), Stand);
+        let out_boxed = boxed.run(limits);
+        let mut kernel = KernelSim::new(packed(&chain), StandKernel, FsyncRule);
+        let out_kernel = kernel.run(limits);
+        assert_eq!(out_boxed, out_kernel);
+        assert_eq!(&boxed.progress(), kernel.progress());
+    }
+
+    /// The staleness-bounded gathering flag stays exact through a
+    /// scripted shrink of a long thin ring.
+    #[test]
+    fn gathered_flag_stays_exact_under_staleness() {
+        let chain = ring(9, 2);
+        let mut kc = packed(&chain);
+        // March the right wall leftwards one column per round.
+        loop {
+            let n = kc.len();
+            let pos = kc.positions();
+            let bbox = Rect::bounding(pos.iter().copied()).unwrap();
+            let mut hops = vec![HOP_ZERO; n];
+            for (i, p) in pos.iter().enumerate() {
+                if p.x == bbox.max.x {
+                    hops[i] = hop_code(Offset::new(-1, 0));
+                }
+            }
+            let moved = count_moved(&hops);
+            kc.apply_dense(&hops).unwrap();
+            kc.merge();
+            kc.refresh_gathered(moved);
+            let brute = Rect::bounding(kc.positions().iter().copied())
+                .unwrap()
+                .is_gathered_2x2()
+                || kc.len() == 1;
+            assert_eq!(kc.is_gathered(), brute);
+            if kc.is_gathered() {
+                break;
+            }
+        }
+    }
+}

@@ -33,6 +33,11 @@
 //!   paper's tables.
 //! * An **open chain** variant ([`OpenChain`]) used by the \[KM09\]-style
 //!   baseline the paper generalizes.
+//! * A **data-oriented core** for the observer-free path: chain state as
+//!   packed 2-bit hop codes ([`packed::PackedChain`], 32 edges per `u64`)
+//!   and monomorphized round kernels ([`kernel`]) that replicate [`Sim`]
+//!   byte for byte at a fraction of the cost. The boxed engine remains
+//!   the instrumented/reference path.
 //!
 //! The crate is deliberately strategy-agnostic: the paper's algorithm
 //! (`gathering-core`) and all baselines implement [`Strategy`].
@@ -42,9 +47,11 @@
 pub mod chain;
 pub mod engine;
 pub mod invariant;
+pub mod kernel;
 pub mod metrics;
 pub mod observe;
 pub mod open_chain;
+pub mod packed;
 pub mod rng;
 pub mod robot;
 pub mod scheduler;
@@ -55,9 +62,14 @@ pub mod view;
 
 pub use chain::{ChainError, ClosedChain, MergeEvent, SpliceLog};
 pub use engine::{Outcome, RoundSummary, RunLimits, Sim, QUIESCENCE_WINDOW};
+pub use kernel::{
+    ActivationRule, FsyncRule, KFairRule, KernelChain, KernelSim, RandomRule, RoundKernel,
+    RoundRobinRule, StandKernel,
+};
 pub use metrics::{metrics, ChainMetrics};
 pub use observe::{Observer, ProgressProbe, ProgressSlot, ProgressSnapshot, Recorder, RoundCtx};
 pub use open_chain::OpenChain;
+pub use packed::PackedChain;
 pub use robot::RobotId;
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use strategy::Strategy;

@@ -124,7 +124,7 @@ impl Scheduler for RoundRobinSsync {
 /// schedule a pure function of the triple: merges can shrink the chain
 /// between rounds without any index-remapping bookkeeping.
 #[inline]
-fn draw(seed: u64, round: u64, index: usize) -> u64 {
+pub(crate) fn draw(seed: u64, round: u64, index: usize) -> u64 {
     // Distinct odd multipliers keep (round, index) pairs from colliding
     // in the seed expansion; SplitMix64 then scrambles the state.
     let state = seed

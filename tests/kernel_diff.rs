@@ -1,0 +1,170 @@
+//! Differential property test: the data-oriented kernel path vs the
+//! boxed reference engine.
+//!
+//! 500 seeded random draws over (family × n × strategy × scheduler);
+//! for every draw both paths must produce **byte-identical**
+//! [`RoundSummary`] streams, outcomes, and progress accounting — and
+//! identical final chains whenever the run did not break the chain (a
+//! broken boxed chain is left mid-apply; the kernel rejects the hop set
+//! atomically, and the stored error plus every summary before it must
+//! still match exactly). The sweep must also never panic: every
+//! generated chain is packable and every kernel round is total.
+//!
+//! The 9 golden FSYNC fingerprints of `tests/schedulers.rs` pin the
+//! kernel path against pre-refactor history; this sweep pins it against
+//! the boxed engine on the full (strategy × scheduler) grid.
+
+use baselines::{CompassSeKernel, GlobalVisionKernel, NaiveLocalKernel};
+use bench::scenario::{ScenarioSpec, StrategyKind};
+use chain_sim::kernel::{
+    ActivationRule, FsyncRule, KFairRule, KernelChain, KernelSim, RandomRule, RoundKernel,
+    RoundRobinRule, StandKernel,
+};
+use chain_sim::rng::SplitMix64;
+use chain_sim::{
+    ClosedChain, Observer, Outcome, PackedChain, Progress, RoundCtx, RoundSummary, RunLimits,
+    SchedulerKind, Sim, Strategy,
+};
+use grid_geom::Point;
+use workloads::Family;
+
+/// Everything a run exposes that must be identical across the two paths.
+struct RunRecord {
+    outcome: Outcome,
+    progress: Progress,
+    positions: Vec<Point>,
+    tape: Vec<RoundSummary>,
+}
+
+/// Records every round summary the boxed engine publishes.
+struct Tape(Vec<RoundSummary>);
+
+impl<S: Strategy> Observer<S> for Tape {
+    fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
+        self.0.push(ctx.summary);
+    }
+}
+
+fn boxed_run(
+    kind: StrategyKind,
+    chain: ClosedChain,
+    sched: SchedulerKind,
+    seed: u64,
+    limits: RunLimits,
+) -> RunRecord {
+    let strategy = kind.build().expect("closed-chain kind");
+    let mut sim = Sim::new(chain, strategy)
+        .with_scheduler(sched.build(seed))
+        .observe(Tape(Vec::new()));
+    let outcome = sim.run(limits);
+    RunRecord {
+        outcome,
+        progress: sim.progress(),
+        positions: sim.chain().positions().to_vec(),
+        tape: sim.observer::<Tape>().expect("tape attached").0.clone(),
+    }
+}
+
+fn kernel_run_rule<K: RoundKernel, A: ActivationRule>(
+    chain: KernelChain,
+    kernel: K,
+    rule: A,
+    limits: RunLimits,
+) -> RunRecord {
+    let mut sim = KernelSim::new(chain, kernel, rule);
+    let mut tape = Vec::new();
+    let outcome = sim.run_with(limits, |summary| tape.push(*summary));
+    RunRecord {
+        outcome,
+        progress: *sim.progress(),
+        positions: sim.chain().positions(),
+        tape,
+    }
+}
+
+fn kernel_run_sched<K: RoundKernel>(
+    chain: KernelChain,
+    kernel: K,
+    sched: SchedulerKind,
+    seed: u64,
+    limits: RunLimits,
+) -> RunRecord {
+    match sched {
+        SchedulerKind::Fsync => kernel_run_rule(chain, kernel, FsyncRule, limits),
+        SchedulerKind::RoundRobin(g) => {
+            kernel_run_rule(chain, kernel, RoundRobinRule::new(g), limits)
+        }
+        SchedulerKind::Random(p) => {
+            kernel_run_rule(chain, kernel, RandomRule::new(seed, p), limits)
+        }
+        SchedulerKind::KFair(k) => kernel_run_rule(chain, kernel, KFairRule::new(seed, k), limits),
+    }
+}
+
+fn kernel_run(
+    kind: StrategyKind,
+    chain: &ClosedChain,
+    sched: SchedulerKind,
+    seed: u64,
+    limits: RunLimits,
+) -> RunRecord {
+    let packed = PackedChain::from_chain(chain).expect("family chains are taut");
+    let kc = KernelChain::new(packed);
+    match kind {
+        StrategyKind::CompassSe => {
+            kernel_run_sched(kc, CompassSeKernel::new(), sched, seed, limits)
+        }
+        StrategyKind::NaiveLocal => {
+            kernel_run_sched(kc, NaiveLocalKernel::new(), sched, seed, limits)
+        }
+        StrategyKind::GlobalVision => {
+            kernel_run_sched(kc, GlobalVisionKernel::new(), sched, seed, limits)
+        }
+        StrategyKind::Stand => kernel_run_sched(kc, StandKernel, sched, seed, limits),
+        other => panic!("not a kernel kind: {other:?}"),
+    }
+}
+
+#[test]
+fn five_hundred_random_draws_are_byte_identical() {
+    const DRAWS: usize = 500;
+    const STRATEGIES: [StrategyKind; 4] = [
+        StrategyKind::CompassSe,
+        StrategyKind::NaiveLocal,
+        StrategyKind::GlobalVision,
+        StrategyKind::Stand,
+    ];
+    let mut rng = SplitMix64::new(0x6b65_726e_656c);
+    for draw in 0..DRAWS {
+        let family = Family::ALL[(rng.next_u64() % Family::ALL.len() as u64) as usize];
+        let n = 8 + (rng.next_u64() % 160) as usize;
+        let strategy = STRATEGIES[(rng.next_u64() % 4) as usize];
+        let sched = match rng.next_u64() % 4 {
+            0 => SchedulerKind::Fsync,
+            1 => SchedulerKind::RoundRobin(2 + (rng.next_u64() % 3) as u32),
+            2 => SchedulerKind::Random([25u8, 50, 75, 100][(rng.next_u64() % 4) as usize]),
+            _ => SchedulerKind::KFair(2 + (rng.next_u64() % 4) as u32),
+        };
+        let seed = rng.next_u64() % 1024;
+        let tag = format!(
+            "draw {draw}: {} n={n} seed={seed} {} {}",
+            family.name(),
+            strategy.name(),
+            sched.name()
+        );
+
+        let spec = ScenarioSpec::strategy(family, n, seed, strategy).with_scheduler(sched);
+        let chain = spec.generate();
+        let limits = spec.resolve_limits(&chain);
+
+        let fast = kernel_run(strategy, &chain, sched, seed, limits);
+        let slow = boxed_run(strategy, chain, sched, seed, limits);
+
+        assert_eq!(slow.outcome, fast.outcome, "{tag}");
+        assert_eq!(slow.tape, fast.tape, "{tag}");
+        assert_eq!(slow.progress, fast.progress, "{tag}");
+        if !matches!(slow.outcome, Outcome::ChainBroken { .. }) {
+            assert_eq!(slow.positions, fast.positions, "{tag}");
+        }
+    }
+}
