@@ -44,7 +44,7 @@ pub use naive_local::NaiveLocal;
 pub use open_zip::{open_chain_zip, ZipOutcome};
 
 use chain_sim::ClosedChain;
-use grid_geom::{chain_adjacent, Offset, Point, Rect};
+use grid_geom::{Offset, Point, Rect};
 
 /// The south-east key: larger is more south-east. Changes by exactly ±1
 /// along every chain edge.
@@ -94,28 +94,14 @@ pub fn center_hop(p: Point, center: Point) -> Offset {
 /// adjacency with either neighbor, until a fixpoint. Deterministic, at most
 /// `n` sweeps. The all-zero assignment is always safe, so the fixpoint
 /// exists.
+///
+/// Since PR 7 this is the engine's chain-safety guard
+/// ([`chain_sim::safety::enforce_chain_safety`]) — this alias keeps the
+/// baselines' historical call sites (and the kernel mirror's reference
+/// semantics in [`kernel::cancel_breaking_hops_codes`]) pointing at the
+/// one canonical fixpoint.
 pub(crate) fn cancel_breaking_hops(chain: &ClosedChain, hops: &mut [Offset]) {
-    let n = chain.len();
-    loop {
-        let mut changed = false;
-        for i in 0..n {
-            if hops[i] == Offset::ZERO {
-                continue;
-            }
-            let here = chain.pos(i) + hops[i];
-            let prev = chain.nb(i, -1);
-            let next = chain.nb(i, 1);
-            let p = chain.pos(prev) + hops[prev];
-            let q = chain.pos(next) + hops[next];
-            if !chain_adjacent(here, p) || !chain_adjacent(here, q) {
-                hops[i] = Offset::ZERO;
-                changed = true;
-            }
-        }
-        if !changed {
-            return;
-        }
-    }
+    chain_sim::safety::enforce_chain_safety(chain, hops);
 }
 
 #[cfg(test)]

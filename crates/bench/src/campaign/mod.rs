@@ -90,8 +90,9 @@ impl CampaignSpec {
     ///   being affordable), two seeds. `quick` shrinks the ladder to
     ///   {64, 256} × one seed — a strict subset of the full grid, so quick
     ///   results resume into a full run.
-    /// * `robustness` — the scheduler sweep behind T11: the same three
-    ///   families × the closed-chain strategies × every scheduler of
+    /// * `robustness` — the scheduler sweep behind T11/T12: the same
+    ///   three families × the closed-chain strategies (including
+    ///   `paper-ssync`, the guarded SSYNC repair) × every scheduler of
     ///   [`SchedulerKind::SWEEP`], measuring which strategies survive
     ///   semi-synchrony and at what round-count cost.
     pub fn named(name: &str, quick: bool) -> Option<CampaignSpec> {
@@ -146,6 +147,7 @@ impl CampaignSpec {
             seeds,
             strategies: vec![
                 StrategySweep::up_to(StrategyKind::paper(), 1024),
+                StrategySweep::up_to(StrategyKind::paper_ssync(), 1024),
                 StrategySweep::up_to(StrategyKind::GlobalVision, 1024),
                 StrategySweep::up_to(StrategyKind::CompassSe, 1024),
                 StrategySweep::up_to(StrategyKind::NaiveLocal, 1024),
@@ -218,14 +220,16 @@ impl CampaignSpec {
 /// with the canonical one.
 pub fn spec_id(spec: &ScenarioSpec) -> String {
     let cfg = match spec.strategy {
-        StrategyKind::Paper(c) | StrategyKind::PaperAudited(c) => format!(
-            "L{},V{},K{},opc{},c2{}",
-            c.l_period,
-            c.view,
-            c.max_merge_k,
-            u8::from(c.op_c_walk),
-            u8::from(c.cond2_guard)
-        ),
+        StrategyKind::Paper(c) | StrategyKind::PaperAudited(c) | StrategyKind::PaperSsync(c) => {
+            format!(
+                "L{},V{},K{},opc{},c2{}",
+                c.l_period,
+                c.view,
+                c.max_merge_k,
+                u8::from(c.op_c_walk),
+                u8::from(c.cond2_guard)
+            )
+        }
         _ => "-".to_string(),
     };
     let limits = match spec.limits {
@@ -941,7 +945,7 @@ mod tests {
         let spec = CampaignSpec::robustness(true);
         let grid = spec.grid();
         // families × sizes × seeds × strategies × schedulers, no caps hit.
-        assert_eq!(grid.len(), 3 * 4 * SchedulerKind::SWEEP.len());
+        assert_eq!(grid.len(), 3 * 5 * SchedulerKind::SWEEP.len());
         for &sched in &SchedulerKind::SWEEP {
             assert!(grid.iter().any(|s| s.scheduler == sched));
         }

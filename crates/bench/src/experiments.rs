@@ -1,4 +1,4 @@
-//! The paper-reproduction experiments (tables T1–T11 of DESIGN.md §4).
+//! The paper-reproduction experiments (tables T1–T12 of DESIGN.md §4).
 //!
 //! Every table corresponds to a claim or construction of the paper; the
 //! table's note states the expected *shape* and the success criterion. The
@@ -731,10 +731,87 @@ pub fn t11_schedulers(e: Effort, sel: &FamilySelection) -> Table {
     t
 }
 
+/// T12 — the SSYNC repair: `paper-ssync` (the paper's rule inside the
+/// chain-safety guard, with the adaptive SE-drain fallback) gathers under
+/// every scheduler of [`SchedulerKind::SWEEP`]; the table quantifies the
+/// FSYNC→SSYNC round-count slowdown. The `paper parity` column pins the
+/// FSYNC-passivity contract at experiment level: under FSYNC the wrapper
+/// must cost exactly what the unwrapped paper rule costs.
+pub fn t12_ssync_repair(e: Effort, sel: &FamilySelection) -> Table {
+    let mut t = Table::new(
+        "T12",
+        "SSYNC repair: paper-ssync outcome and FSYNC→SSYNC round-count slowdown",
+        &[
+            "family",
+            "n",
+            "fsync",
+            "rr2",
+            "rand50",
+            "kfair4",
+            "worst/fsync",
+            "paper parity",
+        ],
+    );
+    let size = e.audit_n() / 2;
+    let families = sel.pick(&[Family::Rectangle, Family::Skyline, Family::RandomLoop]);
+    let specs: Vec<ScenarioSpec> = families
+        .iter()
+        .flat_map(|&fam| {
+            SchedulerKind::SWEEP.into_iter().map(move |sched| {
+                ScenarioSpec::strategy(fam, size, 8, StrategyKind::paper_ssync())
+                    .with_scheduler(sched)
+            })
+        })
+        .collect();
+    // FSYNC reference runs of the unwrapped paper rule, one per family.
+    let reference: Vec<ScenarioSpec> = families
+        .iter()
+        .map(|&fam| ScenarioSpec::paper(fam, size, 8))
+        .collect();
+    let results = run_batch(&specs);
+    let reference = run_batch(&reference);
+    for (group, paper) in results.chunks(SchedulerKind::SWEEP.len()).zip(&reference) {
+        let mut row = vec![
+            group[0].spec.family.name().to_string(),
+            group[0].n.to_string(),
+        ];
+        row.extend(group.iter().map(|r| match r.rounds() {
+            Some(rounds) => rounds.to_string(),
+            None => match r.outcome {
+                chain_sim::Outcome::Stalled { .. } => "stalled".to_string(),
+                chain_sim::Outcome::RoundLimit { .. } => "round-limit".to_string(),
+                chain_sim::Outcome::ChainBroken { .. } => "BROKEN".to_string(),
+                chain_sim::Outcome::Gathered { .. } => unreachable!(),
+            },
+        }));
+        let fsync_rounds = group[0].rounds();
+        let worst = group[1..].iter().filter_map(ScenarioResult::rounds).max();
+        row.push(
+            match (fsync_rounds, worst, group.iter().all(|r| r.is_gathered())) {
+                (Some(f), Some(w), true) => format!("{:.1}", w as f64 / f.max(1) as f64),
+                _ => "-".to_string(),
+            },
+        );
+        row.push(if fsync_rounds == paper.rounds() {
+            "exact".to_string()
+        } else {
+            format!("DIVERGED ({:?} vs {:?})", fsync_rounds, paper.rounds())
+        });
+        t.row(row);
+    }
+    t.note(
+        "Expected: every cell gathers (the guard makes the paper rule safe, the fallback \
+         keeps it live), the FSYNC column matches the unwrapped paper exactly (the guard \
+         cancels nothing on FSYNC-safe hop sets), and SSYNC cost stays within a small \
+         multiple of the scheduler's inverse duty cycle.",
+    );
+    t
+}
+
 /// The table inventory, in presentation order (the valid values of the
 /// experiments binary's `--table` flag, matched case-insensitively).
-pub const TABLE_IDS: [&str; 12] = [
-    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10", "T11",
+pub const TABLE_IDS: [&str; 13] = [
+    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10", "T11", "T12",
 ];
 
 /// Compute one table by its id (case-insensitive); `None` for ids outside
@@ -755,6 +832,7 @@ pub fn table_by_id(id: &str, e: Effort, sel: &FamilySelection) -> Option<Table> 
         "T9" => Some(t9_ablation(e, sel)),
         "T10" => Some(t10_suppression(e, sel)),
         "T11" => Some(t11_schedulers(e, sel)),
+        "T12" => Some(t12_ssync_repair(e, sel)),
         _ => None,
     }
 }
@@ -820,6 +898,23 @@ mod tests {
         let kfair: Vec<&str> = t.rows.iter().map(|r| r[6].as_str()).collect();
         assert!(kfair.iter().any(|c| c.parse::<u64>().is_ok()));
         assert!(kfair.contains(&"BROKEN"));
+    }
+
+    #[test]
+    fn quick_t12_gathers_everywhere_with_fsync_parity() {
+        let t = t12_ssync_repair(Effort::Quick, &all());
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.header.len(), 2 + SchedulerKind::SWEEP.len() + 2);
+        for row in &t.rows {
+            // Every scheduler cell is a round count — no BROKEN, no stall.
+            for cell in &row[2..2 + SchedulerKind::SWEEP.len()] {
+                assert!(
+                    cell.parse::<u64>().is_ok(),
+                    "paper-ssync failed a scheduler: {row:?}"
+                );
+            }
+            assert_eq!(row[7], "exact", "FSYNC passivity broke: {row:?}");
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ use chain_sim::{
     SchedulerKind, Sim, Strategy,
 };
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
-use gathering_core::{ClosedChainGathering, GatherConfig, RunStats};
+use gathering_core::{ClosedChainGathering, GatherConfig, RunStats, SsyncGathering};
 use workloads::Family;
 
 /// The strategy registry: everything the pipeline can run on a scenario.
@@ -50,6 +50,11 @@ pub enum StrategyKind {
     /// The paper's algorithm with the Lemma auditors attached (event
     /// recording on; [`ScenarioResult::audit`] is populated).
     PaperAudited(GatherConfig),
+    /// The paper's rule wrapped for SSYNC safety: chain-safety guard +
+    /// adaptive SE-drain fallback (`gathering_core::SsyncGathering`).
+    /// Identical to [`StrategyKind::Paper`] under FSYNC; gathers under
+    /// every scheduler in [`SchedulerKind::SWEEP`].
+    PaperSsync(GatherConfig),
     /// Baseline: global smallest-enclosing-square vision.
     GlobalVision,
     /// Baseline: global compass, drain to the south-east.
@@ -71,11 +76,17 @@ impl StrategyKind {
         StrategyKind::Paper(GatherConfig::paper())
     }
 
+    /// SSYNC-safe paper wrapper with the canonical configuration.
+    pub fn paper_ssync() -> Self {
+        StrategyKind::PaperSsync(GatherConfig::paper())
+    }
+
     /// Registry name (stable, used in table headers and trace labels).
     pub fn name(&self) -> &'static str {
         match self {
             StrategyKind::Paper(_) => "paper",
             StrategyKind::PaperAudited(_) => "paper-audited",
+            StrategyKind::PaperSsync(_) => "paper-ssync",
             StrategyKind::GlobalVision => "global-vision",
             StrategyKind::CompassSe => "compass-se",
             StrategyKind::NaiveLocal => "naive-local",
@@ -87,9 +98,10 @@ impl StrategyKind {
 
     /// Every registry name, in registry order (the order campaign grids
     /// and report columns use).
-    pub const ALL_NAMES: [&'static str; 8] = [
+    pub const ALL_NAMES: [&'static str; 9] = [
         "paper",
         "paper-audited",
+        "paper-ssync",
         "global-vision",
         "compass-se",
         "naive-local",
@@ -107,6 +119,7 @@ impl StrategyKind {
         match name {
             "paper" => Some(StrategyKind::paper()),
             "paper-audited" => Some(StrategyKind::PaperAudited(GatherConfig::paper())),
+            "paper-ssync" => Some(StrategyKind::paper_ssync()),
             "global-vision" => Some(StrategyKind::GlobalVision),
             "compass-se" => Some(StrategyKind::CompassSe),
             "naive-local" => Some(StrategyKind::NaiveLocal),
@@ -133,6 +146,7 @@ impl StrategyKind {
             StrategyKind::PaperAudited(cfg) => Some(Box::new(
                 ClosedChainGathering::new(*cfg).with_event_recording(),
             )),
+            StrategyKind::PaperSsync(cfg) => Some(Box::new(SsyncGathering::new(*cfg))),
             StrategyKind::GlobalVision => Some(Box::new(GlobalVision::new())),
             StrategyKind::CompassSe => Some(Box::new(CompassSe::new())),
             StrategyKind::NaiveLocal => Some(Box::new(NaiveLocal::new())),
@@ -159,7 +173,11 @@ impl StrategyKind {
             StrategyKind::Paper(cfg) | StrategyKind::PaperAudited(cfg) => {
                 RunLimits::for_gathering(n, cfg.l_period)
             }
-            StrategyKind::GlobalVision
+            // The SSYNC wrapper's fallback layer is the diameter-bound SE
+            // drain, so it gets the baselines' diameter-scaled budget
+            // (times the scheduler slowdown, applied by `resolve_limits`).
+            StrategyKind::PaperSsync(_)
+            | StrategyKind::GlobalVision
             | StrategyKind::CompassSe
             | StrategyKind::NaiveLocal
             | StrategyKind::Stand => RunLimits::generous(n, chain.bounding().diameter() as u64),
@@ -241,10 +259,14 @@ impl StrategyKind {
                 }
                 Box::new(PaperDriver { sim, audited: true })
             }
-            StrategyKind::GlobalVision
+            StrategyKind::PaperSsync(_)
+            | StrategyKind::GlobalVision
             | StrategyKind::CompassSe
             | StrategyKind::NaiveLocal
             | StrategyKind::Stand => {
+                // `PaperSsync` builds `SsyncGathering`, whose
+                // `wants_chain_guard` turns the engine's chain-safety
+                // guard on through the boxed forwarding.
                 let mut sim = Sim::new(
                     chain,
                     self.build().expect("closed-chain kinds always build"),

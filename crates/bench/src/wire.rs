@@ -138,6 +138,16 @@ mod tests {
         assert_eq!(spec.scheduler, SchedulerKind::KFair(4));
         // Round-trips through the encoder.
         assert_eq!(spec_from_json(&spec_to_json(&spec)).unwrap(), spec);
+
+        // The SSYNC repair is reachable over the wire under any scheduler.
+        let v = Json::parse(
+            r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper-ssync","scheduler":"rr2"}"#,
+        )
+        .unwrap();
+        let spec = spec_from_json(&v).unwrap();
+        assert_eq!(spec.strategy, StrategyKind::paper_ssync());
+        assert_eq!(spec.scheduler, SchedulerKind::RoundRobin(2));
+        assert_eq!(spec_from_json(&spec_to_json(&spec)).unwrap(), spec);
     }
 
     #[test]

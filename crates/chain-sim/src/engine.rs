@@ -188,6 +188,12 @@ pub struct Sim<S: Strategy> {
     observers: Vec<Box<dyn AnyObserver<S>>>,
     rounds_since_merge: u64,
     rounds_since_move: u64,
+    /// Chain-safety guard switch (see [`crate::safety`]): seeded from
+    /// [`Strategy::wants_chain_guard`], overridable with
+    /// [`Sim::with_chain_guard`].
+    guard: bool,
+    /// Total hops the guard cancelled over the run's lifetime.
+    guard_cancels: u64,
     broken: Option<ChainError>,
     /// The outcome last announced to the observers via `on_finish`. A
     /// repeated `run` call that decides the identical outcome (nothing
@@ -205,6 +211,7 @@ impl<S: Strategy> Sim<S> {
     pub fn new(chain: ClosedChain, mut strategy: S) -> Self {
         strategy.init(&chain);
         let n = chain.len();
+        let guard = strategy.wants_chain_guard();
         Sim {
             chain,
             strategy,
@@ -217,9 +224,34 @@ impl<S: Strategy> Sim<S> {
             observers: Vec::new(),
             rounds_since_merge: 0,
             rounds_since_move: 0,
+            guard,
+            guard_cancels: 0,
             broken: None,
             last_finish: None,
         }
+    }
+
+    /// Force the chain-safety guard on (builder style), regardless of
+    /// what [`Strategy::wants_chain_guard`] says — the way to run an
+    /// FSYNC-designed strategy under an SSYNC scheduler without wrapping
+    /// it. Strategies that opt in via the trait hook get the guard from
+    /// [`Sim::new`] already.
+    pub fn with_chain_guard(mut self) -> Self {
+        self.guard = true;
+        self
+    }
+
+    /// `true` when the chain-safety guard runs on this simulation's hops.
+    pub fn chain_guard_enabled(&self) -> bool {
+        self.guard
+    }
+
+    /// Total hops the chain-safety guard has cancelled so far. Always 0
+    /// when the guard is off — and, the FSYNC-passivity contract, also 0
+    /// for a guarded FSYNC-safe strategy under full activation
+    /// (`tests/ssync_safety.rs` pins this on the PR 4 golden workloads).
+    pub fn guard_cancels(&self) -> u64 {
+        self.guard_cancels
     }
 
     /// Replace the activation scheduler (builder style). The default is
@@ -330,6 +362,16 @@ impl<S: Strategy> Sim<S> {
             if !active {
                 *hop = Offset::ZERO;
             }
+        }
+
+        // Chain-safety guard (opt-in): cancel, to a fixpoint, every hop
+        // that would leave a chain edge non-adjacent under this round's
+        // activation subset. Runs after the mask so the guard judges the
+        // hops that would actually apply; observers see the post-guard
+        // hops, i.e. exactly what moved.
+        if self.guard {
+            self.guard_cancels +=
+                crate::safety::enforce_chain_safety(&self.chain, &mut self.hops) as u64;
         }
 
         // Move (simultaneous).

@@ -16,6 +16,11 @@
 //!   [`scheduler::Fsync`] activates everyone (the paper's FSYNC model);
 //!   SSYNC schedulers (round-robin, seeded random, adversarial k-fair)
 //!   activate a subset, and inactive robots keep zero hops.
+//! * The **chain-safety guard** ([`safety`]): an engine-side cancel
+//!   fixpoint that commits a hop only if neighbor adjacency survives the
+//!   round's activation subset — the repair that lets FSYNC-designed
+//!   strategies run under SSYNC schedules. Strategies opt in via
+//!   [`Strategy::wants_chain_guard`].
 //! * **Composable instrumentation** ([`observe`]): there is one run loop;
 //!   everything that watches a run — trace recording ([`Recorder`]),
 //!   invariant checking ([`observe::Invariants`]), the Lemma auditors in
@@ -54,6 +59,7 @@ pub mod open_chain;
 pub mod packed;
 pub mod rng;
 pub mod robot;
+pub mod safety;
 pub mod scheduler;
 pub mod snapshot;
 pub mod strategy;
@@ -71,6 +77,7 @@ pub use observe::{Observer, ProgressProbe, ProgressSlot, ProgressSnapshot, Recor
 pub use open_chain::OpenChain;
 pub use packed::PackedChain;
 pub use robot::RobotId;
+pub use safety::{enforce_chain_safety, hop_breaks_chain};
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use strategy::Strategy;
 pub use trace::{Progress, RoundReport, Trace, TraceConfig};

@@ -180,18 +180,21 @@ pub struct InvariantViolation {
 }
 
 /// The invariant-checking observer: audits every *successful* round for
-/// global consistency properties the engine does not itself enforce, and
-/// collects violations instead of aborting.
+/// global consistency properties, and collects violations instead of
+/// aborting.
 ///
-/// The engine already validates connectivity/tautness each round and
-/// refuses to continue past a broken chain (a broken round never reaches
-/// the observers), so re-checking those would be vacuous. What this
-/// observer verifies is the engine's *accounting* and the model's
-/// conserved quantities:
+/// What this observer verifies is the engine's *accounting*, the
+/// scheduler contract, and the model's conserved quantities:
 ///
 /// * the round summary agrees with the chain (`len_after`, `gathered`),
 /// * the splice log agrees with the summary (`removed` counts, and a
 ///   merge-free round leaves the length unchanged),
+/// * the scheduler contract against [`RoundCtx::active`]: an inactive
+///   robot never moves, every applied hop is a legal unit hop, and the
+///   post-round chain is taut and connected — re-derived here from the
+///   chain itself rather than trusted from the engine, so a run that
+///   masks or guards hops (SSYNC schedules, the chain-safety guard)
+///   cannot smuggle a broken configuration past a green round,
 /// * the closed chain's signed turning stays even (any closed lattice
 ///   loop has even total turning; an odd value means the chain and its
 ///   cyclic structure have come apart).
@@ -248,7 +251,8 @@ impl<S: Strategy> Observer<S> for Invariants {
                 ctx.splice.removed_count()
             ));
         }
-        // Scheduler contract: an inactive robot never moves.
+        // Scheduler contract: an inactive robot never moves, and what the
+        // active ones did must be legal unit hops.
         let masked_moves = ctx
             .hops
             .iter()
@@ -257,6 +261,21 @@ impl<S: Strategy> Observer<S> for Invariants {
             .count();
         if masked_moves > 0 {
             violate(format!("{masked_moves} inactive robots moved"));
+        }
+        if let Some(i) = ctx.hops.iter().position(|h| !h.is_hop()) {
+            violate(format!(
+                "robot {i} applied an illegal hop {:?}",
+                ctx.hops[i]
+            ));
+        }
+        // Taut/connectivity re-check, independent of the engine's own
+        // validation: whatever subset of robots the schedule activated
+        // (and whatever the chain-safety guard cancelled), the chain that
+        // reaches the observers must still be a taut closed chain.
+        if ctx.chain.len() > 1 {
+            if let Err(e) = ctx.chain.validate() {
+                violate(format!("post-round chain is not taut/connected: {e:?}"));
+            }
         }
         if let Some(prev) = self.prev_len {
             if prev != ctx.chain.len() + ctx.summary.removed {

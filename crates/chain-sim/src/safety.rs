@@ -1,0 +1,193 @@
+//! The chain-safety guard: SSYNC-safe hop commitment.
+//!
+//! Under FSYNC every computed hop applies, and an FSYNC-correct strategy
+//! keeps the chain taut by construction. Under SSYNC a scheduler masks an
+//! arbitrary subset of robots per round, and a hop set that is safe in
+//! full can break the chain when only part of it applies: the paper's
+//! paired merge hops (Fig. 1: two adjacent blacks dropping onto their
+//! whites together) leave a diagonal, non-adjacent edge behind when one
+//! endpoint sleeps — exactly the `ChainBroken` failures
+//! `BENCH_robustness.json` records for the unguarded paper strategy.
+//!
+//! [`enforce_chain_safety`] is the repair. It runs on the hops that will
+//! actually apply this round — the post-mask intents, i.e. one lookahead
+//! over the activation mask (sleepers already hold zero) — and cancels
+//! every hop whose robot would end the round non-adjacent to a chain
+//! neighbor's end-of-round position. Cancellation iterates to a fixpoint,
+//! because zeroing one hop can strand a neighbor that counted on the
+//! cancelled motion.
+//!
+//! Why the fixpoint is safe, for *every* activation subset:
+//!
+//! * **Termination.** Hops are only ever zeroed, never created; each sweep
+//!   either zeroes at least one of the ≤ n non-zero hops or stops.
+//! * **Safety at the fixpoint.** Suppose edge `(i, j)` were non-adjacent
+//!   after applying the surviving hops. At least one endpoint still moves
+//!   (a round starts taut, so two standing robots are adjacent), and that
+//!   endpoint's final sweep saw exactly the surviving intents — it would
+//!   have cancelled itself. Contradiction, so every edge ends adjacent.
+//! * **Subset quantification.** The adversary's choice is the mask, and
+//!   the mask is applied *before* the guard. Whatever subset the scheduler
+//!   activates, the guard sees that subset's intents and the argument
+//!   above applies — `tests/ssync_safety.rs` checks this by enumerating
+//!   every activation subset of every round at small `n`.
+//!
+//! The same fixpoint has guarded the `global-vision` and `naive-local`
+//! baselines since PR 1 (`baselines::cancel_breaking_hops` now delegates
+//! here) and is mirrored over packed hop codes by
+//! `baselines::kernel::cancel_breaking_hops_codes`. PR 7 promotes it to
+//! the engine: a [`Strategy`](crate::Strategy) that opts in via
+//! [`Strategy::wants_chain_guard`](crate::Strategy::wants_chain_guard)
+//! gets it applied by [`Sim::step`](crate::Sim::step) after the
+//! activation mask, which is what makes `gathering-core`'s `paper-ssync`
+//! wrapper survive every scheduler.
+
+use crate::chain::ClosedChain;
+use grid_geom::{chain_adjacent, Offset};
+
+/// `true` if robot `i`'s intended hop would end the round non-adjacent to
+/// one of its chain neighbors' intended end-of-round positions — the
+/// per-robot commit test of the guard, against the *current* intents in
+/// `hops`.
+///
+/// A zero hop never breaks: the round starts taut, and a standing robot
+/// cannot leave a neighbor (only be left, which is the moving neighbor's
+/// violation to detect).
+pub fn hop_breaks_chain(chain: &ClosedChain, hops: &[Offset], i: usize) -> bool {
+    if hops[i] == Offset::ZERO {
+        return false;
+    }
+    let here = chain.pos(i) + hops[i];
+    let prev = chain.nb(i, -1);
+    let next = chain.nb(i, 1);
+    let p = chain.pos(prev) + hops[prev];
+    let q = chain.pos(next) + hops[next];
+    !chain_adjacent(here, p) || !chain_adjacent(here, q)
+}
+
+/// Cancel-to-fixpoint: zero every hop that fails [`hop_breaks_chain`]
+/// against the surviving intents, sweeping until a full pass cancels
+/// nothing. Returns the number of hops cancelled.
+///
+/// `hops` must already reflect the activation mask (inactive robots at
+/// [`Offset::ZERO`]); the engine calls this immediately after masking.
+/// At the fixpoint, applying `hops` keeps every chain edge adjacent — see
+/// the module docs for the argument, and `tests/ssync_safety.rs` for the
+/// exhaustive activation-subset check.
+pub fn enforce_chain_safety(chain: &ClosedChain, hops: &mut [Offset]) -> usize {
+    let n = chain.len();
+    debug_assert_eq!(hops.len(), n);
+    let mut cancelled = 0;
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if hop_breaks_chain(chain, hops, i) {
+                hops[i] = Offset::ZERO;
+                cancelled += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return cancelled;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_geom::Point;
+
+    fn chain(pts: &[(i64, i64)]) -> ClosedChain {
+        ClosedChain::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    /// Fig. 1 halfway: two adjacent blacks hop down together. Full
+    /// activation is safe; masking one endpoint breaks the edge, and the
+    /// guard must cancel the survivor.
+    #[test]
+    fn lone_half_of_a_paired_merge_hop_is_cancelled() {
+        let c = chain(&[(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]);
+        let down = Offset::new(0, -1);
+        // Both blacks (indices 2 and 3) hop: safe, nothing cancelled.
+        let mut both = vec![Offset::ZERO; 6];
+        both[2] = down;
+        both[3] = down;
+        assert_eq!(enforce_chain_safety(&c, &mut both), 0);
+        assert_eq!(both[2], down);
+        // Only robot 2 active: its lone hop would leave edge (2,3)
+        // diagonal — cancelled.
+        let mut lone = vec![Offset::ZERO; 6];
+        lone[2] = down;
+        assert_eq!(enforce_chain_safety(&c, &mut lone), 1);
+        assert_eq!(lone, vec![Offset::ZERO; 6]);
+    }
+
+    /// A diagonal fold next to standing neighbors is individually safe:
+    /// the guard must let it through under any mask.
+    #[test]
+    fn individually_safe_fold_survives() {
+        let c = chain(&[(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+        // Corner robot 2 folds onto the diagonal: adjacent to both
+        // standing neighbors afterwards.
+        let mut hops = vec![Offset::ZERO; 6];
+        hops[2] = Offset::new(-1, 1);
+        assert_eq!(enforce_chain_safety(&c, &mut hops), 0);
+        assert_eq!(hops[2], Offset::new(-1, 1));
+    }
+
+    /// Cancellation cascades: robot 1 is only safe because robot 2 moves,
+    /// robot 2 is unsafe outright — cancelling 2 must also cancel 1.
+    #[test]
+    fn cancellation_cascades_to_a_fixpoint() {
+        let c = chain(&[(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+        let right = Offset::new(1, 0);
+        let mut hops = vec![Offset::ZERO; 6];
+        // 1 and 2 march right in lockstep; 2 alone would leave edge (2,3)
+        // at manhattan 2, and once 2 is cancelled, 1's hop crowds onto 2
+        // — legal (coincidence merges) — but 1 moving right while 0
+        // stands keeps adjacency, so only the genuinely unsafe hops go.
+        hops[1] = right;
+        hops[2] = right;
+        let cancelled = enforce_chain_safety(&c, &mut hops);
+        // Applying the fixpoint must keep the chain connected.
+        let mut applied = c.clone();
+        applied.apply_hops(&hops).unwrap();
+        assert!(cancelled > 0);
+        for i in 0..6 {
+            assert!(!hop_breaks_chain(&c, &hops, i));
+        }
+    }
+
+    /// Brute-force soundness at the fixpoint: on a folded chain with a
+    /// mix of safe and unsafe intents, every activation subset of the
+    /// guarded hops applies cleanly.
+    #[test]
+    fn fixpoint_is_safe_under_every_subsequent_mask() {
+        let c = chain(&[(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+        let intents = [
+            Offset::new(0, 1),
+            Offset::new(1, 0),
+            Offset::new(-1, 1),
+            Offset::new(0, -1),
+            Offset::new(1, -1),
+            Offset::ZERO,
+        ];
+        for mask in 0u32..64 {
+            let mut hops: Vec<Offset> = (0..6)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        intents[i]
+                    } else {
+                        Offset::ZERO
+                    }
+                })
+                .collect();
+            enforce_chain_safety(&c, &mut hops);
+            let mut applied = c.clone();
+            applied.apply_hops(&hops).unwrap_or_else(|e| {
+                panic!("guard admitted a breaking hop set under mask {mask:06b}: {e:?}")
+            });
+        }
+    }
+}

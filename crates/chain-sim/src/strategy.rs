@@ -55,6 +55,18 @@ pub trait Strategy {
     fn is_idle(&self) -> bool {
         false
     }
+
+    /// `true` to have the engine run the chain-safety guard
+    /// ([`crate::safety::enforce_chain_safety`]) on this strategy's hops
+    /// every round, after the activation mask: hops that would leave a
+    /// chain edge non-adjacent under the round's activation subset are
+    /// cancelled instead of applied. This is how an FSYNC-designed
+    /// decision rule becomes SSYNC-safe (`gathering-core`'s `paper-ssync`
+    /// opts in); the default is off, so existing strategies and every
+    /// recorded fingerprint are untouched.
+    fn wants_chain_guard(&self) -> bool {
+        false
+    }
 }
 
 /// Boxed strategies forward to their contents, so heterogeneous strategy
@@ -81,6 +93,9 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     }
     fn is_idle(&self) -> bool {
         (**self).is_idle()
+    }
+    fn wants_chain_guard(&self) -> bool {
+        (**self).wants_chain_guard()
     }
 }
 

@@ -85,6 +85,12 @@ struct RunTrack {
 /// [`LemmaAuditor::after_round`] / [`LemmaAuditor::finish`].
 pub struct LemmaAuditor {
     l_period: u64,
+    /// Scheduler inverse duty cycle: the Lemma 1 window is `L` rounds of
+    /// *activity*, which under an SSYNC schedule stretches to `L ×
+    /// slowdown` wall-clock rounds. 1 (FSYNC) unless
+    /// [`LemmaAuditor::with_slowdown`] / [`LemmaAuditor::for_scheduler`]
+    /// say otherwise.
+    slowdown: u64,
     view: usize,
     pairs: Vec<PairRecord>,
     pair_of_run: HashMap<u64, usize>,
@@ -105,6 +111,7 @@ impl LemmaAuditor {
     pub fn new(strategy: &ClosedChainGathering) -> Self {
         LemmaAuditor {
             l_period: strategy.config().l_period,
+            slowdown: 1,
             view: strategy.config().view,
             pairs: Vec::new(),
             pair_of_run: HashMap::new(),
@@ -116,6 +123,30 @@ impl LemmaAuditor {
             rounds_since_merge: 0,
             longest_gap: 0,
         }
+    }
+
+    /// Scheduler-aware audit windows: stretch the Lemma 1 window by the
+    /// scheduler's inverse duty cycle (builder style). Under FSYNC
+    /// (`slowdown = 1`) this is the paper's literal `L`-window; under an
+    /// SSYNC schedule the lemma's "every `L` rounds" can only be expected
+    /// per `L × slowdown` wall-clock rounds.
+    pub fn with_slowdown(mut self, slowdown: u64) -> Self {
+        self.slowdown = slowdown.max(1);
+        self
+    }
+
+    /// [`LemmaAuditor::new`] pre-scaled for `scheduler` — the composition
+    /// scheduler-aware drivers use.
+    pub fn for_scheduler(
+        strategy: &ClosedChainGathering,
+        scheduler: chain_sim::SchedulerKind,
+    ) -> Self {
+        Self::new(strategy).with_slowdown(scheduler.slowdown())
+    }
+
+    /// The effective Lemma 1 window in wall-clock rounds.
+    fn window(&self) -> u64 {
+        self.l_period.saturating_mul(self.slowdown)
     }
 
     pub fn set_initial(&mut self, chain: &ClosedChain) {
@@ -141,7 +172,7 @@ impl LemmaAuditor {
 
         // --- Gap accounting (Theorem 1 context). ---
         let mergeless_window =
-            self.rounds_since_merge >= self.l_period.saturating_sub(1) && removed == 0;
+            self.rounds_since_merge >= self.window().saturating_sub(1) && removed == 0;
         if removed > 0 {
             self.last_merge_round = Some(round);
             self.merge_rounds.push(round);
@@ -194,10 +225,11 @@ impl LemmaAuditor {
         // --- Lemma 3.1 (speed) and 3.3 (no sequent run visible ahead). ---
         self.check_run_tracks(chain, strategy, merges);
 
-        // --- Lemma 1 window check at every start round. ---
-        if round > 0 && round.is_multiple_of(self.l_period) {
+        // --- Lemma 1 window check at every start round (the window is
+        // scheduler-scaled; see `with_slowdown`). ---
+        if round > 0 && round.is_multiple_of(self.window()) {
             let merged_in_window = match self.last_merge_round {
-                Some(m) => round - m < self.l_period,
+                Some(m) => round - m < self.window(),
                 None => false,
             };
             let progress_started = self.pairs.iter().any(|p| p.round == round && p.progress);
@@ -544,6 +576,37 @@ mod tests {
         assert_eq!(summary.final_n, 4);
         assert_eq!(summary.total_merged_robots, 0);
         assert!(summary.clean());
+    }
+
+    /// The Lemma 1 window is scheduler-aware: a merge cadence that
+    /// violates the FSYNC `L`-window sits comfortably inside the
+    /// `L × slowdown` window of an SSYNC auditor fed the identical
+    /// round stream.
+    #[test]
+    fn slowdown_scales_the_lemma1_window() {
+        let chain = rectangle(6, 4);
+        let mut strategy = crate::ClosedChainGathering::paper().with_event_recording();
+        let l = GatherConfig::paper().l_period;
+        let mut fsync = LemmaAuditor::new(&strategy);
+        fsync.set_initial(&chain);
+        let mut rr2 =
+            LemmaAuditor::for_scheduler(&strategy, chain_sim::SchedulerKind::RoundRobin(2));
+        rr2.set_initial(&chain);
+        // Merges land every 20 rounds: slower than L = 13 (an FSYNC
+        // violation), faster than the rr2 window 2L = 26.
+        for round in 0..=(2 * l) {
+            let removed = usize::from(round.is_multiple_of(20));
+            fsync.after_round(&chain, &mut strategy, round, removed, &[]);
+            rr2.after_round(&chain, &mut strategy, round, removed, &[]);
+        }
+        assert!(
+            !fsync.summary().lemma1_violations.is_empty(),
+            "a 20-round merge cadence must violate the unscaled L-window"
+        );
+        assert!(
+            rr2.summary().lemma1_violations.is_empty(),
+            "the same cadence must satisfy the slowdown-scaled window"
+        );
     }
 
     #[test]

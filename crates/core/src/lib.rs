@@ -15,6 +15,7 @@
 //! | [`quasi`] | §4, Def. 1, Fig. 5/10/16 | quasi lines, run-start shapes, endpoint scans |
 //! | [`runs`] | §3.2/3.4/4.1–4.3 | run states, reshapement, passing, termination |
 //! | [`strategy`] | Fig. 15 | the complete per-round algorithm |
+//! | [`ssync`] | — (PAPERS.md) | `paper-ssync`: the rule wrapped in the chain-safety guard |
 //! | [`audit`] | §5 | empirical checkers for Theorem 1 and Lemmas 1–3 |
 //!
 //! ## Quick start
@@ -44,6 +45,7 @@ pub mod local;
 pub mod merge;
 pub mod quasi;
 pub mod runs;
+pub mod ssync;
 pub mod strategy;
 pub mod theory;
 
@@ -52,4 +54,5 @@ pub use local::{merge_role_at, LocalMergeRole};
 pub use merge::{MergePattern, MergeScan};
 pub use quasi::StartShape;
 pub use runs::{Run, RunCell, RunMode, RunStats, StopReason};
+pub use ssync::SsyncGathering;
 pub use strategy::{ClosedChainGathering, RunEvent};

@@ -367,3 +367,38 @@ fn scheduler_axis_is_part_of_the_cache_key() {
     handle.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The SSYNC repair is serveable end to end: a `paper-ssync` job under a
+/// semi-synchronous scheduler — the exact combination that drives the
+/// plain `paper` strategy to `ChainBroken` — gathers through the full
+/// queue → engine → cache path.
+#[test]
+fn paper_ssync_jobs_gather_under_ssync_schedulers() {
+    let dir = scratch("paper-ssync");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    let body =
+        "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"paper-ssync\",\"scheduler\":\"rr2\"}";
+    let reply = client::post_run(&addr, body, false).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let v = Json::parse(&reply.body).unwrap();
+    let result = v.get("result").unwrap();
+    assert_eq!(result.get("outcome").unwrap().as_str(), Some("gathered"));
+
+    // The plain paper strategy on the identical workload must still break
+    // — the repair is a distinct strategy, not a behavior change.
+    let broken =
+        "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"paper\",\"scheduler\":\"rr2\"}";
+    let reply = client::post_run(&addr, broken, false).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let v = Json::parse(&reply.body).unwrap();
+    let result = v.get("result").unwrap();
+    assert_eq!(
+        result.get("outcome").unwrap().as_str(),
+        Some("chain-broken")
+    );
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -241,6 +241,61 @@ fn stand_campaign_cells_terminate_in_o_window_rounds() {
     }
 }
 
+/// Counts the longest streak of rounds with no movement and no merge —
+/// the quantity the engine's quiescence cutoff judges.
+struct GapMeter {
+    current: u64,
+    longest: u64,
+}
+
+impl<S: Strategy> Observer<S> for GapMeter {
+    fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
+        if ctx.summary.moved == 0 && ctx.summary.removed == 0 {
+            self.current += 1;
+            self.longest = self.longest.max(self.current);
+        } else {
+            self.current = 0;
+        }
+    }
+}
+
+/// Regression: large-`k` KFair schedules have a duty cycle of `1/k`, so
+/// legitimate runs sit motionless for far longer than the unscaled
+/// [`QUIESCENCE_WINDOW`] — the engine must scale the cutoff by
+/// [`SchedulerKind::slowdown`] or it declares a live run falsely
+/// quiescent. The `GapMeter` proves the test bites: the gathered run
+/// really does contain a no-move gap past the unscaled window.
+#[test]
+fn large_k_kfair_runs_are_not_declared_falsely_quiescent() {
+    use chain_sim::QUIESCENCE_WINDOW;
+    use gathering_core::SsyncGathering;
+
+    let k = 1000u32;
+    let chain = Family::Rectangle.generate(16, 0);
+    let len = chain.len() as u64;
+    let d = chain.bounding().diameter() as u64;
+    let mut sim = Sim::new(chain, SsyncGathering::paper())
+        .with_scheduler(SchedulerKind::KFair(k).build(0))
+        .observe(GapMeter {
+            current: 0,
+            longest: 0,
+        });
+    let outcome = sim.run(chain_sim::RunLimits {
+        max_rounds: (8 * len * d + 4096).saturating_mul(k.into()),
+        stall_window: (4 * len * d + 1024).saturating_mul(k.into()),
+    });
+    assert!(
+        outcome.is_gathered(),
+        "KFair({k}) must gather, not stall: {outcome:?}"
+    );
+    let longest = sim.observer::<GapMeter>().unwrap().longest;
+    assert!(
+        longest > QUIESCENCE_WINDOW,
+        "test lost its teeth: longest no-move gap {longest} never exceeded \
+         the unscaled window {QUIESCENCE_WINDOW}"
+    );
+}
+
 /// Custom schedulers compose with the engine like observers do: the
 /// trait is open (here: a schedule that freezes the second half of the
 /// chain), and the boxed blanket impl forwards.

@@ -1,0 +1,207 @@
+//! Chain-safety guard: adversarial activation-subset audit and the
+//! FSYNC-passivity contract.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Subset safety.** The guard's output is safe under the activation
+//!    subset it was given — and since the engine applies the mask *before*
+//!    the guard, this quantifies over the adversary's whole move set: for
+//!    every round of a live `paper-ssync` run, masking the computed hops
+//!    by **every** activation subset (exhaustive at n ≤ 12, seeded-sampled
+//!    above) and guarding the result must yield a hop set that keeps every
+//!    chain edge adjacent. `ClosedChain::apply_hops` re-checks
+//!    connectivity independently, so the assertion does not trust the
+//!    guard's own adjacency predicate.
+//! 2. **FSYNC passivity.** Under the FSYNC scheduler the paper's hop sets
+//!    are already safe, so the guard must never cancel and the SSYNC
+//!    fallback must never arm: `paper-ssync` under `Fsync` reproduces the
+//!    PR 4 golden `paper` fingerprints *exactly* — not merely within a
+//!    bounded factor.
+
+use bench::scenario::{run_batch_with, BatchOptions, ScenarioSpec, StrategyKind};
+use chain_sim::chain::SpliceLog;
+use chain_sim::rng::SplitMix64;
+use chain_sim::{enforce_chain_safety, ClosedChain, RunLimits, Sim, Strategy};
+use gathering_core::SsyncGathering;
+use grid_geom::Offset;
+use workloads::Family;
+
+/// Exhaustive enumeration is affordable up to this chain length; larger
+/// families fall back to seeded mask sampling.
+const EXHAUSTIVE_MAX_N: usize = 12;
+
+/// Sampled masks per round for families whose smallest instance exceeds
+/// [`EXHAUSTIVE_MAX_N`] (crenellated 14, serpentine 16, spiral/cross 28).
+const SAMPLED_MASKS: usize = 1024;
+
+/// The smallest instance a family can generate (hints below the family's
+/// structural minimum are clamped up by the generator).
+fn smallest_instance(family: Family) -> ClosedChain {
+    (2..=16)
+        .map(|hint| family.generate(hint, 0))
+        .min_by_key(ClosedChain::len)
+        .expect("non-empty hint range")
+}
+
+/// Drive one `paper-ssync` trajectory under a seeded random schedule,
+/// auditing every (or, above the exhaustive cutoff, a seeded sample of)
+/// activation subset at every round before committing one of them.
+fn subset_audit(family: Family, rng_seed: u64) {
+    let mut chain = smallest_instance(family);
+    let n0 = chain.len();
+    let mut strat = SsyncGathering::paper();
+    strat.init(&chain);
+    let mut rng = SplitMix64::new(rng_seed);
+    let mut log = SpliceLog::default();
+    let cap = 256 * n0 as u64 + 4096;
+    let mut round = 0u64;
+
+    while !chain.is_gathered() {
+        assert!(
+            round < cap,
+            "{}: n0={n0} not gathered within {cap} rounds",
+            family.name()
+        );
+        let n = chain.len();
+        let mut hops = vec![Offset::ZERO; n];
+        strat.compute(&chain, round, &mut hops);
+
+        // Quantify over activation subsets: mask, guard, apply to a probe
+        // chain, and let `apply_hops` assert connectivity.
+        let masks: Vec<u64> = if n <= EXHAUSTIVE_MAX_N {
+            (0..(1u64 << n)).collect()
+        } else {
+            assert!(n <= 64, "sampled masks are one machine word");
+            (0..SAMPLED_MASKS).map(|_| rng.next_u64()).collect()
+        };
+        for mask in masks {
+            let mut masked = hops.clone();
+            for (i, hop) in masked.iter_mut().enumerate() {
+                if mask >> i & 1 == 0 {
+                    *hop = Offset::ZERO;
+                }
+            }
+            enforce_chain_safety(&chain, &mut masked);
+            let mut probe = chain.clone();
+            probe.apply_hops(&masked).unwrap_or_else(|e| {
+                panic!(
+                    "{}: round {round}, mask {mask:#x}: guarded hops broke the chain: {e}",
+                    family.name()
+                )
+            });
+        }
+
+        // Commit one uniformly drawn subset, mirroring the engine's round
+        // order (mask → guard → move → post_move → merge → post_merge).
+        let commit = rng.next_u64();
+        for (i, hop) in hops.iter_mut().enumerate() {
+            if commit >> (i % 64) & 1 == 0 {
+                *hop = Offset::ZERO;
+            }
+        }
+        enforce_chain_safety(&chain, &mut hops);
+        chain
+            .apply_hops(&hops)
+            .expect("the committed subset was audited above");
+        strat.post_move(&chain, round);
+        chain.merge_pass(&mut log);
+        strat.post_merge(&chain, round, &log);
+        if chain.len() > 1 {
+            chain.validate().expect("taut between rounds");
+        }
+        round += 1;
+    }
+}
+
+macro_rules! subset_safety {
+    ($name:ident, $family:expr, $seed:expr) => {
+        #[test]
+        fn $name() {
+            subset_audit($family, $seed);
+        }
+    };
+}
+
+subset_safety!(subset_safety_rectangle, Family::Rectangle, 0x51);
+subset_safety!(subset_safety_crenellated, Family::Crenellated, 0x52);
+subset_safety!(
+    subset_safety_staircase_diamond,
+    Family::StaircaseDiamond,
+    0x53
+);
+subset_safety!(subset_safety_comb, Family::Comb, 0x54);
+subset_safety!(subset_safety_skyline, Family::Skyline, 0x55);
+subset_safety!(subset_safety_hairpin_flower, Family::HairpinFlower, 0x56);
+subset_safety!(subset_safety_random_loop, Family::RandomLoop, 0x57);
+subset_safety!(subset_safety_spiral, Family::Spiral, 0x58);
+subset_safety!(subset_safety_serpentine, Family::Serpentine, 0x59);
+subset_safety!(subset_safety_cross, Family::Cross, 0x5a);
+
+/// Scenario fingerprint: `(n, rounds, merges, longest_gap)`.
+type Fingerprint = (usize, u64, usize, u64);
+
+/// PR 4 golden `paper` workloads under the default (FSYNC) scheduler —
+/// the fingerprints recorded in `tests/schedulers.rs`.
+fn golden_paper() -> Vec<(Family, usize, u64, Fingerprint)> {
+    vec![
+        (Family::Rectangle, 48, 0, (48, 7, 44, 0)),
+        (Family::Rectangle, 96, 3, (96, 176, 92, 18)),
+        (Family::Skyline, 64, 1, (84, 12, 80, 0)),
+        (Family::RandomLoop, 80, 2, (80, 6, 79, 0)),
+        (Family::StaircaseDiamond, 72, 5, (72, 27, 71, 18)),
+    ]
+}
+
+/// FSYNC passivity at the registry level: `paper-ssync` under the default
+/// scheduler reproduces the golden `paper` fingerprints exactly.
+#[test]
+fn paper_ssync_under_fsync_matches_the_paper_goldens() {
+    let specs: Vec<ScenarioSpec> = golden_paper()
+        .iter()
+        .map(|&(family, n, seed, _)| {
+            ScenarioSpec::strategy(family, n, seed, StrategyKind::paper_ssync())
+        })
+        .collect();
+    let results = run_batch_with(&specs, BatchOptions::threads(2));
+    for (r, (family, n, seed, want)) in results.iter().zip(golden_paper()) {
+        assert_eq!(
+            r.fingerprint(),
+            want,
+            "paper-ssync diverged from paper under FSYNC: {} n={n} seed={seed}",
+            family.name()
+        );
+    }
+}
+
+/// FSYNC passivity at the engine level: on the golden workloads the guard
+/// never cancels a hop and the SSYNC fallback never arms.
+#[test]
+fn guard_and_fallback_stay_silent_under_fsync() {
+    for (family, n, seed, want) in golden_paper() {
+        let chain = family.generate(n, seed);
+        let d = chain.bounding().diameter() as u64;
+        let len = chain.len() as u64;
+        let mut sim = Sim::new(chain, SsyncGathering::paper());
+        assert!(sim.chain_guard_enabled(), "wants_chain_guard must opt in");
+        let outcome = sim.run(RunLimits {
+            max_rounds: 8 * len * d + 4096,
+            stall_window: 4 * len * d + 1024,
+        });
+        assert_eq!(
+            outcome.rounds(),
+            want.1,
+            "{} n={n} seed={seed}",
+            family.name()
+        );
+        assert!(outcome.is_gathered(), "{outcome:?}");
+        assert_eq!(
+            sim.guard_cancels(),
+            0,
+            "guard fired under FSYNC: {} n={n} seed={seed}",
+            family.name()
+        );
+        let strat = sim.strategy();
+        assert!(!strat.ssync_observed(), "FSYNC misdetected as SSYNC");
+        assert_eq!(strat.fallback_hops(), 0, "fallback armed under FSYNC");
+    }
+}
