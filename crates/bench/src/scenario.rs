@@ -35,8 +35,8 @@ use chain_sim::kernel::{
 };
 use chain_sim::strategy::Stand;
 use chain_sim::{
-    ClosedChain, OpenChain, Outcome, PackedChain, ProgressProbe, ProgressSlot, RunLimits,
-    SchedulerKind, Sim, Strategy,
+    ClosedChain, FrameRing, OpenChain, Outcome, PackedChain, ProgressProbe, ProgressSlot,
+    ReplaySink, ReplayWriter, RunLimits, SchedulerKind, Sim, Strategy,
 };
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats, SsyncGathering};
@@ -223,26 +223,43 @@ impl StrategyKind {
         seed: u64,
         probe: Option<Arc<ProgressSlot>>,
     ) -> Box<dyn ScenarioDriver> {
-        StrategyFactory::resolve(*self).driver_probed(chain, scheduler, seed, probe)
+        StrategyFactory::resolve(*self).driver_tapped(
+            chain,
+            scheduler,
+            seed,
+            RunTaps::probed(probe),
+        )
     }
 
     /// The boxed/engine execution paths — everything except the kernel
-    /// fast path, which [`StrategyFactory::driver_probed`] dispatches in
+    /// fast path, which [`StrategyFactory::driver_tapped`] dispatches in
     /// front of this.
     fn driver_boxed(
         &self,
         chain: ClosedChain,
         scheduler: SchedulerKind,
         seed: u64,
-        probe: Option<Arc<ProgressSlot>>,
+        taps: RunTaps,
     ) -> Box<dyn ScenarioDriver> {
+        // Attach whatever taps were requested. Observers are passive: the
+        // run's result is byte-identical with or without them.
+        fn attach<S: Strategy + 'static>(sim: &mut Sim<S>, taps: RunTaps) {
+            if let Some(slot) = taps.probe {
+                sim.add_observer(ProgressProbe::new(slot));
+            }
+            if let Some(tap) = taps.replay {
+                let mut writer = ReplayWriter::new(tap.sink);
+                if let Some(ring) = tap.ring {
+                    writer = writer.with_ring(ring);
+                }
+                sim.add_observer(writer);
+            }
+        }
         match self {
             StrategyKind::Paper(cfg) => {
                 let mut sim = Sim::new(chain, ClosedChainGathering::new(*cfg))
                     .with_scheduler(scheduler.build(seed));
-                if let Some(slot) = probe {
-                    sim.add_observer(ProgressProbe::new(slot));
-                }
+                attach(&mut sim, taps);
                 Box::new(PaperDriver {
                     sim,
                     audited: false,
@@ -254,9 +271,7 @@ impl StrategyKind {
                 let mut sim = Sim::new(chain, strategy)
                     .with_scheduler(scheduler.build(seed))
                     .observe(auditor);
-                if let Some(slot) = probe {
-                    sim.add_observer(ProgressProbe::new(slot));
-                }
+                attach(&mut sim, taps);
                 Box::new(PaperDriver { sim, audited: true })
             }
             StrategyKind::PaperSsync(_)
@@ -272,9 +287,7 @@ impl StrategyKind {
                     self.build().expect("closed-chain kinds always build"),
                 )
                 .with_scheduler(scheduler.build(seed));
-                if let Some(slot) = probe {
-                    sim.add_observer(ProgressProbe::new(slot));
-                }
+                attach(&mut sim, taps);
                 Box::new(EngineDriver { sim })
             }
             StrategyKind::OpenZip | StrategyKind::Hopper => {
@@ -284,14 +297,55 @@ impl StrategyKind {
                     self.name(),
                     scheduler.name()
                 );
+                assert!(
+                    taps.replay.is_none(),
+                    "open-chain kind {} runs outside the engine; no replay recording",
+                    self.name()
+                );
                 Box::new(OpenDriver {
                     chain,
                     hopper: matches!(self, StrategyKind::Hopper),
-                    probe,
+                    probe: taps.probe,
                 })
             }
         }
     }
+}
+
+/// Telemetry taps for one scenario run: a live progress slot, replay
+/// recording, or both. All taps are passive — the run's
+/// [`ScenarioResult`] is byte-identical with or without them; what
+/// changes is only the execution path (replay recording needs the
+/// observer-capable boxed engine, which the kernel path replicates byte
+/// for byte).
+#[derive(Clone, Debug, Default)]
+pub struct RunTaps {
+    /// Live progress counters (the gatherd `/progress` feed).
+    pub probe: Option<Arc<ProgressSlot>>,
+    /// Replay recording (the gatherd `?replay` / `/watch` feed).
+    pub replay: Option<ReplayTap>,
+}
+
+impl RunTaps {
+    /// Taps carrying only a progress slot (the pre-replay probed shape).
+    pub fn probed(probe: Option<Arc<ProgressSlot>>) -> Self {
+        RunTaps {
+            probe,
+            ..Self::default()
+        }
+    }
+}
+
+/// The replay half of [`RunTaps`]: where the finished replay blob goes,
+/// plus an optional live frame ring for streaming watchers.
+#[derive(Clone, Debug)]
+pub struct ReplayTap {
+    /// Receives the complete replay bytes when the run's outcome is
+    /// decided.
+    pub sink: ReplaySink,
+    /// When present, one encoded [`chain_sim::LiveFrame`] per round is
+    /// published here for streaming consumers.
+    pub ring: Option<Arc<FrameRing>>,
 }
 
 /// A resolved kind→driver factory: the registry resolution for one
@@ -350,13 +404,31 @@ impl StrategyFactory {
         seed: u64,
         probe: Option<Arc<ProgressSlot>>,
     ) -> Box<dyn ScenarioDriver> {
-        if self.kernel_eligible {
-            match kernel_driver(&self.kind, chain, scheduler, seed, probe.clone()) {
+        self.driver_tapped(chain, scheduler, seed, RunTaps::probed(probe))
+    }
+
+    /// [`StrategyFactory::driver_probed`] generalized to the full
+    /// [`RunTaps`]: progress slot, replay recording, or both.
+    ///
+    /// Replay recording routes through the boxed engine even for
+    /// kernel-eligible kinds — the kernel path has no observers by
+    /// design, and its byte-identity with the boxed engine (CI-gated in
+    /// `tests/kernel_diff.rs`) is exactly what makes the detour safe: a
+    /// recorded run produces the same [`DriveReport`] the kernel would.
+    pub fn driver_tapped(
+        &self,
+        chain: ClosedChain,
+        scheduler: SchedulerKind,
+        seed: u64,
+        taps: RunTaps,
+    ) -> Box<dyn ScenarioDriver> {
+        if self.kernel_eligible && taps.replay.is_none() {
+            match kernel_driver(&self.kind, chain, scheduler, seed, taps.probe.clone()) {
                 Ok(driver) => return driver,
-                Err(chain) => return self.kind.driver_boxed(chain, scheduler, seed, probe),
+                Err(chain) => return self.kind.driver_boxed(chain, scheduler, seed, taps),
             }
         }
-        self.kind.driver_boxed(chain, scheduler, seed, probe)
+        self.kind.driver_boxed(chain, scheduler, seed, taps)
     }
 }
 
@@ -510,16 +582,23 @@ impl<K: RoundKernel, A: ActivationRule> ScenarioDriver for KernelDriver<K, A> {
         let outcome = match &self.probe {
             None => self.sim.run(limits),
             Some(slot) => {
-                slot.publish(0, self.sim.chain().len(), 0);
+                slot.publish(0, self.sim.chain().len(), 0, 0);
                 let mut removed_total = 0usize;
                 let feed = Arc::clone(slot);
+                // Kernel-eligible strategies never opt into the chain
+                // guard, so the guard counter stays 0 on this path.
                 let outcome = self.sim.run_with(limits, |summary| {
                     removed_total += summary.removed;
-                    feed.publish(summary.round + 1, summary.len_after, removed_total);
+                    feed.publish(summary.round + 1, summary.len_after, removed_total, 0);
                 });
                 // Mirror `ProgressProbe::on_finish`: republish the final
                 // state at the last published round, then close the feed.
-                slot.publish(slot.snapshot().round, self.sim.chain().len(), removed_total);
+                slot.publish(
+                    slot.snapshot().round,
+                    self.sim.chain().len(),
+                    removed_total,
+                    0,
+                );
                 slot.finish();
                 outcome
             }
@@ -608,7 +687,7 @@ impl ScenarioDriver for OpenDriver {
         let chain = self.chain;
         let n = chain.len();
         if let Some(slot) = &self.probe {
-            slot.publish(0, n, 0);
+            slot.publish(0, n, 0, 0);
         }
         let open = OpenChain::from_closed_positions(chain.positions())
             .expect("family chains cut open cleanly");
@@ -644,7 +723,7 @@ impl ScenarioDriver for OpenDriver {
             )
         };
         if let Some(slot) = &self.probe {
-            slot.publish(detail.rounds, detail.final_len, n - detail.final_len);
+            slot.publish(detail.rounds, detail.final_len, n - detail.final_len, 0);
             slot.finish();
         }
         DriveReport {
@@ -841,23 +920,37 @@ pub fn run_scenario_probed(
     spec: &ScenarioSpec,
     probe: Option<Arc<ProgressSlot>>,
 ) -> ScenarioResult {
-    run_scenario_resolved(spec, &StrategyFactory::resolve(spec.strategy), probe)
+    run_scenario_tapped(spec, RunTaps::probed(probe))
 }
 
-/// [`run_scenario_probed`] against a pre-resolved factory — the batch
+/// [`run_scenario`] with the full telemetry tap set: live progress,
+/// replay recording into a [`ReplaySink`], and/or live frame streaming
+/// through a [`FrameRing`] (see [`RunTaps`]). Taps are passive — the
+/// result is byte-identical to an untapped run of the same spec.
+///
+/// # Panics
+/// If `taps.replay` is set for an open-chain strategy kind — the \[KM09\]
+/// procedures run outside the engine, so there is no per-round record to
+/// write. Service layers reject that combination at request-validation
+/// time.
+pub fn run_scenario_tapped(spec: &ScenarioSpec, taps: RunTaps) -> ScenarioResult {
+    run_scenario_resolved(spec, &StrategyFactory::resolve(spec.strategy), taps)
+}
+
+/// [`run_scenario_tapped`] against a pre-resolved factory — the batch
 /// executor's per-spec body, with the kind→factory resolution hoisted
 /// out ([`FactorySet`]).
 fn run_scenario_resolved(
     spec: &ScenarioSpec,
     factory: &StrategyFactory,
-    probe: Option<Arc<ProgressSlot>>,
+    taps: RunTaps,
 ) -> ScenarioResult {
     let t0 = Instant::now();
     let chain = spec.generate();
     let n = chain.len();
     let limits = spec.resolve_limits(&chain);
     let report = factory
-        .driver_probed(chain, spec.scheduler, spec.seed, probe)
+        .driver_tapped(chain, spec.scheduler, spec.seed, taps)
         .drive(limits);
 
     ScenarioResult {
@@ -940,7 +1033,7 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
     if threads <= 1 {
         return specs
             .iter()
-            .map(|s| run_scenario_resolved(s, &factories.get(s.strategy), None))
+            .map(|s| run_scenario_resolved(s, &factories.get(s.strategy), RunTaps::default()))
             .collect();
     }
 
@@ -960,7 +1053,11 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
                         let spec = &specs[i];
                         local.push((
                             i,
-                            run_scenario_resolved(spec, &factories.get(spec.strategy), None),
+                            run_scenario_resolved(
+                                spec,
+                                &factories.get(spec.strategy),
+                                RunTaps::default(),
+                            ),
                         ));
                     }
                     local

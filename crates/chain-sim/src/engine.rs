@@ -369,10 +369,13 @@ impl<S: Strategy> Sim<S> {
         // activation subset. Runs after the mask so the guard judges the
         // hops that would actually apply; observers see the post-guard
         // hops, i.e. exactly what moved.
-        if self.guard {
-            self.guard_cancels +=
-                crate::safety::enforce_chain_safety(&self.chain, &mut self.hops) as u64;
-        }
+        let guard_cancels = if self.guard {
+            let cancelled = crate::safety::enforce_chain_safety(&self.chain, &mut self.hops);
+            self.guard_cancels += cancelled as u64;
+            cancelled
+        } else {
+            0
+        };
 
         // Move (simultaneous).
         let moved = self.hops.iter().filter(|h| **h != Offset::ZERO).count();
@@ -421,6 +424,7 @@ impl<S: Strategy> Sim<S> {
                 active: &self.active,
                 chain: &self.chain,
                 splice: &self.splice,
+                guard_cancels,
             };
             for obs in &mut self.observers {
                 obs.on_round(&ctx, &mut self.strategy);

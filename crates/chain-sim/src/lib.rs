@@ -38,6 +38,12 @@
 //!   paper's tables.
 //! * An **open chain** variant ([`OpenChain`]) used by the \[KM09\]-style
 //!   baseline the paper generalizes.
+//! * **Record and replay** ([`replay`]): a versioned binary run log — a
+//!   [`ReplayWriter`] observer records the initial chain plus per-round
+//!   deltas on the 2-bit edge-code alphabet, a [`ReplayReader`]
+//!   reconstructs every intermediate chain byte-identically, and a
+//!   bounded [`FrameRing`] broadcasts live [`LiveFrame`] snapshots to
+//!   streaming watchers without ever blocking the run.
 //! * A **data-oriented core** for the observer-free path: chain state as
 //!   packed 2-bit hop codes ([`packed::PackedChain`], 32 edges per `u64`)
 //!   and monomorphized round kernels ([`kernel`]) that replicate [`Sim`]
@@ -57,6 +63,7 @@ pub mod metrics;
 pub mod observe;
 pub mod open_chain;
 pub mod packed;
+pub mod replay;
 pub mod rng;
 pub mod robot;
 pub mod safety;
@@ -76,6 +83,10 @@ pub use metrics::{metrics, ChainMetrics};
 pub use observe::{Observer, ProgressProbe, ProgressSlot, ProgressSnapshot, Recorder, RoundCtx};
 pub use open_chain::OpenChain;
 pub use packed::PackedChain;
+pub use replay::{
+    FrameRing, LiveFrame, ReplayError, ReplayOutcome, ReplayReader, ReplayRound, ReplaySink,
+    ReplayWriter,
+};
 pub use robot::RobotId;
 pub use safety::{enforce_chain_safety, hop_breaks_chain};
 pub use scheduler::{Scheduler, SchedulerKind};

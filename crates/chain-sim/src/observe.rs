@@ -56,6 +56,11 @@ pub struct RoundCtx<'a> {
     pub chain: &'a ClosedChain,
     /// The round's splice log: merge events and index remapping.
     pub splice: &'a SpliceLog,
+    /// Hops the chain-safety guard cancelled this round (0 when the
+    /// strategy did not opt into the guard). The hops in
+    /// [`RoundCtx::hops`] are post-guard — this counter is how an
+    /// observer sees that the guard intervened at all.
+    pub guard_cancels: usize,
 }
 
 /// Composable run instrumentation; see the [module docs](self).
@@ -304,6 +309,10 @@ pub struct ProgressSnapshot {
     pub len: usize,
     /// Total robots removed by merges so far.
     pub removed: usize,
+    /// Total hops the chain-safety guard has cancelled so far (0 unless
+    /// the strategy opted into the guard — paper-ssync under SSYNC
+    /// schedules is the interesting case).
+    pub guard_cancels: u64,
     /// `true` once the run's outcome has been decided.
     pub finished: bool,
 }
@@ -323,6 +332,7 @@ pub struct ProgressSlot {
     round: AtomicU64,
     len: AtomicUsize,
     removed: AtomicUsize,
+    guard_cancels: AtomicU64,
     finished: AtomicBool,
 }
 
@@ -333,11 +343,14 @@ impl ProgressSlot {
     }
 
     /// Publish the counters of a completed round (or the initial
-    /// configuration, with `round = 0`).
-    pub fn publish(&self, round: u64, len: usize, removed: usize) {
+    /// configuration, with `round = 0`). `guard_cancels` is the running
+    /// total of guard-cancelled hops — 0 for strategies without the
+    /// chain-safety guard.
+    pub fn publish(&self, round: u64, len: usize, removed: usize, guard_cancels: u64) {
         self.round.store(round, Ordering::Relaxed);
         self.len.store(len, Ordering::Relaxed);
         self.removed.store(removed, Ordering::Relaxed);
+        self.guard_cancels.store(guard_cancels, Ordering::Relaxed);
     }
 
     /// Mark the run finished (the outcome is decided; the counters are
@@ -352,6 +365,7 @@ impl ProgressSlot {
             round: self.round.load(Ordering::Relaxed),
             len: self.len.load(Ordering::Relaxed),
             removed: self.removed.load(Ordering::Relaxed),
+            guard_cancels: self.guard_cancels.load(Ordering::Relaxed),
             finished: self.finished.load(Ordering::Relaxed),
         }
     }
@@ -367,6 +381,7 @@ impl ProgressSlot {
 pub struct ProgressProbe {
     slot: Arc<ProgressSlot>,
     removed_total: usize,
+    guard_total: u64,
 }
 
 impl ProgressProbe {
@@ -375,29 +390,36 @@ impl ProgressProbe {
         ProgressProbe {
             slot,
             removed_total: 0,
+            guard_total: 0,
         }
     }
 }
 
 impl<S: Strategy> Observer<S> for ProgressProbe {
     fn on_init(&mut self, chain: &ClosedChain, _strategy: &S) {
-        self.slot.publish(0, chain.len(), 0);
+        self.slot.publish(0, chain.len(), 0, 0);
     }
 
     fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
         self.removed_total += ctx.summary.removed;
+        self.guard_total += ctx.guard_cancels as u64;
         self.slot.publish(
             ctx.summary.round + 1,
             ctx.summary.len_after,
             self.removed_total,
+            self.guard_total,
         );
     }
 
     fn on_finish(&mut self, chain: &ClosedChain, _strategy: &S, _outcome: &Outcome) {
         // The counters may be ahead of the last published round when the
         // outcome was decided without stepping; republish the final state.
-        self.slot
-            .publish(self.slot.snapshot().round, chain.len(), self.removed_total);
+        self.slot.publish(
+            self.slot.snapshot().round,
+            chain.len(),
+            self.removed_total,
+            self.guard_total,
+        );
         self.slot.finish();
     }
 }
@@ -466,6 +488,7 @@ mod tests {
             active: &[],
             chain: &chain,
             splice: &splice,
+            guard_cancels: 0,
         };
         Observer::<Stand>::on_round(&mut inv, &ctx, &mut stand);
         assert!(!inv.is_clean());
@@ -486,6 +509,7 @@ mod tests {
                 round: 0,
                 len: 6,
                 removed: 0,
+                guard_cancels: 0,
                 finished: false
             }
         );

@@ -2,31 +2,46 @@
 //!
 //! ```text
 //! gatherctl health   --addr HOST:PORT
+//! gatherctl metrics  --addr HOST:PORT
 //! gatherctl run      --addr HOST:PORT --family F --n N --seed S --strategy K
-//!                    [--scheduler S] [--async]
+//!                    [--scheduler S] [--async] [--replay]
 //! gatherctl raw      --addr HOST:PORT --body TEXT     # POST /run verbatim
 //! gatherctl result   --addr HOST:PORT --hash H
 //! gatherctl progress --addr HOST:PORT --job N
+//! gatherctl watch    --addr HOST:PORT --job N  [--rate MS] [--every K]
+//! gatherctl replay   --addr HOST:PORT --hash H [--rate MS] [--every K]
+//!                    [--seek R] [--until R]
 //! gatherctl flood    --addr HOST:PORT --count N --family F --n N --seed S --strategy K
 //! gatherctl shutdown --addr HOST:PORT
 //! ```
 //!
-//! Every command prints `HTTP <status>` followed by the response body and
-//! exits 0 on 2xx, 3 on any other status, 1 on transport errors — so CI
-//! can both grep the body and branch on the code. `flood` fires `count`
-//! concurrent `POST /run`s with distinct seeds (starting at `--seed`) and
-//! prints a status histogram (`200 x5 / 429 x3`); it exits 0 whenever
-//! every request got *some* HTTP response.
+//! Request commands print `HTTP <status>` followed by the response body
+//! and exit 0 on 2xx, 3 on any other status, 1 on transport errors — so
+//! CI can both grep the body and branch on the code. `flood` fires
+//! `count` concurrent `POST /run`s with distinct seeds (starting at
+//! `--seed`) and prints a status histogram (`200 x5 / 429 x3`); it exits
+//! 0 whenever every request got *some* HTTP response.
+//!
+//! `watch` streams a recording job's rounds live (`GET /watch/<job>`)
+//! and renders each frame through `chain_viz`; `replay` downloads a
+//! stored run log (`GET /replay/<hash>`) and steps through it with the
+//! verifying [`ReplayReader`] — no simulation
+//! runs on either side. `--rate` paces frames in milliseconds (0 = as
+//! fast as they come, the CI mode), `--every K` renders every Kth round
+//! (terminal frames always render), and `--seek`/`--until` bound the
+//! replayed window.
 
 use std::process::exit;
 
+use chain_sim::{LiveFrame, ReplayReader};
 use gatherd::client;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gatherctl <health|run|raw|result|progress|flood|shutdown> --addr HOST:PORT \
-         [--family F] [--n N] [--seed S] [--strategy K] [--scheduler S] [--async] \
-         [--hash H] [--job N] [--count N] [--body TEXT]"
+        "usage: gatherctl <health|metrics|run|raw|result|progress|watch|replay|flood|shutdown> \
+         --addr HOST:PORT [--family F] [--n N] [--seed S] [--strategy K] [--scheduler S] \
+         [--async] [--replay] [--hash H] [--job N] [--count N] [--body TEXT] [--rate MS] \
+         [--every K] [--seek R] [--until R]"
     );
     exit(2)
 }
@@ -40,10 +55,15 @@ struct Cli {
     strategy: String,
     scheduler: Option<String>,
     r#async: bool,
+    replay: bool,
     hash: String,
     job: u64,
     count: usize,
     body: String,
+    rate: u64,
+    every: u64,
+    seek: u64,
+    until: Option<u64>,
 }
 
 fn parse_cli() -> Cli {
@@ -52,7 +72,8 @@ fn parse_cli() -> Cli {
         usage();
     };
     let known = [
-        "health", "run", "raw", "result", "progress", "flood", "shutdown",
+        "health", "metrics", "run", "raw", "result", "progress", "watch", "replay", "flood",
+        "shutdown",
     ];
     if !known.contains(&cmd.as_str()) {
         eprintln!("error: unknown command '{cmd}'");
@@ -67,10 +88,15 @@ fn parse_cli() -> Cli {
         strategy: "paper".to_string(),
         scheduler: None,
         r#async: false,
+        replay: false,
         hash: String::new(),
         job: 0,
         count: 8,
         body: String::new(),
+        rate: 40,
+        every: 1,
+        seek: 0,
+        until: None,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -94,10 +120,15 @@ fn parse_cli() -> Cli {
             "--strategy" => cli.strategy = value("--strategy"),
             "--scheduler" => cli.scheduler = Some(value("--scheduler")),
             "--async" => cli.r#async = true,
+            "--replay" => cli.replay = true,
             "--hash" => cli.hash = value("--hash"),
             "--job" => cli.job = parse_u64("--job", value("--job")),
             "--count" => cli.count = parse_u64("--count", value("--count")) as usize,
             "--body" => cli.body = value("--body"),
+            "--rate" => cli.rate = parse_u64("--rate", value("--rate")),
+            "--every" => cli.every = parse_u64("--every", value("--every")).max(1),
+            "--seek" => cli.seek = parse_u64("--seek", value("--seek")),
+            "--until" => cli.until = Some(parse_u64("--until", value("--until"))),
             other => {
                 eprintln!("error: unknown flag '{other}'");
                 usage();
@@ -136,14 +167,132 @@ fn finish(reply: std::io::Result<client::Reply>) -> ! {
     }
 }
 
+fn transport_err(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    exit(1);
+}
+
+/// Render one live/replayed round: a status line plus the chain art.
+fn show_round(chain: &chain_sim::ClosedChain, status: &str) {
+    println!("{status}");
+    print!("{}", chain_viz::render(chain));
+    println!();
+}
+
+fn pace(rate_ms: u64) {
+    if rate_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(rate_ms));
+    }
+}
+
+fn watch(cli: &Cli) -> ! {
+    let mut stream =
+        client::WatchStream::open(&cli.addr, cli.job).unwrap_or_else(|e| transport_err(e));
+    let mut frames = 0u64;
+    loop {
+        match stream.next_frame() {
+            Ok(Some(bytes)) => {
+                let frame = LiveFrame::decode(&bytes).unwrap_or_else(|e| transport_err(e));
+                if !(frame.finished || frame.round.is_multiple_of(cli.every)) {
+                    continue;
+                }
+                let chain = frame.chain().unwrap_or_else(|e| transport_err(e));
+                let mut status = format!(
+                    "round {}  len {}  removed {}  guard_cancels {}",
+                    frame.round, frame.len, frame.removed_total, frame.guard_cancels
+                );
+                if frame.gathered {
+                    status.push_str("  [gathered]");
+                }
+                if frame.finished {
+                    status.push_str("  [finished]");
+                }
+                show_round(&chain, &status);
+                frames += 1;
+                if !frame.finished {
+                    pace(cli.rate);
+                }
+            }
+            Ok(None) => break,
+            Err(e) => transport_err(e),
+        }
+    }
+    println!("watch: stream ended after {frames} rendered frames");
+    exit(0);
+}
+
+fn replay(cli: &Cli) -> ! {
+    if cli.hash.is_empty() {
+        eprintln!("error: replay needs --hash");
+        usage();
+    }
+    let raw = client::get_replay(&cli.addr, &cli.hash).unwrap_or_else(|e| transport_err(e));
+    if raw.status != 200 {
+        println!("HTTP {}", raw.status);
+        println!("{}", String::from_utf8_lossy(&raw.body));
+        exit(3);
+    }
+    let mut reader = ReplayReader::new(&raw.body).unwrap_or_else(|e| transport_err(e));
+    if cli.seek == 0 {
+        show_round(
+            reader.chain(),
+            &format!("round 0  len {}", reader.chain().len()),
+        );
+        pace(cli.rate);
+    }
+    loop {
+        match reader.next_round() {
+            Ok(Some(round)) => {
+                let s = &round.summary;
+                let done = s.round + 1;
+                if done < cli.seek {
+                    continue;
+                }
+                let past_until = cli.until.is_some_and(|u| done > u);
+                let last = past_until || s.gathered;
+                if !past_until && (last || done.is_multiple_of(cli.every)) {
+                    let mut status = format!(
+                        "round {done}  len {}  moved {}  removed {}  guard_cancels {}",
+                        s.len_after, s.moved, s.removed, round.guard_cancels
+                    );
+                    if s.gathered {
+                        status.push_str("  [gathered]");
+                    }
+                    show_round(reader.chain(), &status);
+                    pace(cli.rate);
+                }
+                if past_until {
+                    println!("replay: stopped at --until {}", cli.until.unwrap());
+                    exit(0);
+                }
+            }
+            Ok(None) => break,
+            Err(e) => transport_err(format!("replay corrupt: {e}")),
+        }
+    }
+    match reader.outcome() {
+        Some(outcome) => println!(
+            "replay: verified {} rounds, outcome {}",
+            outcome.rounds(),
+            outcome.name()
+        ),
+        None => println!("replay: verified {} rounds", reader.rounds_read()),
+    }
+    exit(0);
+}
+
 fn main() {
     let cli = parse_cli();
     match cli.cmd.as_str() {
         "health" => finish(client::request(&cli.addr, "GET", "/healthz", None)),
-        "run" => finish(client::post_run(
+        "metrics" => finish(client::request(&cli.addr, "GET", "/metrics", None)),
+        "watch" => watch(&cli),
+        "replay" => replay(&cli),
+        "run" => finish(client::post_run_opts(
             &cli.addr,
             &spec_json(&cli, cli.seed),
             cli.r#async,
+            cli.replay,
         )),
         "raw" => finish(client::request(&cli.addr, "POST", "/run", Some(&cli.body))),
         "result" => finish(client::request(

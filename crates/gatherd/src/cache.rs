@@ -15,6 +15,14 @@
 //! engine. `wall_us` is the *first* run's measurement — replays are
 //! marked `cached` in the response envelope, and a cached `wall_us`
 //! deliberately keeps measuring the original simulation, not the lookup.
+//!
+//! Replay blobs (the record-and-replay telemetry of `?replay` runs) ride
+//! alongside as plain files — `dir/replays/<hash>.replay` — written
+//! atomically (temp + rename) so a crashed write never leaves a torn blob
+//! to serve. They are a side store, not part of the row cache: a row can
+//! exist without a replay (the spec first ran without `?replay`), and a
+//! replay request for such a spec re-simulates once to record it while
+//! the original row keeps answering.
 
 use std::collections::HashMap;
 use std::io;
@@ -93,6 +101,35 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    fn replay_path(&self, hash: &str) -> PathBuf {
+        self.path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join("replays")
+            .join(format!("{hash}.replay"))
+    }
+
+    /// Persist a replay blob for `hash`, atomically (write to a temp file
+    /// in the same directory, then rename over the final name).
+    pub fn put_replay(&self, hash: &str, bytes: &[u8]) -> io::Result<()> {
+        let path = self.replay_path(hash);
+        let dir = path.parent().expect("replay path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".{hash}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Load the stored replay blob for `hash`, if one exists.
+    pub fn get_replay(&self, hash: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.replay_path(hash)).ok()
+    }
+
+    /// `true` when a replay blob is stored for `hash`.
+    pub fn has_replay(&self, hash: &str) -> bool {
+        self.replay_path(hash).is_file()
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +189,24 @@ mod tests {
         assert_eq!(stored, row);
         assert!(persist.is_some(), "append into a directory must fail");
         assert_eq!(cache.get(&hash), Some(row), "memory caching must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Replay blobs round-trip through the side store and survive a
+    /// reopen; an absent hash is a clean miss.
+    #[test]
+    fn replay_side_store_roundtrips() {
+        let dir = scratch("replays");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(!cache.has_replay("aaaabbbbccccdddd"));
+        assert!(cache.get_replay("aaaabbbbccccdddd").is_none());
+        let blob = vec![0x47, 0x52, 0x50, 0x4c, 1, 2, 3];
+        cache.put_replay("aaaabbbbccccdddd", &blob).unwrap();
+        assert!(cache.has_replay("aaaabbbbccccdddd"));
+        assert_eq!(cache.get_replay("aaaabbbbccccdddd"), Some(blob.clone()));
+
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.get_replay("aaaabbbbccccdddd"), Some(blob));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,9 @@
-//! The client side of the wire: one function speaking the same
-//! one-request-per-connection HTTP/1.1 slice the server serves. Shared by
-//! `gatherctl`, the integration tests, and the service bench.
+//! The client side of the wire: plain request/response helpers plus a
+//! chunked-stream reader for `/watch`, speaking the same HTTP/1.1 slice
+//! the server serves. Shared by `gatherctl`, the integration tests, and
+//! the service bench. Requests here send `Connection: close` — the
+//! one-shot helpers rely on EOF framing; keep-alive is exercised by the
+//! integration tests directly.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -33,16 +36,24 @@ impl Reply {
     }
 }
 
-/// Send one request and read the full response. `addr` is `host:port`;
-/// `body` (when given) is sent with a `Content-Length`.
-pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Reply> {
+/// A received response with a byte body (`/replay` blobs are binary).
+#[derive(Clone, Debug)]
+pub struct RawReply {
+    /// Status code.
+    pub status: u16,
+    /// Response headers (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+fn send_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<TcpStream> {
     let mut stream = TcpStream::connect(addr)?;
     // Longer than the server's SYNC_WAIT (300 s): a blocking run that
     // exhausts the server's patience must deliver its 202
     // poll-instead answer here rather than dying as a client timeout.
     stream.set_read_timeout(Some(Duration::from_secs(330)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -50,13 +61,19 @@ pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
+    Ok(stream)
+}
 
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8(raw).map_err(|_| io::Error::other("non-utf8 response"))?;
-    let (head, body) = text
-        .split_once("\r\n\r\n")
+/// Parsed response head: status, lowercased headers, body offset.
+type Head = (u16, Vec<(String, String)>, usize);
+
+fn parse_head(raw: &[u8]) -> io::Result<Head> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| io::Error::other("response without header block"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::other("non-utf8 response head"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
     let status = status_line
@@ -68,15 +85,169 @@ pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::
         .filter_map(|l| l.split_once(':'))
         .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
         .collect();
-    Ok(Reply {
+    Ok((status, headers, head_end + 4))
+}
+
+/// Send one request and read the full response as bytes. `addr` is
+/// `host:port`; `body` (when given) is sent with a `Content-Length`.
+pub fn request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<RawReply> {
+    let mut stream = send_request(addr, method, path, body.unwrap_or(""))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let (status, headers, body_start) = parse_head(&raw)?;
+    Ok(RawReply {
         status,
         headers,
-        body: body.to_string(),
+        body: raw[body_start..].to_vec(),
     })
+}
+
+/// [`request_raw`] with the body decoded as UTF-8 text (every endpoint
+/// except `/replay` and `/watch`).
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Reply> {
+    let raw = request_raw(addr, method, path, body)?;
+    let body =
+        String::from_utf8(raw.body).map_err(|_| io::Error::other("non-utf8 response body"))?;
+    Ok(Reply {
+        status: raw.status,
+        headers: raw.headers,
+        body,
+    })
+}
+
+/// `POST /run` with a spec body; returns the reply. `replay` asks the
+/// server to record the run (`?replay`).
+pub fn post_run_opts(
+    addr: &str,
+    spec_json: &str,
+    async_mode: bool,
+    replay: bool,
+) -> io::Result<Reply> {
+    let path = match (async_mode, replay) {
+        (true, true) => "/run?async&replay",
+        (true, false) => "/run?async",
+        (false, true) => "/run?replay",
+        (false, false) => "/run",
+    };
+    request(addr, "POST", path, Some(spec_json))
 }
 
 /// `POST /run` with a spec body; returns the reply.
 pub fn post_run(addr: &str, spec_json: &str, async_mode: bool) -> io::Result<Reply> {
-    let path = if async_mode { "/run?async" } else { "/run" };
-    request(addr, "POST", path, Some(spec_json))
+    post_run_opts(addr, spec_json, async_mode, false)
+}
+
+/// Fetch a stored replay blob (`GET /replay/<hash>`).
+pub fn get_replay(addr: &str, hash: &str) -> io::Result<RawReply> {
+    request_raw(addr, "GET", &format!("/replay/{hash}"), None)
+}
+
+/// A live `/watch` stream: one encoded `LiveFrame` per HTTP chunk, read
+/// incrementally with [`WatchStream::next_frame`] until the terminal
+/// chunk.
+#[derive(Debug)]
+pub struct WatchStream {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+    done: bool,
+}
+
+impl WatchStream {
+    /// Open the stream for a job. A non-200 answer (unknown job, job not
+    /// recording) surfaces as an error carrying the status and body.
+    pub fn open(addr: &str, job: u64) -> io::Result<WatchStream> {
+        let mut stream = send_request(addr, "GET", &format!("/watch/{job}"), "")?;
+
+        // Read until the full header block is in hand.
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let (status, headers, body_start) = loop {
+            if let Ok(parsed) = parse_head(&buf) {
+                break parsed;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        if status != 200 {
+            let mut rest = buf[body_start..].to_vec();
+            let _ = stream.read_to_end(&mut rest);
+            let body = String::from_utf8_lossy(&rest).into_owned();
+            return Err(io::Error::other(format!(
+                "watch refused: HTTP {status} {body}"
+            )));
+        }
+        let chunked = headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        if !chunked {
+            return Err(io::Error::other("watch response is not chunked"));
+        }
+        Ok(WatchStream {
+            stream,
+            buf: buf[body_start..].to_vec(),
+            pos: 0,
+            done: false,
+        })
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-stream",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// The next frame's bytes, or `None` once the terminal chunk arrives.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.done {
+            return Ok(None);
+        }
+        // Parse one `size-hex\r\n payload \r\n` chunk, reading more as
+        // needed.
+        let size_line_end = loop {
+            if let Some(i) = self.buf[self.pos..].windows(2).position(|w| w == b"\r\n") {
+                break self.pos + i;
+            }
+            self.fill()?;
+        };
+        let size_text = std::str::from_utf8(&self.buf[self.pos..size_line_end])
+            .map_err(|_| io::Error::other("non-utf8 chunk size"))?
+            .trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| io::Error::other(format!("bad chunk size '{size_text}'")))?;
+        let payload_start = size_line_end + 2;
+        while self.buf.len() < payload_start + size + 2 {
+            self.fill()?;
+        }
+        let payload = self.buf[payload_start..payload_start + size].to_vec();
+        self.pos = payload_start + size + 2; // skip the trailing CRLF
+                                             // Drop consumed bytes so a long stream stays bounded.
+        if self.pos > 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        if size == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(payload))
+    }
 }

@@ -1,13 +1,21 @@
 //! A hand-rolled, dependency-free slice of HTTP/1.1 — exactly what the
 //! service needs and no more.
 //!
-//! One request per connection (`Connection: close` on every response):
-//! the service's requests are short and the simplicity is worth more than
-//! keep-alive here. Reads are bounded three ways — header block and body
-//! size caps, a per-read socket timeout, and a whole-request deadline
-//! ([`REQUEST_DEADLINE`], so a client trickling bytes cannot stretch the
-//! per-read timeout indefinitely) — so a slow or malicious client cannot
-//! wedge a handler thread or balloon memory.
+//! Connections are persistent per HTTP/1.1 semantics: requests default to
+//! keep-alive unless the client sends `Connection: close` (or speaks
+//! HTTP/1.0 without `Connection: keep-alive`), and the handler loop
+//! serves requests off one socket until either side opts out. Reads are
+//! bounded three ways — header block and body size caps, a per-read
+//! socket timeout, and a whole-request deadline ([`REQUEST_DEADLINE`], so
+//! a client trickling bytes cannot stretch the per-read timeout
+//! indefinitely) — so a slow or malicious client cannot wedge a handler
+//! thread or balloon memory. An idle keep-alive connection times out at
+//! the per-read timeout and is closed, which is also what bounds how long
+//! a handler sits parked on a quiet client.
+//!
+//! Responses carry an explicit content type and a byte body (JSON, plain
+//! text, or binary), and [`ChunkedWriter`] streams an unbounded response
+//! with `Transfer-Encoding: chunked` — the watch endpoint's frame feed.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -39,6 +47,18 @@ pub struct Request {
     pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// `true` when the connection may serve another request after the
+    /// response: HTTP/1.1 without `Connection: close`, or HTTP/1.0 with
+    /// an explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// `true` when the query string contains `flag` as a `&`-separated
+    /// token (`/run?async&replay`).
+    pub fn has_query_flag(&self, flag: &str) -> bool {
+        self.query.split('&').any(|q| q == flag)
+    }
 }
 
 /// Read and parse one request from the stream.
@@ -90,8 +110,10 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
+    let http10 = parts.next() == Some("HTTP/1.0");
 
     let mut content_length = 0usize;
+    let mut keep_alive = !http10;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -99,6 +121,13 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
                     .trim()
                     .parse()
                     .map_err(|_| io::Error::other("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -128,6 +157,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         path,
         query,
         body,
+        keep_alive,
     })
 }
 
@@ -135,15 +165,31 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// A response under construction: status, extra headers, JSON body.
+/// A response under construction: status, content type, extra headers,
+/// byte body.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// Status code (200, 202, 400, 404, 405, 429, 500).
     pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond the standard set (`X-Gatherd-Cache`, ...).
     pub headers: Vec<(String, String)>,
-    /// The JSON body.
-    pub body: String,
+    /// The body bytes (JSON text, plain text, or binary).
+    pub body: Vec<u8>,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
 }
 
 impl Response {
@@ -151,8 +197,27 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Response {
         Response {
             status,
+            content_type: "application/json",
             headers: Vec::new(),
-            body: body.into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (`/metrics`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            content_type: "text/plain; charset=utf-8",
+            ..Response::json(status, body)
+        }
+    }
+
+    /// A binary response (`/replay/<hash>`).
+    pub fn binary(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
         }
     }
 
@@ -162,34 +227,76 @@ impl Response {
         self
     }
 
-    fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            202 => "Accepted",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            429 => "Too Many Requests",
-            500 => "Internal Server Error",
-            _ => "Unknown",
-        }
-    }
-
     /// Serialize and send on the stream (best effort: the client may have
     /// hung up — the caller ignores the error and moves on).
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let mut out = String::with_capacity(self.body.len() + 256);
-        out.push_str(&format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()));
-        out.push_str("Content-Type: application/json\r\n");
-        out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        out.push_str("Connection: close\r\n");
+    /// `keep_alive` picks the advertised connection disposition; the
+    /// caller loops for another request only when it was `true`.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n".as_slice()
+        } else {
+            b"Connection: close\r\n".as_slice()
+        });
         for (name, value) in &self.headers {
-            out.push_str(&format!("{name}: {value}\r\n"));
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
-        out.push_str("\r\n");
-        out.push_str(&self.body);
-        stream.write_all(out.as_bytes())?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        stream.write_all(&out)?;
         stream.flush()
+    }
+}
+
+/// A streaming response: sends the header block with
+/// `Transfer-Encoding: chunked`, then one chunk per [`ChunkedWriter::chunk`]
+/// call, then the terminal zero chunk on [`ChunkedWriter::finish`]. The
+/// connection always closes after a streamed response — a stream has no
+/// keep-alive framing worth preserving.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Write the header block and return the chunk writer.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Send one chunk (empty chunks are skipped — an empty chunk is the
+    /// stream terminator in the wire format).
+    pub fn chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        self.stream
+            .write_all(format!("{:x}\r\n", bytes.len()).as_bytes())?;
+        self.stream.write_all(bytes)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Send the terminal chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
     }
 }
 
@@ -221,6 +328,8 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/run");
         assert_eq!(req.query, "async");
+        assert!(req.has_query_flag("async"));
+        assert!(!req.has_query_flag("replay"));
         assert_eq!(req.body, b"{\"a\":1}");
     }
 
@@ -231,6 +340,17 @@ mod tests {
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.query, "");
         assert!(req.body.is_empty());
+    }
+
+    /// HTTP/1.1 defaults to keep-alive; `Connection: close` and bare
+    /// HTTP/1.0 opt out; HTTP/1.0 + `Connection: keep-alive` opts in.
+    #[test]
+    fn connection_disposition_follows_http11_semantics() {
+        let ka = |raw: &[u8]| round_trip(raw).unwrap().keep_alive;
+        assert!(ka(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
     }
 
     #[test]
@@ -253,13 +373,73 @@ mod tests {
         let (mut stream, _) = listener.accept().unwrap();
         Response::json(429, "{\"error\":\"full\"}")
             .header("X-Gatherd-Cache", "miss")
-            .write_to(&mut stream)
+            .write_to(&mut stream, false)
             .unwrap();
         drop(stream);
         let text = reader.join().unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Gatherd-Cache: miss\r\n"));
         assert!(text.ends_with("{\"error\":\"full\"}"));
+    }
+
+    #[test]
+    fn keep_alive_and_content_type_variants() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::text(200, "up 1\n")
+            .write_to(&mut stream, true)
+            .unwrap();
+        Response::binary(200, vec![0x01, 0x02])
+            .write_to(&mut stream, false)
+            .unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.contains("Content-Type: text/plain; charset=utf-8\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Type: application/octet-stream\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn chunked_writer_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut w = ChunkedWriter::start(&mut stream, 200, "application/octet-stream").unwrap();
+        w.chunk(b"hello").unwrap();
+        w.chunk(b"").unwrap(); // skipped: would terminate the stream
+        w.chunk(&[0u8; 16]).unwrap();
+        w.finish().unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        assert_eq!(
+            body.as_bytes(),
+            [
+                b"5\r\nhello\r\n".as_slice(),
+                b"10\r\n",
+                &[0u8; 16],
+                b"\r\n0\r\n\r\n"
+            ]
+            .concat()
+        );
     }
 }

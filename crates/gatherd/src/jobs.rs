@@ -8,9 +8,19 @@
 //! running joins the existing job instead of enqueueing a duplicate, so a
 //! thundering herd of identical requests costs one simulation.
 //!
+//! Replay-recording jobs (`?replay`) refine single-flight: a recording
+//! job satisfies both recording and plain submissions of its spec (the
+//! result row is identical — taps are passive), but a plain in-flight job
+//! cannot satisfy a recording submission (nothing is logging its rounds),
+//! so the recording submission enqueues its own job under a separate
+//! single-flight key.
+//!
 //! Every job carries a shared [`ProgressSlot`]; the worker attaches a
 //! `ProgressProbe` to the simulation, so `GET /progress/<job>` reads live
-//! round/merge counts from the slot without touching the run.
+//! round/merge counts from the slot without touching the run. Recording
+//! jobs additionally carry a bounded [`FrameRing`] the worker's
+//! `ReplayWriter` publishes live frames into — the `GET /watch/<job>`
+//! feed.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,7 +28,13 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use bench::campaign::CampaignRow;
 use bench::scenario::ScenarioSpec;
-use chain_sim::ProgressSlot;
+use chain_sim::{FrameRing, ProgressSlot};
+
+/// Capacity of a recording job's live-frame ring. Plenty for a watcher
+/// keeping pace; a slower one skips to the latest frame (frames are
+/// self-contained snapshots), which is the point — the ring must stay
+/// small and never block the simulation worker.
+pub const WATCH_RING_CAP: usize = 256;
 
 /// Where a job is in its life cycle.
 #[derive(Clone, Debug)]
@@ -57,15 +73,34 @@ pub struct Job {
     pub id: u64,
     /// The decoded spec to run.
     pub spec: ScenarioSpec,
-    /// The spec's content hash — cache key and single-flight key.
+    /// The spec's content hash — the cache key.
     pub hash: String,
     /// Live progress feed, published by the worker's `ProgressProbe`.
     pub slot: Arc<ProgressSlot>,
+    /// Live-frame ring for `/watch` streaming; present exactly when this
+    /// job records a replay.
+    pub ring: Option<Arc<FrameRing>>,
     state: Mutex<JobState>,
     done: Condvar,
 }
 
+/// The single-flight index key: recording jobs key separately so a
+/// recording submission never silently joins a non-recording run.
+fn flight_key(hash: &str, replay: bool) -> String {
+    if replay {
+        format!("{hash}#r")
+    } else {
+        hash.to_string()
+    }
+}
+
 impl Job {
+    /// `true` when this job records a replay (and therefore carries a
+    /// live-frame ring).
+    pub fn records_replay(&self) -> bool {
+        self.ring.is_some()
+    }
+
     /// The job's current state (cloned snapshot).
     pub fn state(&self) -> JobState {
         self.state.lock().unwrap().clone()
@@ -141,8 +176,9 @@ struct Tables {
     /// Every job ever submitted, by id (pruned once `done` jobs exceed
     /// [`RETAINED_JOBS`] — the progress endpoint's lookup table).
     jobs: HashMap<u64, Arc<Job>>,
-    /// Uncompleted jobs by spec hash (single-flight index). Also the
-    /// measure the capacity bound applies to: queued + running.
+    /// Uncompleted jobs by flight key — the spec hash, suffixed for
+    /// recording jobs (single-flight index). Also the measure the
+    /// capacity bound applies to: queued + running.
     inflight: HashMap<String, Arc<Job>>,
     stopped: bool,
 }
@@ -184,11 +220,19 @@ impl JobTable {
         self.inner.lock().unwrap().inflight.len()
     }
 
-    /// Admit a job (or join / refuse — see [`Submit`]).
-    pub fn submit(&self, spec: ScenarioSpec, hash: String) -> Submit {
+    /// Admit a job (or join / refuse — see [`Submit`]). `replay` asks for
+    /// a recording job: it joins only an in-flight *recording* job of the
+    /// same spec, while a plain submission joins either flavor (a
+    /// recording run's row is identical — taps are passive).
+    pub fn submit(&self, spec: ScenarioSpec, hash: String, replay: bool) -> Submit {
         let mut t = self.inner.lock().unwrap();
-        if let Some(job) = t.inflight.get(&hash) {
+        if let Some(job) = t.inflight.get(&flight_key(&hash, replay)) {
             return Submit::Joined(job.clone());
+        }
+        if !replay {
+            if let Some(job) = t.inflight.get(&flight_key(&hash, true)) {
+                return Submit::Joined(job.clone());
+            }
         }
         if t.inflight.len() >= self.capacity || t.stopped {
             return Submit::Full;
@@ -198,12 +242,13 @@ impl JobTable {
             spec,
             hash: hash.clone(),
             slot: ProgressSlot::new(),
+            ring: replay.then(|| FrameRing::new(WATCH_RING_CAP)),
             state: Mutex::new(JobState::Queued),
             done: Condvar::new(),
         });
         t.queue.push_back(job.clone());
         t.jobs.insert(job.id, job.clone());
-        t.inflight.insert(hash, job.clone());
+        t.inflight.insert(flight_key(&hash, replay), job.clone());
         drop(t);
         self.avail.notify_one();
         Submit::New(job)
@@ -241,7 +286,8 @@ impl JobTable {
     fn finish(&self, job: &Arc<Job>, terminal: JobState) {
         job.set(terminal);
         let mut t = self.inner.lock().unwrap();
-        t.inflight.remove(&job.hash);
+        t.inflight
+            .remove(&flight_key(&job.hash, job.records_replay()));
         if t.jobs.len() > RETAINED_JOBS {
             let mut finished: Vec<u64> = t
                 .jobs
@@ -299,14 +345,20 @@ mod tests {
     #[test]
     fn capacity_bounds_admission_and_identical_specs_join() {
         let table = JobTable::new(2);
-        let Submit::New(a) = table.submit(spec(0), "h0".into()) else {
+        let Submit::New(a) = table.submit(spec(0), "h0".into(), false) else {
             panic!("first submit admits");
         };
-        assert!(matches!(table.submit(spec(1), "h1".into()), Submit::New(_)));
+        assert!(matches!(
+            table.submit(spec(1), "h1".into(), false),
+            Submit::New(_)
+        ));
         // Full at capacity...
-        assert!(matches!(table.submit(spec(2), "h2".into()), Submit::Full));
+        assert!(matches!(
+            table.submit(spec(2), "h2".into(), false),
+            Submit::Full
+        ));
         // ...but an identical in-flight spec joins instead of filling.
-        let Submit::Joined(shared) = table.submit(spec(0), "h0".into()) else {
+        let Submit::Joined(shared) = table.submit(spec(0), "h0".into(), false) else {
             panic!("identical spec must join");
         };
         assert_eq!(shared.id, a.id);
@@ -318,9 +370,50 @@ mod tests {
         assert_eq!(popped.state().name(), "running");
         table.complete(&popped, row());
         assert_eq!(table.depth(), 1);
-        assert!(matches!(table.submit(spec(2), "h2".into()), Submit::New(_)));
+        assert!(matches!(
+            table.submit(spec(2), "h2".into(), false),
+            Submit::New(_)
+        ));
         assert_eq!(a.wait().unwrap().rounds, 1);
         assert_eq!(table.job(a.id).unwrap().state().name(), "done");
+    }
+
+    /// Recording submissions never join plain jobs (nothing records
+    /// there), but plain submissions join recording jobs; both release
+    /// their own flight key on completion.
+    #[test]
+    fn replay_single_flight_is_one_directional() {
+        let table = JobTable::new(4);
+        let Submit::New(plain) = table.submit(spec(0), "h0".into(), false) else {
+            panic!("plain submit admits");
+        };
+        assert!(plain.ring.is_none());
+        // A recording submission of the same spec needs its own job.
+        let Submit::New(rec) = table.submit(spec(0), "h0".into(), true) else {
+            panic!("recording submit must not join a plain job");
+        };
+        assert!(rec.records_replay());
+        assert_ne!(plain.id, rec.id);
+        // Further submissions of either flavor join the matching flight.
+        let Submit::Joined(j1) = table.submit(spec(0), "h0".into(), true) else {
+            panic!("second recording submit joins");
+        };
+        assert_eq!(j1.id, rec.id);
+        assert_eq!(table.depth(), 2);
+
+        // With only the recording job in flight, a plain submission joins
+        // it: its row is identical and it is strictly more observable.
+        let a = table.pop().unwrap();
+        table.complete(&a, row());
+        assert_eq!(table.depth(), 1);
+        let Submit::Joined(j2) = table.submit(spec(0), "h0".into(), false) else {
+            panic!("plain submit joins the in-flight recording job");
+        };
+        assert_eq!(j2.id, rec.id);
+
+        let b = table.pop().unwrap();
+        table.complete(&b, row());
+        assert_eq!(table.depth(), 0);
     }
 
     /// A failed (panicked) job releases its single-flight slot, reports
@@ -328,7 +421,7 @@ mod tests {
     #[test]
     fn failed_jobs_release_their_hash() {
         let table = JobTable::new(2);
-        let Submit::New(job) = table.submit(spec(0), "h0".into()) else {
+        let Submit::New(job) = table.submit(spec(0), "h0".into(), false) else {
             panic!()
         };
         let popped = table.pop().unwrap();
@@ -337,14 +430,17 @@ mod tests {
         assert_eq!(table.job(job.id).unwrap().state().name(), "failed");
         assert_eq!(table.depth(), 0);
         // The same hash is admitted again (New, not Joined).
-        assert!(matches!(table.submit(spec(0), "h0".into()), Submit::New(_)));
+        assert!(matches!(
+            table.submit(spec(0), "h0".into(), false),
+            Submit::New(_)
+        ));
     }
 
     /// `wait_timeout` gives up without killing the job.
     #[test]
     fn wait_timeout_returns_none_on_a_slow_job() {
         let table = JobTable::new(2);
-        let Submit::New(job) = table.submit(spec(0), "h0".into()) else {
+        let Submit::New(job) = table.submit(spec(0), "h0".into(), false) else {
             panic!()
         };
         assert!(job
@@ -364,7 +460,7 @@ mod tests {
     #[test]
     fn waiters_unblock_on_completion_across_threads() {
         let table = Arc::new(JobTable::new(4));
-        let Submit::New(job) = table.submit(spec(9), "h9".into()) else {
+        let Submit::New(job) = table.submit(spec(9), "h9".into(), false) else {
             panic!()
         };
         let waiter = {
@@ -384,6 +480,9 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         table.stop();
         assert!(worker.join().unwrap(), "stopped pop must return None");
-        assert!(matches!(table.submit(spec(0), "h".into()), Submit::Full));
+        assert!(matches!(
+            table.submit(spec(0), "h".into(), false),
+            Submit::Full
+        ));
     }
 }

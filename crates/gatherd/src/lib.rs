@@ -8,11 +8,17 @@
 //!
 //! | Endpoint | What it does |
 //! |---|---|
-//! | `POST /run` | Decode a [`ScenarioSpec`](bench::ScenarioSpec) (campaign JSON dialect), serve from the content-addressed cache or simulate; `?async` returns 202 + a job id instead of blocking |
+//! | `POST /run` | Decode a [`ScenarioSpec`](bench::ScenarioSpec) (campaign JSON dialect), serve from the content-addressed cache or simulate; `?async` returns 202 + a job id instead of blocking; `?replay` additionally records the run's telemetry log |
 //! | `GET /result/<spec_hash>` | Cache lookup by content hash — a hit never touches the engine |
-//! | `GET /progress/<job>` | Live round/merge counters of a queued/running/finished job |
-//! | `GET /healthz` | Queue depth, cache size, hit/miss/reject counters |
+//! | `GET /progress/<job>` | Live round/merge/guard counters of a queued/running/finished job |
+//! | `GET /watch/<job>` | Stream a recording job's rounds live (chunked transfer; one [`LiveFrame`](chain_sim::LiveFrame) per chunk) |
+//! | `GET /replay/<spec_hash>` | Download the recorded replay blob ([`ReplayReader`](chain_sim::ReplayReader) decodes it) |
+//! | `GET /metrics` | Flat text metrics: cache, queue, job, and watcher counters plus uptime |
+//! | `GET /healthz` | Queue depth, cache size, hit/miss/reject counters (JSON) |
 //! | `POST /shutdown` | Drain both pools and exit cleanly |
+//!
+//! Connections are keep-alive per HTTP/1.1 semantics; `/watch` streams
+//! until the run finishes and then closes.
 //!
 //! The load-bearing ideas, all reused from the existing stack:
 //!
@@ -41,6 +47,8 @@ pub mod jobs;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use client::{post_run, request, Reply};
-pub use jobs::{Job, JobState, JobTable, Submit};
+pub use client::{
+    get_replay, post_run, post_run_opts, request, request_raw, RawReply, Reply, WatchStream,
+};
+pub use jobs::{Job, JobState, JobTable, Submit, WATCH_RING_CAP};
 pub use server::{Config, Server, ServerHandle, ServiceState};

@@ -27,12 +27,13 @@ use std::thread::JoinHandle;
 
 use bench::campaign::json::Json;
 use bench::campaign::{spec_hash, CampaignRow};
-use bench::scenario::run_scenario_probed;
+use bench::scenario::{run_scenario_tapped, ReplayTap, RunTaps};
 use bench::wire;
+use chain_sim::ReplaySink;
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, Request, Response};
-use crate::jobs::{JobTable, Submit};
+use crate::http::{read_request, ChunkedWriter, Request, Response};
+use crate::jobs::{Job, JobTable, Submit};
 
 /// How long a blocking `POST /run` parks its handler before answering
 /// 202 and letting the client poll instead — bounds handler occupancy so
@@ -91,7 +92,7 @@ impl Config {
     }
 }
 
-/// Monotone service counters (the healthz payload).
+/// Monotone service counters (the healthz and metrics payloads).
 #[derive(Debug, Default)]
 pub struct Stats {
     hits: AtomicU64,
@@ -102,6 +103,15 @@ pub struct Stats {
     /// full, unwritable dir). The row still serves from memory; a
     /// nonzero value tells the operator persistence is degraded.
     persist_errors: AtomicU64,
+    /// Simulations actually executed by the worker pool (cache hits and
+    /// joins excluded).
+    jobs_run: AtomicU64,
+    /// Replay blobs persisted to the side store.
+    replays_stored: AtomicU64,
+    /// `/watch` streams currently open.
+    watchers_active: AtomicU64,
+    /// `/watch` streams ever opened.
+    watchers_total: AtomicU64,
 }
 
 /// Everything the handler and worker threads share.
@@ -112,6 +122,7 @@ pub struct ServiceState {
     workers: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    start: std::time::Instant,
 }
 
 impl ServiceState {
@@ -185,6 +196,7 @@ impl Server {
             workers: cfg.effective_workers(),
             shutdown: AtomicBool::new(false),
             addr,
+            start: std::time::Instant::now(),
         });
         Ok(Server {
             listener,
@@ -308,13 +320,21 @@ impl ServerHandle {
 
 fn worker_loop(state: &ServiceState) {
     while let Some(job) = state.jobs.pop() {
+        state.stats.jobs_run.fetch_add(1, Ordering::Relaxed);
         // A panicking simulation must not wedge the spec: catch it, fail
         // the job (waking waiters and releasing the single-flight slot so
         // a resubmission runs fresh), and keep the worker alive.
         let spec = job.spec;
-        let slot = job.slot.clone();
+        let sink = ReplaySink::new();
+        let taps = RunTaps {
+            probe: Some(job.slot.clone()),
+            replay: job.ring.as_ref().map(|ring| ReplayTap {
+                sink: sink.clone(),
+                ring: Some(ring.clone()),
+            }),
+        };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            run_scenario_probed(&spec, Some(slot))
+            run_scenario_tapped(&spec, taps)
         }));
         match outcome {
             Ok(result) => {
@@ -331,6 +351,18 @@ fn worker_loop(state: &ServiceState) {
                         job.hash
                     );
                 }
+                if job.records_replay() {
+                    let blob = sink.take();
+                    match state.cache.put_replay(&job.hash, &blob) {
+                        Ok(()) => {
+                            state.stats.replays_stored.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            state.stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("gatherd: replay write failed for {}: {e}", job.hash);
+                        }
+                    }
+                }
                 state.jobs.complete(&job, row);
             }
             Err(payload) => {
@@ -340,6 +372,11 @@ fn worker_loop(state: &ServiceState) {
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".to_string());
                 job.slot.finish();
+                // The writer never reached on_finish: close the ring by
+                // hand so watchers drain instead of spinning forever.
+                if let Some(ring) = &job.ring {
+                    ring.close();
+                }
                 state.jobs.fail(&job, format!("simulation panicked: {msg}"));
             }
         }
@@ -347,16 +384,33 @@ fn worker_loop(state: &ServiceState) {
 }
 
 fn handle_connection(state: &ServiceState, stream: &mut TcpStream) {
-    let Ok(req) = read_request(stream) else {
-        return; // unparseable framing: drop, like any HTTP server
-    };
-    let (response, shutdown_after) = route(state, &req);
-    let _ = response.write_to(stream);
-    if shutdown_after {
-        state.shutdown.store(true, Ordering::SeqCst);
-        state.jobs.stop();
-        // Wake the accept loop so it notices the flag.
-        let _ = TcpStream::connect(state.addr);
+    // Keep-alive loop: serve requests off this socket until the client
+    // opts out, the framing breaks, or the idle read times out.
+    loop {
+        let Ok(req) = read_request(stream) else {
+            return; // unparseable framing or idle timeout: drop
+        };
+        // `/watch` streams an unbounded chunked response and always
+        // closes the connection afterwards; it bypasses the buffered
+        // request/response path entirely.
+        if req.method == "GET" {
+            if let Some(id) = req.path.strip_prefix("/watch/") {
+                watch(state, stream, id);
+                return;
+            }
+        }
+        let (response, shutdown_after) = route(state, &req);
+        let keep_alive = req.keep_alive && !shutdown_after;
+        let write_ok = response.write_to(stream, keep_alive).is_ok();
+        if shutdown_after {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.jobs.stop();
+            // Wake the accept loop so it notices the flag.
+            let _ = TcpStream::connect(state.addr);
+        }
+        if !keep_alive || !write_ok {
+            return;
+        }
     }
 }
 
@@ -382,12 +436,15 @@ fn route(state: &ServiceState, req: &Request) -> (Response, bool) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/run") => (post_run(state, req), false),
         ("GET", "/healthz") => (healthz(state), false),
+        ("GET", "/metrics") => (metrics(state), false),
         ("POST", "/shutdown") => (Response::json(200, r#"{"status":"shutting-down"}"#), true),
         ("GET", path) => {
             if let Some(hash) = path.strip_prefix("/result/") {
                 (get_result(state, hash), false)
             } else if let Some(id) = path.strip_prefix("/progress/") {
                 (get_progress(state, id), false)
+            } else if let Some(hash) = path.strip_prefix("/replay/") {
+                (get_replay(state, hash), false)
             } else {
                 (Response::json(404, error_body("no such endpoint")), false)
             }
@@ -413,16 +470,29 @@ fn post_run(state: &ServiceState, req: &Request) -> Response {
         Ok(s) => s,
         Err(e) => return bad(e),
     };
+    let replay = req.has_query_flag("replay");
+    if replay && spec.strategy.is_open_chain() {
+        return bad(format!(
+            "strategy '{}' runs outside the engine; replay recording requires a closed-chain \
+             strategy",
+            spec.strategy.name()
+        ));
+    }
     let hash = spec_hash(&spec);
 
+    // A `?replay` request is a hit only when both the row and the
+    // recorded blob exist; a row alone re-simulates once to record (the
+    // original row keeps answering — see the worker's insert_or_get).
     if let Some(row) = state.cache.get(&hash) {
-        state.stats.hits.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, envelope(&hash, None, true, &row))
-            .header("X-Gatherd-Cache", "hit");
+        if !replay || state.cache.has_replay(&hash) {
+            state.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Response::json(200, envelope(&hash, None, true, &row))
+                .header("X-Gatherd-Cache", "hit");
+        }
     }
     state.stats.misses.fetch_add(1, Ordering::Relaxed);
 
-    let job = match state.jobs.submit(spec, hash.clone()) {
+    let job = match state.jobs.submit(spec, hash.clone(), replay) {
         Submit::New(job) | Submit::Joined(job) => job,
         Submit::Full => {
             state.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -435,7 +505,7 @@ fn post_run(state: &ServiceState, req: &Request) -> Response {
         }
     };
 
-    if req.query.split('&').any(|q| q == "async") {
+    if req.has_query_flag("async") {
         let body = Json::obj(vec![
             ("spec_hash", Json::str(&hash)),
             ("job", Json::u64(job.id)),
@@ -503,10 +573,95 @@ fn get_progress(state: &ServiceState, id: &str) -> Response {
         ("round", Json::u64(snap.round)),
         ("len", Json::usize(snap.len)),
         ("removed", Json::usize(snap.removed)),
+        ("guard_cancels", Json::u64(snap.guard_cancels)),
         ("finished", Json::Bool(snap.finished)),
     ])
     .to_compact();
     Response::json(200, body)
+}
+
+fn get_replay(state: &ServiceState, hash: &str) -> Response {
+    if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Response::json(400, error_body("spec hash must be 16 hex digits"));
+    }
+    // Deliberately does not touch the hit/miss counters: serving a
+    // stored replay is an artifact download, not a result-cache event.
+    match state.cache.get_replay(hash) {
+        Some(blob) => Response::binary(200, blob),
+        None => Response::json(404, error_body(&format!("no stored replay for '{hash}'"))),
+    }
+}
+
+/// How often the watch loop re-polls an idle ring. Frames arrive far
+/// faster than this during a run; the sleep only paces the tail wait.
+const WATCH_POLL: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// How long a single chunk write to a stalled watcher may block before
+/// the stream is abandoned — frees the handler thread; the simulation
+/// never notices (the ring is lock-free on the publish side).
+const WATCH_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Stream a recording job's live frames as one chunked response: every
+/// frame the watcher keeps pace with, the latest frame when it falls
+/// behind, the finished frame last.
+fn watch(state: &ServiceState, stream: &mut TcpStream, id: &str) {
+    let reply_err = |stream: &mut TcpStream, resp: Response| {
+        let _ = resp.write_to(stream, false);
+    };
+    let Ok(id) = id.parse::<u64>() else {
+        return reply_err(
+            stream,
+            Response::json(400, error_body("job id must be an integer")),
+        );
+    };
+    let Some(job) = state.jobs.job(id) else {
+        return reply_err(
+            stream,
+            Response::json(404, error_body(&format!("no such job {id}"))),
+        );
+    };
+    let Some(ring) = job.ring.clone() else {
+        return reply_err(
+            stream,
+            Response::json(
+                400,
+                error_body(&format!(
+                    "job {id} is not recording; submit with POST /run?replay to watch"
+                )),
+            ),
+        );
+    };
+
+    state.stats.watchers_total.fetch_add(1, Ordering::Relaxed);
+    state.stats.watchers_active.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(WATCH_WRITE_TIMEOUT));
+    let result = stream_frames(stream, &ring, &job);
+    state.stats.watchers_active.fetch_sub(1, Ordering::Relaxed);
+    let _ = result; // client hang-ups are not service errors
+}
+
+fn stream_frames(stream: &mut TcpStream, ring: &chain_sim::FrameRing, job: &Job) -> io::Result<()> {
+    let mut w = ChunkedWriter::start(stream, 200, "application/octet-stream")?;
+    let mut cursor = 0u64;
+    loop {
+        let mut wrote = false;
+        while let Some(frame) = ring.next(&mut cursor) {
+            w.chunk(&frame)?;
+            wrote = true;
+        }
+        if ring.is_closed() && cursor >= ring.head() {
+            break;
+        }
+        // A failed job may close nothing and publish nothing more; its
+        // terminal state ends the stream too.
+        if !wrote {
+            if matches!(job.state(), crate::jobs::JobState::Failed(_)) {
+                break;
+            }
+            std::thread::sleep(WATCH_POLL);
+        }
+    }
+    w.finish()
 }
 
 fn healthz(state: &ServiceState) -> Response {
@@ -536,4 +691,33 @@ fn healthz(state: &ServiceState) -> Response {
     ])
     .to_compact();
     Response::json(200, body)
+}
+
+/// The text metrics scrape: one `gatherd_<name> <value>` line per
+/// counter/gauge, stable names, no labels — greppable by hand and
+/// ingestible by anything that speaks the flat exposition style.
+fn metrics(state: &ServiceState) -> Response {
+    let s = &state.stats;
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let lines: Vec<(&str, u64)> = vec![
+        ("uptime_seconds", state.start.elapsed().as_secs()),
+        ("workers", state.workers as u64),
+        ("queue_depth", state.jobs.depth() as u64),
+        ("queue_capacity", state.jobs.capacity() as u64),
+        ("cache_entries", state.cache.len() as u64),
+        ("cache_hits", load(&s.hits)),
+        ("cache_misses", load(&s.misses)),
+        ("jobs_run", load(&s.jobs_run)),
+        ("rejected", load(&s.rejected)),
+        ("bad_requests", load(&s.bad_requests)),
+        ("persist_errors", load(&s.persist_errors)),
+        ("replays_stored", load(&s.replays_stored)),
+        ("watchers_active", load(&s.watchers_active)),
+        ("watchers_total", load(&s.watchers_total)),
+    ];
+    let mut body = String::with_capacity(lines.len() * 32);
+    for (name, value) in lines {
+        body.push_str(&format!("gatherd_{name} {value}\n"));
+    }
+    Response::text(200, body)
 }
