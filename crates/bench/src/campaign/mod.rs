@@ -34,6 +34,7 @@ use std::path::{Path, PathBuf};
 use crate::scenario::{run_batch_with, BatchOptions, LimitPolicy, ScenarioSpec, StrategyKind};
 use crate::table::Table;
 use chain_sim::SchedulerKind;
+use geom_core::GeometryKind;
 use json::Json;
 use workloads::Family;
 
@@ -77,6 +78,12 @@ pub struct CampaignSpec {
     /// campaigns; the `robustness` campaign sweeps the SSYNC registry.
     /// Open-chain strategies are FSYNC-only and skip SSYNC combinations.
     pub schedulers: Vec<SchedulerKind>,
+    /// Geometry backends the grid is swept over. `[Grid]` for ordinary
+    /// campaigns; the `euclid` campaign sweeps both. The grid pairs each
+    /// geometry only with the strategies that run on it (`euclid-chain`
+    /// on the continuous backend, everything else on the grid) and keeps
+    /// the continuous backend FSYNC-only.
+    pub geometries: Vec<GeometryKind>,
 }
 
 impl CampaignSpec {
@@ -99,12 +106,13 @@ impl CampaignSpec {
         match name {
             "scaling" => Some(Self::scaling(quick)),
             "robustness" => Some(Self::robustness(quick)),
+            "euclid" => Some(Self::euclid(quick)),
             _ => None,
         }
     }
 
     /// Names [`CampaignSpec::named`] accepts (for CLI error messages).
-    pub const BUILTIN_NAMES: [&'static str; 2] = ["scaling", "robustness"];
+    pub const BUILTIN_NAMES: [&'static str; 3] = ["scaling", "robustness", "euclid"];
 
     /// The built-in scaling campaign (see [`CampaignSpec::named`]).
     pub fn scaling(quick: bool) -> CampaignSpec {
@@ -126,6 +134,32 @@ impl CampaignSpec {
                 StrategySweep::up_to(StrategyKind::Stand, 256),
             ],
             schedulers: vec![SchedulerKind::Fsync],
+            geometries: vec![GeometryKind::Grid],
+        }
+    }
+
+    /// The built-in geometry-comparison campaign: the paper's algorithm on
+    /// the grid next to `euclid-chain` on the continuous backend, same
+    /// families, same n-ladder, same seeds — the data behind the grid-vs-
+    /// Euclidean rounds/n table. Both strategies are linear-time, so the
+    /// ladder sweeps the full range.
+    pub fn euclid(quick: bool) -> CampaignSpec {
+        let (sizes, seeds): (Vec<usize>, Vec<u64>) = if quick {
+            (vec![64, 256], vec![0])
+        } else {
+            (vec![64, 256, 1024, 4096, 16384], vec![0, 1])
+        };
+        CampaignSpec {
+            name: "euclid".to_string(),
+            families: vec![Family::Rectangle, Family::Skyline, Family::RandomLoop],
+            sizes,
+            seeds,
+            strategies: vec![
+                StrategySweep::up_to(StrategyKind::paper(), 16384),
+                StrategySweep::up_to(StrategyKind::EuclidChain, 16384),
+            ],
+            schedulers: vec![SchedulerKind::Fsync],
+            geometries: vec![GeometryKind::Grid, GeometryKind::Euclid],
         }
     }
 
@@ -153,14 +187,18 @@ impl CampaignSpec {
                 StrategySweep::up_to(StrategyKind::NaiveLocal, 1024),
             ],
             schedulers: SchedulerKind::SWEEP.to_vec(),
+            geometries: vec![GeometryKind::Grid],
         }
     }
 
     /// The full grid in canonical order: family-major, then size, then
-    /// seed, then strategy (registry order), then scheduler — strategies
-    /// filtered by their size cap, open-chain strategies filtered to
-    /// FSYNC. Everything downstream — sharding, resume bookkeeping, store
-    /// order, artifact row order — derives from this one ordering.
+    /// seed, then strategy (registry order), then scheduler, then
+    /// geometry — strategies filtered by their size cap, open-chain
+    /// strategies filtered to FSYNC, and each geometry paired only with
+    /// the strategies that run on it (`euclid-chain` on the continuous
+    /// backend — FSYNC-only — and every other strategy on the grid).
+    /// Everything downstream — sharding, resume bookkeeping, store order,
+    /// artifact row order — derives from this one ordering.
     pub fn grid(&self) -> Vec<ScenarioSpec> {
         let mut specs = Vec::new();
         for &family in &self.families {
@@ -174,10 +212,15 @@ impl CampaignSpec {
                             if sweep.kind.is_open_chain() && !sched.is_fsync() {
                                 continue;
                             }
-                            specs.push(
-                                ScenarioSpec::strategy(family, n, seed, sweep.kind)
-                                    .with_scheduler(sched),
-                            );
+                            for &geom in &self.geometries {
+                                let spec = ScenarioSpec::strategy(family, n, seed, sweep.kind)
+                                    .with_scheduler(sched)
+                                    .with_geometry(geom);
+                                if spec.geometry_error().is_some() {
+                                    continue;
+                                }
+                                specs.push(spec);
+                            }
                         }
                     }
                 }
@@ -211,13 +254,14 @@ impl CampaignSpec {
 ///
 /// Versioned so a future encoding change invalidates old stores loudly
 /// (every hash changes) instead of silently colliding. `v2` added the
-/// `sched=` axis when the engine grew SSYNC schedulers — a deliberate
-/// bump: every `v1` hash on disk is invalid, but stores and artifacts
-/// survive, because readers recompute hashes from the row's identity
-/// fields (legacy rows default to `sched=fsync`, which is what they
-/// measured). Paper kinds encode their full
-/// [`gathering_core::GatherConfig`], so an ablated config never collides
-/// with the canonical one.
+/// `sched=` axis when the engine grew SSYNC schedulers; `v3` added the
+/// `geom=` axis with the continuous Euclidean backend. Each bump is
+/// deliberate: every older hash on disk is invalid, but stores and
+/// artifacts survive, because readers recompute hashes from the row's
+/// identity fields (legacy rows default to `sched=fsync` and
+/// `geom=grid`, which is what they measured). Paper kinds encode their
+/// full [`gathering_core::GatherConfig`], so an ablated config never
+/// collides with the canonical one.
 pub fn spec_id(spec: &ScenarioSpec) -> String {
     let cfg = match spec.strategy {
         StrategyKind::Paper(c) | StrategyKind::PaperAudited(c) | StrategyKind::PaperSsync(c) => {
@@ -237,13 +281,14 @@ pub fn spec_id(spec: &ScenarioSpec) -> String {
         LimitPolicy::Fixed(l) => format!("fixed:{}:{}", l.max_rounds, l.stall_window),
     };
     format!(
-        "v2|family={}|n={}|seed={}|strategy={}|cfg={}|sched={}|limits={}",
+        "v3|family={}|n={}|seed={}|strategy={}|cfg={}|sched={}|geom={}|limits={}",
         spec.family.name(),
         spec.n,
         spec.seed,
         spec.strategy.name(),
         cfg,
         spec.scheduler.name(),
+        spec.geometry.name(),
         limits
     )
 }
@@ -280,8 +325,20 @@ pub struct CampaignRow {
     /// Activation scheduler name ([`SchedulerKind::name`]); `fsync` for
     /// every row written before the scheduler axis existed.
     pub scheduler: String,
+    /// Geometry backend name ([`GeometryKind::name`]); `grid` for every
+    /// row written before the geometry axis existed.
+    pub geometry: String,
     /// Rounds executed (rounds-to-gather when `outcome == "gathered"`).
     pub rounds: u64,
+    /// Last round with any movement or merge (min-max makespan; 0 for
+    /// rows written before the objective existed or paths that do not
+    /// track it).
+    pub makespan: u64,
+    /// Maximum per-robot cumulative travel in integer milli-units
+    /// (`round(max_travel × 1000)` — integral so rows stay `Eq` and the
+    /// store stays byte-stable). `None` on paths that do not track travel
+    /// and on rows written before the objective existed.
+    pub max_travel_milli: Option<u64>,
     /// Wall-clock microseconds of this scenario alone (the one field that
     /// is *not* a pure function of the spec). Microseconds, not
     /// milliseconds: sub-millisecond cells used to truncate to
@@ -315,7 +372,10 @@ impl CampaignRow {
             seed: r.spec.seed,
             strategy: r.spec.strategy.name().to_string(),
             scheduler: r.spec.scheduler.name(),
+            geometry: r.spec.geometry.name().to_string(),
             rounds: r.outcome.rounds(),
+            makespan: r.makespan,
+            max_travel_milli: r.max_travel.map(|t| (t * 1000.0).round() as u64),
             wall_us: r.wall.as_micros() as u64,
             outcome: outcome.to_string(),
             merges: r.merges_total,
@@ -336,7 +396,12 @@ impl CampaignRow {
         let family = Family::from_name(&self.family)?;
         let strategy = StrategyKind::from_name(&self.strategy)?;
         let scheduler = SchedulerKind::from_name(&self.scheduler)?;
-        Some(ScenarioSpec::strategy(family, self.n, self.seed, strategy).with_scheduler(scheduler))
+        let geometry = GeometryKind::from_name(&self.geometry)?;
+        Some(
+            ScenarioSpec::strategy(family, self.n, self.seed, strategy)
+                .with_scheduler(scheduler)
+                .with_geometry(geometry),
+        )
     }
 
     /// The row's resume key: [`spec_hash`] of its reconstructed spec.
@@ -363,25 +428,35 @@ impl CampaignRow {
     }
 
     fn identity_pairs(&self) -> Vec<(&'static str, Json)> {
-        vec![
+        let mut pairs = vec![
             ("family", Json::str(&self.family)),
             ("n", Json::usize(self.n)),
             ("n_actual", Json::usize(self.n_actual)),
             ("seed", Json::u64(self.seed)),
             ("strategy", Json::str(&self.strategy)),
             ("scheduler", Json::str(&self.scheduler)),
+            ("geometry", Json::str(&self.geometry)),
             ("rounds", Json::u64(self.rounds)),
+            ("makespan", Json::u64(self.makespan)),
+        ];
+        if let Some(milli) = self.max_travel_milli {
+            pairs.push(("max_travel_milli", Json::u64(milli)));
+        }
+        pairs.extend([
             ("wall_us", Json::u64(self.wall_us)),
             ("outcome", Json::str(&self.outcome)),
-        ]
+        ]);
+        pairs
     }
 
     /// Parse a row from either representation. The store-only detail
     /// fields (`merges`, `longest_gap`, `n_actual`) are optional so
-    /// artifact rows re-ingest for resume; two legacy spellings are
-    /// honored so stores and artifacts written before the scheduler axis
-    /// keep resuming — a missing `scheduler` means `fsync`, and a
-    /// legacy `wall_ms` is widened to microseconds.
+    /// artifact rows re-ingest for resume; legacy spellings are honored
+    /// so stores and artifacts written before an axis existed keep
+    /// resuming — a missing `scheduler` means `fsync`, a missing
+    /// `geometry` means `grid`, a missing `makespan` is 0, a missing
+    /// `max_travel_milli` stays unmeasured, and a legacy `wall_ms` is
+    /// widened to microseconds.
     pub fn from_json(v: &Json) -> Result<CampaignRow, String> {
         let s = |key: &str| -> Result<String, String> {
             v.get(key)
@@ -415,7 +490,14 @@ impl CampaignRow {
                 .and_then(|x| x.as_str())
                 .unwrap_or("fsync")
                 .to_string(),
+            geometry: v
+                .get("geometry")
+                .and_then(|x| x.as_str())
+                .unwrap_or("grid")
+                .to_string(),
             rounds: u("rounds")?,
+            makespan: v.get("makespan").and_then(|x| x.as_u64()).unwrap_or(0),
+            max_travel_milli: v.get("max_travel_milli").and_then(|x| x.as_u64()),
             wall_us,
             outcome: s("outcome")?,
             merges: v.get("merges").and_then(|x| x.as_usize()).unwrap_or(0),
@@ -814,16 +896,36 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
         ),
         &header,
     );
+    let mut makespan_table = Table::new(
+        "C3",
+        &format!(
+            "campaign '{}': makespan — last active round (seeds averaged)",
+            spec.name
+        ),
+        &header,
+    );
+    let mut travel_table = Table::new(
+        "C4",
+        &format!(
+            "campaign '{}': max per-robot travel distance (seeds averaged)",
+            spec.name
+        ),
+        &header,
+    );
 
     for &family in &spec.families {
         for &n in &spec.sizes {
             let mut rounds_cells = Vec::new();
             let mut wall_cells = Vec::new();
+            let mut makespan_cells = Vec::new();
+            let mut travel_cells = Vec::new();
             let mut n_actual = None;
             for (sweep, sched, _) in &columns {
                 if n > sweep.max_n {
                     rounds_cells.push("-".to_string());
                     wall_cells.push("-".to_string());
+                    makespan_cells.push("-".to_string());
+                    travel_cells.push("-".to_string());
                     continue;
                 }
                 let cell_rows: Vec<&CampaignRow> = spec
@@ -838,6 +940,8 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
                 if cell_rows.is_empty() {
                     rounds_cells.push("-".to_string());
                     wall_cells.push("-".to_string());
+                    makespan_cells.push("-".to_string());
+                    travel_cells.push("-".to_string());
                     continue;
                 }
                 n_actual.get_or_insert(cell_rows[0].n_actual);
@@ -853,6 +957,20 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
                 let wall =
                     cell_rows.iter().map(|r| r.wall_ms()).sum::<f64>() / cell_rows.len() as f64;
                 wall_cells.push(format!("{wall:.2}"));
+                let makespan = cell_rows.iter().map(|r| r.makespan).sum::<u64>() as f64
+                    / cell_rows.len() as f64;
+                makespan_cells.push(format!("{makespan:.0}"));
+                // Travel is only measured on paths that track it; a cell
+                // mixes rows uniformly (one strategy), so any-None ⇒ "-".
+                let travel: Option<Vec<u64>> =
+                    cell_rows.iter().map(|r| r.max_travel_milli).collect();
+                travel_cells.push(match travel {
+                    Some(ms) if !ms.is_empty() => {
+                        let mean = ms.iter().sum::<u64>() as f64 / ms.len() as f64 / 1000.0;
+                        format!("{mean:.2}")
+                    }
+                    _ => "-".to_string(),
+                });
             }
             if n_actual.is_none() && rounds_cells.iter().all(|c| c == "-") {
                 continue;
@@ -868,13 +986,21 @@ pub fn report(spec: &CampaignSpec, dir: &Path, artifact: Option<&Path>) -> io::R
             };
             rounds_table.row(prefix(rounds_cells));
             wall_table.row(prefix(wall_cells));
+            makespan_table.row(prefix(makespan_cells));
+            travel_table.row(prefix(travel_cells));
         }
     }
     rounds_table.note(
         "Rows missing entirely have not been run yet; non-gathered cells show the outcome label.",
     );
     wall_table.note("Wall-clock is machine-dependent — compare shapes, not absolute values.");
-    Ok(vec![rounds_table, wall_table])
+    makespan_table
+        .note("Makespan is the last round with any movement or merge (0 on legacy rows).");
+    travel_table.note(
+        "Max travel: L2 distance on euclid, hop-length sum on grid; '-' where the \
+         execution path does not track travel (kernel fast path, open-chain).",
+    );
+    Ok(vec![rounds_table, wall_table, makespan_table, travel_table])
 }
 
 #[cfg(test)]
@@ -893,6 +1019,7 @@ mod tests {
                 StrategySweep::up_to(StrategyKind::Stand, 16),
             ],
             schedulers: vec![SchedulerKind::Fsync],
+            geometries: vec![GeometryKind::Grid],
         };
         let grid = spec.grid();
         // 2 families × (n=16: 2 strategies + n=32: 1 strategy) × 2 seeds.
@@ -971,6 +1098,7 @@ mod tests {
                 StrategySweep::up_to(StrategyKind::OpenZip, 16),
             ],
             schedulers: vec![SchedulerKind::Fsync, SchedulerKind::KFair(4)],
+            geometries: vec![GeometryKind::Grid],
         };
         let grid = spec.grid();
         // paper × both schedulers + open-zip × fsync only.
@@ -1004,7 +1132,10 @@ mod tests {
             seed: 0,
             strategy: "paper".into(),
             scheduler: "fsync".into(),
+            geometry: "grid".into(),
             rounds: 1,
+            makespan: 0,
+            max_travel_milli: None,
             wall_us: 1,
             outcome: "gathered".into(),
             merges: 0,
@@ -1031,16 +1162,65 @@ mod tests {
         .unwrap();
         let row = CampaignRow::from_json(&legacy).unwrap();
         assert_eq!(row.scheduler, "fsync");
+        assert_eq!(row.geometry, "grid");
+        assert_eq!(row.makespan, 0);
+        assert_eq!(row.max_travel_milli, None);
         assert_eq!(row.wall_us, 12_000);
         assert_eq!(row.wall_ms(), 12.0);
         let spec = row.to_spec().unwrap();
         assert_eq!(spec.scheduler, SchedulerKind::Fsync);
+        assert_eq!(spec.geometry, GeometryKind::Grid);
         assert_eq!(row.spec_hash().unwrap(), spec_hash(&spec));
         // A row with neither wall field is malformed — and the error
         // steers the user to the modern field, not the legacy one.
         let bad = Json::parse(r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","rounds":1,"outcome":"gathered"}"#).unwrap();
         let err = CampaignRow::from_json(&bad).unwrap_err();
         assert!(err.contains("wall_us"), "{err}");
+    }
+
+    /// The euclid campaign pairs each geometry with exactly the
+    /// strategies that run on it: paper×grid and euclid-chain×euclid,
+    /// never the cross combinations.
+    #[test]
+    fn euclid_campaign_grid_pairs_geometry_with_strategy() {
+        let spec = CampaignSpec::euclid(true);
+        let grid = spec.grid();
+        // families × sizes × seeds × 2 (strategy, geometry) pairs.
+        assert_eq!(grid.len(), 3 * 2 * 2);
+        for s in &grid {
+            assert!(s.geometry_error().is_none());
+            assert_eq!(s.geometry == GeometryKind::Euclid, s.strategy.is_euclid());
+        }
+        assert!(grid.iter().any(|s| s.geometry == GeometryKind::Euclid));
+        // Quick is a subset of the full euclid grid.
+        let quick: HashSet<String> = grid.iter().map(spec_hash).collect();
+        let full: HashSet<String> = CampaignSpec::euclid(false)
+            .grid()
+            .iter()
+            .map(spec_hash)
+            .collect();
+        assert!(quick.is_subset(&full));
+    }
+
+    /// A Euclidean row round-trips through the store with its geometry,
+    /// makespan, and travel objective, and hashes to the euclid grid
+    /// cell, not the grid one.
+    #[test]
+    fn euclid_rows_round_trip_with_objectives() {
+        let spec = ScenarioSpec::euclid(Family::Rectangle, 32, 0);
+        assert_ne!(
+            spec_hash(&spec),
+            spec_hash(&ScenarioSpec::paper(Family::Rectangle, 32, 0))
+        );
+        let result = crate::scenario::run_scenario(&spec);
+        let row = CampaignRow::from_result(&result);
+        assert_eq!(row.geometry, "euclid");
+        assert_eq!(row.outcome, "gathered");
+        assert!(row.makespan > 0);
+        assert!(row.max_travel_milli.unwrap() > 0);
+        let parsed = CampaignRow::from_json(&row.to_store_json()).unwrap();
+        assert_eq!(parsed, row);
+        assert_eq!(parsed.spec_hash().unwrap(), spec_hash(&spec));
     }
 
     /// An SSYNC row round-trips with its scheduler, and hashes to the

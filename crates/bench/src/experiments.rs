@@ -808,10 +808,66 @@ pub fn t12_ssync_repair(e: Effort, sel: &FamilySelection) -> Table {
     t
 }
 
+/// T13 — geometry backends: the same workload families gathered on the
+/// grid (paper rule) and lifted to the Euclidean plane (fold/reflect
+/// chain strategy). The rounds/n columns are the point: both backends
+/// gather in linear time, with the constant reported per family.
+pub fn t13_geometry(e: Effort, sel: &FamilySelection) -> Table {
+    let mut t = Table::new(
+        "T13",
+        "Geometry backends: grid (paper) vs Euclidean (euclid-chain) rounds to gather",
+        &[
+            "family",
+            "n",
+            "grid rounds",
+            "euclid rounds",
+            "grid r/n",
+            "euclid r/n",
+            "euclid max travel",
+        ],
+    );
+    let families = sel.pick(&[Family::Rectangle, Family::Skyline, Family::RandomLoop]);
+    for &fam in &families {
+        for &n in e.sizes() {
+            let grid = ScenarioSpec::paper(fam, n, 8);
+            let euclid = ScenarioSpec::euclid(fam, n, 8);
+            let results = run_batch(&[grid, euclid]);
+            let (g, u) = (&results[0], &results[1]);
+            let cell = |r: &ScenarioResult| match r.rounds() {
+                Some(rounds) => rounds.to_string(),
+                None => format!("{:?}", r.outcome),
+            };
+            let per_n = |r: &ScenarioResult| match r.rounds() {
+                Some(rounds) => format!("{:.2}", rounds as f64 / r.n as f64),
+                None => "-".to_string(),
+            };
+            t.row(vec![
+                fam.name().to_string(),
+                g.n.to_string(),
+                cell(g),
+                cell(u),
+                per_n(g),
+                per_n(u),
+                match u.max_travel {
+                    Some(d) => format!("{d:.1}"),
+                    None => "-".to_string(),
+                },
+            ]);
+        }
+    }
+    t.note(
+        "Expected: both backends gather every cell with rounds/n flat across the ladder \
+         (linear-time gathering on either geometry); the Euclidean constant sits well \
+         below 1 (contraction rounds transport Θ(1) distance per round). Max travel is \
+         the min-max objective: the farthest distance any single robot walked.",
+    );
+    t
+}
+
 /// The table inventory, in presentation order (the valid values of the
 /// experiments binary's `--table` flag, matched case-insensitively).
-pub const TABLE_IDS: [&str; 13] = [
-    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10", "T11", "T12",
+pub const TABLE_IDS: [&str; 14] = [
+    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T8b", "T9", "T10", "T11", "T12", "T13",
 ];
 
 /// Compute one table by its id (case-insensitive); `None` for ids outside
@@ -833,6 +889,7 @@ pub fn table_by_id(id: &str, e: Effort, sel: &FamilySelection) -> Option<Table> 
         "T10" => Some(t10_suppression(e, sel)),
         "T11" => Some(t11_schedulers(e, sel)),
         "T12" => Some(t12_ssync_repair(e, sel)),
+        "T13" => Some(t13_geometry(e, sel)),
         _ => None,
     }
 }
@@ -914,6 +971,20 @@ mod tests {
                 );
             }
             assert_eq!(row[7], "exact", "FSYNC passivity broke: {row:?}");
+        }
+    }
+
+    #[test]
+    fn quick_t13_gathers_on_both_geometries() {
+        let t = t13_geometry(
+            Effort::Quick,
+            &FamilySelection::only(vec![Family::Rectangle]),
+        );
+        assert_eq!(t.rows.len(), Effort::Quick.sizes().len());
+        for row in &t.rows {
+            assert!(row[2].parse::<u64>().is_ok(), "grid cell failed: {row:?}");
+            assert!(row[3].parse::<u64>().is_ok(), "euclid cell failed: {row:?}");
+            assert!(row[6].parse::<f64>().is_ok(), "travel missing: {row:?}");
         }
     }
 

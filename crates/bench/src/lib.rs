@@ -60,6 +60,9 @@ pub use table::Table;
 // The scheduler registry is engine-level (`chain_sim::scheduler`) but is a
 // grid axis here; re-exported so campaign construction needs one import.
 pub use chain_sim::SchedulerKind;
+// Same for the geometry registry (`geom_core::GeometryKind`): an
+// engine-level axis that campaign grids and wire specs select by name.
+pub use geom_core::GeometryKind;
 
 use chain_sim::{ClosedChain, Outcome, RunLimits, Sim, Strategy};
 use gathering_core::{ClosedChainGathering, GatherConfig};

@@ -38,8 +38,10 @@ use chain_sim::{
     ClosedChain, FrameRing, OpenChain, Outcome, PackedChain, ProgressProbe, ProgressSlot,
     ReplaySink, ReplayWriter, RunLimits, SchedulerKind, Sim, Strategy,
 };
+use euclid_geom::{EuclidChain, EuclidSim, FoldReflect, Vec2};
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats, SsyncGathering};
+use geom_core::GeometryKind;
 use workloads::Family;
 
 /// The strategy registry: everything the pipeline can run on a scenario.
@@ -68,6 +70,9 @@ pub enum StrategyKind {
     OpenZip,
     /// \[KM09\] setting: fixed-endpoint Manhattan hopper.
     Hopper,
+    /// The linear-time Euclidean closed-chain strategy (continuous
+    /// geometry backend; requires [`GeometryKind::Euclid`], FSYNC-only).
+    EuclidChain,
 }
 
 impl StrategyKind {
@@ -93,12 +98,13 @@ impl StrategyKind {
             StrategyKind::Stand => "stand",
             StrategyKind::OpenZip => "open-zip",
             StrategyKind::Hopper => "hopper",
+            StrategyKind::EuclidChain => "euclid-chain",
         }
     }
 
     /// Every registry name, in registry order (the order campaign grids
     /// and report columns use).
-    pub const ALL_NAMES: [&'static str; 9] = [
+    pub const ALL_NAMES: [&'static str; 10] = [
         "paper",
         "paper-audited",
         "paper-ssync",
@@ -108,6 +114,7 @@ impl StrategyKind {
         "stand",
         "open-zip",
         "hopper",
+        "euclid-chain",
     ];
 
     /// Parse a registry name back into a strategy (the inverse of
@@ -126,6 +133,7 @@ impl StrategyKind {
             "stand" => Some(StrategyKind::Stand),
             "open-zip" => Some(StrategyKind::OpenZip),
             "hopper" => Some(StrategyKind::Hopper),
+            "euclid-chain" => Some(StrategyKind::EuclidChain),
             _ => None,
         }
     }
@@ -151,7 +159,7 @@ impl StrategyKind {
             StrategyKind::CompassSe => Some(Box::new(CompassSe::new())),
             StrategyKind::NaiveLocal => Some(Box::new(NaiveLocal::new())),
             StrategyKind::Stand => Some(Box::new(Stand)),
-            StrategyKind::OpenZip | StrategyKind::Hopper => None,
+            StrategyKind::OpenZip | StrategyKind::Hopper | StrategyKind::EuclidChain => None,
         }
     }
 
@@ -160,6 +168,12 @@ impl StrategyKind {
     /// FSYNC-only; campaign grids skip their SSYNC combinations).
     pub fn is_open_chain(&self) -> bool {
         matches!(self, StrategyKind::OpenZip | StrategyKind::Hopper)
+    }
+
+    /// `true` for the Euclidean geometry strategy, which runs on the
+    /// continuous backend ([`GeometryKind::Euclid`] only, FSYNC-only).
+    pub fn is_euclid(&self) -> bool {
+        matches!(self, StrategyKind::EuclidChain)
     }
 
     /// The registry's limit policy: how [`LimitPolicy::Auto`] resolves for
@@ -182,6 +196,7 @@ impl StrategyKind {
             | StrategyKind::NaiveLocal
             | StrategyKind::Stand => RunLimits::generous(n, chain.bounding().diameter() as u64),
             StrategyKind::OpenZip | StrategyKind::Hopper => RunLimits::for_open_chain(n),
+            StrategyKind::EuclidChain => RunLimits::for_euclid_chain(n),
         }
     }
 
@@ -305,6 +320,30 @@ impl StrategyKind {
                 Box::new(OpenDriver {
                     chain,
                     hopper: matches!(self, StrategyKind::Hopper),
+                    probe: taps.probe,
+                })
+            }
+            StrategyKind::EuclidChain => {
+                assert!(
+                    scheduler.is_fsync(),
+                    "euclid-chain is FSYNC-only (scheduler {}); its safety argument \
+                     needs the active parity class's neighbors static",
+                    scheduler.name()
+                );
+                assert!(
+                    taps.replay.is_none(),
+                    "euclid-chain runs on the continuous backend; the replay format \
+                     encodes grid hop codes and cannot record it"
+                );
+                // Lift the grid family instance into Euclidean general
+                // position (seed-derived rotation, edges rescaled to unit
+                // viability) — see `workloads::euclid_points`.
+                let pts = workloads::euclid_points(&chain, seed);
+                let euclid =
+                    EuclidChain::new(pts.into_iter().map(|(x, y)| Vec2::new(x, y)).collect())
+                        .expect("lifted family chains are viable Euclidean chains");
+                Box::new(EuclidDriver {
+                    sim: EuclidSim::new(euclid, FoldReflect),
                     probe: taps.probe,
                 })
             }
@@ -491,6 +530,13 @@ pub struct DriveReport {
     pub audit: Option<AuditSummary>,
     /// Open-chain detail (open kinds only).
     pub open: Option<OpenChainOutcome>,
+    /// Last round with any movement or merge — the makespan half of the
+    /// min-max objectives (0 for paths that do not track it).
+    pub makespan: u64,
+    /// Maximum per-robot cumulative travel distance — the min-max travel
+    /// objective. `None` on paths that do not track travel (the kernel
+    /// fast path and the open-chain procedures).
+    pub max_travel: Option<f64>,
 }
 
 /// The uniform execution interface behind [`run_scenario`]: one driver per
@@ -524,6 +570,8 @@ impl ScenarioDriver for PaperDriver {
                 .expect("audited driver attached the auditor")
                 .summary()
         });
+        let makespan = progress.makespan();
+        let max_travel = Some(self.sim.max_travel());
         match audit {
             Some(summary) => DriveReport {
                 outcome,
@@ -532,6 +580,8 @@ impl ScenarioDriver for PaperDriver {
                 stats: None,
                 audit: Some(summary),
                 open: None,
+                makespan,
+                max_travel,
             },
             None => DriveReport {
                 outcome,
@@ -540,6 +590,8 @@ impl ScenarioDriver for PaperDriver {
                 stats: Some(self.sim.strategy().stats().clone()),
                 audit: None,
                 open: None,
+                makespan,
+                max_travel,
             },
         }
     }
@@ -562,6 +614,8 @@ impl ScenarioDriver for EngineDriver {
             stats: None,
             audit: None,
             open: None,
+            makespan: progress.makespan(),
+            max_travel: Some(self.sim.max_travel()),
         }
     }
 }
@@ -611,6 +665,56 @@ impl<K: RoundKernel, A: ActivationRule> ScenarioDriver for KernelDriver<K, A> {
             stats: None,
             audit: None,
             open: None,
+            makespan: progress.makespan(),
+            // The kernel path deliberately tracks no per-robot travel —
+            // it would cost a float write per hop on the hot loop and the
+            // byte-identity gate compares Progress, not travel.
+            max_travel: None,
+        }
+    }
+}
+
+/// Closed-chain driver on the continuous Euclidean backend:
+/// [`EuclidSim`] running the [`FoldReflect`] strategy over an
+/// [`EuclidChain`] lifted from the grid family instance. Mirrors
+/// [`KernelDriver`]'s probe handling (the slot is passive shared state).
+struct EuclidDriver {
+    sim: EuclidSim<FoldReflect>,
+    probe: Option<Arc<ProgressSlot>>,
+}
+
+impl ScenarioDriver for EuclidDriver {
+    fn drive(mut self: Box<Self>, limits: RunLimits) -> DriveReport {
+        let outcome = match &self.probe {
+            None => self.sim.run(limits),
+            Some(slot) => {
+                slot.publish(0, self.sim.chain().len(), 0, 0);
+                let mut removed_total = 0usize;
+                let feed = Arc::clone(slot);
+                let outcome = self.sim.run_with(limits, |summary| {
+                    removed_total += summary.removed;
+                    feed.publish(summary.round + 1, summary.len_after, removed_total, 0);
+                });
+                slot.publish(
+                    slot.snapshot().round,
+                    self.sim.chain().len(),
+                    removed_total,
+                    0,
+                );
+                slot.finish();
+                outcome
+            }
+        };
+        let progress = self.sim.progress();
+        DriveReport {
+            outcome,
+            merges_total: progress.total_removed(),
+            longest_gap: progress.longest_mergeless_gap(),
+            stats: None,
+            audit: None,
+            open: None,
+            makespan: progress.makespan(),
+            max_travel: Some(self.sim.max_travel()),
         }
     }
 }
@@ -733,6 +837,11 @@ impl ScenarioDriver for OpenDriver {
             stats: None,
             audit: None,
             open: Some(detail),
+            // The [KM09] procedures run every robot every round until they
+            // stop, so the last active round is the round count; they
+            // track no per-robot travel.
+            makespan: detail.rounds,
+            max_travel: None,
         }
     }
 }
@@ -765,6 +874,10 @@ pub struct ScenarioSpec {
     /// ([`SchedulerKind::Fsync`] — the paper's model — unless a
     /// robustness sweep says otherwise).
     pub scheduler: SchedulerKind,
+    /// Geometry backend the scenario runs on
+    /// ([`GeometryKind::Grid`] — the paper's model — everywhere except
+    /// the Euclidean comparison runs).
+    pub geometry: GeometryKind,
     /// How the run limits are derived.
     pub limits: LimitPolicy,
 }
@@ -783,6 +896,7 @@ impl ScenarioSpec {
             seed,
             strategy: StrategyKind::Paper(cfg),
             scheduler: SchedulerKind::Fsync,
+            geometry: GeometryKind::Grid,
             limits: LimitPolicy::Auto,
         }
     }
@@ -795,6 +909,7 @@ impl ScenarioSpec {
             seed,
             strategy: StrategyKind::PaperAudited(GatherConfig::paper()),
             scheduler: SchedulerKind::Fsync,
+            geometry: GeometryKind::Grid,
             limits: LimitPolicy::Auto,
         }
     }
@@ -807,8 +922,19 @@ impl ScenarioSpec {
             seed,
             strategy,
             scheduler: SchedulerKind::Fsync,
+            geometry: if strategy.is_euclid() {
+                GeometryKind::Euclid
+            } else {
+                GeometryKind::Grid
+            },
             limits: LimitPolicy::Auto,
         }
+    }
+
+    /// The Euclidean comparison run: the family instance lifted off the
+    /// lattice and gathered by `euclid-chain` on the continuous backend.
+    pub fn euclid(family: Family, n: usize, seed: u64) -> Self {
+        Self::strategy(family, n, seed, StrategyKind::EuclidChain)
     }
 
     /// Run under an SSYNC (or explicit FSYNC) activation schedule
@@ -816,6 +942,47 @@ impl ScenarioSpec {
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Run on an explicit geometry backend (builder style; the default
+    /// everywhere else follows the strategy: `euclid-chain` runs
+    /// Euclidean, everything else grid).
+    pub fn with_geometry(mut self, geometry: GeometryKind) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Geometry-axis compatibility: the continuous backend supports
+    /// exactly the `euclid-chain` strategy under FSYNC, and `euclid-chain`
+    /// cannot run on the grid. Returns the human-readable rejection, or
+    /// `None` when the combination is runnable. Service layers surface
+    /// this before building a driver; [`run_scenario`] panics on it (a
+    /// spec that bypassed validation is a caller bug).
+    pub fn geometry_error(&self) -> Option<String> {
+        match self.geometry {
+            GeometryKind::Grid => self.strategy.is_euclid().then(|| {
+                format!(
+                    "strategy '{}' requires geometry 'euclid' (got 'grid')",
+                    self.strategy.name()
+                )
+            }),
+            GeometryKind::Euclid => {
+                if !self.strategy.is_euclid() {
+                    Some(format!(
+                        "geometry 'euclid' supports only strategy 'euclid-chain' \
+                         (got '{}')",
+                        self.strategy.name()
+                    ))
+                } else if !self.scheduler.is_fsync() {
+                    Some(format!(
+                        "geometry 'euclid' is FSYNC-only (got scheduler '{}')",
+                        self.scheduler.name()
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// Generate this scenario's input chain (pure in `(family, n, seed)`).
@@ -875,6 +1042,13 @@ pub struct ScenarioResult {
     pub audit: Option<AuditSummary>,
     /// Open-chain detail (OpenZip / Hopper only).
     pub open: Option<OpenChainOutcome>,
+    /// Last round with any movement or merge (min-max makespan objective;
+    /// 0 on paths that do not track it).
+    pub makespan: u64,
+    /// Maximum per-robot cumulative travel distance (min-max travel
+    /// objective; `None` on the kernel fast path and the open-chain
+    /// procedures, which do not track travel).
+    pub max_travel: Option<f64>,
     /// Wall-clock time of this scenario alone.
     pub wall: Duration,
 }
@@ -945,6 +1119,9 @@ fn run_scenario_resolved(
     factory: &StrategyFactory,
     taps: RunTaps,
 ) -> ScenarioResult {
+    if let Some(err) = spec.geometry_error() {
+        panic!("invalid scenario spec: {err} (service layers validate before running)");
+    }
     let t0 = Instant::now();
     let chain = spec.generate();
     let n = chain.len();
@@ -962,6 +1139,8 @@ fn run_scenario_resolved(
         stats: report.stats,
         audit: report.audit,
         open: report.open,
+        makespan: report.makespan,
+        max_travel: report.max_travel,
         wall: t0.elapsed(),
     }
 }

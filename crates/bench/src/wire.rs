@@ -21,6 +21,7 @@
 use crate::campaign::json::Json;
 use crate::scenario::{ScenarioSpec, StrategyKind};
 use chain_sim::SchedulerKind;
+use geom_core::GeometryKind;
 use workloads::Family;
 
 /// Smallest accepted request size. Families quantize tiny hints into
@@ -36,16 +37,17 @@ pub const MAX_N: usize = 131_072;
 /// Decode a [`ScenarioSpec`] from the wire dialect.
 ///
 /// Required fields: `family`, `n`, `seed`, `strategy`. Optional:
-/// `scheduler` (default `fsync`). Every error names the offending field
-/// and, for registry names, the accepted inventory — the service turns
-/// these into 400 responses.
+/// `scheduler` (default `fsync`), `geometry` (default follows the
+/// strategy: `euclid` for `euclid-chain`, `grid` otherwise). Every error
+/// names the offending field and, for registry names, the *full* accepted
+/// inventory — the service turns these into 400 responses.
 pub fn spec_from_json(v: &Json) -> Result<ScenarioSpec, String> {
     let Json::Obj(pairs) = v else {
         return Err("request must be a JSON object".to_string());
     };
     // Strict keys: a misspelled optional field ("schedular") must not
     // silently measure the default instead of what was asked for.
-    const KNOWN: [&str; 5] = ["family", "n", "seed", "strategy", "scheduler"];
+    const KNOWN: [&str; 6] = ["family", "n", "seed", "strategy", "scheduler", "geometry"];
     if let Some((key, _)) = pairs.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(format!(
             "unknown field '{key}' (expected: {})",
@@ -88,8 +90,12 @@ pub fn spec_from_json(v: &Json) -> Result<ScenarioSpec, String> {
         None | Some(Json::Null) => SchedulerKind::Fsync,
         Some(s) => {
             let name = s.as_str().ok_or("field 'scheduler' must be a string")?;
-            SchedulerKind::from_name(name)
-                .ok_or_else(|| format!("unknown scheduler '{name}' (e.g. fsync, rr2, kfair4)"))?
+            SchedulerKind::from_name(name).ok_or_else(|| {
+                format!(
+                    "unknown scheduler '{name}' (expected one of: {})",
+                    SchedulerKind::NAME_FORMS.join(", ")
+                )
+            })?
         }
     };
     if strategy.is_open_chain() && !scheduler.is_fsync() {
@@ -99,7 +105,26 @@ pub fn spec_from_json(v: &Json) -> Result<ScenarioSpec, String> {
             scheduler.name()
         ));
     }
-    Ok(ScenarioSpec::strategy(family, n, seed, strategy).with_scheduler(scheduler))
+    // Geometry defaults to what the strategy implies (euclid-chain is a
+    // continuous-backend strategy, everything else runs on the grid); an
+    // explicit value is validated against the inventory and the strategy.
+    let mut spec = ScenarioSpec::strategy(family, n, seed, strategy).with_scheduler(scheduler);
+    if let Some(g) = v.get("geometry") {
+        if !matches!(g, Json::Null) {
+            let name = g.as_str().ok_or("field 'geometry' must be a string")?;
+            let geometry = GeometryKind::from_name(name).ok_or_else(|| {
+                format!(
+                    "unknown geometry '{name}' (expected one of: {})",
+                    GeometryKind::ALL_NAMES.join(", ")
+                )
+            })?;
+            spec = spec.with_geometry(geometry);
+        }
+    }
+    if let Some(err) = spec.geometry_error() {
+        return Err(err);
+    }
+    Ok(spec)
 }
 
 /// Encode a spec back into the wire dialect (the inverse of
@@ -111,6 +136,7 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
         ("seed", Json::u64(spec.seed)),
         ("strategy", Json::str(spec.strategy.name())),
         ("scheduler", Json::str(spec.scheduler.name())),
+        ("geometry", Json::str(spec.geometry.name())),
     ])
 }
 
@@ -148,6 +174,22 @@ mod tests {
         assert_eq!(spec.strategy, StrategyKind::paper_ssync());
         assert_eq!(spec.scheduler, SchedulerKind::RoundRobin(2));
         assert_eq!(spec_from_json(&spec_to_json(&spec)).unwrap(), spec);
+
+        // Euclidean requests decode with geometry implied by the strategy
+        // (no explicit field needed) and round-trip with it explicit.
+        let v =
+            Json::parse(r#"{"family":"random-loop","n":64,"seed":1,"strategy":"euclid-chain"}"#)
+                .unwrap();
+        let spec = spec_from_json(&v).unwrap();
+        assert_eq!(spec.geometry, GeometryKind::Euclid);
+        assert_eq!(spec_from_json(&spec_to_json(&spec)).unwrap(), spec);
+
+        // An explicit redundant geometry is accepted.
+        let v = Json::parse(
+            r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","geometry":"grid"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec_from_json(&v).unwrap().geometry, GeometryKind::Grid);
     }
 
     #[test]
@@ -195,10 +237,64 @@ mod tests {
                 r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","schedular":"kfair4"}"#,
                 "unknown field 'schedular'",
             ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","geometry":"hex"}"#,
+                "unknown geometry",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"euclid-chain","geometry":"grid"}"#,
+                "requires geometry 'euclid'",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","geometry":"euclid"}"#,
+                "supports only strategy 'euclid-chain'",
+            ),
+            (
+                r#"{"family":"rectangle","n":64,"seed":0,"strategy":"euclid-chain","scheduler":"rr2"}"#,
+                "FSYNC-only",
+            ),
         ];
         for (input, needle) in cases {
             let err = spec_from_json(&Json::parse(input).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{input}: {err}");
+        }
+    }
+
+    /// Unknown registry names report the *full* inventory — a client can
+    /// recover the valid name set from the error alone.
+    #[test]
+    fn unknown_name_errors_carry_full_inventory() {
+        let v = Json::parse(
+            r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","scheduler":"turbo"}"#,
+        )
+        .unwrap();
+        let err = spec_from_json(&v).unwrap_err();
+        for form in SchedulerKind::NAME_FORMS {
+            assert!(
+                err.contains(form),
+                "scheduler inventory missing {form}: {err}"
+            );
+        }
+
+        let v = Json::parse(
+            r#"{"family":"rectangle","n":64,"seed":0,"strategy":"paper","geometry":"hex"}"#,
+        )
+        .unwrap();
+        let err = spec_from_json(&v).unwrap_err();
+        for name in GeometryKind::ALL_NAMES {
+            assert!(
+                err.contains(name),
+                "geometry inventory missing {name}: {err}"
+            );
+        }
+
+        let v = Json::parse(r#"{"family":"rectangle","n":64,"seed":0,"strategy":"warp"}"#).unwrap();
+        let err = spec_from_json(&v).unwrap_err();
+        for name in StrategyKind::ALL_NAMES {
+            assert!(
+                err.contains(name),
+                "strategy inventory missing {name}: {err}"
+            );
         }
     }
 

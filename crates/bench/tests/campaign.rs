@@ -30,6 +30,7 @@ fn tiny_campaign() -> CampaignSpec {
             StrategySweep::up_to(StrategyKind::GlobalVision, 16),
         ],
         schedulers: vec![SchedulerKind::Fsync],
+        geometries: vec![bench::GeometryKind::Grid],
     }
 }
 
@@ -44,27 +45,34 @@ fn opts(dir: &std::path::Path) -> RunOptions {
 /// Golden spec hashes. These pin the canonical encoding (`spec_id`) and
 /// the FNV-1a hash: if this test fails, every campaign store on disk is
 /// invalidated — bump the version prefix and regenerate artifacts
-/// deliberately instead of shipping a silent change. (`v1` → `v2` was
-/// exactly such a bump: the scheduler axis joined the encoding.)
+/// deliberately instead of shipping a silent change. (`v1` → `v2` added
+/// the scheduler axis; `v2` → `v3` added the geometry axis. Old stores
+/// still resume: hashes are recomputed from row identity fields, and rows
+/// without a `geometry` field decode as grid — see
+/// `legacy_v2_store_resumes_under_v3_hashes`.)
 #[test]
 fn spec_hashes_are_stable() {
     let golden = [
         (
             ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::paper()),
-            "v2|family=rectangle|n=64|seed=0|strategy=paper|cfg=L13,V11,K10,opc1,c21|sched=fsync|limits=auto",
+            "v3|family=rectangle|n=64|seed=0|strategy=paper|cfg=L13,V11,K10,opc1,c21|sched=fsync|geom=grid|limits=auto",
         ),
         (
             ScenarioSpec::strategy(Family::Skyline, 65536, 1, StrategyKind::GlobalVision),
-            "v2|family=skyline|n=65536|seed=1|strategy=global-vision|cfg=-|sched=fsync|limits=auto",
+            "v3|family=skyline|n=65536|seed=1|strategy=global-vision|cfg=-|sched=fsync|geom=grid|limits=auto",
         ),
         (
             ScenarioSpec::strategy(Family::RandomLoop, 256, 7, StrategyKind::Stand),
-            "v2|family=random-loop|n=256|seed=7|strategy=stand|cfg=-|sched=fsync|limits=auto",
+            "v3|family=random-loop|n=256|seed=7|strategy=stand|cfg=-|sched=fsync|geom=grid|limits=auto",
         ),
         (
             ScenarioSpec::strategy(Family::Rectangle, 64, 0, StrategyKind::CompassSe)
                 .with_scheduler(SchedulerKind::KFair(4)),
-            "v2|family=rectangle|n=64|seed=0|strategy=compass-se|cfg=-|sched=kfair4|limits=auto",
+            "v3|family=rectangle|n=64|seed=0|strategy=compass-se|cfg=-|sched=kfair4|geom=grid|limits=auto",
+        ),
+        (
+            ScenarioSpec::euclid(Family::RandomLoop, 128, 3),
+            "v3|family=random-loop|n=128|seed=3|strategy=euclid-chain|cfg=-|sched=fsync|geom=euclid|limits=auto",
         ),
     ];
     for (spec, id) in &golden {
@@ -75,10 +83,11 @@ fn spec_hashes_are_stable() {
     assert_eq!(
         hashes,
         vec![
-            "84b0ea0287c02ecd".to_string(),
-            "6d2f604b24a3209b".to_string(),
-            "2b27cbe1b8646e98".to_string(),
-            "bcf6b2e98646a5f0".to_string(),
+            "4427f99593a4451b".to_string(),
+            "4206d4d6f6882d25".to_string(),
+            "450132c42af8a3ae".to_string(),
+            "7f5a821bb708c0c8".to_string(),
+            "c1bbeb13e205319e".to_string(),
         ]
     );
 }
@@ -95,6 +104,9 @@ fn hash_distinguishes_every_spec_dimension() {
         base.with_scheduler(SchedulerKind::RoundRobin(2)),
         base.with_scheduler(SchedulerKind::Random(50)),
         base.with_scheduler(SchedulerKind::KFair(4)),
+        // Geometry is an identity axis: the Euclidean run of the same
+        // family/n/seed is a different cell.
+        ScenarioSpec::euclid(Family::Rectangle, 64, 0),
     ];
     for v in &variants {
         assert_ne!(spec_hash(&base), spec_hash(v), "{v:?}");
@@ -290,6 +302,7 @@ fn tiny_ssync_campaign() -> CampaignSpec {
         seeds: vec![0, 1],
         strategies: vec![StrategySweep::up_to(StrategyKind::CompassSe, 16)],
         schedulers: vec![SchedulerKind::Fsync, SchedulerKind::KFair(4)],
+        geometries: vec![bench::GeometryKind::Grid],
     }
 }
 
@@ -483,6 +496,86 @@ fn status_json_reports_shards_and_missing_hashes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pre-v3 stores (no `geometry` / `makespan` / `max_travel_milli` keys)
+/// must still resume: hashes are recomputed from row identity fields and
+/// a missing geometry decodes as grid, landing in the same v3 cell.
+#[test]
+fn legacy_v2_store_resumes_under_v3_hashes() {
+    let dir = scratch("legacy-v2");
+    let spec = tiny_campaign();
+    let o = opts(&dir);
+
+    let first = campaign::run(&spec, &o).unwrap();
+    assert_eq!(first.executed, first.assigned);
+
+    // Rewrite the store as a v2-era file: drop every key the v3 row
+    // format added. String surgery keeps the test honest — this is the
+    // byte shape old stores actually have on disk.
+    let text = std::fs::read_to_string(&first.store).unwrap();
+    let mut legacy = String::new();
+    for line in text.lines() {
+        let mut line = line.to_string();
+        for key in ["geometry", "makespan", "max_travel_milli"] {
+            if let Some(start) = line.find(&format!(",\"{key}\":")) {
+                let rest = &line[start + 1..];
+                let end = rest.find(",\"").map(|e| start + 1 + e).unwrap_or_else(|| {
+                    line.rfind('}').unwrap() // last key before the brace
+                });
+                line.replace_range(start..end, "");
+            }
+        }
+        legacy.push_str(&line);
+        legacy.push('\n');
+    }
+    assert!(!legacy.contains("geometry"), "surgery must strip the keys");
+    std::fs::write(&first.store, legacy).unwrap();
+
+    let rows = store::read_rows(&first.store).unwrap();
+    assert!(rows.iter().all(|r| r.geometry == "grid" && r.makespan == 0));
+
+    let second = campaign::run(&spec, &o).unwrap();
+    assert_eq!(
+        second.executed, 0,
+        "legacy rows must hash into the v3 grid cells and resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The euclid built-in campaign end to end: grid pairing skips invalid
+/// geometry×strategy combos, rows carry the new objective columns, resume
+/// works, and the report renders all four tables.
+#[test]
+fn euclid_campaign_runs_resumes_and_reports() {
+    let dir = scratch("euclid");
+    let mut spec = CampaignSpec::euclid(true);
+    // Trim to one family/size/seed so the test stays fast.
+    spec.families = vec![Family::Rectangle];
+    spec.sizes = vec![32];
+    spec.seeds = vec![0];
+    let o = opts(&dir);
+
+    let first = campaign::run(&spec, &o).unwrap();
+    assert_eq!(first.assigned, 2, "paper@grid + euclid-chain@euclid");
+    assert_eq!(first.executed, 2);
+    let second = campaign::run(&spec, &o).unwrap();
+    assert_eq!(second.executed, 0, "euclid rows must resume by hash");
+
+    let rows = store::read_rows(&first.store).unwrap();
+    let geoms: Vec<&str> = rows.iter().map(|r| r.geometry.as_str()).collect();
+    assert_eq!(geoms, vec!["grid", "euclid"]);
+    let euclid = &rows[1];
+    assert_eq!(euclid.outcome, "gathered");
+    assert!(euclid.makespan > 0, "makespan must be recorded");
+    assert!(
+        euclid.max_travel_milli.unwrap() > 0,
+        "euclid runs must record max travel"
+    );
+
+    let tables = campaign::report(&spec, &dir, None).unwrap();
+    assert_eq!(tables.len(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn status_and_report_reflect_coverage() {
     let dir = scratch("status");
@@ -506,7 +599,7 @@ fn status_and_report_reflect_coverage() {
     let full = campaign::status(&spec, &dir, None).unwrap();
     assert!(full.complete());
     let tables = campaign::report(&spec, &dir, None).unwrap();
-    assert_eq!(tables.len(), 2);
+    assert_eq!(tables.len(), 4, "rounds, wall-clock, makespan, max travel");
     let rounds = &tables[0];
     // family, n, n_actual + one column per strategy.
     assert_eq!(rounds.header.len(), 3 + spec.strategies.len());

@@ -18,6 +18,7 @@ fn sample_row(seed: u64) -> CampaignRow {
     let families = ["rectangle", "skyline", "random-loop", "comb"];
     let strategies = ["paper", "global-vision", "compass-se", "naive-local"];
     let schedulers = ["fsync", "rr2", "rand50", "kfair4"];
+    let geometries = ["grid", "euclid"];
     let outcomes = ["gathered", "round-limit", "stalled", "chain-broken"];
     CampaignRow {
         family: families[r.range_usize(0, families.len())].to_string(),
@@ -26,7 +27,14 @@ fn sample_row(seed: u64) -> CampaignRow {
         seed: r.next_u64() >> 12,
         strategy: strategies[r.range_usize(0, strategies.len())].to_string(),
         scheduler: schedulers[r.range_usize(0, schedulers.len())].to_string(),
+        geometry: geometries[r.range_usize(0, geometries.len())].to_string(),
         rounds: r.next_u64() >> 12,
+        makespan: r.next_u64() >> 12,
+        max_travel_milli: if r.range_usize(0, 2) == 0 {
+            Some(r.next_u64() >> 12)
+        } else {
+            None
+        },
         wall_us: r.next_u64() >> 12,
         outcome: outcomes[r.range_usize(0, outcomes.len())].to_string(),
         merges: r.range_usize(0, 70_000),

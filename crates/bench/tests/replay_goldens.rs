@@ -1,0 +1,105 @@
+//! Committed replay goldens: the engine must reproduce two recorded runs
+//! byte-for-byte, forever.
+//!
+//! The blobs under `tests/goldens/` were recorded once with
+//! [`ReplayWriter`] via the scenario pipeline and committed; this test
+//! re-records the same specs and compares bytes. Any drift in movement
+//! semantics, scheduling, merge order, or the replay encoding itself
+//! trips it — a standing tripwire for refactors that claim the grid path
+//! is a no-op (the geometry-backend split that introduced it being the
+//! first).
+//!
+//! Regenerating (deliberately, after an intentional semantic change):
+//!
+//! ```text
+//! REPLAY_GOLDEN_BLESS=1 cargo test -p bench --test replay_goldens
+//! ```
+
+use std::path::PathBuf;
+
+use bench::scenario::{run_scenario_tapped, ReplayTap, RunTaps, ScenarioSpec, StrategyKind};
+use chain_sim::{ReplayReader, ReplaySink, SchedulerKind};
+use workloads::Family;
+
+/// The two pinned draws: the paper rule on FSYNC (the canonical path) and
+/// the SSYNC repair under a round-robin schedule (masks + guard records —
+/// the densest record layout).
+fn goldens() -> [(&'static str, ScenarioSpec); 2] {
+    [
+        (
+            "paper_fsync_rect24_seed0.replay",
+            ScenarioSpec::strategy(Family::Rectangle, 24, 0, StrategyKind::paper()),
+        ),
+        (
+            "paper_ssync_rr2_skyline24_seed1.replay",
+            ScenarioSpec::strategy(Family::Skyline, 24, 1, StrategyKind::paper_ssync())
+                .with_scheduler(SchedulerKind::RoundRobin(2)),
+        ),
+    ]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn record(spec: &ScenarioSpec) -> Vec<u8> {
+    let sink = ReplaySink::new();
+    let result = run_scenario_tapped(
+        spec,
+        RunTaps {
+            probe: None,
+            replay: Some(ReplayTap {
+                sink: sink.clone(),
+                ring: None,
+            }),
+        },
+    );
+    assert!(
+        result.outcome.is_gathered(),
+        "{spec:?}: {:?}",
+        result.outcome
+    );
+    sink.take()
+}
+
+#[test]
+fn committed_replays_reproduce_byte_for_byte() {
+    let bless = std::env::var_os("REPLAY_GOLDEN_BLESS").is_some();
+    for (name, spec) in goldens() {
+        let blob = record(&spec);
+        assert!(!blob.is_empty(), "{name}: empty recording");
+
+        // The recording must itself verify before it can be a golden.
+        let mut reader = ReplayReader::new(&blob).unwrap();
+        let mut rounds = 0u64;
+        while reader.next_round().unwrap().is_some() {
+            rounds += 1;
+        }
+        assert!(rounds > 0, "{name}: no rounds replayed");
+        assert!(reader.outcome().is_some(), "{name}: missing trailer");
+
+        let path = golden_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &blob).unwrap();
+            continue;
+        }
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing committed golden at {} ({e}); run with \
+                 REPLAY_GOLDEN_BLESS=1 after an intentional change",
+                path.display()
+            )
+        });
+        assert!(
+            blob == committed,
+            "{name}: recorded replay drifted from the committed golden \
+             ({} vs {} bytes) — movement semantics, scheduling, merge \
+             order, or the replay encoding changed",
+            blob.len(),
+            committed.len()
+        );
+    }
+}

@@ -102,6 +102,19 @@ impl RunLimits {
             stall_window: 64 * n,
         }
     }
+
+    /// Limits for the Euclidean closed-chain strategy (`euclid-chain`,
+    /// arXiv 2010.04424 model): linear-time with alternating-parity
+    /// activation, so a generous linear round cap suffices; the stall
+    /// window covers a reflection wave crossing the whole chain (one
+    /// robot per two rounds) between merges.
+    pub fn for_euclid_chain(n: usize) -> Self {
+        let n = n as u64;
+        RunLimits {
+            max_rounds: 64 * n + 4096,
+            stall_window: 8 * n + 1024,
+        }
+    }
 }
 
 /// Why a simulation run ended.
@@ -185,6 +198,12 @@ pub struct Sim<S: Strategy> {
     active: Vec<bool>,
     splice: SpliceLog,
     progress: Progress,
+    /// Per-robot cumulative Euclidean travel, parallel to the chain;
+    /// spliced in lockstep with the merge pass (removed robots retire
+    /// their totals into `retired_travel`).
+    travel: Vec<f64>,
+    /// Largest cumulative travel among robots merged away so far.
+    retired_travel: f64,
     observers: Vec<Box<dyn AnyObserver<S>>>,
     rounds_since_merge: u64,
     rounds_since_move: u64,
@@ -221,6 +240,8 @@ impl<S: Strategy> Sim<S> {
             active: vec![true; n],
             splice: SpliceLog::default(),
             progress: Progress::default(),
+            travel: vec![0.0; n],
+            retired_travel: 0.0,
             observers: Vec::new(),
             rounds_since_merge: 0,
             rounds_since_move: 0,
@@ -313,10 +334,22 @@ impl<S: Strategy> Sim<S> {
         self.round
     }
 
-    /// The always-on aggregate statistics (merge totals, mergeless gaps).
-    /// Maintained in-place every round, observers or not.
+    /// The always-on aggregate statistics (merge totals, mergeless gaps,
+    /// makespan). Maintained in-place every round, observers or not.
     pub fn progress(&self) -> Progress {
         self.progress
+    }
+
+    /// Maximum per-robot cumulative Euclidean travel so far (the min-max
+    /// distance objective of arXiv 2410.11966): unit hops cost 1,
+    /// diagonal hops √2, and robots merged away keep contributing their
+    /// totals. Always-on, like [`Sim::progress`] — the kernel fast path
+    /// does not track it, which is why the scenario layer reports it only
+    /// for boxed-engine runs.
+    pub fn max_travel(&self) -> f64 {
+        self.travel
+            .iter()
+            .fold(self.retired_travel, |acc, &t| acc.max(t))
     }
 
     /// Merge events of the most recent round (reused buffer; valid until
@@ -383,10 +416,36 @@ impl<S: Strategy> Sim<S> {
             self.broken = Some(e.clone());
             return Err(e);
         }
+        if moved > 0 {
+            // Fold hop lengths into the per-robot travel totals (the
+            // min-max objective): unit steps cost 1, diagonal hops √2.
+            for (t, h) in self.travel.iter_mut().zip(&self.hops) {
+                if *h != Offset::ZERO {
+                    *t += ((h.dx * h.dx + h.dy * h.dy) as f64).sqrt();
+                }
+            }
+        }
         self.strategy.post_move(&self.chain, self.round);
 
         // Merge pass (the paper's progress).
         let removed = self.chain.merge_pass(&mut self.splice);
+        if removed > 0 {
+            // Mirror the splice in the travel totals: removed robots
+            // retire theirs into the running maximum, survivors compact
+            // down (removed_indices is ascending, like the chain sweep).
+            let mut rm = self.splice.removed_indices.iter().peekable();
+            let mut write = 0;
+            for read in 0..self.travel.len() {
+                if rm.peek() == Some(&&read) {
+                    rm.next();
+                    self.retired_travel = self.retired_travel.max(self.travel[read]);
+                } else {
+                    self.travel[write] = self.travel[read];
+                    write += 1;
+                }
+            }
+            self.travel.truncate(write);
+        }
         self.strategy
             .post_merge(&self.chain, self.round, &self.splice);
 
@@ -416,7 +475,7 @@ impl<S: Strategy> Sim<S> {
             len_after: self.chain.len(),
             gathered: self.chain.is_gathered(),
         };
-        self.progress.record_round(removed);
+        self.progress.record_round(moved, removed);
         if !self.observers.is_empty() {
             let ctx = RoundCtx {
                 summary,

@@ -678,7 +678,7 @@ impl<K: RoundKernel, A: ActivationRule> KernelSim<K, A> {
             len_after: self.chain.len(),
             gathered: self.chain.is_gathered(),
         };
-        self.progress.record_round(removed);
+        self.progress.record_round(moved, removed);
         self.round += 1;
         Ok(summary)
     }

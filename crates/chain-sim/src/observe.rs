@@ -152,7 +152,7 @@ impl Recorder {
 impl<S: Strategy> Observer<S> for Recorder {
     fn on_round(&mut self, ctx: &RoundCtx<'_>, _strategy: &mut S) {
         let s = ctx.summary;
-        self.trace.record_round(s.removed);
+        self.trace.record_round(s.moved, s.removed);
         if self.cfg.snapshot_every > 0
             && s.round.is_multiple_of(self.cfg.snapshot_every)
             && self.trace.snapshots.len() < self.cfg.max_snapshots

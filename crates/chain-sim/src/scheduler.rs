@@ -236,6 +236,11 @@ impl SchedulerKind {
         SchedulerKind::KFair(4),
     ];
 
+    /// Every name form the registry accepts, for error inventories: the
+    /// parameterized kinds are families of names, so the inventory lists
+    /// the *forms* (`rr{groups}` …), not an enumeration.
+    pub const NAME_FORMS: [&'static str; 4] = ["fsync", "rr{groups}", "rand{percent}", "kfair{k}"];
+
     /// Canonical registry name: `fsync`, `rr{groups}`, `rand{percent}`,
     /// `kfair{k}`. Stable — campaign `spec_id`s embed it.
     pub fn name(&self) -> String {

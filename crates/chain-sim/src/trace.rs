@@ -84,12 +84,17 @@ pub struct Progress {
     rounds_with_merges: usize,
     longest_gap: u64,
     current_gap: u64,
+    makespan: u64,
 }
 
 impl Progress {
-    /// Fold one round's merge count into the aggregates.
-    pub fn record_round(&mut self, removed: usize) {
+    /// Fold one round's activity into the aggregates: how many robots
+    /// performed a nonzero hop and how many the merge pass removed.
+    pub fn record_round(&mut self, moved: usize, removed: usize) {
         self.rounds += 1;
+        if moved > 0 || removed > 0 {
+            self.makespan = self.rounds;
+        }
         if removed > 0 {
             self.total_removed += removed;
             self.rounds_with_merges += 1;
@@ -121,6 +126,15 @@ impl Progress {
     pub fn longest_mergeless_gap(&self) -> u64 {
         self.longest_gap.max(self.current_gap)
     }
+
+    /// Makespan: the number of rounds up to and including the last round
+    /// with any activity (a move or a merge) — the min-max time objective
+    /// of arXiv 2410.11966. Trailing all-idle rounds (a stalled run
+    /// burning its window, a round-limited idle tail) don't count; 0 if
+    /// nothing ever happened.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
 }
 
 /// A recorded simulation trace: retained reports and snapshots plus the
@@ -136,9 +150,9 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Fold one round's merge count into the aggregates.
-    pub fn record_round(&mut self, removed: usize) {
-        self.progress.record_round(removed);
+    /// Fold one round's activity into the aggregates.
+    pub fn record_round(&mut self, moved: usize, removed: usize) {
+        self.progress.record_round(moved, removed);
     }
 
     /// The trace's aggregate statistics.
@@ -174,7 +188,7 @@ mod tests {
     fn trace_of(removed_per_round: &[usize]) -> Trace {
         let mut t = Trace::default();
         for &r in removed_per_round {
-            t.record_round(r);
+            t.record_round(0, r);
         }
         t
     }
@@ -192,6 +206,19 @@ mod tests {
     fn trailing_gap_counts() {
         let t = trace_of(&[1, 0, 0]);
         assert_eq!(t.longest_mergeless_gap(), 2);
+    }
+
+    #[test]
+    fn makespan_is_the_last_active_round() {
+        let mut p = Progress::default();
+        p.record_round(3, 0); // moves only: still active
+        p.record_round(0, 0); // idle
+        p.record_round(2, 1); // active (round 3)
+        p.record_round(0, 0); // trailing idle tail
+        p.record_round(0, 0);
+        assert_eq!(p.rounds(), 5);
+        assert_eq!(p.makespan(), 3);
+        assert_eq!(Progress::default().makespan(), 0);
     }
 
     #[test]

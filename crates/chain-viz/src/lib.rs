@@ -20,4 +20,4 @@ pub use anim::render_trace;
 pub use ascii::{render, render_with_markers, AsciiOptions};
 pub use capture::{Frame, FrameCapture};
 pub use ppm::PpmImage;
-pub use svg::{render_svg, SvgOptions};
+pub use svg::{render_svg, render_svg_points, SvgOptions};

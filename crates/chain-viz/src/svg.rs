@@ -91,6 +91,83 @@ pub fn render_svg(chain: &ClosedChain, opt: SvgOptions) -> String {
     out
 }
 
+/// Render a closed chain of continuous (Euclidean-backend) positions into
+/// an SVG document string. The float twin of [`render_svg`]: same visual
+/// language (polyline in chain order, robot dots), but coordinates map
+/// through a real-valued viewport instead of grid cells, and exact
+/// coincidences get multiplicity labels keyed on bit-equal coordinates —
+/// the Euclidean merge rule copies coordinates bit-for-bit, so bit
+/// equality is the right notion of "same point" there too.
+pub fn render_svg_points(points: &[(f64, f64)], opt: SvgOptions) -> String {
+    let s = opt.scale as f64;
+    let margin = opt.margin as f64;
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    for &(x, y) in points {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    if points.is_empty() {
+        (min_x, min_y, max_x, max_y) = (0.0, 0.0, 0.0, 0.0);
+    }
+    let w = (max_x - min_x + 2.0 * margin) * s;
+    let h = (max_y - min_y + 2.0 * margin) * s;
+    let tx = |x: f64| (x - min_x + margin) * s;
+    let ty = |y: f64| h - (y - min_y + margin) * s;
+
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.1}" height="{h:.1}" viewBox="0 0 {w:.1} {h:.1}">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect width="{w:.1}" height="{h:.1}" fill="white"/>"#
+    );
+
+    if opt.edges && points.len() >= 2 {
+        let mut d = String::new();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(d, "{cmd}{:.2},{:.2} ", tx(x), ty(y));
+        }
+        let _ = write!(d, "L{:.2},{:.2}", tx(points[0].0), ty(points[0].1));
+        let _ = writeln!(
+            out,
+            r##"<path d="{d}" fill="none" stroke="#7799cc" stroke-width="2"/>"##
+        );
+    }
+
+    let mut count: HashMap<(u64, u64), (f64, f64, u32)> = HashMap::new();
+    for &(x, y) in points {
+        count
+            .entry((x.to_bits(), y.to_bits()))
+            .or_insert((x, y, 0))
+            .2 += 1;
+    }
+    let r = s / 4.0;
+    for &(x, y, k) in count.values() {
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.2}" cy="{:.2}" r="{r:.1}" fill="#203080"/>"##,
+            tx(x),
+            ty(y)
+        );
+        if k > 1 {
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.2}" y="{:.2}" font-size="{:.0}" fill="#c03020" text-anchor="middle">{k}</text>"##,
+                tx(x) + r,
+                ty(y) - r,
+                s / 2.0
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +205,25 @@ mod tests {
         assert!(svg.contains(">2</text>"));
         // Three distinct points → three circles.
         assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn float_chains_render_with_bit_exact_multiplicity() {
+        // A rotated unit square with one exact coincidence (merge twin).
+        let c = 0.5f64.sqrt();
+        let pts = vec![(0.0, 0.0), (c, c), (0.0, 2.0 * c), (c, c), (-c, c)];
+        let svg = render_svg_points(&pts, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<path"));
+        // 4 distinct positions; the bit-equal pair collapses to one dot
+        // with a multiplicity label.
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">2</text>"));
+        // Near-equal but not bit-equal points stay distinct dots.
+        let near = vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (1e-12, 1e-12)];
+        let svg = render_svg_points(&near, SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 4);
     }
 
     #[test]

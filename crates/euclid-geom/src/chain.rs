@@ -1,0 +1,346 @@
+//! The Euclidean closed chain: unit-distance edges, exact-coincidence
+//! merges, extent-≤-1 gathering.
+
+use core::fmt;
+
+use geom_core::ChainGeometry;
+
+use crate::vec2::{EuclidSpace, Vec2};
+
+/// Float slack for the unit-edge and gathering predicates. Edge lengths
+/// are preserved *exactly* by reflections in real arithmetic; in f64 they
+/// accumulate rounding on the order of 1e-15 per operation, so a 1e-9
+/// tolerance is many orders of magnitude of headroom while still
+/// rejecting genuinely broken chains.
+pub const EDGE_EPS: f64 = 1e-9;
+
+/// Validation failure of a Euclidean chain (the continuous analogue of
+/// `chain_sim::ChainError`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EuclidChainError {
+    /// Fewer than 2 robots cannot form a (meaningful) closed chain.
+    TooShort {
+        /// Offending chain length.
+        len: usize,
+    },
+    /// Chain neighbors further than unit distance apart — the chain broke.
+    Disconnected {
+        /// Index of the first robot of the broken edge.
+        index: usize,
+        /// Position of the robot at `index`.
+        a: Vec2,
+        /// Position of its chain successor.
+        b: Vec2,
+    },
+    /// Chain neighbors on the same point outside a merge pass (the chain
+    /// must be taut between rounds).
+    CoincidentNeighbors {
+        /// Index of the first robot of the coinciding pair.
+        index: usize,
+        /// The shared position.
+        at: Vec2,
+    },
+}
+
+impl fmt::Display for EuclidChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EuclidChainError::TooShort { len } => write!(f, "chain too short: {len} robots"),
+            EuclidChainError::Disconnected { index, a, b } => write!(
+                f,
+                "chain disconnected between index {index} at {a} and its successor at {b} \
+                 (distance {:.6})",
+                a.dist(*b)
+            ),
+            EuclidChainError::CoincidentNeighbors { index, at } => write!(
+                f,
+                "chain neighbors {index} and successor coincide at {at} outside a merge pass"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EuclidChainError {}
+
+/// A closed chain of robots in the plane: a cyclic sequence of positions
+/// whose neighbors stay within unit distance. The container mirrors
+/// `chain_sim::ClosedChain`'s contract — validated on construction, taut
+/// between rounds, merge pass as the progress measure — over [`Vec2`]
+/// positions and the [`EuclidSpace`] predicates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EuclidChain {
+    pos: Vec<Vec2>,
+}
+
+impl EuclidChain {
+    /// Build a chain from cyclic positions, validating the closed-chain
+    /// invariants (≥ 2 robots, unit edges, no coincident neighbors).
+    pub fn new(pos: Vec<Vec2>) -> Result<Self, EuclidChainError> {
+        let chain = EuclidChain { pos };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Number of robots.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// `true` when no robots remain (never the case for a validated chain).
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// The cyclic positions.
+    pub fn positions(&self) -> &[Vec2] {
+        &self.pos
+    }
+
+    /// Position of robot `i`.
+    pub fn pos(&self, i: usize) -> Vec2 {
+        self.pos[i]
+    }
+
+    /// Cyclic successor index.
+    #[inline]
+    pub fn next(&self, i: usize) -> usize {
+        if i + 1 == self.pos.len() {
+            0
+        } else {
+            i + 1
+        }
+    }
+
+    /// Cyclic predecessor index.
+    #[inline]
+    pub fn prev(&self, i: usize) -> usize {
+        if i == 0 {
+            self.pos.len() - 1
+        } else {
+            i - 1
+        }
+    }
+
+    /// Check the closed-chain invariants: every edge viable, no
+    /// coincident neighbors (tautness between rounds).
+    pub fn validate(&self) -> Result<(), EuclidChainError> {
+        let n = self.pos.len();
+        if n < 2 {
+            return Err(EuclidChainError::TooShort { len: n });
+        }
+        for i in 0..n {
+            let (a, b) = (self.pos[i], self.pos[self.next(i)]);
+            if EuclidSpace::coincident(a, b) {
+                return Err(EuclidChainError::CoincidentNeighbors { index: i, at: a });
+            }
+            if !EuclidSpace::edge_viable(a, b) {
+                return Err(EuclidChainError::Disconnected { index: i, a, b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply simultaneous moves, given as *target positions* (one per
+    /// robot; the robot's current position = stay), checking the movement
+    /// budget and that every edge survives.
+    ///
+    /// Moves are expressed as targets rather than displacement hops so a
+    /// fold can *copy* a neighbor's coordinates bit-for-bit — adding a
+    /// computed displacement back to the position would round, and exact
+    /// coincidence (the merge relation) would be lost.
+    pub fn apply_moves(&mut self, targets: &[Vec2]) -> Result<(), EuclidChainError> {
+        assert_eq!(targets.len(), self.pos.len(), "one target per robot");
+        for (p, t) in self.pos.iter_mut().zip(targets) {
+            debug_assert!(
+                EuclidSpace::is_hop(*t - *p),
+                "hop budget exceeded: {p} -> {t}"
+            );
+            *p = *t;
+        }
+        let n = self.pos.len();
+        for i in 0..n {
+            let (a, b) = (self.pos[i], self.pos[self.next(i)]);
+            if !EuclidSpace::edge_viable(a, b) {
+                return Err(EuclidChainError::Disconnected { index: i, a, b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge pass: splice out robots that coincide (exactly) with a chain
+    /// neighbor, keeping one robot per maximal coincidence group. Appends
+    /// the removed (pre-splice) indices to `removed`, in ascending order,
+    /// and returns how many were removed. When the whole chain sits on one
+    /// point it collapses to a single robot.
+    pub fn merge_pass(&mut self, removed: &mut Vec<usize>) -> usize {
+        removed.clear();
+        let n = self.pos.len();
+        if n < 2 {
+            return 0;
+        }
+        // Find a group boundary: a robot whose predecessor sits elsewhere.
+        let Some(start) = (0..n).find(|&i| self.pos[self.prev(i)] != self.pos[i]) else {
+            // All robots coincide: collapse to one.
+            removed.extend(1..n);
+            self.pos.truncate(1);
+            return n - 1;
+        };
+        // Walk the cycle from the boundary, keeping the first robot of
+        // every maximal group of coincident consecutive positions.
+        let mut i = start;
+        loop {
+            let group_pos = self.pos[i];
+            let mut j = self.next(i);
+            while j != start && self.pos[j] == group_pos {
+                removed.push(j);
+                j = self.next(j);
+            }
+            if j == start {
+                break;
+            }
+            i = j;
+        }
+        if removed.is_empty() {
+            return 0;
+        }
+        removed.sort_unstable();
+        let mut keep_iter = removed.iter().peekable();
+        let mut w = 0;
+        for r in 0..n {
+            if keep_iter.peek() == Some(&&r) {
+                keep_iter.next();
+            } else {
+                self.pos[w] = self.pos[r];
+                w += 1;
+            }
+        }
+        self.pos.truncate(w);
+        removed.len()
+    }
+
+    /// Width and height of the chain's bounding box.
+    pub fn extent(&self) -> (f64, f64) {
+        EuclidSpace::extent(&self.pos)
+    }
+
+    /// `true` if the gathering criterion holds: bounding box extent ≤ 1
+    /// per axis (the continuous analogue of the grid's 2×2 box).
+    pub fn is_gathered(&self) -> bool {
+        EuclidSpace::gathered(&self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> EuclidChain {
+        EuclidChain::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_accepts_unit_edges_and_rejects_stretch() {
+        unit_square();
+        let err = EuclidChain::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.5, 0.0),
+            Vec2::new(0.5, 0.5),
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EuclidChainError::Disconnected { index: 0, .. }
+        ));
+        let err = EuclidChain::new(vec![Vec2::new(0.0, 0.0), Vec2::new(0.0, 0.0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            EuclidChainError::CoincidentNeighbors { index: 0, .. }
+        ));
+        assert!(matches!(
+            EuclidChain::new(vec![Vec2::ZERO]).unwrap_err(),
+            EuclidChainError::TooShort { len: 1 }
+        ));
+    }
+
+    #[test]
+    fn merge_splices_coincident_groups() {
+        // Robot 1 folded onto robot 2's position.
+        let mut chain = EuclidChain {
+            pos: vec![
+                Vec2::new(0.0, 0.0),
+                Vec2::new(1.0, 0.0),
+                Vec2::new(1.0, 0.0),
+                Vec2::new(0.5, 0.5),
+            ],
+        };
+        let mut removed = Vec::new();
+        assert_eq!(chain.merge_pass(&mut removed), 1);
+        assert_eq!(removed, [2]);
+        assert_eq!(chain.len(), 3);
+        chain.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_handles_wraparound_groups() {
+        // The group spans the index seam: robots 3, 0 coincide.
+        let at = Vec2::new(0.25, 0.75);
+        let mut chain = EuclidChain {
+            pos: vec![at, Vec2::new(1.0, 0.75), Vec2::new(0.5, 0.2), at],
+        };
+        let mut removed = Vec::new();
+        assert_eq!(chain.merge_pass(&mut removed), 1);
+        assert_eq!(chain.len(), 3);
+        // Exactly one copy of the merged position survives.
+        let copies = chain.positions().iter().filter(|p| **p == at).count();
+        assert_eq!(copies, 1);
+    }
+
+    #[test]
+    fn full_collapse_keeps_one_robot() {
+        let at = Vec2::new(2.0, 3.0);
+        let mut chain = EuclidChain {
+            pos: vec![at, at, at, at],
+        };
+        let mut removed = Vec::new();
+        assert_eq!(chain.merge_pass(&mut removed), 3);
+        assert_eq!(removed, [1, 2, 3]);
+        assert_eq!(chain.len(), 1);
+        assert!(chain.is_gathered());
+    }
+
+    #[test]
+    fn gathering_is_the_unit_box() {
+        // The unit square spans exactly one unit per axis — gathered, the
+        // same boundary case as the grid's 2×2 box.
+        assert!(unit_square().is_gathered());
+        assert_eq!(unit_square().extent(), (1.0, 1.0));
+        let wide = EuclidChain::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ])
+        .unwrap();
+        assert!(!wide.is_gathered());
+        assert_eq!(wide.extent(), (2.0, 1.0));
+    }
+
+    #[test]
+    fn apply_moves_rejects_breaks() {
+        let mut chain = unit_square();
+        let mut targets = chain.positions().to_vec();
+        targets[0] = Vec2::new(-0.6, 0.0);
+        assert!(matches!(
+            chain.apply_moves(&targets),
+            Err(EuclidChainError::Disconnected { .. })
+        ));
+    }
+}

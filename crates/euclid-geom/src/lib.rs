@@ -1,0 +1,46 @@
+//! # euclid-geom
+//!
+//! The continuous-plane geometry backend of the gathering system, modeled
+//! on "Gathering a Euclidean Closed Chain of Robots in Linear Time"
+//! (arXiv 2010.04424): robots are points in R², chain neighbors must stay
+//! within **unit distance** (instead of the grid's 4-adjacency), and
+//! coinciding neighbors merge exactly as on the grid.
+//!
+//! * [`Vec2`] / [`EuclidSpace`] — f64 points and the
+//!   `geom_core::ChainGeometry` implementation for the plane.
+//! * [`EuclidChain`] — the closed chain container: validation (unit
+//!   edges, taut between rounds), the exact-coincidence merge pass, and
+//!   the extent-≤-1 gathering criterion (the continuous analogue of the
+//!   grid's 2×2 box).
+//! * [`FoldReflect`] — the `euclid-chain` strategy: robots on the active
+//!   parity class **fold** onto a neighbor when their two neighbors are
+//!   within unit distance of each other (producing an exact coincidence,
+//!   hence a merge), and otherwise **reflect** across the chord through
+//!   their neighbors — the continuous analogue of the paper's hop, which
+//!   transports slack along the chain at wave speed — falling back to the
+//!   chord **midpoint** whenever reflection would not make progress
+//!   toward the chain's bounding-box center (the symmetry breaker: pure
+//!   reflections can cycle on symmetric configurations such as rhombi).
+//! * [`EuclidSim`] — the FSYNC engine for Euclidean chains: alternating
+//!   parity activation, simultaneous moves, merge pass, and the same
+//!   always-on [`Progress`](chain_sim::Progress) aggregates, stall
+//!   windows, and [`Outcome`](chain_sim::Outcome)s as the grid engines,
+//!   plus per-robot travel accounting for the min-max objectives.
+//!
+//! Every move of the strategy keeps the mover within unit distance of
+//! both (static) neighbors, so chains never break under FSYNC — the
+//! engine enforces this with an always-on validation pass. The model is
+//! deliberately FSYNC-only: the scenario layer rejects `euclid` × SSYNC
+//! combinations at the wire and campaign boundaries.
+
+#![deny(missing_docs)]
+
+pub mod chain;
+pub mod sim;
+pub mod strategy;
+pub mod vec2;
+
+pub use chain::{EuclidChain, EuclidChainError, EDGE_EPS};
+pub use sim::EuclidSim;
+pub use strategy::{EuclidStrategy, FoldReflect};
+pub use vec2::{EuclidSpace, Vec2};

@@ -1,0 +1,239 @@
+//! f64 points in the plane and the Euclidean `ChainGeometry` backend.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use geom_core::ChainGeometry;
+
+use crate::chain::EDGE_EPS;
+
+/// A point (or displacement) in the continuous plane. Equality is exact
+/// bitwise f64 equality — the merge pass relies on folds *copying* a
+/// neighbor's coordinates rather than recomputing them, so coincidence is
+/// never a tolerance question.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin / zero displacement.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// A point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Vec2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// The total order the fold rule breaks ties with: lexicographic on
+    /// `(x + y, x, y)`. Distinct points always compare unequal (distinct
+    /// `(x, y)` differ in one of the later components).
+    #[inline]
+    pub fn key(self) -> (f64, f64, f64) {
+        (self.x + self.y, self.x, self.y)
+    }
+
+    /// The reflection of `self` across the line through `a` and `b`
+    /// (callers guarantee `a != b`). Distances from the reflected point to
+    /// `a` and to `b` are preserved — the safety of the chord hop.
+    #[inline]
+    pub fn reflect_across(self, a: Vec2, b: Vec2) -> Vec2 {
+        let d = b - a;
+        let v = self - a;
+        let t = v.dot(d) / d.dot(d);
+        let foot = a + d * t;
+        foot * 2.0 - self
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec2) {
+        self.x -= o.x;
+        self.y -= o.y;
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+/// The continuous plane as a geometry backend: unit-distance chain edges,
+/// chord hops (length ≤ 2, like the grid hop's two-step mirror), exact
+/// coincidence, and the extent-≤-1 gathering box.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EuclidSpace;
+
+impl ChainGeometry for EuclidSpace {
+    type Point = Vec2;
+    type Hop = Vec2;
+
+    const NAME: &'static str = "euclid";
+
+    #[inline]
+    fn zero_hop() -> Vec2 {
+        Vec2::ZERO
+    }
+
+    #[inline]
+    fn is_hop(hop: Vec2) -> bool {
+        // A chord reflection moves at most twice the unit chain-edge
+        // length; folds and midpoints move strictly less.
+        hop.length() <= 2.0 + EDGE_EPS
+    }
+
+    #[inline]
+    fn apply(p: Vec2, hop: Vec2) -> Vec2 {
+        p + hop
+    }
+
+    #[inline]
+    fn edge_viable(a: Vec2, b: Vec2) -> bool {
+        a.dist(b) <= 1.0 + EDGE_EPS
+    }
+
+    #[inline]
+    fn coincident(a: Vec2, b: Vec2) -> bool {
+        a == b
+    }
+
+    #[inline]
+    fn distance(a: Vec2, b: Vec2) -> f64 {
+        a.dist(b)
+    }
+
+    #[inline]
+    fn extent(points: &[Vec2]) -> (f64, f64) {
+        let Some(&first) = points.first() else {
+            return (0.0, 0.0);
+        };
+        let (mut min, mut max) = (first, first);
+        for &p in &points[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        (max.x - min.x, max.y - min.y)
+    }
+
+    #[inline]
+    fn gathered(points: &[Vec2]) -> bool {
+        let (w, h) = Self::extent(points);
+        w <= 1.0 + EDGE_EPS && h <= 1.0 + EDGE_EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflection_preserves_chord_distances() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(1.3, 0.4);
+        let p = Vec2::new(0.7, 0.9);
+        let r = p.reflect_across(a, b);
+        assert!((r.dist(a) - p.dist(a)).abs() < 1e-12);
+        assert!((r.dist(b) - p.dist(b)).abs() < 1e-12);
+        // Reflecting twice returns (within float error).
+        let rr = r.reflect_across(a, b);
+        assert!(rr.dist(p) < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_reflect_to_themselves() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 0.0);
+        let p = Vec2::new(0.5, 0.0);
+        assert!(p.reflect_across(a, b).dist(p) < 1e-12);
+    }
+
+    #[test]
+    fn keys_order_distinct_points_totally() {
+        let a = Vec2::new(0.0, 1.0);
+        let b = Vec2::new(1.0, 0.0); // same x + y, larger x
+        assert!(a.key() < b.key());
+        assert_eq!(a.key(), a.key());
+        assert!(Vec2::new(0.0, 0.0).key() < a.key());
+    }
+
+    #[test]
+    fn space_predicates() {
+        let a = Vec2::new(0.0, 0.0);
+        assert!(EuclidSpace::edge_viable(a, Vec2::new(1.0, 0.0)));
+        assert!(!EuclidSpace::edge_viable(a, Vec2::new(1.1, 0.0)));
+        assert!(EuclidSpace::coincident(a, Vec2::new(0.0, 0.0)));
+        assert!(!EuclidSpace::coincident(a, Vec2::new(1e-15, 0.0)));
+        assert!(EuclidSpace::is_hop(Vec2::new(1.4, 1.4)));
+        assert!(!EuclidSpace::is_hop(Vec2::new(2.1, 0.0)));
+        assert_eq!(EuclidSpace::distance(a, Vec2::new(3.0, 4.0)), 5.0);
+        assert!(EuclidSpace::gathered(&[a, Vec2::new(0.9, 0.9)]));
+        assert!(!EuclidSpace::gathered(&[a, Vec2::new(0.9, 1.2)]));
+        assert_eq!(EuclidSpace::extent(&[]), (0.0, 0.0));
+    }
+}

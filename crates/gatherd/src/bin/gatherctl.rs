@@ -4,7 +4,7 @@
 //! gatherctl health   --addr HOST:PORT
 //! gatherctl metrics  --addr HOST:PORT
 //! gatherctl run      --addr HOST:PORT --family F --n N --seed S --strategy K
-//!                    [--scheduler S] [--async] [--replay]
+//!                    [--scheduler S] [--geometry G] [--async] [--replay]
 //! gatherctl raw      --addr HOST:PORT --body TEXT     # POST /run verbatim
 //! gatherctl result   --addr HOST:PORT --hash H
 //! gatherctl progress --addr HOST:PORT --job N
@@ -33,15 +33,16 @@
 
 use std::process::exit;
 
-use chain_sim::{LiveFrame, ReplayReader};
+use bench::GeometryKind;
+use chain_sim::{LiveFrame, ReplayReader, SchedulerKind};
 use gatherd::client;
 
 fn usage() -> ! {
     eprintln!(
         "usage: gatherctl <health|metrics|run|raw|result|progress|watch|replay|flood|shutdown> \
          --addr HOST:PORT [--family F] [--n N] [--seed S] [--strategy K] [--scheduler S] \
-         [--async] [--replay] [--hash H] [--job N] [--count N] [--body TEXT] [--rate MS] \
-         [--every K] [--seek R] [--until R]"
+         [--geometry G] [--async] [--replay] [--hash H] [--job N] [--count N] [--body TEXT] \
+         [--rate MS] [--every K] [--seek R] [--until R]"
     );
     exit(2)
 }
@@ -54,6 +55,7 @@ struct Cli {
     seed: u64,
     strategy: String,
     scheduler: Option<String>,
+    geometry: Option<String>,
     r#async: bool,
     replay: bool,
     hash: String,
@@ -87,6 +89,7 @@ fn parse_cli() -> Cli {
         seed: 0,
         strategy: "paper".to_string(),
         scheduler: None,
+        geometry: None,
         r#async: false,
         replay: false,
         hash: String::new(),
@@ -119,6 +122,7 @@ fn parse_cli() -> Cli {
             "--seed" => cli.seed = parse_u64("--seed", value("--seed")),
             "--strategy" => cli.strategy = value("--strategy"),
             "--scheduler" => cli.scheduler = Some(value("--scheduler")),
+            "--geometry" => cli.geometry = Some(value("--geometry")),
             "--async" => cli.r#async = true,
             "--replay" => cli.replay = true,
             "--hash" => cli.hash = value("--hash"),
@@ -139,6 +143,26 @@ fn parse_cli() -> Cli {
         eprintln!("error: --addr is required");
         usage();
     }
+    // Registry names are validated client-side so a typo fails fast with
+    // the full inventory and a usage exit (2), before any request is sent.
+    if let Some(s) = &cli.scheduler {
+        if SchedulerKind::from_name(s).is_none() {
+            eprintln!(
+                "error: unknown scheduler '{s}' (expected one of: {})",
+                SchedulerKind::NAME_FORMS.join(", ")
+            );
+            exit(2);
+        }
+    }
+    if let Some(g) = &cli.geometry {
+        if GeometryKind::from_name(g).is_none() {
+            eprintln!(
+                "error: unknown geometry '{g}' (expected one of: {})",
+                GeometryKind::ALL_NAMES.join(", ")
+            );
+            exit(2);
+        }
+    }
     cli
 }
 
@@ -147,8 +171,12 @@ fn spec_json(cli: &Cli, seed: u64) -> String {
         Some(s) => format!(",\"scheduler\":\"{s}\""),
         None => String::new(),
     };
+    let geometry = match &cli.geometry {
+        Some(g) => format!(",\"geometry\":\"{g}\""),
+        None => String::new(),
+    };
     format!(
-        "{{\"family\":\"{}\",\"n\":{},\"seed\":{seed},\"strategy\":\"{}\"{scheduler}}}",
+        "{{\"family\":\"{}\",\"n\":{},\"seed\":{seed},\"strategy\":\"{}\"{scheduler}{geometry}}}",
         cli.family, cli.n, cli.strategy
     )
 }

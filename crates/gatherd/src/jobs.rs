@@ -334,7 +334,10 @@ mod tests {
             seed: 0,
             strategy: "paper".into(),
             scheduler: "fsync".into(),
+            geometry: "grid".into(),
             rounds: 1,
+            makespan: 1,
+            max_travel_milli: None,
             wall_us: 1,
             outcome: "gathered".into(),
             merges: 0,

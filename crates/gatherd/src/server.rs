@@ -478,6 +478,15 @@ fn post_run(state: &ServiceState, req: &Request) -> Response {
             spec.strategy.name()
         ));
     }
+    // The Euclidean backend has no hop-code log: replay (and therefore
+    // /watch, which requires a recording job) is a grid-kernel feature.
+    if replay && spec.strategy.is_euclid() {
+        return bad(format!(
+            "strategy '{}' runs on the Euclidean backend; replay recording (and /watch) \
+             requires a grid strategy",
+            spec.strategy.name()
+        ));
+    }
     let hash = spec_hash(&spec);
 
     // A `?replay` request is a hit only when both the row and the

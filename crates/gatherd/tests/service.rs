@@ -402,3 +402,64 @@ fn paper_ssync_jobs_gather_under_ssync_schedulers() {
     handle.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Euclidean runs are serveable end to end, and the kernel-only service
+/// features (replay recording, SSYNC schedulers) reject euclid specs at
+/// decode time with full-inventory errors.
+#[test]
+fn euclid_jobs_run_and_kernel_only_paths_reject() {
+    let dir = scratch("euclid");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    // A euclid-chain run flows through queue → Euclidean backend → cache.
+    let body = "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"euclid-chain\"}";
+    let reply = client::post_run(&addr, body, false).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let v = Json::parse(&reply.body).unwrap();
+    let result = v.get("result").unwrap();
+    assert_eq!(result.get("outcome").unwrap().as_str(), Some("gathered"));
+    assert_eq!(result.get("geometry").unwrap().as_str(), Some("euclid"));
+    assert!(result.get("max_travel_milli").unwrap().as_u64().unwrap() > 0);
+    // The spec hash matches a locally computed euclid spec: one identity.
+    let spec = ScenarioSpec::euclid(Family::Rectangle, 48, 0);
+    assert_eq!(
+        v.get("spec_hash").unwrap().as_str(),
+        Some(spec_hash(&spec).as_str())
+    );
+    // And it replays from the cache.
+    let again = client::post_run(&addr, body, false).unwrap();
+    assert_eq!(again.header("x-gatherd-cache"), Some("hit"));
+
+    // Kernel-only paths reject euclid specs with named errors.
+    let cases: [(&str, bool, &str); 4] = [
+        (
+            "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"euclid-chain\",\"scheduler\":\"rr2\"}",
+            false,
+            "FSYNC-only",
+        ),
+        (
+            "{\"family\":\"rectangle\",\"n\":48,\"seed\":1,\"strategy\":\"euclid-chain\"}",
+            true,
+            "replay recording",
+        ),
+        (
+            "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"paper\",\"geometry\":\"euclid\"}",
+            false,
+            "supports only strategy 'euclid-chain'",
+        ),
+        (
+            "{\"family\":\"rectangle\",\"n\":48,\"seed\":0,\"strategy\":\"paper\",\"geometry\":\"hex\"}",
+            false,
+            "expected one of: grid, euclid",
+        ),
+    ];
+    for (body, replay, needle) in cases {
+        let reply = client::post_run_opts(&addr, body, false, replay).unwrap();
+        assert_eq!(reply.status, 400, "{body}: {}", reply.body);
+        assert!(reply.body.contains(needle), "{body}: {}", reply.body);
+    }
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,190 @@
+//! # geom-core
+//!
+//! The geometry backend abstraction of the closed-chain gathering system.
+//!
+//! The paper's chain model is not grid-specific: a closed chain is a cyclic
+//! sequence of robots whose neighbors satisfy a *viability* relation (on Z²,
+//! same or 4-adjacent; in the Euclidean plane, distance ≤ 1), robots move by
+//! bounded *hops*, coinciding neighbors merge, and gathering is a bound on
+//! the chain's bounding extent. This crate names that contract:
+//!
+//! * [`ChainGeometry`] — the space a chain lives in, as an implementable
+//!   trait: point/hop types plus the predicates (edge viability,
+//!   coincidence, gathering extent) every backend must answer.
+//! * [`GeometryKind`] — the runtime axis value (`grid` / `euclid`) threaded
+//!   through `ScenarioSpec`, campaign grids, the wire dialect, and gatherd.
+//!
+//! `grid-geom` implements the trait over its existing `Point`/`Offset`
+//! primitives (unchanged semantics — the grid path stays byte-identical);
+//! `euclid-geom` implements it over f64 points with a unit-distance chain
+//! constraint. The engines are *not* generic over this trait: the grid
+//! engines (`chain_sim::Sim`, the packed kernels) and the Euclidean engine
+//! (`euclid_geom::EuclidSim`) stay monomorphic for performance and
+//! byte-identity, and the trait is the shared vocabulary their predicates
+//! are written against — see DESIGN.md "Geometry backends" for the
+//! boundary.
+
+#![deny(missing_docs)]
+
+/// A space a closed chain of robots can live in.
+///
+/// A backend supplies the point and hop (displacement) types plus the small
+/// set of predicates the chain model is built from. All methods are
+/// associated functions — backends are stateless tags, never instantiated.
+pub trait ChainGeometry {
+    /// A robot position in this space.
+    type Point: Copy + PartialEq + core::fmt::Debug;
+    /// A per-round displacement in this space.
+    type Hop: Copy + PartialEq + core::fmt::Debug;
+
+    /// The axis name of this backend (`"grid"` / `"euclid"`).
+    const NAME: &'static str;
+
+    /// The zero displacement (a robot that stays put).
+    fn zero_hop() -> Self::Hop;
+
+    /// `true` if `hop` is within one round's movement budget.
+    fn is_hop(hop: Self::Hop) -> bool;
+
+    /// The position reached by applying `hop` at `p`.
+    fn apply(p: Self::Point, hop: Self::Hop) -> Self::Point;
+
+    /// `true` if two chain neighbors at `a` and `b` keep the chain intact —
+    /// the chain-connectivity relation (Manhattan ≤ 1 on the grid,
+    /// Euclidean distance ≤ 1 in the plane).
+    fn edge_viable(a: Self::Point, b: Self::Point) -> bool;
+
+    /// `true` if `a` and `b` occupy the same position (the merge-pass
+    /// relation; exact, never approximate).
+    fn coincident(a: Self::Point, b: Self::Point) -> bool;
+
+    /// The distance between two positions, in this space's natural metric,
+    /// as an `f64` (used by the min-max travel objective).
+    fn distance(a: Self::Point, b: Self::Point) -> f64;
+
+    /// Width and height of the axis-aligned bounding box of `points`
+    /// (0 × 0 for an empty slice).
+    fn extent(points: &[Self::Point]) -> (f64, f64);
+
+    /// `true` if `points` satisfy this space's gathering criterion — a
+    /// bounding box of extent ≤ 1 per axis (the grid's 2×2 box criterion
+    /// spans one unit step per axis; the Euclidean criterion is the same
+    /// bound on the continuous box).
+    fn gathered(points: &[Self::Point]) -> bool {
+        let (w, h) = Self::extent(points);
+        w <= 1.0 && h <= 1.0
+    }
+}
+
+/// The geometry axis of a scenario: which [`ChainGeometry`] backend the
+/// chain lives in. Serialized by name (`grid` / `euclid`) in campaign
+/// stores and the wire dialect; absent means [`GeometryKind::Grid`] so
+/// pre-axis stores and clients keep working.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GeometryKind {
+    /// The paper's model: the integer grid Z², 4-adjacent chain edges.
+    #[default]
+    Grid,
+    /// The continuous plane: f64 points, unit-distance chain edges
+    /// (arXiv 2010.04424's model).
+    Euclid,
+}
+
+impl GeometryKind {
+    /// Every geometry, in canonical (axis sweep) order.
+    pub const ALL: [GeometryKind; 2] = [GeometryKind::Grid, GeometryKind::Euclid];
+
+    /// Every geometry name, in the same order as [`GeometryKind::ALL`]
+    /// (error messages list this inventory verbatim).
+    pub const ALL_NAMES: [&'static str; 2] = ["grid", "euclid"];
+
+    /// The stable axis name (`"grid"` / `"euclid"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GeometryKind::Grid => "grid",
+            GeometryKind::Euclid => "euclid",
+        }
+    }
+
+    /// Parse a geometry from its [`GeometryKind::name`] (exact match, the
+    /// store/wire round-trip).
+    pub fn from_name(name: &str) -> Option<GeometryKind> {
+        GeometryKind::ALL.iter().copied().find(|g| g.name() == name)
+    }
+}
+
+impl core::fmt::Display for GeometryKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for g in GeometryKind::ALL {
+            assert_eq!(GeometryKind::from_name(g.name()), Some(g));
+        }
+        assert_eq!(GeometryKind::from_name("no-such-geometry"), None);
+        assert_eq!(GeometryKind::from_name("Grid"), None); // names are exact
+    }
+
+    #[test]
+    fn names_match_all_order() {
+        let names: Vec<&str> = GeometryKind::ALL.iter().map(|g| g.name()).collect();
+        assert_eq!(names, GeometryKind::ALL_NAMES);
+    }
+
+    #[test]
+    fn grid_is_the_default() {
+        assert_eq!(GeometryKind::default(), GeometryKind::Grid);
+    }
+
+    /// The default `gathered` follows `extent` for any backend.
+    struct Line1D;
+    impl ChainGeometry for Line1D {
+        type Point = f64;
+        type Hop = f64;
+        const NAME: &'static str = "line";
+        fn zero_hop() -> f64 {
+            0.0
+        }
+        fn is_hop(h: f64) -> bool {
+            h.abs() <= 1.0
+        }
+        fn apply(p: f64, h: f64) -> f64 {
+            p + h
+        }
+        fn edge_viable(a: f64, b: f64) -> bool {
+            (a - b).abs() <= 1.0
+        }
+        fn coincident(a: f64, b: f64) -> bool {
+            a == b
+        }
+        fn distance(a: f64, b: f64) -> f64 {
+            (a - b).abs()
+        }
+        fn extent(points: &[f64]) -> (f64, f64) {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &p in points {
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+            if points.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (hi - lo, 0.0)
+            }
+        }
+    }
+
+    #[test]
+    fn default_gathered_uses_extent() {
+        assert!(Line1D::gathered(&[0.0, 0.5, 1.0]));
+        assert!(!Line1D::gathered(&[0.0, 1.5]));
+        assert!(Line1D::gathered(&[]));
+    }
+}

@@ -15,20 +15,26 @@
 //!   criterion).
 //! * [`align`] — alignment and monotone-run predicates used by merge
 //!   detection and quasi-line scans.
+//! * [`GridSpace`] — the grid as a `geom_core::ChainGeometry` backend:
+//!   zero-cost inline delegation to the primitives above, making Z² one
+//!   value of the system's geometry axis (the other is `euclid-geom`).
 //!
-//! Everything here is `no_std`-shaped plain data with no dependencies at
-//! all; snapshot serialization lives in `chain_sim::snapshot` as a
-//! hand-rolled text format.
+//! Everything here is `no_std`-shaped plain data whose only dependency is
+//! the `geom-core` trait crate (itself dependency-free); snapshot
+//! serialization lives in `chain_sim::snapshot` as a hand-rolled text
+//! format.
 
 pub mod align;
 pub mod dir;
 pub mod point;
 pub mod rect;
+pub mod space;
 
 pub use align::{is_monotone_aligned, monotone_axis, MonotoneRun, RunScanner};
 pub use dir::{Axis, Dir4, Dir8};
 pub use point::{Offset, Point};
 pub use rect::Rect;
+pub use space::GridSpace;
 
 /// The Chebyshev (L∞) distance between two points; a robot hop moves at most
 /// one in each coordinate, i.e. Chebyshev distance ≤ 1.

@@ -1,0 +1,108 @@
+//! The grid as a [`ChainGeometry`] backend.
+//!
+//! [`GridSpace`] is the zero-cost tag that plugs Z² into the geometry axis:
+//! every trait method delegates to the existing crate primitives
+//! ([`chain_adjacent`], [`Offset::is_hop`], point arithmetic), all
+//! `#[inline]`, so `chain_sim`'s predicates compile to exactly the code
+//! they compiled to before the axis existed — the grid path stays
+//! byte-identical through the refactor (pinned by the scheduler goldens,
+//! the kernel-diff suite, and the committed replay goldens).
+
+use crate::{chain_adjacent, Offset, Point};
+use geom_core::ChainGeometry;
+
+/// The integer grid Z² as a geometry backend: 4-adjacent chain edges,
+/// Chebyshev-1 hops, the 2×2-box gathering criterion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GridSpace;
+
+impl ChainGeometry for GridSpace {
+    type Point = Point;
+    type Hop = Offset;
+
+    const NAME: &'static str = "grid";
+
+    #[inline]
+    fn zero_hop() -> Offset {
+        Offset::ZERO
+    }
+
+    #[inline]
+    fn is_hop(hop: Offset) -> bool {
+        hop.is_hop()
+    }
+
+    #[inline]
+    fn apply(p: Point, hop: Offset) -> Point {
+        p + hop
+    }
+
+    #[inline]
+    fn edge_viable(a: Point, b: Point) -> bool {
+        chain_adjacent(a, b)
+    }
+
+    #[inline]
+    fn coincident(a: Point, b: Point) -> bool {
+        a == b
+    }
+
+    #[inline]
+    fn distance(a: Point, b: Point) -> f64 {
+        let (dx, dy) = ((a.x - b.x) as f64, (a.y - b.y) as f64);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    #[inline]
+    fn extent(points: &[Point]) -> (f64, f64) {
+        let Some(&first) = points.first() else {
+            return (0.0, 0.0);
+        };
+        let (mut min, mut max) = (first, first);
+        for &p in &points[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        ((max.x - min.x) as f64, (max.y - min.y) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegates_match_crate_primitives() {
+        let p = Point::new(3, -2);
+        let q = Point::new(4, -2);
+        assert!(GridSpace::edge_viable(p, p));
+        assert!(GridSpace::edge_viable(p, q));
+        assert!(!GridSpace::edge_viable(p, Point::new(4, -1)));
+        assert!(GridSpace::coincident(p, p));
+        assert!(!GridSpace::coincident(p, q));
+        assert_eq!(GridSpace::apply(p, Offset::new(1, 1)), Point::new(4, -1));
+        assert!(GridSpace::is_hop(Offset::new(-1, 1)));
+        assert!(!GridSpace::is_hop(Offset::new(2, 0)));
+        assert_eq!(GridSpace::distance(p, q), 1.0);
+        assert_eq!(GridSpace::distance(p, Point::new(6, 2)), 5.0);
+    }
+
+    /// The trait's default `gathered` reproduces the 2×2-box criterion: a
+    /// bounding box spanning at most one unit step per axis.
+    #[test]
+    fn gathered_is_the_2x2_box_criterion() {
+        let inside = [
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(0, 1),
+            Point::new(1, 1),
+        ];
+        assert!(GridSpace::gathered(&inside));
+        let outside = [Point::new(0, 0), Point::new(2, 0)];
+        assert!(!GridSpace::gathered(&outside));
+        assert_eq!(GridSpace::extent(&outside), (2.0, 0.0));
+        assert_eq!(GridSpace::extent(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Euclidean variants of the workload families.
+//!
+//! The Euclidean geometry backend consumes `f64` point chains whose
+//! consecutive robots are within unit distance. Two generators feed it:
+//!
+//! * [`euclid_points`] lifts any grid family instance off the lattice —
+//!   the integer chain is rotated by a seed-derived angle (so Euclidean
+//!   runs never enjoy accidental axis alignment) and uniformly rescaled
+//!   so the longest edge is exactly 1 (grid chains may contain diagonal
+//!   steps of length √2, which the Euclidean unit-distance constraint
+//!   would reject).
+//! * [`ring`] is the purely continuous family — a regular n-gon with
+//!   unit chords, the canonical closed chain with no grid counterpart
+//!   (maximal symmetry, no foldable vertex anywhere).
+//!
+//! Both return plain `(x, y)` tuples so this crate stays free of a
+//! `euclid-geom` dependency; the bench layer constructs the typed chain.
+
+use crate::rng::SplitMix64;
+use chain_sim::ClosedChain;
+
+/// Lift a grid chain into Euclidean general position: rotate every robot
+/// around the chain's centroid by an angle derived from `seed`, then
+/// rescale uniformly so the longest edge has length exactly 1.
+///
+/// Rotation and uniform scaling preserve edge-length ratios, so the
+/// result is a valid Euclidean closed chain (every consecutive pair
+/// within unit distance) with the same shape as the grid instance.
+pub fn euclid_points(chain: &ClosedChain, seed: u64) -> Vec<(f64, f64)> {
+    let n = chain.len();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let p = chain.pos(i);
+            (p.x as f64, p.y as f64)
+        })
+        .collect();
+
+    // Seed-derived rotation angle in [0, 2π): 53 uniform mantissa bits.
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let angle = unit * std::f64::consts::TAU;
+    let (s, c) = angle.sin_cos();
+
+    // Rotate about the centroid to keep coordinates small.
+    let (cx, cy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(ax, ay), (x, y)| (ax + x, ay + y));
+    let (cx, cy) = (cx / n as f64, cy / n as f64);
+
+    let rotated: Vec<(f64, f64)> = pts
+        .iter()
+        .map(|(x, y)| {
+            let (dx, dy) = (x - cx, y - cy);
+            (dx * c - dy * s, dx * s + dy * c)
+        })
+        .collect();
+
+    // Longest edge of the cyclic sequence (rotation is an isometry, so
+    // measuring after rotation is the same as before).
+    let mut max_edge: f64 = 0.0;
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let (dx, dy) = (rotated[j].0 - rotated[i].0, rotated[j].1 - rotated[i].1);
+        max_edge = max_edge.max((dx * dx + dy * dy).sqrt());
+    }
+    let scale = if max_edge > 1.0 { 1.0 / max_edge } else { 1.0 };
+    rotated
+        .into_iter()
+        .map(|(x, y)| (x * scale, y * scale))
+        .collect()
+}
+
+/// A regular `n`-gon with unit chords — the purely continuous family.
+/// Radius `1 / (2 sin(π/n))`, so every edge has length exactly 1.
+pub fn ring(n: usize) -> Vec<(f64, f64)> {
+    let n = n.max(3);
+    let r = 0.5 / (std::f64::consts::PI / n as f64).sin();
+    (0..n)
+        .map(|k| {
+            let a = std::f64::consts::TAU * k as f64 / n as f64;
+            (r * a.cos(), r * a.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    fn edges_viable(pts: &[(f64, f64)]) {
+        let n = pts.len();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let (dx, dy) = (pts[j].0 - pts[i].0, pts[j].1 - pts[i].1);
+            let d = (dx * dx + dy * dy).sqrt();
+            assert!(d <= 1.0 + 1e-9, "edge ({i},{j}) has length {d}");
+        }
+    }
+
+    #[test]
+    fn lifted_families_have_unit_viable_edges() {
+        for fam in Family::ALL {
+            for (n, seed) in [(24usize, 1u64), (120, 7)] {
+                let chain = fam.generate(n, seed);
+                let pts = euclid_points(&chain, seed);
+                assert_eq!(pts.len(), chain.len());
+                edges_viable(&pts);
+            }
+        }
+    }
+
+    #[test]
+    fn lift_is_deterministic_and_seed_sensitive() {
+        let chain = Family::Rectangle.generate(40, 3);
+        let a = euclid_points(&chain, 11);
+        let b = euclid_points(&chain, 11);
+        let c = euclid_points(&chain, 12);
+        assert_eq!(a, b, "same seed must reproduce bit-for-bit");
+        assert_ne!(a, c, "different seeds must rotate differently");
+    }
+
+    #[test]
+    fn ring_has_unit_chords() {
+        for n in [3, 6, 17, 100] {
+            let pts = ring(n);
+            assert_eq!(pts.len(), n);
+            let (dx, dy) = (pts[1].0 - pts[0].0, pts[1].1 - pts[0].1);
+            let d = (dx * dx + dy * dy).sqrt();
+            assert!((d - 1.0).abs() < 1e-12, "n={n}: chord {d}");
+            edges_viable(&pts);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //!
 //! Every generator returns a validated [`ClosedChain`].
 
+pub mod euclid;
 pub mod extra;
 pub mod families;
 pub mod perturb;
@@ -29,6 +30,7 @@ pub mod polyomino;
 pub mod random;
 pub mod rng;
 
+pub use euclid::{euclid_points, ring};
 pub use extra::{cross, serpentine, spiral};
 pub use families::{comb, crenellated_band, hairpin_flower, rectangle, skyline, staircase_diamond};
 pub use perturb::{insert_detour, insert_hairpin, perturb};
