@@ -134,6 +134,42 @@ fn bench_observer_overhead() {
     );
 }
 
+/// What phase timing costs: the same full gathering with no timer vs a
+/// [`PhaseTimer`] at the default sampling rate (one round in 16). The
+/// acceptance contract is < 2% overhead — sampled rounds pay four clock
+/// reads and two histogram records; the other fifteen pay one branch.
+fn bench_phase_overhead() {
+    println!("## phase_overhead (full gathering at n=256, no timer vs default-rate PhaseTimer)");
+    let chain = Family::Rectangle.generate(256, 1);
+    let len = chain.len();
+    let (_, rounds_free, elapsed_free) = time_until_stable(|| {
+        let mut sim = Sim::new(chain.clone(), ClosedChainGathering::paper());
+        let out = sim.run(RunLimits::for_chain_len(len));
+        assert!(out.is_gathered());
+        out.rounds()
+    });
+    let timer = std::sync::Arc::new(obs::PhaseTimer::default_rate());
+    let (_, rounds_timed, elapsed_timed) = time_until_stable(|| {
+        let mut sim =
+            Sim::new(chain.clone(), ClosedChainGathering::paper()).with_phase_timer(timer.clone());
+        let out = sim.run(RunLimits::for_chain_len(len));
+        assert!(out.is_gathered());
+        out.rounds()
+    });
+    let free = per_sec(rounds_free * len as u128, elapsed_free);
+    let timed = per_sec(rounds_timed * len as u128, elapsed_timed);
+    let overhead = 100.0 * (1.0 - timed / free);
+    println!("  timer-free      {free:>12.0} robot·rounds/s");
+    println!(
+        "  with PhaseTimer {timed:>12.0} robot·rounds/s  ({overhead:+.1}% overhead, \
+         {} rounds sampled)",
+        timer.rounds_sampled()
+    );
+    if overhead > 2.0 {
+        println!("  WARNING: above the 2% phase-timing overhead contract");
+    }
+}
+
 fn bench_workload_generation() {
     println!("## workload_generation (chains/s at n=1024)");
     for fam in [Family::RandomLoop, Family::Skyline] {
@@ -326,6 +362,9 @@ fn main() {
     }
     if want("observer_overhead") {
         bench_observer_overhead();
+    }
+    if want("phase_overhead") {
+        bench_phase_overhead();
     }
     if want("workload_generation") {
         bench_workload_generation();

@@ -7,18 +7,27 @@
 //! cargo run --release -p bench --bin experiments -- --family rectangle --family comb
 //! cargo run --release -p bench --bin experiments -- --markdown
 //! cargo run --release -p bench --bin experiments -- --threads 4
+//! cargo run --release -p bench --bin experiments -- --quick --table T1 --trace-out run.trace.json
 //! ```
 //!
 //! `--threads N` overrides the batch executor's worker count (default:
 //! one per available core) for every table — results are identical at any
 //! thread count (a `run_batch` guarantee); only wall-clock changes.
 //!
+//! `--trace-out FILE` attaches a sampling phase timer to every table run
+//! and writes the sampled compute/guard/apply/merge spans as Chrome
+//! trace-event JSON — load FILE in Perfetto or `chrome://tracing`. A
+//! per-phase summary goes to stderr. Timing is passive (results are
+//! unchanged) and sampled (one round in 16), so the tables cost the same.
+//!
 //! Unknown `--table` or `--family` names are an error: the binary prints
 //! the respective inventory and exits with code 2 instead of silently
 //! producing nothing.
 
 use bench::experiments::{table_by_id, FamilySelection, TABLE_IDS};
-use bench::{set_default_threads, Effort};
+use bench::{set_default_phase_timer, set_default_threads, Effort};
+use obs::PhaseTimer;
+use std::sync::Arc;
 use workloads::Family;
 
 fn main() {
@@ -26,7 +35,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
     if let Some(last) = args.last() {
-        if last == "--table" || last == "--family" || last == "--threads" {
+        if last == "--table" || last == "--family" || last == "--threads" || last == "--trace-out" {
             eprintln!("error: {last} needs a value");
             std::process::exit(2);
         }
@@ -49,6 +58,13 @@ fn main() {
             }
         }
     }
+
+    let trace_out = flag_values("--trace-out").last().cloned();
+    let timer = trace_out.as_ref().map(|_| {
+        let timer = Arc::new(PhaseTimer::default_rate());
+        set_default_phase_timer(Some(timer.clone()));
+        timer
+    });
 
     let unknown: Vec<&String> = wanted
         .iter()
@@ -96,4 +112,13 @@ fn main() {
         }
     }
     eprintln!("total experiment time: {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let (Some(path), Some(timer)) = (trace_out, timer) {
+        if let Err(e) = std::fs::write(&path, timer.to_chrome_json()) {
+            eprintln!("error: writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("{}", timer.report());
+        eprintln!("chrome trace written to {path} (load in Perfetto)");
+    }
 }

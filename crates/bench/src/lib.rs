@@ -52,9 +52,9 @@ pub mod wire;
 pub use campaign::{CampaignRow, CampaignSpec, RunOptions, StrategySweep};
 pub use experiments::{all_tables, Effort, FamilySelection};
 pub use scenario::{
-    run_batch, run_batch_with, run_scenario, run_scenario_probed, set_default_threads,
-    BatchOptions, DriveReport, LimitPolicy, OpenChainOutcome, ScenarioDriver, ScenarioResult,
-    ScenarioSpec, StrategyKind,
+    run_batch, run_batch_timed, run_batch_with, run_scenario, run_scenario_probed,
+    set_default_phase_timer, set_default_threads, BatchOptions, DriveReport, LimitPolicy,
+    OpenChainOutcome, ScenarioDriver, ScenarioResult, ScenarioSpec, StrategyKind,
 };
 pub use table::Table;
 // The scheduler registry is engine-level (`chain_sim::scheduler`) but is a

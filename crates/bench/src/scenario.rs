@@ -42,6 +42,7 @@ use euclid_geom::{EuclidChain, EuclidSim, FoldReflect, Vec2};
 use gathering_core::audit::{AuditSummary, LemmaAuditor};
 use gathering_core::{ClosedChainGathering, GatherConfig, RunStats, SsyncGathering};
 use geom_core::GeometryKind;
+use obs::PhaseTimer;
 use workloads::Family;
 
 /// The strategy registry: everything the pipeline can run on a scenario.
@@ -269,6 +270,9 @@ impl StrategyKind {
                 }
                 sim.add_observer(writer);
             }
+            if let Some(timer) = taps.phases {
+                sim.set_phase_timer(timer);
+            }
         }
         match self {
             StrategyKind::Paper(cfg) => {
@@ -363,6 +367,12 @@ pub struct RunTaps {
     pub probe: Option<Arc<ProgressSlot>>,
     /// Replay recording (the gatherd `?replay` / `/watch` feed).
     pub replay: Option<ReplayTap>,
+    /// Sampling phase timer ([`obs::PhaseTimer`]): per-round
+    /// compute/guard/apply/merge wall-time attribution on the engine and
+    /// kernel paths (the open-chain and Euclidean procedures run outside
+    /// the grid round loop and ignore it). Shared: one timer can
+    /// aggregate a whole batch.
+    pub phases: Option<Arc<PhaseTimer>>,
 }
 
 impl RunTaps {
@@ -370,6 +380,14 @@ impl RunTaps {
     pub fn probed(probe: Option<Arc<ProgressSlot>>) -> Self {
         RunTaps {
             probe,
+            ..Self::default()
+        }
+    }
+
+    /// Taps carrying only a phase timer.
+    pub fn timed(timer: Arc<PhaseTimer>) -> Self {
+        RunTaps {
+            phases: Some(timer),
             ..Self::default()
         }
     }
@@ -462,7 +480,14 @@ impl StrategyFactory {
         taps: RunTaps,
     ) -> Box<dyn ScenarioDriver> {
         if self.kernel_eligible && taps.replay.is_none() {
-            match kernel_driver(&self.kind, chain, scheduler, seed, taps.probe.clone()) {
+            match kernel_driver(
+                &self.kind,
+                chain,
+                scheduler,
+                seed,
+                taps.probe.clone(),
+                taps.phases.clone(),
+            ) {
                 Ok(driver) => return driver,
                 Err(chain) => return self.kind.driver_boxed(chain, scheduler, seed, taps),
             }
@@ -733,6 +758,7 @@ fn kernel_driver(
     scheduler: SchedulerKind,
     seed: u64,
     probe: Option<Arc<ProgressSlot>>,
+    phases: Option<Arc<PhaseTimer>>,
 ) -> Result<Box<dyn ScenarioDriver>, ClosedChain> {
     fn with_rule<K: RoundKernel + 'static>(
         kernel: K,
@@ -740,24 +766,35 @@ fn kernel_driver(
         scheduler: SchedulerKind,
         seed: u64,
         probe: Option<Arc<ProgressSlot>>,
+        phases: Option<Arc<PhaseTimer>>,
     ) -> Box<dyn ScenarioDriver> {
+        fn boxed<K: RoundKernel + 'static, A: ActivationRule + 'static>(
+            mut sim: KernelSim<K, A>,
+            probe: Option<Arc<ProgressSlot>>,
+            phases: Option<Arc<PhaseTimer>>,
+        ) -> Box<dyn ScenarioDriver> {
+            if let Some(timer) = phases {
+                sim.set_phase_timer(timer);
+            }
+            Box::new(KernelDriver { sim, probe })
+        }
         match scheduler {
-            SchedulerKind::Fsync => Box::new(KernelDriver {
-                sim: KernelSim::new(chain, kernel, FsyncRule),
+            SchedulerKind::Fsync => boxed(KernelSim::new(chain, kernel, FsyncRule), probe, phases),
+            SchedulerKind::RoundRobin(groups) => boxed(
+                KernelSim::new(chain, kernel, RoundRobinRule::new(groups)),
                 probe,
-            }),
-            SchedulerKind::RoundRobin(groups) => Box::new(KernelDriver {
-                sim: KernelSim::new(chain, kernel, RoundRobinRule::new(groups)),
+                phases,
+            ),
+            SchedulerKind::Random(percent) => boxed(
+                KernelSim::new(chain, kernel, RandomRule::new(seed, percent)),
                 probe,
-            }),
-            SchedulerKind::Random(percent) => Box::new(KernelDriver {
-                sim: KernelSim::new(chain, kernel, RandomRule::new(seed, percent)),
+                phases,
+            ),
+            SchedulerKind::KFair(k) => boxed(
+                KernelSim::new(chain, kernel, KFairRule::new(seed, k)),
                 probe,
-            }),
-            SchedulerKind::KFair(k) => Box::new(KernelDriver {
-                sim: KernelSim::new(chain, kernel, KFairRule::new(seed, k)),
-                probe,
-            }),
+                phases,
+            ),
         }
     }
 
@@ -767,12 +804,21 @@ fn kernel_driver(
     };
     let kc = KernelChain::new(packed);
     Ok(match kind {
-        StrategyKind::CompassSe => with_rule(CompassSeKernel::new(), kc, scheduler, seed, probe),
-        StrategyKind::NaiveLocal => with_rule(NaiveLocalKernel::new(), kc, scheduler, seed, probe),
-        StrategyKind::GlobalVision => {
-            with_rule(GlobalVisionKernel::new(), kc, scheduler, seed, probe)
+        StrategyKind::CompassSe => {
+            with_rule(CompassSeKernel::new(), kc, scheduler, seed, probe, phases)
         }
-        StrategyKind::Stand => with_rule(StandKernel, kc, scheduler, seed, probe),
+        StrategyKind::NaiveLocal => {
+            with_rule(NaiveLocalKernel::new(), kc, scheduler, seed, probe, phases)
+        }
+        StrategyKind::GlobalVision => with_rule(
+            GlobalVisionKernel::new(),
+            kc,
+            scheduler,
+            seed,
+            probe,
+            phases,
+        ),
+        StrategyKind::Stand => with_rule(StandKernel, kc, scheduler, seed, probe, phases),
         other => unreachable!("no kernel for strategy kind {}", other.name()),
     })
 }
@@ -1161,6 +1207,25 @@ pub fn set_default_threads(threads: usize) {
     DEFAULT_THREADS.store(threads, Ordering::Relaxed);
 }
 
+/// Process-wide default phase timer consulted by the batch executor
+/// whenever a batch carries no explicit timer (see
+/// [`set_default_phase_timer`]) — the `--trace-out` hook of the
+/// `experiments` binary, mirroring [`set_default_threads`].
+static DEFAULT_PHASE_TIMER: std::sync::RwLock<Option<Arc<PhaseTimer>>> =
+    std::sync::RwLock::new(None);
+
+/// Install (or clear, with `None`) the process-wide default phase timer.
+///
+/// While set, every [`run_batch`] / [`run_batch_with`] call attaches the
+/// timer to its runs exactly as [`run_batch_timed`] would — so a binary
+/// can phase-profile code paths that call the batch executor internally
+/// (the experiment tables) without threading a timer through them.
+/// Passive: results are unchanged; only wall-time attribution is
+/// collected.
+pub fn set_default_phase_timer(timer: Option<Arc<PhaseTimer>>) {
+    *DEFAULT_PHASE_TIMER.write().unwrap() = timer;
+}
+
 /// Executor knobs for [`run_batch_with`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchOptions {
@@ -1202,9 +1267,50 @@ pub fn run_batch(specs: &[ScenarioSpec]) -> Vec<ScenarioResult> {
 /// each worker returns its `(index, result)` pairs and the batch is
 /// reassembled positionally.
 pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<ScenarioResult> {
+    run_batch_shared(specs, opts, &RunTaps::default())
+}
+
+/// [`run_batch_with`] with a shared sampling [`PhaseTimer`]: every spec's
+/// run attributes its rounds into the one timer (histograms are
+/// lock-free; trace spans carry per-thread lane ids), so a whole table's
+/// phase profile — and its Chrome trace — comes out of a single object.
+/// Timing is passive; results are byte-identical to [`run_batch_with`].
+pub fn run_batch_timed(
+    specs: &[ScenarioSpec],
+    opts: BatchOptions,
+    timer: Arc<PhaseTimer>,
+) -> Vec<ScenarioResult> {
+    run_batch_shared(specs, opts, &RunTaps::timed(timer))
+}
+
+/// The batch executor body. `base` taps are cloned into every spec's run
+/// — only taps that make sense shared across runs belong here (a phase
+/// timer; *not* a progress slot or replay sink, which are per-run).
+fn run_batch_shared(
+    specs: &[ScenarioSpec],
+    opts: BatchOptions,
+    base: &RunTaps,
+) -> Vec<ScenarioResult> {
     if specs.is_empty() {
         return Vec::new();
     }
+    // A batch without its own timer inherits the process-wide default
+    // (one read per batch, not per spec).
+    let inherited;
+    let base = if base.phases.is_none() {
+        match DEFAULT_PHASE_TIMER.read().unwrap().clone() {
+            Some(timer) => {
+                inherited = RunTaps {
+                    phases: Some(timer),
+                    ..base.clone()
+                };
+                &inherited
+            }
+            None => base,
+        }
+    } else {
+        base
+    };
     // Hoisted batch setup: one factory per distinct kind, shared by every
     // worker — O(kinds), not O(specs).
     let factories = FactorySet::for_specs(specs);
@@ -1212,7 +1318,7 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
     if threads <= 1 {
         return specs
             .iter()
-            .map(|s| run_scenario_resolved(s, &factories.get(s.strategy), RunTaps::default()))
+            .map(|s| run_scenario_resolved(s, &factories.get(s.strategy), base.clone()))
             .collect();
     }
 
@@ -1220,6 +1326,7 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
     let mut slots: Vec<Option<ScenarioResult>> = specs.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
         let factories = &factories;
+        let base = &*base;
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -1235,7 +1342,7 @@ pub fn run_batch_with(specs: &[ScenarioSpec], opts: BatchOptions) -> Vec<Scenari
                             run_scenario_resolved(
                                 spec,
                                 &factories.get(spec.strategy),
-                                RunTaps::default(),
+                                base.clone(),
                             ),
                         ));
                     }

@@ -144,6 +144,7 @@ fn tapped_runs_are_byte_identical_to_untapped() {
                     sink: sink.clone(),
                     ring: Some(ring.clone()),
                 }),
+                phases: None,
             },
         );
         assert_eq!(plain.fingerprint(), tapped.fingerprint(), "{spec:?}");
@@ -192,6 +193,7 @@ fn guard_cancels_surface_in_slot_and_replay() {
                 sink: sink.clone(),
                 ring: None,
             }),
+            phases: None,
         },
     );
     assert!(result.outcome.is_gathered(), "{:?}", result.outcome);

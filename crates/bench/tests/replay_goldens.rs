@@ -54,6 +54,7 @@ fn record(spec: &ScenarioSpec) -> Vec<u8> {
                 sink: sink.clone(),
                 ring: None,
             }),
+            phases: None,
         },
     );
     assert!(

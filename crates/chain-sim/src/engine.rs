@@ -26,6 +26,8 @@ use crate::scheduler::{Fsync, Scheduler};
 use crate::strategy::Strategy;
 use crate::trace::Progress;
 use grid_geom::Offset;
+use obs::{Phase, PhaseTimer};
+use std::sync::Arc;
 
 /// Rounds without a single robot movement (and without a merge) after
 /// which [`Sim::run`] declares the run [`Outcome::Stalled`]. A
@@ -214,6 +216,12 @@ pub struct Sim<S: Strategy> {
     /// Total hops the guard cancelled over the run's lifetime.
     guard_cancels: u64,
     broken: Option<ChainError>,
+    /// Optional sampling phase timer ([`obs::PhaseTimer`]): attributes
+    /// per-round wall time to compute/guard/apply/merge. Passive — it
+    /// only reads clocks, so timed and untimed runs are byte-identical —
+    /// and `None` by default, which keeps the observer-free hot path
+    /// untouched beyond one branch per round.
+    phases: Option<Arc<PhaseTimer>>,
     /// The outcome last announced to the observers via `on_finish`. A
     /// repeated `run` call that decides the identical outcome (nothing
     /// advanced) does not re-announce; any *new* outcome — resumed runs
@@ -248,8 +256,22 @@ impl<S: Strategy> Sim<S> {
             guard,
             guard_cancels: 0,
             broken: None,
+            phases: None,
             last_finish: None,
         }
+    }
+
+    /// Attach a sampling phase timer (builder style). The timer is
+    /// shared: keep a clone of the `Arc` to read the per-phase
+    /// histograms or export a Chrome trace after the run.
+    pub fn with_phase_timer(mut self, timer: Arc<PhaseTimer>) -> Self {
+        self.phases = Some(timer);
+        self
+    }
+
+    /// Attach (or replace) the sampling phase timer in place.
+    pub fn set_phase_timer(&mut self, timer: Arc<PhaseTimer>) {
+        self.phases = Some(timer);
     }
 
     /// Force the chain-safety guard on (builder style), regardless of
@@ -374,6 +396,11 @@ impl<S: Strategy> Sim<S> {
         if let Some(err) = &self.broken {
             return Err(err.clone());
         }
+        // Phase timing (passive, sampled): `None` on unsampled rounds
+        // and whenever no timer is attached, so the hot path pays one
+        // branch. Marks below close each phase; dropping the clock —
+        // on any exit path — records the round.
+        let mut clock = self.phases.as_ref().and_then(|t| t.round_clock(self.round));
         let n = self.chain.len();
         self.hops.clear();
         self.hops.resize(n, Offset::ZERO);
@@ -396,6 +423,9 @@ impl<S: Strategy> Sim<S> {
                 *hop = Offset::ZERO;
             }
         }
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::Compute);
+        }
 
         // Chain-safety guard (opt-in): cancel, to a fixpoint, every hop
         // that would leave a chain edge non-adjacent under this round's
@@ -409,6 +439,9 @@ impl<S: Strategy> Sim<S> {
         } else {
             0
         };
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::Guard);
+        }
 
         // Move (simultaneous).
         let moved = self.hops.iter().filter(|h| **h != Offset::ZERO).count();
@@ -426,6 +459,9 @@ impl<S: Strategy> Sim<S> {
             }
         }
         self.strategy.post_move(&self.chain, self.round);
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::Apply);
+        }
 
         // Merge pass (the paper's progress).
         let removed = self.chain.merge_pass(&mut self.splice);
@@ -456,7 +492,10 @@ impl<S: Strategy> Sim<S> {
                 return Err(e);
             }
         }
-
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::Merge);
+        }
+        drop(clock); // record the sampled round before observer dispatch
         if removed > 0 {
             self.rounds_since_merge = 0;
         } else {

@@ -611,6 +611,14 @@ pub struct KernelSim<K: RoundKernel, A: ActivationRule> {
     rounds_since_move: u64,
     progress: Progress,
     broken: Option<ChainError>,
+    /// Optional sampling phase timer, mirroring
+    /// [`Sim::with_phase_timer`](crate::Sim::with_phase_timer). The
+    /// kernel fuses compute and apply into one dense pass, so that pass
+    /// is attributed to [`obs::Phase::Compute`] and the merge to
+    /// [`obs::Phase::Merge`]. Passive: the timer only reads clocks, so
+    /// the CI byte-identity gate against the boxed engine holds with or
+    /// without it.
+    phases: Option<std::sync::Arc<obs::PhaseTimer>>,
 }
 
 impl<K: RoundKernel, A: ActivationRule> KernelSim<K, A> {
@@ -625,7 +633,20 @@ impl<K: RoundKernel, A: ActivationRule> KernelSim<K, A> {
             rounds_since_move: 0,
             progress: Progress::default(),
             broken: None,
+            phases: None,
         }
+    }
+
+    /// Attach a sampling phase timer (builder style); see the field
+    /// docs for the kernel's phase attribution.
+    pub fn with_phase_timer(mut self, timer: std::sync::Arc<obs::PhaseTimer>) -> Self {
+        self.phases = Some(timer);
+        self
+    }
+
+    /// Attach (or replace) the sampling phase timer in place.
+    pub fn set_phase_timer(&mut self, timer: std::sync::Arc<obs::PhaseTimer>) {
+        self.phases = Some(timer);
     }
 
     /// The chain state.
@@ -649,6 +670,7 @@ impl<K: RoundKernel, A: ActivationRule> KernelSim<K, A> {
         if let Some(err) = &self.broken {
             return Err(err.clone());
         }
+        let mut clock = self.phases.as_ref().and_then(|t| t.round_clock(self.round));
         let moved = match self.kernel.round(&mut self.chain, &self.rule, self.round) {
             Ok(moved) => moved,
             Err(e) => {
@@ -656,11 +678,18 @@ impl<K: RoundKernel, A: ActivationRule> KernelSim<K, A> {
                 return Err(e);
             }
         };
+        if let Some(c) = clock.as_mut() {
+            c.mark(obs::Phase::Compute);
+        }
         let removed = self.chain.merge();
         // The boxed engine revalidates the chain here; kernel applies
         // only commit unit-step-or-collapsed edges and the merge removes
         // every collapsed one, so tautness holds by construction.
         self.chain.refresh_gathered(moved);
+        if let Some(c) = clock.as_mut() {
+            c.mark(obs::Phase::Merge);
+        }
+        drop(clock);
         if removed > 0 {
             self.rounds_since_merge = 0;
         } else {

@@ -28,7 +28,8 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use crate::chain::{ClosedChain, SpliceLog};
 use crate::engine::{Outcome, RoundSummary};
@@ -313,6 +314,10 @@ pub struct ProgressSnapshot {
     /// the strategy opted into the guard — paper-ssync under SSYNC
     /// schedules is the interesting case).
     pub guard_cancels: u64,
+    /// Wall-clock microseconds elapsed since the run's first publish
+    /// (the initial configuration): watchers divide `round` by it for a
+    /// live rounds/s rate. Frozen at the final publish once `finished`.
+    pub wall_us: u64,
     /// `true` once the run's outcome has been decided.
     pub finished: bool,
 }
@@ -333,6 +338,12 @@ pub struct ProgressSlot {
     len: AtomicUsize,
     removed: AtomicUsize,
     guard_cancels: AtomicU64,
+    /// Elapsed microseconds since the first publish; see
+    /// [`ProgressSnapshot::wall_us`].
+    wall_us: AtomicU64,
+    /// The instant of the first publish — set once, lock-free reads
+    /// afterwards, so `publish` stays wait-free on the hot path.
+    epoch: OnceLock<Instant>,
     finished: AtomicBool,
 }
 
@@ -351,6 +362,11 @@ impl ProgressSlot {
         self.len.store(len, Ordering::Relaxed);
         self.removed.store(removed, Ordering::Relaxed);
         self.guard_cancels.store(guard_cancels, Ordering::Relaxed);
+        let epoch = self.epoch.get_or_init(Instant::now);
+        self.wall_us.store(
+            epoch.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Mark the run finished (the outcome is decided; the counters are
@@ -366,6 +382,7 @@ impl ProgressSlot {
             len: self.len.load(Ordering::Relaxed),
             removed: self.removed.load(Ordering::Relaxed),
             guard_cancels: self.guard_cancels.load(Ordering::Relaxed),
+            wall_us: self.wall_us.load(Ordering::Relaxed),
             finished: self.finished.load(Ordering::Relaxed),
         }
     }
@@ -503,21 +520,20 @@ mod tests {
     fn progress_probe_publishes_live_counters() {
         let slot = ProgressSlot::new();
         let mut sim = Sim::new(ring6(), Stand).observe(ProgressProbe::new(slot.clone()));
+        let initial = slot.snapshot();
         assert_eq!(
-            slot.snapshot(),
-            ProgressSnapshot {
-                round: 0,
-                len: 6,
-                removed: 0,
-                guard_cancels: 0,
-                finished: false
-            }
+            (initial.round, initial.len, initial.removed),
+            (0, 6, 0),
+            "attach publishes the initial configuration"
         );
+        assert_eq!(initial.guard_cancels, 0);
+        assert!(!initial.finished);
         sim.step().unwrap();
         sim.step().unwrap();
         let snap = slot.snapshot();
         assert_eq!(snap.round, 2);
         assert_eq!(snap.len, 6);
+        assert!(snap.wall_us >= initial.wall_us, "wall clock is monotone");
         assert!(!snap.finished);
         sim.run(crate::RunLimits {
             max_rounds: 4,

@@ -8,12 +8,158 @@
 //! 10× holds with a wide margin even on noisy CI machines.
 //!
 //! Run with `cargo bench -p gatherd --bench service_perf`.
+//!
+//! `cargo bench -p gatherd --bench service_perf -- soak` runs the flood
+//! soak instead: concurrent clients drive `POST /run` (miss and hit),
+//! `GET /result`, and `GET /metrics`, each request timed client-side
+//! into a lock-free [`obs::Histogram`], and the percentile digests are
+//! published as `BENCH_service.json` at the workspace root in the stable
+//! `{campaign, commit, date, endpoints}` schema.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use bench::campaign::store::{git_commit, today_utc};
 use gatherd::{client, Config, Server};
 
+/// The committed artifact path (workspace root, like the other
+/// `BENCH_*.json` artifacts).
+const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+
+/// Requests per endpoint in the soak, spread over [`SOAK_THREADS`].
+const SOAK_REQUESTS: usize = 64;
+const SOAK_THREADS: usize = 4;
+
+/// Fan `SOAK_REQUESTS` requests over `SOAK_THREADS` client threads,
+/// timing each into a shared wait-free histogram. `make_path` maps the
+/// request index to `(method, path, body)`; every response must satisfy
+/// `check` or the soak aborts.
+fn soak_endpoint(
+    addr: &str,
+    make_req: impl Fn(usize) -> (String, String, Option<String>) + Send + Sync,
+    check: impl Fn(&client::Reply) + Send + Sync,
+) -> obs::Summary {
+    let hist = Arc::new(obs::Histogram::new());
+    std::thread::scope(|scope| {
+        for t in 0..SOAK_THREADS {
+            let hist = hist.clone();
+            let make_req = &make_req;
+            let check = &check;
+            scope.spawn(move || {
+                let mut i = t;
+                while i < SOAK_REQUESTS {
+                    let (method, path, body) = make_req(i);
+                    let t0 = Instant::now();
+                    let reply = client::request(addr, &method, &path, body.as_deref())
+                        .expect("soak request");
+                    hist.record_duration_us(t0.elapsed());
+                    check(&reply);
+                    i += SOAK_THREADS;
+                }
+            });
+        }
+    });
+    hist.summary()
+}
+
+fn digest_json(s: &obs::Summary) -> String {
+    format!(
+        "{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        s.count, s.p50, s.p90, s.p99, s.max
+    )
+}
+
+fn soak() {
+    let dir = std::env::temp_dir().join(format!("gatherd-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = Server::spawn(Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        handlers: 16,
+        queue: 2 * SOAK_REQUESTS, // misses are all-distinct: never 429
+        dir: dir.clone(),
+    })
+    .expect("soak server boots");
+    let addr = handle.addr();
+
+    let spec = |seed: usize| {
+        format!("{{\"family\":\"rectangle\",\"n\":64,\"seed\":{seed},\"strategy\":\"paper\"}}")
+    };
+    let expect_verdict = |verdict: &'static str| {
+        move |r: &client::Reply| {
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(r.header("x-gatherd-cache"), Some(verdict), "{}", r.body);
+        }
+    };
+
+    // Misses: every request a distinct seed, each a full simulation.
+    let run_miss = soak_endpoint(
+        &addr,
+        |i| ("POST".into(), "/run".into(), Some(spec(i))),
+        expect_verdict("miss"),
+    );
+    // Hits: one (now cached) spec, hammered.
+    let run_hit = soak_endpoint(
+        &addr,
+        |_| ("POST".into(), "/run".into(), Some(spec(0))),
+        expect_verdict("hit"),
+    );
+    // Content-addressed lookups of the same cached row.
+    let hash = {
+        let reply = client::post_run(&addr, &spec(0), false).expect("hash probe");
+        let body = reply.body;
+        let at = body.find("\"spec_hash\":\"").expect("envelope has hash");
+        body[at + 13..at + 29].to_string()
+    };
+    let result = soak_endpoint(
+        &addr,
+        |_| ("GET".into(), format!("/result/{hash}"), None),
+        |r| assert_eq!(r.status, 200, "{}", r.body),
+    );
+    // The metrics scrape itself.
+    let metrics = soak_endpoint(
+        &addr,
+        |_| ("GET".into(), "/metrics".into(), None),
+        |r| assert_eq!(r.status, 200),
+    );
+
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let endpoints = [
+        ("run_miss", &run_miss),
+        ("run_hit", &run_hit),
+        ("result", &result),
+        ("metrics", &metrics),
+    ];
+    println!("service_perf soak: {SOAK_REQUESTS} requests x {SOAK_THREADS} threads per endpoint");
+    for (name, s) in &endpoints {
+        println!(
+            "  {name:<9} count {:>4}  p50 {:>6} us  p90 {:>6} us  p99 {:>6} us  max {:>6} us",
+            s.count, s.p50, s.p90, s.p99, s.max
+        );
+    }
+
+    let body = format!(
+        "{{\n  \"campaign\": \"service-soak\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n  \
+         \"endpoints\": {{\n{}\n  }}\n}}\n",
+        git_commit(),
+        today_utc(),
+        endpoints
+            .iter()
+            .map(|(name, s)| format!("    \"{name}\": {}", digest_json(s)))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write(ARTIFACT, body).expect("write BENCH_service.json");
+    println!("wrote {ARTIFACT}");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "soak") {
+        soak();
+        return;
+    }
     let dir = std::env::temp_dir().join(format!("gatherd-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let handle = Server::spawn(Config {

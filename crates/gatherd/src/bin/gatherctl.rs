@@ -5,6 +5,7 @@
 //! gatherctl metrics  --addr HOST:PORT
 //! gatherctl run      --addr HOST:PORT --family F --n N --seed S --strategy K
 //!                    [--scheduler S] [--geometry G] [--async] [--replay]
+//!                    [--trace-out FILE]
 //! gatherctl raw      --addr HOST:PORT --body TEXT     # POST /run verbatim
 //! gatherctl result   --addr HOST:PORT --hash H
 //! gatherctl progress --addr HOST:PORT --job N
@@ -12,6 +13,7 @@
 //! gatherctl replay   --addr HOST:PORT --hash H [--rate MS] [--every K]
 //!                    [--seek R] [--until R]
 //! gatherctl flood    --addr HOST:PORT --count N --family F --n N --seed S --strategy K
+//!                    [--json]
 //! gatherctl shutdown --addr HOST:PORT
 //! ```
 //!
@@ -19,8 +21,14 @@
 //! and exit 0 on 2xx, 3 on any other status, 1 on transport errors — so
 //! CI can both grep the body and branch on the code. `flood` fires
 //! `count` concurrent `POST /run`s with distinct seeds (starting at
-//! `--seed`) and prints a status histogram (`200 x5 / 429 x3`); it exits
+//! `--seed`) and prints a status histogram (`200 x5 / 429 x3`) plus a
+//! client-side latency summary (p50/p90/p99/max, microseconds); with
+//! `--json` both come out as one machine-readable JSON object. It exits
 //! 0 whenever every request got *some* HTTP response.
+//!
+//! `run --trace-out FILE` records client-side request phases (connect /
+//! send / wait / read) as Chrome trace-event JSON — load FILE in
+//! Perfetto; for a cache miss the `wait` span is the simulation.
 //!
 //! `watch` streams a recording job's rounds live (`GET /watch/<job>`)
 //! and renders each frame through `chain_viz`; `replay` downloads a
@@ -42,7 +50,7 @@ fn usage() -> ! {
         "usage: gatherctl <health|metrics|run|raw|result|progress|watch|replay|flood|shutdown> \
          --addr HOST:PORT [--family F] [--n N] [--seed S] [--strategy K] [--scheduler S] \
          [--geometry G] [--async] [--replay] [--hash H] [--job N] [--count N] [--body TEXT] \
-         [--rate MS] [--every K] [--seek R] [--until R]"
+         [--rate MS] [--every K] [--seek R] [--until R] [--trace-out FILE] [--json]"
     );
     exit(2)
 }
@@ -66,6 +74,8 @@ struct Cli {
     every: u64,
     seek: u64,
     until: Option<u64>,
+    trace_out: Option<String>,
+    json: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -100,6 +110,8 @@ fn parse_cli() -> Cli {
         every: 1,
         seek: 0,
         until: None,
+        trace_out: None,
+        json: false,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -133,6 +145,8 @@ fn parse_cli() -> Cli {
             "--every" => cli.every = parse_u64("--every", value("--every")).max(1),
             "--seek" => cli.seek = parse_u64("--seek", value("--seek")),
             "--until" => cli.until = Some(parse_u64("--until", value("--until"))),
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")),
+            "--json" => cli.json = true,
             other => {
                 eprintln!("error: unknown flag '{other}'");
                 usage();
@@ -316,12 +330,32 @@ fn main() {
         "metrics" => finish(client::request(&cli.addr, "GET", "/metrics", None)),
         "watch" => watch(&cli),
         "replay" => replay(&cli),
-        "run" => finish(client::post_run_opts(
-            &cli.addr,
-            &spec_json(&cli, cli.seed),
-            cli.r#async,
-            cli.replay,
-        )),
+        "run" => match &cli.trace_out {
+            None => finish(client::post_run_opts(
+                &cli.addr,
+                &spec_json(&cli, cli.seed),
+                cli.r#async,
+                cli.replay,
+            )),
+            Some(path) => {
+                let trace = obs::TraceEvents::default();
+                let reply = client::post_run_traced(
+                    &cli.addr,
+                    &spec_json(&cli, cli.seed),
+                    cli.r#async,
+                    cli.replay,
+                    &trace,
+                );
+                if reply.is_ok() {
+                    if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                        eprintln!("error: writing trace to {path}: {e}");
+                        exit(1);
+                    }
+                    eprintln!("chrome trace written to {path} (load in Perfetto)");
+                }
+                finish(reply)
+            }
+        },
         "raw" => finish(client::request(&cli.addr, "POST", "/run", Some(&cli.body))),
         "result" => finish(client::request(
             &cli.addr,
@@ -337,12 +371,23 @@ fn main() {
         )),
         "shutdown" => finish(client::request(&cli.addr, "POST", "/shutdown", None)),
         "flood" => {
+            let latency = std::sync::Arc::new(obs::Histogram::new());
             let replies: Vec<_> = (0..cli.count)
                 .map(|i| {
                     let addr = cli.addr.clone();
                     let body = spec_json(&cli, cli.seed + i as u64);
                     let r#async = cli.r#async;
-                    std::thread::spawn(move || client::post_run(&addr, &body, r#async))
+                    let latency = latency.clone();
+                    std::thread::spawn(move || {
+                        let t0 = std::time::Instant::now();
+                        let reply = client::post_run(&addr, &body, r#async);
+                        // Transport failures have no service latency to
+                        // attribute; only answered requests record.
+                        if reply.is_ok() {
+                            latency.record_duration_us(t0.elapsed());
+                        }
+                        reply
+                    })
                 })
                 .collect();
             let mut codes: Vec<u16> = Vec::new();
@@ -362,7 +407,44 @@ fn main() {
                 parts.push(format!("{code} x{run}"));
                 i += run;
             }
-            println!("flood: {}", parts.join(" / "));
+            let s = latency.summary();
+            if cli.json {
+                use bench::campaign::json::Json;
+                let code_keys: Vec<String> = parts
+                    .iter()
+                    .map(|p| p.split(' ').next().unwrap().to_string())
+                    .collect();
+                let mut code_pairs: Vec<(&str, Json)> = Vec::new();
+                let mut i = 0;
+                for key in &code_keys {
+                    let code: u16 = key.parse().unwrap();
+                    let run = codes[i..].iter().take_while(|c| **c == code).count();
+                    code_pairs.push((key, Json::usize(run)));
+                    i += run;
+                }
+                let body = Json::obj(vec![
+                    ("count", Json::usize(cli.count)),
+                    ("failures", Json::usize(failures)),
+                    ("codes", Json::obj(code_pairs)),
+                    (
+                        "latency_us",
+                        Json::obj(vec![
+                            ("count", Json::u64(s.count)),
+                            ("p50", Json::u64(s.p50)),
+                            ("p90", Json::u64(s.p90)),
+                            ("p99", Json::u64(s.p99)),
+                            ("max", Json::u64(s.max)),
+                        ]),
+                    ),
+                ]);
+                println!("{}", body.to_compact());
+            } else {
+                println!("flood: {}", parts.join(" / "));
+                println!(
+                    "latency_us: count {}  p50 {}  p90 {}  p99 {}  max {}",
+                    s.count, s.p50, s.p90, s.p99, s.max
+                );
+            }
             exit(if failures == 0 { 0 } else { 1 });
         }
         _ => unreachable!("command validated in parse_cli"),

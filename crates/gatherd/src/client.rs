@@ -47,20 +47,35 @@ pub struct RawReply {
     pub body: Vec<u8>,
 }
 
-fn send_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<TcpStream> {
-    let mut stream = TcpStream::connect(addr)?;
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
     // Longer than the server's SYNC_WAIT (300 s): a blocking run that
     // exhausts the server's patience must deliver its 202
     // poll-instead answer here rather than dying as a client timeout.
     stream.set_read_timeout(Some(Duration::from_secs(330)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    Ok(stream)
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
-    stream.flush()?;
+    stream.flush()
+}
+
+fn send_request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<TcpStream> {
+    let mut stream = connect(addr)?;
+    write_request(&mut stream, addr, method, path, body)?;
     Ok(stream)
 }
 
@@ -120,6 +135,15 @@ pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::
     })
 }
 
+fn run_path(async_mode: bool, replay: bool) -> &'static str {
+    match (async_mode, replay) {
+        (true, true) => "/run?async&replay",
+        (true, false) => "/run?async",
+        (false, true) => "/run?replay",
+        (false, false) => "/run",
+    }
+}
+
 /// `POST /run` with a spec body; returns the reply. `replay` asks the
 /// server to record the run (`?replay`).
 pub fn post_run_opts(
@@ -128,13 +152,54 @@ pub fn post_run_opts(
     async_mode: bool,
     replay: bool,
 ) -> io::Result<Reply> {
-    let path = match (async_mode, replay) {
-        (true, true) => "/run?async&replay",
-        (true, false) => "/run?async",
-        (false, true) => "/run?replay",
-        (false, false) => "/run",
+    request(addr, "POST", run_path(async_mode, replay), Some(spec_json))
+}
+
+/// [`post_run_opts`] with client-side phase spans recorded into `trace`:
+/// `connect` (TCP dial), `send` (request write), `wait` (time to first
+/// response byte — for a cache miss this is the simulation), and `read`
+/// (draining the rest). Backs `gatherctl run --trace-out`.
+pub fn post_run_traced(
+    addr: &str,
+    spec_json: &str,
+    async_mode: bool,
+    replay: bool,
+    trace: &obs::TraceEvents,
+) -> io::Result<Reply> {
+    let tid = obs::trace_tid();
+    let mut mark = std::time::Instant::now();
+    let span = |name: &'static str, mark: &mut std::time::Instant| {
+        let now = std::time::Instant::now();
+        trace.complete(name, tid, *mark, now.duration_since(*mark), None);
+        *mark = now;
     };
-    request(addr, "POST", path, Some(spec_json))
+
+    let mut stream = connect(addr)?;
+    span("connect", &mut mark);
+    write_request(
+        &mut stream,
+        addr,
+        "POST",
+        run_path(async_mode, replay),
+        spec_json,
+    )?;
+    span("send", &mut mark);
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let n = stream.read(&mut chunk)?;
+    raw.extend_from_slice(&chunk[..n]);
+    span("wait", &mut mark);
+    stream.read_to_end(&mut raw)?;
+    span("read", &mut mark);
+
+    let (status, headers, body_start) = parse_head(&raw)?;
+    let body = String::from_utf8(raw[body_start..].to_vec())
+        .map_err(|_| io::Error::other("non-utf8 response body"))?;
+    Ok(Reply {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// `POST /run` with a spec body; returns the reply.

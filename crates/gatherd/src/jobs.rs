@@ -80,6 +80,9 @@ pub struct Job {
     /// Live-frame ring for `/watch` streaming; present exactly when this
     /// job records a replay.
     pub ring: Option<Arc<FrameRing>>,
+    /// When the job entered the queue — the worker's pop time minus this
+    /// is the queue wait the service's `queue_wait_us` histogram records.
+    pub submitted: std::time::Instant,
     state: Mutex<JobState>,
     done: Condvar,
 }
@@ -243,6 +246,7 @@ impl JobTable {
             hash: hash.clone(),
             slot: ProgressSlot::new(),
             ring: replay.then(|| FrameRing::new(WATCH_RING_CAP)),
+            submitted: std::time::Instant::now(),
             state: Mutex::new(JobState::Queued),
             done: Condvar::new(),
         });

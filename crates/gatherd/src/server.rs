@@ -114,11 +114,102 @@ pub struct Stats {
     watchers_total: AtomicU64,
 }
 
+/// Latency histograms: per-endpoint request service time, job queue
+/// wait, and simulation run duration — all in microseconds.
+///
+/// Built on an [`obs::Registry`] so the `/metrics` expositions (flat
+/// text and `?json`) come for free; the hot paths record through cached
+/// `Arc<Histogram>` handles and never touch the registry lock again.
+pub struct Latencies {
+    registry: obs::Registry,
+    run_hit: Arc<obs::Histogram>,
+    run_miss: Arc<obs::Histogram>,
+    run_other: Arc<obs::Histogram>,
+    result: Arc<obs::Histogram>,
+    progress: Arc<obs::Histogram>,
+    metrics: Arc<obs::Histogram>,
+    healthz: Arc<obs::Histogram>,
+    replay: Arc<obs::Histogram>,
+    other: Arc<obs::Histogram>,
+    queue_wait: Arc<obs::Histogram>,
+    run_duration: Arc<obs::Histogram>,
+}
+
+impl Latencies {
+    fn new() -> Latencies {
+        let registry = obs::Registry::new();
+        let h = |name: &str| registry.histogram(name);
+        Latencies {
+            run_hit: h("request_us_run_hit"),
+            run_miss: h("request_us_run_miss"),
+            run_other: h("request_us_run_other"),
+            result: h("request_us_result"),
+            progress: h("request_us_progress"),
+            metrics: h("request_us_metrics"),
+            healthz: h("request_us_healthz"),
+            replay: h("request_us_replay"),
+            other: h("request_us_other"),
+            queue_wait: h("queue_wait_us"),
+            run_duration: h("run_duration_us"),
+            registry,
+        }
+    }
+
+    /// The histogram a finished request records into: routes mirror
+    /// [`route`], and `POST /run` splits on the cache verdict the
+    /// response carries (429/400 answers have no verdict → `run_other`).
+    fn request_hist(&self, req: &Request, resp: &Response) -> &obs::Histogram {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/run") => {
+                let verdict = resp
+                    .headers
+                    .iter()
+                    .find(|(name, _)| name == "X-Gatherd-Cache");
+                match verdict.map(|(_, v)| v.as_str()) {
+                    Some("hit") => &self.run_hit,
+                    Some("miss") => &self.run_miss,
+                    _ => &self.run_other,
+                }
+            }
+            ("GET", "/healthz") => &self.healthz,
+            ("GET", "/metrics") => &self.metrics,
+            ("GET", path) if path.starts_with("/result/") => &self.result,
+            ("GET", path) if path.starts_with("/progress/") => &self.progress,
+            ("GET", path) if path.starts_with("/replay/") => &self.replay,
+            _ => &self.other,
+        }
+    }
+
+    /// The underlying registry (tests and exposition).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// Every histogram with its exposition name, sorted — the `?json`
+    /// rendering walks this so its key order matches the flat text.
+    fn all(&self) -> [(&'static str, &obs::Histogram); 11] {
+        [
+            ("queue_wait_us", &self.queue_wait),
+            ("request_us_healthz", &self.healthz),
+            ("request_us_metrics", &self.metrics),
+            ("request_us_other", &self.other),
+            ("request_us_progress", &self.progress),
+            ("request_us_replay", &self.replay),
+            ("request_us_result", &self.result),
+            ("request_us_run_hit", &self.run_hit),
+            ("request_us_run_miss", &self.run_miss),
+            ("request_us_run_other", &self.run_other),
+            ("run_duration_us", &self.run_duration),
+        ]
+    }
+}
+
 /// Everything the handler and worker threads share.
 pub struct ServiceState {
     cache: ResultCache,
     jobs: JobTable,
     stats: Stats,
+    lats: Latencies,
     workers: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -129,6 +220,11 @@ impl ServiceState {
     /// The result cache (tests inspect it).
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The latency histograms (tests inspect them).
+    pub fn latencies(&self) -> &Latencies {
+        &self.lats
     }
 }
 
@@ -193,6 +289,7 @@ impl Server {
             cache,
             jobs: JobTable::new(cfg.queue),
             stats: Stats::default(),
+            lats: Latencies::new(),
             workers: cfg.effective_workers(),
             shutdown: AtomicBool::new(false),
             addr,
@@ -321,6 +418,10 @@ impl ServerHandle {
 fn worker_loop(state: &ServiceState) {
     while let Some(job) = state.jobs.pop() {
         state.stats.jobs_run.fetch_add(1, Ordering::Relaxed);
+        state
+            .lats
+            .queue_wait
+            .record_duration_us(job.submitted.elapsed());
         // A panicking simulation must not wedge the spec: catch it, fail
         // the job (waking waiters and releasing the single-flight slot so
         // a resubmission runs fresh), and keep the worker alive.
@@ -332,10 +433,16 @@ fn worker_loop(state: &ServiceState) {
                 sink: sink.clone(),
                 ring: Some(ring.clone()),
             }),
+            phases: None,
         };
+        let run_start = std::time::Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             run_scenario_tapped(&spec, taps)
         }));
+        state
+            .lats
+            .run_duration
+            .record_duration_us(run_start.elapsed());
         match outcome {
             Ok(result) => {
                 let row = CampaignRow::from_result(&result);
@@ -399,7 +506,12 @@ fn handle_connection(state: &ServiceState, stream: &mut TcpStream) {
                 return;
             }
         }
+        let t0 = std::time::Instant::now();
         let (response, shutdown_after) = route(state, &req);
+        state
+            .lats
+            .request_hist(&req, &response)
+            .record_duration_us(t0.elapsed());
         let keep_alive = req.keep_alive && !shutdown_after;
         let write_ok = response.write_to(stream, keep_alive).is_ok();
         if shutdown_after {
@@ -436,7 +548,13 @@ fn route(state: &ServiceState, req: &Request) -> (Response, bool) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/run") => (post_run(state, req), false),
         ("GET", "/healthz") => (healthz(state), false),
-        ("GET", "/metrics") => (metrics(state), false),
+        ("GET", "/metrics") => {
+            if req.has_query_flag("json") {
+                (metrics_json(state), false)
+            } else {
+                (metrics(state), false)
+            }
+        }
         ("POST", "/shutdown") => (Response::json(200, r#"{"status":"shutting-down"}"#), true),
         ("GET", path) => {
             if let Some(hash) = path.strip_prefix("/result/") {
@@ -583,6 +701,7 @@ fn get_progress(state: &ServiceState, id: &str) -> Response {
         ("len", Json::usize(snap.len)),
         ("removed", Json::usize(snap.removed)),
         ("guard_cancels", Json::u64(snap.guard_cancels)),
+        ("wall_us", Json::u64(snap.wall_us)),
         ("finished", Json::Bool(snap.finished)),
     ])
     .to_compact();
@@ -702,13 +821,11 @@ fn healthz(state: &ServiceState) -> Response {
     Response::json(200, body)
 }
 
-/// The text metrics scrape: one `gatherd_<name> <value>` line per
-/// counter/gauge, stable names, no labels — greppable by hand and
-/// ingestible by anything that speaks the flat exposition style.
-fn metrics(state: &ServiceState) -> Response {
+/// The scalar metric set, shared by the flat and JSON expositions.
+fn metric_lines(state: &ServiceState) -> Vec<(&'static str, u64)> {
     let s = &state.stats;
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    let lines: Vec<(&str, u64)> = vec![
+    vec![
         ("uptime_seconds", state.start.elapsed().as_secs()),
         ("workers", state.workers as u64),
         ("queue_depth", state.jobs.depth() as u64),
@@ -723,10 +840,56 @@ fn metrics(state: &ServiceState) -> Response {
         ("replays_stored", load(&s.replays_stored)),
         ("watchers_active", load(&s.watchers_active)),
         ("watchers_total", load(&s.watchers_total)),
-    ];
+    ]
+}
+
+/// The text metrics scrape: one `gatherd_<name> <value>` line per
+/// counter/gauge, stable names, no labels — greppable by hand and
+/// ingestible by anything that speaks the flat exposition style. The
+/// latency histograms follow as six lines each (`_count`, `_sum`,
+/// `_p50`, `_p90`, `_p99`, `_max`; values in microseconds).
+fn metrics(state: &ServiceState) -> Response {
+    let lines = metric_lines(state);
     let mut body = String::with_capacity(lines.len() * 32);
     for (name, value) in lines {
         body.push_str(&format!("gatherd_{name} {value}\n"));
     }
+    body.push_str(&state.lats.registry().render_text("gatherd_"));
     Response::text(200, body)
+}
+
+/// One histogram digest for the `?json` exposition — same schema the
+/// `BENCH_service.json` artifact uses per endpoint.
+fn hist_json(h: &obs::Histogram) -> Json {
+    let s = h.summary();
+    Json::obj(vec![
+        ("count", Json::u64(s.count)),
+        ("sum_us", Json::u64(s.sum)),
+        ("p50_us", Json::u64(s.p50)),
+        ("p90_us", Json::u64(s.p90)),
+        ("p99_us", Json::u64(s.p99)),
+        ("max_us", Json::u64(s.max)),
+    ])
+}
+
+/// `GET /metrics?json`: the same scalars under `"counters"` plus the
+/// latency digests under `"histograms"` — machine-readable without a
+/// line parser.
+fn metrics_json(state: &ServiceState) -> Response {
+    let counters = Json::obj(
+        metric_lines(state)
+            .into_iter()
+            .map(|(name, value)| (name, Json::u64(value)))
+            .collect(),
+    );
+    let hists = Json::obj(
+        state
+            .lats
+            .all()
+            .into_iter()
+            .map(|(name, h)| (name, hist_json(h)))
+            .collect(),
+    );
+    let body = Json::obj(vec![("counters", counters), ("histograms", hists)]).to_compact();
+    Response::json(200, body)
 }

@@ -210,6 +210,10 @@ fn async_jobs_stream_progress() {
         "{final_snapshot:?}"
     );
     assert!(final_snapshot.get("round").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        final_snapshot.get("wall_us").unwrap().as_u64().unwrap() > 0,
+        "a finished job reports end-to-end wall time"
+    );
 
     // The finished job's result is now content-addressable.
     let result = client::request(&addr, "GET", &format!("/result/{hash}"), None).unwrap();
@@ -398,6 +402,64 @@ fn paper_ssync_jobs_gather_under_ssync_schedulers() {
         result.get("outcome").unwrap().as_str(),
         Some("chain-broken")
     );
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Observability: `/metrics` exposes request-latency, queue-wait, and
+/// run-duration histograms whose counts cover the requests served, and
+/// `GET /metrics?json` renders the same digests as parseable JSON.
+#[test]
+fn metrics_expose_latency_histograms() {
+    let dir = scratch("obs");
+    let handle = Server::spawn(config(&dir)).unwrap();
+    let addr = handle.addr();
+
+    let body = spec_body("rectangle", 48, 7, "paper");
+    let miss = client::post_run(&addr, &body, false).unwrap();
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(miss.header("x-gatherd-cache"), Some("miss"));
+    let hit = client::post_run(&addr, &body, false).unwrap();
+    assert_eq!(hit.header("x-gatherd-cache"), Some("hit"));
+
+    let text = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(text.status, 200);
+    let find = |name: &str| -> u64 {
+        text.body
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("gatherd_{name} ")))
+            .unwrap_or_else(|| panic!("missing gatherd_{name} in:\n{}", text.body))
+            .parse()
+            .unwrap()
+    };
+    // One miss, one hit, one simulation through the queue.
+    assert_eq!(find("request_us_run_miss_count"), 1);
+    assert_eq!(find("request_us_run_hit_count"), 1);
+    assert_eq!(find("queue_wait_us_count"), 1);
+    assert_eq!(find("run_duration_us_count"), 1);
+    // The digests are internally consistent (quantiles bounded by max).
+    assert!(find("request_us_run_miss_p50") <= find("request_us_run_miss_max"));
+    assert!(find("run_duration_us_sum") > 0, "a simulation took > 1us");
+
+    // The JSON variant parses and carries the same digests.
+    let json = client::request(&addr, "GET", "/metrics?json", None).unwrap();
+    assert_eq!(json.status, 200);
+    let v = Json::parse(&json.body).unwrap();
+    let counters = v.get("counters").unwrap();
+    assert_eq!(counters.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(counters.get("cache_misses").unwrap().as_u64(), Some(1));
+    let hists = v.get("histograms").unwrap();
+    let miss_h = hists.get("request_us_run_miss").unwrap();
+    assert_eq!(miss_h.get("count").unwrap().as_u64(), Some(1));
+    let (p50, p99, max) = (
+        miss_h.get("p50_us").unwrap().as_u64().unwrap(),
+        miss_h.get("p99_us").unwrap().as_u64().unwrap(),
+        miss_h.get("max_us").unwrap().as_u64().unwrap(),
+    );
+    assert!(p50 <= p99 && p99 <= max, "digest quantiles must be ordered");
+    // The two expositions agree on the one sample they both digest.
+    assert_eq!(max, find("request_us_run_miss_max"));
 
     handle.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,340 @@
+//! Lock-free log-bucketed histogram.
+//!
+//! The value axis is split into a linear region (`0..32`, exact) and
+//! log-linear octaves above it: each power-of-two range is divided into
+//! [`SUB`] equal sub-buckets, so any recorded value lands in a bucket
+//! whose width is at most `value / 32` — a fixed ~3% relative error,
+//! which is plenty for latency percentiles. The whole table is 1920
+//! buckets (15 KiB) and covers the full `u64` range, so microsecond
+//! recordings never saturate.
+//!
+//! Recording is wait-free: one relaxed `fetch_add` on the bucket plus
+//! relaxed updates of `count`/`sum`/`max`. Readers take a relaxed
+//! snapshot; the only consistency contract is that after all writers
+//! have finished (joined), totals are exact — which is what the
+//! concurrent stress test pins.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// log2 of the sub-bucket count per octave.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per power-of-two octave (also the size of the exact
+/// linear region at the bottom of the value axis).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: the linear block plus one block per octave with
+/// a most-significant bit in `SUB_BITS..=63`.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB as usize + SUB as usize;
+
+/// Map a value to its bucket index.
+///
+/// Values below [`SUB`] map to themselves (exact); above, the index is
+/// built from the position of the most significant bit and the next
+/// [`SUB_BITS`] bits below it.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros(); // >= SUB_BITS
+        let shift = msb - SUB_BITS;
+        let sub = (value >> shift) & (SUB - 1);
+        ((msb - SUB_BITS + 1) as u64 * SUB + sub) as usize
+    }
+}
+
+/// The largest value that maps to bucket `index` — what percentile
+/// queries report, so the estimate always errs toward the conservative
+/// (larger) side of the bucket.
+pub fn bucket_bound(index: usize) -> u64 {
+    let block = index as u64 / SUB;
+    let sub = index as u64 % SUB;
+    if block == 0 {
+        sub
+    } else {
+        let msb = SUB_BITS as u64 + block - 1;
+        let shift = msb - SUB_BITS as u64;
+        let low = (1u64 << msb) | (sub << shift);
+        low + ((1u64 << shift) - 1)
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("summary", &self.summary())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Wait-free; callable from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in microseconds.
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Largest recorded sample (exact), 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the sample of rank `ceil(q * count)`, clamped to
+    /// the exact maximum. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Relaxed);
+            if seen >= target {
+                return bucket_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one (bucket-wise add). Merging
+    /// is commutative and associative, so per-thread histograms can be
+    /// combined in any order.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Relaxed);
+        self.sum.fetch_add(other.sum(), Relaxed);
+        self.max.fetch_max(other.max(), Relaxed);
+    }
+
+    /// A snapshot of all bucket counts (index-aligned with
+    /// [`bucket_bound`]); mostly useful for tests and exposition.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Relaxed)).collect()
+    }
+
+    /// Snapshot the headline statistics in one call.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            max: self.max(),
+        }
+    }
+}
+
+/// A point-in-time digest of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The linear region is exact; above it, a bucket's bound is within
+    /// `value / SUB` of the value, and index/bound round-trip.
+    #[test]
+    fn bucket_boundaries() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bound(bucket_index(v)), v);
+        }
+        // Octave edges: 2^k lands in a fresh bucket and 2^k - 1 in the
+        // last bucket of the previous block.
+        for k in SUB_BITS..63 {
+            let lo = 1u64 << k;
+            assert_eq!(
+                bucket_index(lo),
+                bucket_index(lo) / SUB as usize * SUB as usize
+            );
+            assert_eq!(bucket_index(lo - 1) + 1, bucket_index(lo));
+        }
+        // Bound is conservative and tight everywhere we can sweep.
+        let mut probes: Vec<u64> = (0..4096).collect();
+        for k in 5..64 {
+            let p = 1u64 << k;
+            probes.extend([p - 1, p, p + 1, p + p / 3]);
+        }
+        probes.push(u64::MAX);
+        for &v in &probes {
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound >= v, "bound {bound} < value {v}");
+            assert!(bound - v <= v / SUB + 1, "bucket too wide at {v}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_stats_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary().count, 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // Values <= 31 are exact; larger ones carry <= 3% bucket error.
+        assert_eq!(h.quantile(0.01), 1);
+        assert!(h.p50() >= 50 && h.p50() <= 52);
+        assert!(h.p99() >= 99 && h.p99() <= 100);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn percentile_monotonicity() {
+        let h = Histogram::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..10_000 {
+            // SplitMix64-ish scramble for a spread of magnitudes.
+            x = x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(27);
+            h.record(x >> (x % 50));
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile not monotone at {i}%");
+            last = q;
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let fill = |seed: u64, n: u64| {
+            let h = Histogram::new();
+            let mut x = seed;
+            for _ in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(x >> 32);
+            }
+            h
+        };
+        let (a, b, c) = (fill(1, 100), fill(2, 200), fill(3, 300));
+        let left = Histogram::new(); // (a + b) + c
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+        let bc = Histogram::new(); // a + (b + c)
+        bc.merge(&b);
+        bc.merge(&c);
+        let right = Histogram::new();
+        right.merge(&a);
+        right.merge(&bc);
+        assert_eq!(left.bucket_counts(), right.bucket_counts());
+        assert_eq!(left.summary(), right.summary());
+        assert_eq!(left.count(), 600);
+        assert_eq!(left.sum(), a.sum() + b.sum() + c.sum());
+    }
+
+    /// N threads hammer one histogram; after joining, totals are exact.
+    #[test]
+    fn concurrent_recording_conserves_totals() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), THREADS * PER_THREAD);
+        let n = THREADS * PER_THREAD;
+        assert_eq!(h.sum(), n * (n - 1) / 2);
+        assert_eq!(h.max(), n - 1);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), n);
+    }
+}

@@ -1,0 +1,247 @@
+//! Sampling per-round phase timing.
+//!
+//! A [`PhaseTimer`] attributes wall time inside a simulation round to a
+//! fixed set of phases (compute / guard / apply / merge). It is built
+//! to sit *next to* a hot loop without perturbing it:
+//!
+//! - **Sampling.** Only rounds where `round % sample_every == 0` are
+//!   timed; on every other round [`PhaseTimer::round_clock`] returns
+//!   `None` and the loop pays one modulo and a branch.
+//! - **Passivity.** The timer only reads clocks; it never touches
+//!   simulation state, so timed and untimed runs produce byte-identical
+//!   results.
+//! - **Shared.** The timer is used through an `Arc`: histograms are
+//!   lock-free, and the trace buffer takes a short lock only on sampled
+//!   rounds, so one timer can serve a whole batch of worker threads.
+//!
+//! Sampled spans land in per-phase nanosecond [`Histogram`]s and, up to
+//! a cap, in a Chrome trace-event buffer exportable with
+//! [`PhaseTimer::to_chrome_json`].
+
+use crate::hist::Histogram;
+use crate::trace::{trace_tid, TraceEvents};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The phases of one simulation round, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Strategy hop computation (for the dense path: the whole fused
+    /// kernel round).
+    Compute = 0,
+    /// Chain-safety guard enforcement.
+    Guard = 1,
+    /// Hop application and travel accounting.
+    Apply = 2,
+    /// Merge pass and post-merge bookkeeping.
+    Merge = 3,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 4] = [Phase::Compute, Phase::Guard, Phase::Apply, Phase::Merge];
+
+    /// Lower-case phase name, as used in exposition and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Guard => "guard",
+            Phase::Apply => "apply",
+            Phase::Merge => "merge",
+        }
+    }
+}
+
+/// A sampling per-phase wall-clock timer. See the module docs.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    sample_every: u64,
+    hists: [Histogram; 4],
+    rounds: Histogram,
+    trace: TraceEvents,
+}
+
+impl PhaseTimer {
+    /// The default sampling rate: time one round in 16.
+    pub const DEFAULT_SAMPLE_EVERY: u64 = 16;
+
+    /// A timer sampling every `sample_every`-th round (0 is treated
+    /// as 1: every round).
+    pub fn new(sample_every: u64) -> PhaseTimer {
+        PhaseTimer {
+            sample_every: sample_every.max(1),
+            hists: [
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ],
+            rounds: Histogram::new(),
+            trace: TraceEvents::default(),
+        }
+    }
+
+    /// A timer at [`PhaseTimer::DEFAULT_SAMPLE_EVERY`].
+    pub fn default_rate() -> PhaseTimer {
+        PhaseTimer::new(PhaseTimer::DEFAULT_SAMPLE_EVERY)
+    }
+
+    /// `true` when `round` falls on the sampling grid.
+    pub fn sampled(&self, round: u64) -> bool {
+        round.is_multiple_of(self.sample_every)
+    }
+
+    /// Start timing `round` if it is sampled; `None` otherwise. The
+    /// returned clock records into this timer when dropped.
+    pub fn round_clock(self: &Arc<Self>, round: u64) -> Option<RoundClock> {
+        if !self.sampled(round) {
+            return None;
+        }
+        let now = Instant::now();
+        Some(RoundClock {
+            timer: Arc::clone(self),
+            round,
+            t0: now,
+            last: now,
+            spans: [0; 4],
+        })
+    }
+
+    /// Per-phase span histogram, in nanoseconds.
+    pub fn histogram(&self, phase: Phase) -> &Histogram {
+        &self.hists[phase as usize]
+    }
+
+    /// Whole-round (sum of phases) histogram, in nanoseconds.
+    pub fn round_histogram(&self) -> &Histogram {
+        &self.rounds
+    }
+
+    /// Number of sampled rounds recorded.
+    pub fn rounds_sampled(&self) -> u64 {
+        self.rounds.count()
+    }
+
+    /// Render the sampled spans as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        self.trace.to_chrome_json()
+    }
+
+    /// A one-line human summary: per-phase p50 and share of sampled
+    /// round time.
+    pub fn report(&self) -> String {
+        let total = self.rounds.sum().max(1);
+        let mut out = format!("phase timing ({} sampled rounds):", self.rounds_sampled());
+        for phase in Phase::ALL {
+            let h = self.histogram(phase);
+            out.push_str(&format!(
+                " {}: p50 {} ns ({}%)",
+                phase.name(),
+                h.p50(),
+                h.sum() * 100 / total
+            ));
+        }
+        out
+    }
+
+    fn finish_round(&self, round: u64, t0: Instant, spans: &[u64; 4]) {
+        let mut start = t0;
+        let tid = trace_tid();
+        let mut total = 0u64;
+        for phase in Phase::ALL {
+            let ns = spans[phase as usize];
+            self.hists[phase as usize].record(ns);
+            total += ns;
+            if ns > 0 {
+                let dur = std::time::Duration::from_nanos(ns);
+                self.trace
+                    .complete(phase.name(), tid, start, dur, Some(("round", round)));
+                start += dur;
+            }
+        }
+        self.rounds.record(total);
+    }
+}
+
+/// An in-flight timed round. Call [`RoundClock::mark`] at the end of
+/// each phase; dropping the clock records the round.
+pub struct RoundClock {
+    timer: Arc<PhaseTimer>,
+    round: u64,
+    t0: Instant,
+    last: Instant,
+    spans: [u64; 4],
+}
+
+impl RoundClock {
+    /// Close the span for `phase`: the time since the previous mark
+    /// (or the clock's creation) is attributed to it.
+    pub fn mark(&mut self, phase: Phase) {
+        let now = Instant::now();
+        let ns = now
+            .checked_duration_since(self.last)
+            .unwrap_or_default()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        self.spans[phase as usize] += ns;
+        self.last = now;
+    }
+}
+
+impl Drop for RoundClock {
+    fn drop(&mut self) {
+        self.timer.finish_round(self.round, self.t0, &self.spans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_grid() {
+        let every = Arc::new(PhaseTimer::new(1));
+        let sparse = Arc::new(PhaseTimer::new(4));
+        for round in 0..8u64 {
+            assert!(every.sampled(round));
+            assert_eq!(sparse.sampled(round), round % 4 == 0);
+            assert_eq!(sparse.round_clock(round).is_some(), round % 4 == 0);
+        }
+        assert_eq!(PhaseTimer::new(0).sample_every, 1);
+    }
+
+    #[test]
+    fn clock_records_phases_and_trace() {
+        let timer = Arc::new(PhaseTimer::new(1));
+        for round in 0..5u64 {
+            let mut clock = timer.round_clock(round).unwrap();
+            clock.mark(Phase::Compute);
+            clock.mark(Phase::Guard);
+            clock.mark(Phase::Apply);
+            clock.mark(Phase::Merge);
+        }
+        assert_eq!(timer.rounds_sampled(), 5);
+        for phase in Phase::ALL {
+            assert_eq!(timer.histogram(phase).count(), 5);
+        }
+        let json = timer.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"args\":{\"round\":"));
+        assert!(timer.report().contains("compute"));
+    }
+
+    /// The per-round histogram is the sum of the per-phase spans — the
+    /// attribution never invents time.
+    #[test]
+    fn round_total_is_sum_of_phases() {
+        let timer = Arc::new(PhaseTimer::new(1));
+        {
+            let mut clock = timer.round_clock(0).unwrap();
+            clock.mark(Phase::Compute);
+            std::hint::black_box((0..1000).sum::<u64>());
+            clock.mark(Phase::Merge);
+        }
+        let total: u64 = Phase::ALL.iter().map(|&p| timer.histogram(p).sum()).sum();
+        assert_eq!(timer.round_histogram().sum(), total);
+    }
+}

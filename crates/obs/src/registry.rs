@@ -1,0 +1,263 @@
+//! A registry of named metrics with stable flat-text and JSON
+//! exposition.
+//!
+//! Metrics are registered get-or-create by name and handed back as
+//! `Arc`s, so the hot path holds a direct pointer and never touches the
+//! registry lock again. Exposition walks the name-sorted map, which
+//! makes both renderings byte-stable for a given set of values — the
+//! service's `/metrics` endpoint and its `?json` variant are built on
+//! this.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// A monotone counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Hist(Arc<Histogram>),
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist(Arc::new(Histogram::new())))
+        {
+            Metric::Hist(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Flat-text exposition: one `<prefix><name> <value>` line per
+    /// scalar metric, and six lines (`_count`, `_sum`, `_p50`, `_p90`,
+    /// `_p99`, `_max`) per histogram. Names come out sorted, so the
+    /// format is stable.
+    pub fn render_text(&self, prefix: &str) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{prefix}{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{prefix}{name} {}\n", g.get())),
+                Metric::Hist(h) => {
+                    let s = h.summary();
+                    for (suffix, v) in [
+                        ("count", s.count),
+                        ("sum", s.sum),
+                        ("p50", s.p50),
+                        ("p90", s.p90),
+                        ("p99", s.p99),
+                        ("max", s.max),
+                    ] {
+                        out.push_str(&format!("{prefix}{name}_{suffix} {v}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: scalars under `"counters"` / `"gauges"`,
+    /// histogram digests under `"histograms"` as
+    /// `{"count":..,"sum":..,"p50":..,"p90":..,"p99":..,"max":..}`.
+    /// Key order is sorted (stable).
+    pub fn render_json(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    push_kv(&mut counters, name, &c.get().to_string());
+                }
+                Metric::Gauge(g) => {
+                    push_kv(&mut gauges, name, &g.get().to_string());
+                }
+                Metric::Hist(h) => {
+                    let s = h.summary();
+                    let digest = format!(
+                        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                        s.count, s.sum, s.p50, s.p90, s.p99, s.max
+                    );
+                    push_kv(&mut hists, name, &digest);
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{hists}}}}}"
+        )
+    }
+}
+
+/// Append `"key":value` (escaping the key) with a comma separator.
+fn push_kv(out: &mut String, key: &str, value: &str) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(&escape(key));
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+/// Minimal JSON string escaping — metric names are expected to be
+/// identifiers, but a stray quote must not corrupt the document.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let h1 = r.histogram("lat");
+        let h2 = r.histogram("lat");
+        h1.record(7);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.counter("zeta").add(5);
+        r.gauge("alpha").set(9);
+        r.histogram("mid").record(100);
+        let text = r.render_text("svc_");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "svc_alpha 9");
+        assert_eq!(lines[1], "svc_mid_count 1");
+        assert_eq!(lines[2], "svc_mid_sum 100");
+        assert!(lines[3].starts_with("svc_mid_p50 "));
+        assert_eq!(lines[7], "svc_zeta 5");
+        assert_eq!(text, r.render_text("svc_"));
+    }
+
+    #[test]
+    fn json_exposition_shape() {
+        let r = Registry::new();
+        r.counter("hits").add(2);
+        r.gauge("depth").set(4);
+        r.histogram("lat").record(50);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"hits\":2"));
+        assert!(json.contains("\"depth\":4"));
+        assert!(json.contains("\"lat\":{\"count\":1,\"sum\":50,\"p50\":50"));
+        assert!(json.ends_with("}}"));
+    }
+}
